@@ -1,0 +1,112 @@
+// Command mkdataset builds the paper's three evaluation datasets and
+// prints their structure: the synthetic 3-D grid chunking (§5.3), the
+// earthquake octree's uniform-region decomposition (§5.4), and the
+// TPC-H OLAP cube (§5.5).
+//
+// Usage:
+//
+//	mkdataset -which synthetic -scale 1
+//	mkdataset -which quake -depth 7
+//	mkdataset -which olap -rows 100000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"repro/internal/dataset"
+	"repro/internal/octree"
+	"repro/internal/olap"
+)
+
+func main() {
+	var (
+		which = flag.String("which", "all", "dataset: synthetic, quake, olap, or all")
+		scale = flag.Float64("scale", 1, "synthetic dataset scale in (0,1]")
+		depth = flag.Int("depth", 6, "quake octree maximum depth (5..8)")
+		rows  = flag.Int("rows", 200000, "TPC-H rows to generate for the OLAP cube")
+		seed  = flag.Int64("seed", 1, "generator seed")
+	)
+	flag.Parse()
+
+	run := func(name string, f func() error) {
+		if *which != "all" && *which != name {
+			return
+		}
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "mkdataset: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+
+	run("synthetic", func() error { return synthetic(*scale) })
+	run("quake", func() error { return quake(*depth) })
+	run("olap", func() error { return olapCube(*rows, *seed) })
+}
+
+func synthetic(scale float64) error {
+	g, chunkSide, err := dataset.Synthetic3D(scale)
+	if err != nil {
+		return err
+	}
+	chunks, err := g.Chunks([]int{chunkSide, chunkSide, chunkSide})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("synthetic 3-D grid: %v cells (%d total, %.1f GB at 512 B/cell)\n",
+		g.Dims(), g.Cells(), float64(g.Cells())*512/1e9)
+	fmt.Printf("  per-disk chunks of at most %d^3: %d chunks\n", chunkSide, len(chunks))
+	fmt.Printf("  first chunk %v at %v, last chunk %v at %v\n",
+		chunks[0].Dims, chunks[0].Lo, chunks[len(chunks)-1].Dims, chunks[len(chunks)-1].Lo)
+	return nil
+}
+
+func quake(depth int) error {
+	tr, err := octree.NewQuakeTree(depth)
+	if err != nil {
+		return err
+	}
+	regions, rest := octree.GrowRegions(tr.UniformSubtrees(), tr.MaxDepth(), 64)
+	rep := octree.Coverage(tr, regions, rest)
+	fmt.Printf("earthquake octree: depth %d, domain %d^3 units, %d leaf elements\n",
+		depth, tr.DomainSide(), tr.NumLeaves())
+	fmt.Printf("  %s\n", rep)
+	for i, r := range regions {
+		fmt.Printf("  region %d: leaf depth %d, grid %v (%d elements)\n",
+			i, r.LeafDepth, r.GridDims(), r.Leaves())
+	}
+	return nil
+}
+
+func olapCube(rows int, seed int64) error {
+	rng := rand.New(rand.NewSource(seed))
+	items := olap.GenLineItems(rng, rows)
+	cube, err := olap.BuildCube(items, olap.ChunkDims())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("OLAP cube: full %v, per-disk chunk %v (%d cells)\n",
+		olap.FullDims(), cube.Dims(), func() int64 {
+			n := int64(1)
+			for _, d := range cube.Dims() {
+				n *= int64(d)
+			}
+			return n
+		}())
+	fmt.Printf("  aggregated %d TPC-H rows into the chunk\n", rows)
+	qs, err := olap.Queries(rng, olap.ChunkDims())
+	if err != nil {
+		return err
+	}
+	for _, q := range qs {
+		profit, err := cube.ProfitCents(q)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  %s (%s): %d cells, profit $%.2f\n", q.Name, q.Text, q.Cells(), float64(profit)/100)
+	}
+	return nil
+}

@@ -1,0 +1,53 @@
+// Command mmbench regenerates the figures of the MultiMap paper's
+// evaluation (§5) on the simulated testbed and prints the same rows and
+// series the paper reports.
+//
+// Usage:
+//
+//	mmbench -exp fig6a                 # one figure, paper scale
+//	mmbench -exp all -scale 0.25       # everything, quickly
+//	mmbench -exp fig8 -disks atlas10k3 -runs 5 -seed 42
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	multimap "repro"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "all", "experiment id ("+strings.Join(multimap.ExperimentIDs(), ", ")+") or 'all'")
+		scale = flag.Float64("scale", 1, "dataset scale in (0,1]; 1 = paper size")
+		runs  = flag.Int("runs", 0, "randomized repetitions (0 = paper's 15)")
+		seed  = flag.Int64("seed", 1, "workload random seed")
+		disks = flag.String("disks", "", "comma-separated disk models (default: the paper's two drives); available: "+strings.Join(multimap.DiskModels(), ", "))
+	)
+	flag.Parse()
+
+	cfg := multimap.ExperimentConfig{Scale: *scale, Runs: *runs, Seed: *seed}
+	if *disks != "" {
+		for _, d := range strings.Split(*disks, ",") {
+			cfg.Disks = append(cfg.Disks, multimap.DiskModel(strings.TrimSpace(d)))
+		}
+	}
+
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = multimap.ExperimentIDs()
+	}
+	for _, id := range ids {
+		start := time.Now()
+		table, err := multimap.RunExperiment(id, cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mmbench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Print(table.String())
+		fmt.Printf("(%s in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,75 @@
+// Command mminspect prints a simulated drive's geometry, seek curve,
+// zone map, and the adjacency list of a given LBN — the low-level facts
+// MultiMap's mapping is built on.
+//
+// Usage:
+//
+//	mminspect -model atlas10k3
+//	mminspect -model cheetah36es -lbn 1000000 -d 16
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/disk"
+)
+
+func main() {
+	var (
+		model = flag.String("model", "atlas10k3", "disk model; available: "+strings.Join(disk.ModelNames(), ", "))
+		lbn   = flag.Int64("lbn", -1, "print the adjacency list of this LBN")
+		depth = flag.Int("d", 8, "adjacency depth to print with -lbn")
+	)
+	flag.Parse()
+
+	g, err := disk.ModelByName(*model)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mminspect:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s\n", g.Name)
+	fmt.Printf("  capacity:     %d blocks (%.1f GB)\n", g.TotalBlocks(), float64(g.TotalBlocks())*512/1e9)
+	fmt.Printf("  cylinders:    %d, surfaces: %d, tracks: %d\n", g.Cylinders(), g.Surfaces, g.TotalTracks())
+	fmt.Printf("  rotation:     %.2f ms (%d RPM)\n", g.RotationMs(), g.RPM)
+	fmt.Printf("  settle:       %.2f ms over %d cylinders -> adjacency span D <= %d\n",
+		g.SettleMs, g.SettleCyls, g.AdjSpan())
+	fmt.Printf("  head switch:  %.2f ms, command overhead: %.2f ms\n", g.HeadSwitchMs, g.CommandMs)
+	fmt.Printf("  seek:         avg %.2f ms, full stroke %.2f ms\n", g.SeekAvgMs, g.SeekMaxMs)
+
+	fmt.Println("  zones:")
+	for i := 0; i < g.NumZones(); i++ {
+		z := g.ZoneByIndex(i)
+		fmt.Printf("    zone %2d: cyls %6d-%6d  T=%d sectors/track  skew %d/%d  start LBN %d\n",
+			i, z.StartCyl, z.EndCyl, z.SectorsPerTrack, z.TrackSkew, z.CylSkew, z.StartLBN())
+	}
+
+	fmt.Println("  seek curve (ms by cylinder distance):")
+	for _, d := range []int{1, 2, 4, 8, 16, 32, 64, 256, 1024, 4096, g.Cylinders() / 3, g.Cylinders() - 1} {
+		if d < g.Cylinders() {
+			fmt.Printf("    %7d: %6.2f\n", d, g.SeekTimeMs(d))
+		}
+	}
+
+	if *lbn >= 0 {
+		p, err := g.Decode(*lbn)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mminspect:", err)
+			os.Exit(1)
+		}
+		start, next, _ := g.TrackBoundaries(*lbn)
+		fmt.Printf("\nLBN %d -> %v (track LBNs [%d,%d), T=%d)\n", *lbn, p, start, next, g.TrackLen(*lbn))
+		fmt.Printf("  adjacency offset: %d sectors\n", g.AdjOffsetSectors(*lbn))
+		adjs, err := g.Adjacent(*lbn, *depth)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mminspect:", err)
+			os.Exit(1)
+		}
+		for i, a := range adjs {
+			pa, _ := g.Decode(a)
+			fmt.Printf("  adj %3d: LBN %12d  %v\n", i+1, a, pa)
+		}
+	}
+}

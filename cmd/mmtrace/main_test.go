@@ -1,0 +1,43 @@
+package main
+
+import "testing"
+
+func TestParseInts(t *testing.T) {
+	got, err := parseInts("1, 2,3")
+	if err != nil || len(got) != 3 || got[0] != 1 || got[2] != 3 {
+		t.Fatalf("parseInts: %v %v", got, err)
+	}
+	if _, err := parseInts("1,x"); err == nil {
+		t.Error("bad integer accepted")
+	}
+}
+
+func TestQueryBox(t *testing.T) {
+	dims := []int{10, 6, 4}
+	lo, hi, err := queryBox(dims, 1, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo[1] != 0 || hi[1] != 6 || lo[0] != 5 || hi[0] != 6 {
+		t.Fatalf("beam box wrong: %v %v", lo, hi)
+	}
+	lo, hi, err = queryBox(dims, -1, "0,0,0:5,5,2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hi[0] != 5 || hi[2] != 2 {
+		t.Fatalf("range box wrong: %v %v", lo, hi)
+	}
+	if _, _, err := queryBox(dims, 1, "0:1"); err == nil {
+		t.Error("beam and range together accepted")
+	}
+	if _, _, err := queryBox(dims, 5, ""); err == nil {
+		t.Error("beam dim out of range accepted")
+	}
+	if _, _, err := queryBox(dims, -1, "nonsense"); err == nil {
+		t.Error("malformed range accepted")
+	}
+	if _, _, err := queryBox(dims, -1, ""); err == nil {
+		t.Error("no query accepted")
+	}
+}

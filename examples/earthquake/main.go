@@ -1,0 +1,73 @@
+// Earthquake: the paper's non-grid workload (§4.5, §5.4). Builds the
+// skewed octree-indexed dataset, detects its uniform subareas, maps
+// each with MultiMap, and compares beam queries against the linear
+// layouts.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/internal/disk"
+	"repro/internal/lvm"
+	"repro/internal/mapping"
+	"repro/internal/octree"
+	"repro/internal/query"
+)
+
+func main() {
+	const maxDepth = 6
+	tree, err := octree.NewQuakeTree(maxDepth)
+	if err != nil {
+		log.Fatal(err)
+	}
+	regions, rest := octree.GrowRegions(tree.UniformSubtrees(), tree.MaxDepth(), 64)
+	fmt.Printf("earthquake dataset: %d elements in a %d^3 domain\n",
+		tree.NumLeaves(), tree.DomainSide())
+	fmt.Printf("uniform-region decomposition: %s\n\n", octree.Coverage(tree, regions, rest))
+
+	rng := rand.New(rand.NewSource(42))
+	axes := []string{"X", "Y", "Z"}
+	fmt.Printf("%-10s %10s %10s %10s   (avg ms per element, 10 random beams)\n",
+		"mapping", axes[0], axes[1], axes[2])
+
+	for _, kind := range mapping.Kinds() {
+		vol, err := lvm.New(0, disk.AtlasTenKIII())
+		if err != nil {
+			log.Fatal(err)
+		}
+		store, err := octree.NewStore(vol, tree, kind, octree.StoreOptions{DiskIdx: 0})
+		if err != nil {
+			log.Fatal(err)
+		}
+		var per [3]float64
+		for axis := 0; axis < 3; axis++ {
+			var total float64
+			var cells int64
+			for run := 0; run < 10; run++ {
+				p := [3]int{rng.Intn(tree.DomainSide()), rng.Intn(tree.DomainSide()), rng.Intn(tree.DomainSide())}
+				leaves, err := store.BeamLeaves(axis, p)
+				if err != nil {
+					log.Fatal(err)
+				}
+				reqs, policy, err := store.Plan(leaves)
+				if err != nil {
+					log.Fatal(err)
+				}
+				st, err := query.Execute(vol, reqs, policy)
+				if err != nil {
+					log.Fatal(err)
+				}
+				total += st.TotalMs
+				cells += st.Cells
+			}
+			per[axis] = total / float64(cells)
+		}
+		fmt.Printf("%-10s %10.3f %10.3f %10.3f\n", kind, per[0], per[1], per[2])
+	}
+
+	fmt.Println("\nMultiMap grids each uniform subarea separately (the dense")
+	fmt.Println("near-surface slab dominates) and reverts to a linear layout for")
+	fmt.Println("the mixed-resolution remainder, as §4.5 prescribes.")
+}

@@ -1,0 +1,69 @@
+package multimap
+
+import (
+	"fmt"
+
+	"repro/internal/disk"
+	"repro/internal/experiments"
+)
+
+// ExperimentConfig scopes a figure regeneration run.
+type ExperimentConfig struct {
+	// Disks to evaluate (default: the paper's two drives).
+	Disks []DiskModel
+	// Scale in (0,1] shrinks the datasets; 1 is paper size.
+	Scale float64
+	// Runs repeats randomized queries (the paper uses 15).
+	Runs int
+	// Seed fixes the random workload.
+	Seed int64
+}
+
+// ExperimentIDs lists the regenerable paper artifacts plus the two
+// analysis tables from §4.3-§4.4.
+func ExperimentIDs() []string {
+	return []string{"fig1a", "fig1b", "fig6a", "fig6b", "fig7a", "fig7b", "fig8", "eq5", "space"}
+}
+
+// ExperimentTable is a printable experiment result.
+type ExperimentTable = experiments.Table
+
+// RunExperiment regenerates one of the paper's figures and returns its
+// table. See ExperimentIDs for valid ids.
+func RunExperiment(id string, cfg ExperimentConfig) (*ExperimentTable, error) {
+	ic := experiments.Config{Scale: cfg.Scale, Runs: cfg.Runs, Seed: cfg.Seed}
+	for _, m := range cfg.Disks {
+		g, err := disk.ModelByName(string(m))
+		if err != nil {
+			return nil, err
+		}
+		ic.Disks = append(ic.Disks, g)
+	}
+	switch id {
+	case "fig1a":
+		return experiments.Fig1aSeekProfile(ic)
+	case "fig1b", "adjacency":
+		return experiments.Fig1bAdjacency(ic)
+	case "fig6a":
+		t, _, err := experiments.Fig6aBeams(ic)
+		return t, err
+	case "fig6b":
+		t, _, err := experiments.Fig6bRanges(ic)
+		return t, err
+	case "fig7a":
+		t, _, err := experiments.Fig7aQuakeBeams(ic)
+		return t, err
+	case "fig7b":
+		t, _, err := experiments.Fig7bQuakeRanges(ic)
+		return t, err
+	case "fig8":
+		t, _, err := experiments.Fig8OLAP(ic)
+		return t, err
+	case "eq5":
+		return experiments.DimensionSupport(ic)
+	case "space":
+		return experiments.SpaceEfficiency(ic)
+	default:
+		return nil, fmt.Errorf("multimap: unknown experiment %q (have %v)", id, ExperimentIDs())
+	}
+}

@@ -1,0 +1,207 @@
+package analytic
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/disk"
+	"repro/internal/lvm"
+	"repro/internal/mapping"
+	"repro/internal/query"
+)
+
+// simBeam measures a beam query on the simulator.
+func simBeam(t *testing.T, g *disk.Geometry, kind mapping.Kind, dims []int, dim int, seed int64) float64 {
+	t.Helper()
+	v, err := lvm.New(0, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := mapping.New(kind, v, dims, mapping.Options{DiskIdx: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := query.NewExecutor(v, m)
+	rng := rand.New(rand.NewSource(seed))
+	v.Disk(0).RandomizePosition(rng)
+	fixed := make([]int, len(dims))
+	for i := range fixed {
+		if i != dim {
+			fixed[i] = rng.Intn(dims[i])
+		}
+	}
+	st, err := e.Beam(dim, fixed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st.TotalMs
+}
+
+func within(t *testing.T, name string, model, sim, tol float64) {
+	t.Helper()
+	if sim == 0 {
+		t.Fatalf("%s: zero simulated time", name)
+	}
+	if r := model / sim; r < 1/(1+tol) || r > 1+tol {
+		t.Errorf("%s: model %.1f ms vs simulated %.1f ms (ratio %.2f, tolerance %.0f%%)",
+			name, model, sim, r, tol*100)
+	}
+}
+
+// TestModelMatchesSimulatorBeams validates the reconstructed model
+// against the simulator on the paper's synthetic 3-D chunk shape
+// (scaled to keep runtime sane).
+func TestModelMatchesSimulatorBeams(t *testing.T) {
+	g := disk.AtlasTenKIII()
+	dims := []int{130, 130, 130}
+	m := New(g)
+
+	// Cube spec as the real mapping would choose it.
+	v, err := lvm.New(0, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mm, err := core.NewMapping(v, dims, core.MapOptions{DiskIdx: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := mm.Spec()
+
+	for dim := 0; dim < 3; dim++ {
+		var simN, simM float64
+		const runs = 5
+		for s := int64(0); s < runs; s++ {
+			simN += simBeam(t, g, mapping.Naive, dims, dim, 100+s)
+			simM += simBeam(t, g, mapping.MultiMap, dims, dim, 200+s)
+		}
+		simN /= runs
+		simM /= runs
+		modelN, err := m.NaiveBeamMs(dims, dim)
+		if err != nil {
+			t.Fatal(err)
+		}
+		modelM, err := m.MultiMapBeamMs(spec, dims, dim)
+		if err != nil {
+			t.Fatal(err)
+		}
+		within(t, "naive beam dim"+string(rune('0'+dim)), modelN, simN, 0.45)
+		within(t, "multimap beam dim"+string(rune('0'+dim)), modelM, simM, 0.45)
+	}
+}
+
+// TestModelMatchesSimulatorRanges validates range-query estimates.
+func TestModelMatchesSimulatorRanges(t *testing.T) {
+	g := disk.AtlasTenKIII()
+	dims := []int{130, 130, 130}
+	m := New(g)
+	v, err := lvm.New(0, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mmCore, err := core.NewMapping(v, dims, core.MapOptions{DiskIdx: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := mmCore.Spec()
+
+	for _, q := range [][]int{{130, 13, 13}, {40, 40, 40}, {13, 13, 13}} {
+		lo := []int{0, 0, 0}
+		hi := []int{q[0], q[1], q[2]}
+
+		run := func(kind mapping.Kind) float64 {
+			vv, err := lvm.New(0, g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mp, err := mapping.New(kind, vv, dims, mapping.Options{DiskIdx: 0})
+			if err != nil {
+				t.Fatal(err)
+			}
+			st, err := query.NewExecutor(vv, mp).Range(lo, hi)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return st.TotalMs
+		}
+		simN, simM := run(mapping.Naive), run(mapping.MultiMap)
+		modelN, err := m.NaiveRangeMs(dims, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		modelM, err := m.MultiMapRangeMs(spec, dims, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		within(t, "naive range", modelN, simN, 0.5)
+		within(t, "multimap range", modelM, simM, 0.5)
+
+		// The model must agree with the simulator on WHO WINS.
+		sp, err := m.SpeedupEstimate(spec, dims, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		simSp := simN / simM
+		if (sp > 1.15) != (simSp > 1.15) && (sp < 0.87) != (simSp < 0.87) {
+			t.Errorf("box %v: model speedup %.2f vs simulated %.2f disagree on the winner", q, sp, simSp)
+		}
+	}
+}
+
+func TestModelValidation(t *testing.T) {
+	m := New(disk.AtlasTenKIII())
+	dims := []int{10, 10, 10}
+	if _, err := m.NaiveBeamMs(dims, 3); err == nil {
+		t.Error("bad dim accepted")
+	}
+	if _, err := m.NaiveRangeMs(dims, []int{10, 10}); err == nil {
+		t.Error("arity mismatch accepted")
+	}
+	if _, err := m.NaiveRangeMs(dims, []int{11, 1, 1}); err == nil {
+		t.Error("oversized box accepted")
+	}
+	spec, err := core.NewCubeSpec([]int{10, 5, 5}, 600, 128, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.MultiMapBeamMs(spec, []int{10, 10}, 0); err == nil {
+		t.Error("spec/dims arity mismatch accepted")
+	}
+	if _, err := m.MultiMapRangeMs(spec, dims, []int{0, 1, 1}); err == nil {
+		t.Error("zero box side accepted")
+	}
+}
+
+// TestModelHeadlineShape: the closed-form model alone must reproduce
+// the paper's qualitative claims.
+func TestModelHeadlineShape(t *testing.T) {
+	g := disk.AtlasTenKIII()
+	m := New(g)
+	dims := []int{259, 259, 259}
+	spec, err := core.ChooseBasicCube(dims, 453, 128, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Streaming parity on Dim0.
+	n0, _ := m.NaiveBeamMs(dims, 0)
+	m0, _ := m.MultiMapBeamMs(spec, dims, 0)
+	if m0 > n0*1.5 {
+		t.Errorf("model: MultiMap Dim0 beam %.1f vs Naive %.1f — should match streaming", m0, n0)
+	}
+	// Semi-sequential advantage off the major order.
+	for dim := 1; dim < 3; dim++ {
+		nv, _ := m.NaiveBeamMs(dims, dim)
+		mv, _ := m.MultiMapBeamMs(spec, dims, dim)
+		if mv >= nv {
+			t.Errorf("model: dim %d beam MultiMap %.1f not better than Naive %.1f", dim, mv, nv)
+		}
+	}
+	// Range speedup > 1 for a mid-selectivity cube.
+	sp, err := m.SpeedupEstimate(spec, dims, []int{60, 60, 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp <= 1 {
+		t.Errorf("model: range speedup %.2f, want > 1", sp)
+	}
+}

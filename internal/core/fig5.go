@@ -1,0 +1,50 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/lvm"
+)
+
+// MapCellFig5 is the paper's Figure 5 algorithm, verbatim: it maps one
+// in-cube cell coordinate to an LBN starting from the cube's first
+// block, using only the LVM interface calls (GetTrackBoundaries and
+// repeated GetAdjacent jumps). One step along Dimi jumps
+// K1*K2*...*K(i-1) adjacent blocks.
+//
+// Mapping.CellVLBN computes the same function from cached chain heads;
+// tests assert the two agree cell-for-cell. This function costs
+// O(sum of coordinates) interface calls and exists as the executable
+// specification.
+func MapCellFig5(vol *lvm.Volume, base int64, spec *CubeSpec, cell []int) (int64, error) {
+	if len(cell) != spec.N() {
+		return 0, fmt.Errorf("core: cell has %d dims, want %d", len(cell), spec.N())
+	}
+	for i, x := range cell {
+		if x < 0 || x >= spec.K[i] {
+			return 0, fmt.Errorf("core: coordinate %d = %d outside cube [0,%d)", i, x, spec.K[i])
+		}
+	}
+	// l := base + x0, wrapping at the track end (the track is
+	// rotationally circular).
+	start, next, err := vol.GetTrackBoundaries(base)
+	if err != nil {
+		return 0, err
+	}
+	t := next - start
+	l := start + (base-start+int64(cell[0]))%t
+
+	// Each outer iteration advances one step along Dimi; each step is
+	// one jump of strides[i] adjacent blocks.
+	step := 1
+	for i := 1; i < spec.N(); i++ {
+		for j := 0; j < cell[i]; j++ {
+			l, err = vol.GetAdjacentK(l, step)
+			if err != nil {
+				return 0, fmt.Errorf("core: Fig5 step %d along dim %d: %w", j, i, err)
+			}
+		}
+		step *= spec.K[i]
+	}
+	return l, nil
+}

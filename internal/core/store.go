@@ -1,0 +1,273 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/lvm"
+)
+
+// CellLocator maps a cell coordinate to its home block. Both MultiMap's
+// Mapping and the linear mappings satisfy it, so CellStore works with
+// any placement.
+type CellLocator func(cell []int) (int64, error)
+
+// CellStore implements the paper's online-update support (§4.6): each
+// cell is loaded at a tunable fill factor; inserts that overflow a
+// cell's home block go to overflow pages; underflowing cells past a
+// reclamation threshold are compacted by Reorganize.
+type CellStore struct {
+	locate   CellLocator
+	capacity int     // points a block can hold
+	fill     float64 // initial fill factor at load time
+	reclaim  float64 // underflow threshold triggering reorganization
+
+	counts   map[int64]int   // live points per block (home or overflow)
+	chains   map[int64]int64 // block -> its overflow page (0 = none)
+	overflow struct {
+		next, end int64 // free extent for overflow pages
+	}
+	reorgs int
+}
+
+// NewCellStore builds a store over the locator. capacity is points per
+// block; fillFactor in (0,1] reserves insert headroom at load; the
+// reclaim threshold in [0,1) triggers reorganization when a chain's
+// occupancy falls below it. Overflow pages are carved from the free
+// extent [overflowStart, overflowStart+overflowBlocks).
+func NewCellStore(locate CellLocator, capacity int, fillFactor, reclaim float64,
+	overflowStart, overflowBlocks int64) (*CellStore, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("core: capacity must be positive, got %d", capacity)
+	}
+	if fillFactor <= 0 || fillFactor > 1 {
+		return nil, fmt.Errorf("core: fill factor %v outside (0,1]", fillFactor)
+	}
+	if reclaim < 0 || reclaim >= 1 {
+		return nil, fmt.Errorf("core: reclaim threshold %v outside [0,1)", reclaim)
+	}
+	if overflowBlocks < 0 {
+		return nil, fmt.Errorf("core: negative overflow extent")
+	}
+	s := &CellStore{
+		locate:   locate,
+		capacity: capacity,
+		fill:     fillFactor,
+		reclaim:  reclaim,
+		counts:   make(map[int64]int),
+		chains:   make(map[int64]int64),
+	}
+	s.overflow.next = overflowStart
+	s.overflow.end = overflowStart + overflowBlocks
+	return s, nil
+}
+
+// LoadCell bulk-loads n points into a cell, honouring the fill factor:
+// the home block keeps at most capacity*fill points and the rest spill
+// to overflow pages immediately (a bulk load of a skewed cell).
+func (s *CellStore) LoadCell(cell []int, n int) error {
+	if n < 0 {
+		return fmt.Errorf("core: negative point count")
+	}
+	home, err := s.locate(cell)
+	if err != nil {
+		return err
+	}
+	budget := int(float64(s.capacity) * s.fill)
+	if budget < 1 {
+		budget = 1
+	}
+	take := n
+	if take > budget {
+		take = budget
+	}
+	s.counts[home] += take
+	n -= take
+	for n > 0 {
+		page, err := s.appendPage(home)
+		if err != nil {
+			return err
+		}
+		take = n
+		if take > budget {
+			take = budget
+		}
+		s.counts[page] += take
+		n -= take
+	}
+	return nil
+}
+
+// Insert adds one point to a cell: into free space in the destination
+// cell if any, otherwise into (possibly new) overflow pages (§4.6).
+func (s *CellStore) Insert(cell []int) error {
+	home, err := s.locate(cell)
+	if err != nil {
+		return err
+	}
+	for b := home; ; {
+		if s.counts[b] < s.capacity {
+			s.counts[b]++
+			return nil
+		}
+		nxt, ok := s.chains[b]
+		if !ok {
+			nxt, err = s.appendPage(home)
+			if err != nil {
+				return err
+			}
+		}
+		b = nxt
+	}
+}
+
+// Delete removes one point from a cell's chain, reorganizing the chain
+// if its occupancy drops below the reclamation threshold.
+func (s *CellStore) Delete(cell []int) error {
+	home, err := s.locate(cell)
+	if err != nil {
+		return err
+	}
+	// Remove from the tail-most non-empty block, keeping early blocks
+	// dense.
+	var blocks []int64
+	for b := home; ; {
+		blocks = append(blocks, b)
+		nxt, ok := s.chains[b]
+		if !ok {
+			break
+		}
+		b = nxt
+	}
+	for i := len(blocks) - 1; i >= 0; i-- {
+		if s.counts[blocks[i]] > 0 {
+			s.counts[blocks[i]]--
+			if s.occupancy(home) < s.reclaim {
+				s.reorganize(home)
+			}
+			return nil
+		}
+	}
+	return fmt.Errorf("core: delete from empty cell %v", cell)
+}
+
+// appendPage allocates a fresh overflow page at the chain tail.
+func (s *CellStore) appendPage(home int64) (int64, error) {
+	if s.overflow.next >= s.overflow.end {
+		return 0, fmt.Errorf("core: overflow extent exhausted")
+	}
+	page := s.overflow.next
+	s.overflow.next++
+	tail := home
+	for {
+		nxt, ok := s.chains[tail]
+		if !ok {
+			break
+		}
+		tail = nxt
+	}
+	s.chains[tail] = page
+	return page, nil
+}
+
+// occupancy returns the chain's live fraction of its total capacity.
+func (s *CellStore) occupancy(home int64) float64 {
+	points, blocks := 0, 0
+	for b := home; ; {
+		points += s.counts[b]
+		blocks++
+		nxt, ok := s.chains[b]
+		if !ok {
+			break
+		}
+		b = nxt
+	}
+	return float64(points) / float64(blocks*s.capacity)
+}
+
+// reorganize compacts a chain: all points move as low as possible and
+// empty tail pages are dropped (their blocks leak back to the store's
+// free list conceptually; the paper calls reorganization "an expensive
+// operation for any mapping technique" and so do we by counting it).
+func (s *CellStore) reorganize(home int64) {
+	var blocks []int64
+	points := 0
+	for b := home; ; {
+		points += s.counts[b]
+		blocks = append(blocks, b)
+		nxt, ok := s.chains[b]
+		if !ok {
+			break
+		}
+		b = nxt
+	}
+	for _, b := range blocks {
+		take := points
+		if take > s.capacity {
+			take = s.capacity
+		}
+		s.counts[b] = take
+		points -= take
+	}
+	// Drop empty tail links.
+	for i := 0; i < len(blocks)-1; i++ {
+		if s.counts[blocks[i+1]] == 0 {
+			delete(s.chains, blocks[i])
+			for j := i + 1; j < len(blocks)-1; j++ {
+				delete(s.chains, blocks[j])
+			}
+			for j := i + 1; j < len(blocks); j++ {
+				delete(s.counts, blocks[j])
+			}
+			break
+		}
+	}
+	s.reorgs++
+}
+
+// Reorganizations returns how many chain compactions have run.
+func (s *CellStore) Reorganizations() int { return s.reorgs }
+
+// Points returns the live point count of a cell's chain.
+func (s *CellStore) Points(cell []int) (int, error) {
+	home, err := s.locate(cell)
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for b := home; ; {
+		n += s.counts[b]
+		nxt, ok := s.chains[b]
+		if !ok {
+			return n, nil
+		}
+		b = nxt
+	}
+}
+
+// ReadRequests returns the I/O requests needed to fetch a cell: its
+// home block plus any overflow pages.
+func (s *CellStore) ReadRequests(cell []int) ([]lvm.Request, error) {
+	home, err := s.locate(cell)
+	if err != nil {
+		return nil, err
+	}
+	reqs := []lvm.Request{{VLBN: home, Count: 1}}
+	for b := home; ; {
+		nxt, ok := s.chains[b]
+		if !ok {
+			return reqs, nil
+		}
+		reqs = append(reqs, lvm.Request{VLBN: nxt, Count: 1})
+		b = nxt
+	}
+}
+
+// ChainLen returns the number of blocks in a cell's chain (1 = no
+// overflow).
+func (s *CellStore) ChainLen(cell []int) (int, error) {
+	reqs, err := s.ReadRequests(cell)
+	if err != nil {
+		return 0, err
+	}
+	return len(reqs), nil
+}

@@ -1,0 +1,220 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+)
+
+// gridLocator is a trivial row-major locator for store tests.
+func gridLocator(dims []int) CellLocator {
+	return func(cell []int) (int64, error) {
+		if len(cell) != len(dims) {
+			return 0, fmt.Errorf("arity")
+		}
+		var lbn int64
+		stride := int64(1)
+		for i := range cell {
+			if cell[i] < 0 || cell[i] >= dims[i] {
+				return 0, fmt.Errorf("range")
+			}
+			lbn += int64(cell[i]) * stride
+			stride *= int64(dims[i])
+		}
+		return lbn, nil
+	}
+}
+
+func newTestStore(t *testing.T, capacity int, fill, reclaim float64) *CellStore {
+	t.Helper()
+	s, err := NewCellStore(gridLocator([]int{4, 4}), capacity, fill, reclaim, 1000, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewCellStoreValidation(t *testing.T) {
+	loc := gridLocator([]int{2, 2})
+	cases := []struct {
+		capacity       int
+		fill, reclaim  float64
+		overflowBlocks int64
+	}{
+		{0, 1, 0, 10},
+		{4, 0, 0, 10},
+		{4, 1.5, 0, 10},
+		{4, 1, 1, 10},
+		{4, 1, -0.1, 10},
+		{4, 1, 0, -1},
+	}
+	for _, tc := range cases {
+		if _, err := NewCellStore(loc, tc.capacity, tc.fill, tc.reclaim, 1000, tc.overflowBlocks); err == nil {
+			t.Errorf("invalid config %+v accepted", tc)
+		}
+	}
+}
+
+func TestLoadCellHonoursFillFactor(t *testing.T) {
+	s := newTestStore(t, 10, 0.5, 0)
+	// 12 points at fill 0.5 => 5 per block => 3 blocks.
+	if err := s.LoadCell([]int{1, 1}, 12); err != nil {
+		t.Fatal(err)
+	}
+	n, err := s.Points([]int{1, 1})
+	if err != nil || n != 12 {
+		t.Fatalf("Points=%d err=%v, want 12", n, err)
+	}
+	cl, _ := s.ChainLen([]int{1, 1})
+	if cl != 3 {
+		t.Fatalf("ChainLen=%d, want 3", cl)
+	}
+}
+
+func TestInsertUsesHeadroomThenOverflows(t *testing.T) {
+	s := newTestStore(t, 10, 0.5, 0)
+	if err := s.LoadCell([]int{0, 0}, 5); err != nil { // home at fill budget
+		t.Fatal(err)
+	}
+	// 5 inserts fit in the home block's headroom.
+	for i := 0; i < 5; i++ {
+		if err := s.Insert([]int{0, 0}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if cl, _ := s.ChainLen([]int{0, 0}); cl != 1 {
+		t.Fatalf("headroom inserts created overflow (chain %d)", cl)
+	}
+	// The next insert must allocate an overflow page.
+	if err := s.Insert([]int{0, 0}); err != nil {
+		t.Fatal(err)
+	}
+	if cl, _ := s.ChainLen([]int{0, 0}); cl != 2 {
+		t.Fatalf("ChainLen=%d, want 2 after overflow", cl)
+	}
+	if n, _ := s.Points([]int{0, 0}); n != 11 {
+		t.Fatalf("Points=%d, want 11", n)
+	}
+}
+
+func TestReadRequestsIncludeOverflowPages(t *testing.T) {
+	s := newTestStore(t, 2, 1, 0)
+	if err := s.LoadCell([]int{2, 3}, 5); err != nil {
+		t.Fatal(err)
+	}
+	reqs, err := s.ReadRequests([]int{2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reqs) != 3 {
+		t.Fatalf("got %d requests, want 3 (home + 2 overflow)", len(reqs))
+	}
+	home, _ := gridLocator([]int{4, 4})([]int{2, 3})
+	if reqs[0].VLBN != home {
+		t.Fatalf("first request %d, want home %d", reqs[0].VLBN, home)
+	}
+	for _, r := range reqs[1:] {
+		if r.VLBN < 1000 || r.VLBN >= 1100 {
+			t.Fatalf("overflow page %d outside the overflow extent", r.VLBN)
+		}
+	}
+}
+
+func TestOverflowExhaustion(t *testing.T) {
+	s, err := NewCellStore(gridLocator([]int{2, 2}), 1, 1, 0, 1000, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := s.Insert([]int{0, 0}); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+	}
+	if err := s.Insert([]int{0, 0}); err == nil {
+		t.Fatal("insert past overflow extent accepted")
+	}
+}
+
+func TestDeleteAndReorganize(t *testing.T) {
+	s := newTestStore(t, 4, 1, 0.4)
+	if err := s.LoadCell([]int{3, 3}, 12); err != nil { // 3 full blocks
+		t.Fatal(err)
+	}
+	// Delete down to 4 points: occupancy 4/12 = 0.33 < 0.4 triggers
+	// reorganization, compacting to a single block.
+	for i := 0; i < 8; i++ {
+		if err := s.Delete([]int{3, 3}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Reorganizations() == 0 {
+		t.Fatal("no reorganization despite underflow")
+	}
+	if cl, _ := s.ChainLen([]int{3, 3}); cl != 1 {
+		t.Fatalf("chain not compacted: %d blocks", cl)
+	}
+	if n, _ := s.Points([]int{3, 3}); n != 4 {
+		t.Fatalf("Points=%d, want 4", n)
+	}
+}
+
+func TestDeleteEmptyCell(t *testing.T) {
+	s := newTestStore(t, 4, 1, 0)
+	if err := s.Delete([]int{0, 1}); err == nil {
+		t.Fatal("delete from empty cell accepted")
+	}
+}
+
+func TestStorePreservesPointTotals(t *testing.T) {
+	s := newTestStore(t, 3, 1, 0.3)
+	want := 0
+	for i := 0; i < 50; i++ {
+		cell := []int{i % 4, (i / 4) % 4}
+		if err := s.Insert(cell); err != nil {
+			t.Fatal(err)
+		}
+		want++
+	}
+	for i := 0; i < 10; i++ {
+		if err := s.Delete([]int{0, 0}); err == nil {
+			want--
+		} else {
+			break
+		}
+	}
+	got := 0
+	for x := 0; x < 4; x++ {
+		for y := 0; y < 4; y++ {
+			n, err := s.Points([]int{x, y})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got += n
+		}
+	}
+	if got != want {
+		t.Fatalf("total points %d, want %d", got, want)
+	}
+}
+
+func TestStoreWithMultiMapLocator(t *testing.T) {
+	// End-to-end: the store runs over a real MultiMap mapping.
+	v := testVolume(t)
+	m := mustMapping(t, v, []int{10, 4, 3}, MapOptions{DiskIdx: 0})
+	// Overflow extent after the mapped region.
+	s, err := NewCellStore(m.CellVLBN, 8, 0.75, 0.2, v.TotalBlocks()-500, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		if err := s.Insert([]int{i % 10, i % 4, i % 3}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n, err := s.Points([]int{0, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("no points landed in cell (0,0,0)")
+	}
+}

@@ -1,0 +1,91 @@
+package disk
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkDecode(b *testing.B) {
+	g := AtlasTenKIII()
+	rng := rand.New(rand.NewSource(1))
+	lbns := make([]int64, 1024)
+	for i := range lbns {
+		lbns[i] = rng.Int63n(g.TotalBlocks())
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.Decode(lbns[i%len(lbns)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAdjacentBlock(b *testing.B) {
+	g := AtlasTenKIII()
+	rng := rand.New(rand.NewSource(2))
+	lbns := make([]int64, 1024)
+	for i := range lbns {
+		lbns[i] = rng.Int63n(g.TotalBlocks() / 2)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.AdjacentBlock(lbns[i%len(lbns)], 1+i%128); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAccessRandom(b *testing.B) {
+	g := AtlasTenKIII()
+	d := New(g)
+	rng := rand.New(rand.NewSource(3))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.Access(Request{LBN: rng.Int63n(g.TotalBlocks()), Count: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAccessSemiSequential(b *testing.B) {
+	g := AtlasTenKIII()
+	d := New(g)
+	cur := int64(10000)
+	if _, err := d.Access(Request{LBN: cur, Count: 1}); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a, err := g.AdjacentBlock(cur, 1)
+		if err != nil {
+			// Wrapped off the end of the drive; restart the chain.
+			cur = 10000
+			continue
+		}
+		if _, err := d.Access(Request{LBN: a, Count: 1}); err != nil {
+			b.Fatal(err)
+		}
+		cur = a
+	}
+}
+
+func BenchmarkServeBatchSPTF(b *testing.B) {
+	g := AtlasTenKIII()
+	rng := rand.New(rand.NewSource(4))
+	reqs := make([]Request, 256)
+	for i := range reqs {
+		reqs[i] = Request{LBN: rng.Int63n(g.TotalBlocks()), Count: 1}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := New(g)
+		if _, err := d.ServeBatch(reqs, SchedSPTF); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,104 @@
+package disk
+
+// SchedPolicy selects how a batch of outstanding requests is ordered by
+// the drive's internal scheduler.
+type SchedPolicy int
+
+const (
+	// SchedFIFO services requests in arrival order. The paper's storage
+	// manager pre-sorts large batches in ascending LBN order and relies
+	// on in-order service.
+	SchedFIFO SchedPolicy = iota
+	// SchedSPTF services the request with the shortest positioning time
+	// (seek + rotational wait) first. This is the "disk's internal
+	// scheduler" that fetches MultiMap's unsorted semi-sequential
+	// batches along the most efficient path (§5.2).
+	SchedSPTF
+)
+
+func (p SchedPolicy) String() string {
+	switch p {
+	case SchedFIFO:
+		return "fifo"
+	case SchedSPTF:
+		return "sptf"
+	default:
+		return "unknown"
+	}
+}
+
+// maxSPTFBatch bounds the O(n²) greedy SPTF scan. Real drives hold a
+// bounded number of outstanding commands; larger batches are served in
+// windows of this size, preserving the issue order across windows —
+// which the storage manager arranges to be adjacency-chain order, so
+// each window covers a compact band of tracks.
+const maxSPTFBatch = 4096
+
+// ServeBatch services every request in reqs according to the policy and
+// returns per-request completions in service order. The drive clock and
+// head position advance across the whole batch.
+func (d *Disk) ServeBatch(reqs []Request, policy SchedPolicy) ([]Completion, error) {
+	for _, r := range reqs {
+		if err := r.validate(d.g); err != nil {
+			return nil, err
+		}
+	}
+	if policy == SchedSPTF {
+		out := make([]Completion, 0, len(reqs))
+		for start := 0; start < len(reqs); start += maxSPTFBatch {
+			end := start + maxSPTFBatch
+			if end > len(reqs) {
+				end = len(reqs)
+			}
+			comps, err := d.serveSPTF(reqs[start:end])
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, comps...)
+		}
+		return out, nil
+	}
+	out := make([]Completion, 0, len(reqs))
+	for _, r := range reqs {
+		cost, err := d.Access(r)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Completion{Req: r, Cost: cost, FinishMs: d.nowMs})
+	}
+	return out, nil
+}
+
+// serveSPTF greedily picks the pending request with the least estimated
+// positioning cost from the current head state.
+func (d *Disk) serveSPTF(reqs []Request) ([]Completion, error) {
+	pending := make([]Request, len(reqs))
+	copy(pending, reqs)
+	out := make([]Completion, 0, len(reqs))
+	for len(pending) > 0 {
+		best, bestCost := 0, d.positioningEstimateMs(pending[0])
+		for i := 1; i < len(pending); i++ {
+			if c := d.positioningEstimateMs(pending[i]); c < bestCost {
+				best, bestCost = i, c
+			}
+		}
+		r := pending[best]
+		pending[best] = pending[len(pending)-1]
+		pending = pending[:len(pending)-1]
+		cost, err := d.Access(r)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Completion{Req: r, Cost: cost, FinishMs: d.nowMs})
+	}
+	return out, nil
+}
+
+// BatchTimeMs sums the service time of a set of completions.
+func BatchTimeMs(comps []Completion) float64 {
+	var t float64
+	for _, c := range comps {
+		t += c.Cost.TotalMs()
+	}
+	return t
+}

@@ -1,0 +1,161 @@
+package disk
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestServeBatchFIFOOrder(t *testing.T) {
+	d := New(SmallTestDisk())
+	reqs := []Request{{LBN: 100, Count: 2}, {LBN: 50, Count: 1}, {LBN: 900, Count: 3}}
+	comps, err := d.ServeBatch(reqs, SchedFIFO)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(comps) != len(reqs) {
+		t.Fatalf("got %d completions, want %d", len(comps), len(reqs))
+	}
+	for i := range reqs {
+		if comps[i].Req != reqs[i] {
+			t.Fatalf("FIFO reordered requests: %v", comps)
+		}
+	}
+	for i := 1; i < len(comps); i++ {
+		if comps[i].FinishMs <= comps[i-1].FinishMs {
+			t.Fatalf("finish times not increasing")
+		}
+	}
+}
+
+func TestServeBatchValidatesUpfront(t *testing.T) {
+	d := New(SmallTestDisk())
+	bad := []Request{{LBN: 0, Count: 1}, {LBN: -4, Count: 1}}
+	if _, err := d.ServeBatch(bad, SchedSPTF); err == nil {
+		t.Fatal("invalid request accepted")
+	}
+	if d.Stats().Requests != 0 {
+		t.Fatal("batch partially executed despite validation error")
+	}
+}
+
+// TestSPTFFindsSemiSequentialPath is the paper's §5.2 scenario: the
+// storage manager issues a beam query's blocks unsorted; the disk's
+// internal scheduler must discover the efficient semi-sequential order.
+func TestSPTFFindsSemiSequentialPath(t *testing.T) {
+	g := AtlasTenKIII()
+	// Build a semi-sequential chain of 64 blocks.
+	chain := make([]Request, 0, 64)
+	cur := int64(20000)
+	chain = append(chain, Request{LBN: cur, Count: 1})
+	for i := 0; i < 63; i++ {
+		a, err := g.AdjacentBlock(cur, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		chain = append(chain, Request{LBN: a, Count: 1})
+		cur = a
+	}
+	shuffled := make([]Request, len(chain))
+	copy(shuffled, chain)
+	rand.New(rand.NewSource(17)).Shuffle(len(shuffled), func(i, j int) {
+		shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+	})
+
+	dS := New(g)
+	compsS, err := dS.ServeBatch(shuffled, SchedSPTF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sptfMs := dS.NowMs()
+
+	dF := New(g)
+	if _, err := dF.ServeBatch(shuffled, SchedFIFO); err != nil {
+		t.Fatal(err)
+	}
+	fifoMs := dF.NowMs()
+
+	if sptfMs >= fifoMs/2 {
+		t.Errorf("SPTF %.1f ms vs FIFO %.1f ms on shuffled semi-seq chain: want >2x win", sptfMs, fifoMs)
+	}
+	// SPTF should reconstruct (nearly) the chain order: per-request cost
+	// about one semi-seq step after the first.
+	perHop := (sptfMs - compsS[0].FinishMs) / float64(len(chain)-1)
+	if model := g.SemiSeqStepMs(20000); perHop > model*1.25 {
+		t.Errorf("SPTF per-hop %.3f ms, semi-seq model %.3f: path not found", perHop, model)
+	}
+}
+
+func TestSPTFNotWorseThanFIFOOnRandom(t *testing.T) {
+	g := CheetahThirtySixES()
+	rng := rand.New(rand.NewSource(23))
+	reqs := make([]Request, 120)
+	for i := range reqs {
+		reqs[i] = Request{LBN: rng.Int63n(g.TotalBlocks()), Count: 1}
+	}
+	dS, dF := New(g), New(g)
+	if _, err := dS.ServeBatch(reqs, SchedSPTF); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dF.ServeBatch(reqs, SchedFIFO); err != nil {
+		t.Fatal(err)
+	}
+	if dS.NowMs() > dF.NowMs()*1.02 {
+		t.Errorf("SPTF %.1f ms worse than FIFO %.1f ms on random batch", dS.NowMs(), dF.NowMs())
+	}
+}
+
+func TestLargeBatchWindowedSPTF(t *testing.T) {
+	// Oversized SPTF batches are served in windows: every request is
+	// still serviced exactly once, and requests never migrate across
+	// window boundaries.
+	d := New(SmallTestDisk())
+	n := maxSPTFBatch + 10
+	reqs := make([]Request, n)
+	for i := range reqs {
+		reqs[i] = Request{LBN: int64(i % 1000), Count: 1}
+	}
+	comps, err := d.ServeBatch(reqs, SchedSPTF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(comps) != n {
+		t.Fatalf("served %d of %d requests", len(comps), n)
+	}
+	// The tail window (last 10 requests) must be the original tail set.
+	want := map[Request]int{}
+	for _, r := range reqs[maxSPTFBatch:] {
+		want[r]++
+	}
+	for _, c := range comps[maxSPTFBatch:] {
+		want[c.Req]--
+	}
+	for r, cnt := range want {
+		if cnt != 0 {
+			t.Fatalf("request %v leaked across the window boundary", r)
+		}
+	}
+}
+
+func TestBatchTimeMs(t *testing.T) {
+	d := New(SmallTestDisk())
+	comps, err := d.ServeBatch([]Request{{LBN: 10, Count: 1}, {LBN: 500, Count: 2}}, SchedFIFO)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := comps[0].Cost.TotalMs() + comps[1].Cost.TotalMs()
+	if got := BatchTimeMs(comps); got != want {
+		t.Fatalf("BatchTimeMs=%v, want %v", got, want)
+	}
+	if got := d.Stats().BusyMs; got != want {
+		t.Fatalf("stats BusyMs=%v, want %v", got, want)
+	}
+}
+
+func TestSchedPolicyString(t *testing.T) {
+	if SchedFIFO.String() != "fifo" || SchedSPTF.String() != "sptf" {
+		t.Error("policy names wrong")
+	}
+	if SchedPolicy(99).String() != "unknown" {
+		t.Error("unknown policy name wrong")
+	}
+}

@@ -1,0 +1,71 @@
+package disk
+
+import "math"
+
+// seekCurve is the three-regime seek-time model of the paper's Fig. 1(a):
+//
+//	d == 0                  -> 0
+//	1 <= d <= settleCyls    -> settleMs (plateau: settle-dominated)
+//	settleCyls < d <= knee  -> settleMs + alpha*sqrt(d-settleCyls)
+//	d > knee                -> linear, continuous at the knee
+//
+// The sqrt regime models the acceleration-limited portion of the arm
+// motion, the linear regime the coast-limited portion. Coefficients are
+// fitted so that seek(cyls/3) == avgMs and seek(cyls-1) == maxMs, the
+// usual spec-sheet interpretation.
+type seekCurve struct {
+	settleMs   float64
+	settleCyls int
+	knee       int     // cylinder distance where sqrt hands over to linear
+	alpha      float64 // sqrt coefficient
+	beta       float64 // linear slope
+	kneeMs     float64 // seek time at the knee (continuity)
+}
+
+// fitSeekCurve computes curve coefficients from the headline numbers.
+func fitSeekCurve(settleMs float64, settleCyls int, avgMs, maxMs float64, cyls int) seekCurve {
+	c := seekCurve{settleMs: settleMs, settleCyls: settleCyls}
+	// Knee at one third of the stroke: by construction the average seek
+	// distance of uniformly random request pairs is cyls/3, so placing
+	// the knee there and pinning the curve to avgMs at the knee makes
+	// the fitted curve hit the spec-sheet average where it matters.
+	c.knee = cyls / 3
+	if c.knee <= settleCyls {
+		c.knee = settleCyls + 1
+	}
+	c.alpha = (avgMs - settleMs) / math.Sqrt(float64(c.knee-settleCyls))
+	c.kneeMs = avgMs
+	span := float64(cyls - 1 - c.knee)
+	if span < 1 {
+		span = 1
+	}
+	c.beta = (maxMs - c.kneeMs) / span
+	if c.beta < 0 {
+		c.beta = 0
+	}
+	return c
+}
+
+// timeMs returns the seek time for a cylinder distance d >= 0.
+func (c *seekCurve) timeMs(d int) float64 {
+	switch {
+	case d <= 0:
+		return 0
+	case d <= c.settleCyls:
+		return c.settleMs
+	case d <= c.knee:
+		return c.settleMs + c.alpha*math.Sqrt(float64(d-c.settleCyls))
+	default:
+		return c.kneeMs + c.beta*float64(d-c.knee)
+	}
+}
+
+// SeekTimeMs returns the modelled time to move the heads across d
+// cylinders. Distances within the settle range all cost the settle time,
+// which is what makes adjacent-block chains efficient.
+func (g *Geometry) SeekTimeMs(d int) float64 {
+	if d < 0 {
+		d = -d
+	}
+	return g.seek.timeMs(d)
+}

@@ -1,0 +1,87 @@
+package disk
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSeekCurveShape(t *testing.T) {
+	for _, g := range testGeometries() {
+		if got := g.SeekTimeMs(0); got != 0 {
+			t.Errorf("%s: seek(0)=%v, want 0", g.Name, got)
+		}
+		// Plateau: every distance within the settle range costs settle.
+		for d := 1; d <= g.SettleCyls; d++ {
+			if got := g.SeekTimeMs(d); got != g.SettleMs {
+				t.Errorf("%s: seek(%d)=%v, want settle %v", g.Name, d, got, g.SettleMs)
+				break
+			}
+		}
+		// Monotone non-decreasing beyond the plateau.
+		prev := 0.0
+		for d := 0; d < g.Cylinders(); d += 97 {
+			cur := g.SeekTimeMs(d)
+			if cur+1e-12 < prev {
+				t.Errorf("%s: seek not monotone at d=%d (%v < %v)", g.Name, d, cur, prev)
+				break
+			}
+			prev = cur
+		}
+		// Endpoints: one-third stroke hits the spec average; full stroke
+		// hits the spec maximum.
+		third := g.SeekTimeMs(g.Cylinders() / 3)
+		if math.Abs(third-g.SeekAvgMs) > 0.25 {
+			t.Errorf("%s: seek(cyls/3)=%.2f, want ~%.2f", g.Name, third, g.SeekAvgMs)
+		}
+		full := g.SeekTimeMs(g.Cylinders() - 1)
+		if math.Abs(full-g.SeekMaxMs) > 0.25 {
+			t.Errorf("%s: full-stroke seek %.2f, want ~%.2f", g.Name, full, g.SeekMaxMs)
+		}
+	}
+}
+
+func TestSeekSymmetricInSign(t *testing.T) {
+	g := AtlasTenKIII()
+	for _, d := range []int{1, 10, 100, 5000} {
+		if g.SeekTimeMs(d) != g.SeekTimeMs(-d) {
+			t.Errorf("seek(%d) != seek(-%d)", d, d)
+		}
+	}
+}
+
+func TestSeekContinuityAtKnee(t *testing.T) {
+	// The sqrt and linear regimes must join without a jump; a
+	// discontinuity would put a kink in the fig1a series.
+	for _, g := range testGeometries() {
+		k := g.seek.knee
+		below := g.SeekTimeMs(k)
+		above := g.SeekTimeMs(k + 1)
+		if above < below {
+			t.Errorf("%s: seek decreases across knee (%v -> %v)", g.Name, below, above)
+		}
+		if above-below > 0.5 {
+			t.Errorf("%s: seek jumps %.3f ms across knee", g.Name, above-below)
+		}
+	}
+}
+
+func TestPositionTime(t *testing.T) {
+	g := AtlasTenKIII()
+	if got := g.positionTimeMs(100, 100); got != 0 {
+		t.Errorf("same track: %v, want 0", got)
+	}
+	// Same cylinder, different surface: head switch.
+	if got := g.positionTimeMs(100, 101); got != g.HeadSwitchMs {
+		t.Errorf("head switch: %v, want %v", got, g.HeadSwitchMs)
+	}
+	// Any jump within the settle cylinder range: settle time. This is
+	// the property that makes all D adjacent blocks equally cheap.
+	for k := 1; k <= g.AdjSpan(); k++ {
+		from := 1000
+		got := g.positionTimeMs(from, from+k)
+		if got != g.SettleMs && got != g.HeadSwitchMs {
+			t.Fatalf("jump of %d tracks costs %v, want settle %v or head switch %v",
+				k, got, g.SettleMs, g.HeadSwitchMs)
+		}
+	}
+}

@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestDimensionSupportTable(t *testing.T) {
+	tb, err := DimensionSupport(fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's claim: hundreds of adjacent blocks -> more than 10
+	// dimensions. Find the D=512 row.
+	found := false
+	for _, row := range tb.Rows {
+		if row[0] == "512" {
+			n, err := strconv.Atoi(row[1])
+			if err != nil || n <= 10 {
+				t.Errorf("D=512 supports %s dims, want > 10", row[1])
+			}
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("D=512 row missing")
+	}
+	// Monotone in D.
+	prev := 0
+	for _, row := range tb.Rows {
+		if _, err := strconv.Atoi(row[0]); err != nil {
+			continue // per-disk summary rows
+		}
+		n, _ := strconv.Atoi(row[1])
+		if n < prev {
+			t.Fatalf("Nmax not monotone at D=%s", row[0])
+		}
+		prev = n
+	}
+}
+
+func TestSpaceEfficiencyTable(t *testing.T) {
+	tb, err := SpaceEfficiency(fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) < 5 {
+		t.Fatal("too few rows")
+	}
+	pct := func(s string) int {
+		v, err := strconv.Atoi(strings.TrimSuffix(s, "%"))
+		if err != nil {
+			t.Fatalf("bad percentage %q", s)
+		}
+		return v
+	}
+	for _, row := range tb.Rows {
+		// Column pairs: naive-K0 waste, packed-K0 waste. Packing must
+		// never lose, and all waste stays under the paper's 50% worst
+		// case.
+		for c := 1; c+1 < len(row); c += 2 {
+			naive, packed := pct(row[c]), pct(row[c+1])
+			if packed > naive {
+				t.Errorf("S0=%s: packed waste %d%% worse than naive %d%%", row[0], packed, naive)
+			}
+			if naive > 50 || packed > 50 {
+				t.Errorf("S0=%s: waste beyond the paper's 50%% bound", row[0])
+			}
+			if packed > 10 {
+				t.Errorf("S0=%s: packed waste %d%%, expected single digits", row[0], packed)
+			}
+		}
+	}
+}

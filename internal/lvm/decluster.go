@@ -1,0 +1,71 @@
+package lvm
+
+import "fmt"
+
+// Declusterer assigns fixed-size allocation units (the paper's basic
+// cubes, §4.4) round-robin across the volume's disks, the way
+// traditional volume managers decluster stripe units. Each disk's
+// segment is carved into consecutive unit-sized extents.
+type Declusterer struct {
+	v          *Volume
+	unitBlocks int64
+	perDisk    []int64 // units that fit on each disk
+	next       []int64 // next free unit index per disk
+	rr         int     // round-robin cursor
+}
+
+// NewDeclusterer creates a declusterer with the given allocation unit
+// size in blocks.
+func NewDeclusterer(v *Volume, unitBlocks int64) (*Declusterer, error) {
+	if unitBlocks <= 0 {
+		return nil, fmt.Errorf("lvm: allocation unit must be positive, got %d", unitBlocks)
+	}
+	d := &Declusterer{v: v, unitBlocks: unitBlocks}
+	for i := 0; i < v.NumDisks(); i++ {
+		n := v.DiskBlocks(i) / unitBlocks
+		if n == 0 {
+			return nil, fmt.Errorf("lvm: disk %d smaller than one allocation unit", i)
+		}
+		d.perDisk = append(d.perDisk, n)
+		d.next = append(d.next, 0)
+	}
+	return d, nil
+}
+
+// Alloc reserves the next allocation unit, rotating across disks, and
+// returns its starting VLBN and disk index.
+func (d *Declusterer) Alloc() (vlbn int64, diskIdx int, err error) {
+	for tries := 0; tries < d.v.NumDisks(); tries++ {
+		di := d.rr
+		d.rr = (d.rr + 1) % d.v.NumDisks()
+		if d.next[di] < d.perDisk[di] {
+			u := d.next[di]
+			d.next[di]++
+			return d.v.DiskStart(di) + u*d.unitBlocks, di, nil
+		}
+	}
+	return 0, 0, fmt.Errorf("lvm: volume full: all %d disks out of %d-block units",
+		d.v.NumDisks(), d.unitBlocks)
+}
+
+// AllocOn reserves the next unit on a specific disk, for callers that
+// manage placement themselves (e.g. MultiMap keeping a dataset chunk's
+// basic cubes on one disk).
+func (d *Declusterer) AllocOn(diskIdx int) (int64, error) {
+	if diskIdx < 0 || diskIdx >= d.v.NumDisks() {
+		return 0, fmt.Errorf("lvm: disk index %d out of range", diskIdx)
+	}
+	if d.next[diskIdx] >= d.perDisk[diskIdx] {
+		return 0, fmt.Errorf("lvm: disk %d out of %d-block units", diskIdx, d.unitBlocks)
+	}
+	u := d.next[diskIdx]
+	d.next[diskIdx]++
+	return d.v.DiskStart(diskIdx) + u*d.unitBlocks, nil
+}
+
+// Allocated returns how many units have been reserved on each disk.
+func (d *Declusterer) Allocated() []int64 {
+	out := make([]int64, len(d.next))
+	copy(out, d.next)
+	return out
+}

@@ -1,0 +1,261 @@
+// Package lvm implements the logical volume manager of the paper's
+// prototype (§5.1): it exports a single logical block address space over
+// one or more simulated disks and exposes the adjacency model to
+// applications through GetAdjacent and GetTrackBoundaries, without
+// revealing disk-specific details.
+//
+// Volume LBNs (VLBNs) are the concatenation of the member disks'
+// address spaces; chunk-grain declustering (§4.4) is provided by
+// Declusterer. All adjacency relations stay within a single disk, as
+// they must: adjacency is a property of one arm and one platter stack.
+package lvm
+
+import (
+	"fmt"
+
+	"repro/internal/disk"
+)
+
+// DefaultAdjacencyDepth is the paper's evaluation setting (§5.3): both
+// drives are configured with D = 128 adjacent blocks per LBN.
+const DefaultAdjacencyDepth = 128
+
+// Request is a contiguous read of Count blocks at a volume LBN.
+type Request struct {
+	VLBN  int64
+	Count int
+}
+
+// Completion records one serviced request and the disk that served it.
+type Completion struct {
+	Req      Request
+	DiskIdx  int
+	Cost     disk.AccessCost
+	FinishMs float64
+}
+
+// Volume is a logical volume over one or more simulated disks.
+type Volume struct {
+	disks    []*disk.Disk
+	starts   []int64 // first VLBN of each disk's segment
+	total    int64
+	adjDepth int
+}
+
+// New builds a volume from disk geometries. Each geometry gets its own
+// simulated drive. adjDepth is the exported adjacency depth D; pass 0
+// for DefaultAdjacencyDepth. The depth is capped by every member disk's
+// settle range.
+func New(adjDepth int, geoms ...*disk.Geometry) (*Volume, error) {
+	if len(geoms) == 0 {
+		return nil, fmt.Errorf("lvm: volume needs at least one disk")
+	}
+	if adjDepth == 0 {
+		adjDepth = DefaultAdjacencyDepth
+	}
+	if adjDepth < 1 {
+		return nil, fmt.Errorf("lvm: adjacency depth %d must be positive", adjDepth)
+	}
+	v := &Volume{adjDepth: adjDepth}
+	var off int64
+	for _, g := range geoms {
+		if span := g.AdjSpan(); adjDepth > span {
+			return nil, fmt.Errorf("lvm: adjacency depth %d exceeds %s settle span %d",
+				adjDepth, g.Name, span)
+		}
+		v.disks = append(v.disks, disk.New(g))
+		v.starts = append(v.starts, off)
+		off += g.TotalBlocks()
+	}
+	v.total = off
+	return v, nil
+}
+
+// AdjacencyDepth returns the exported D: how many adjacent blocks each
+// VLBN has (fewer only near the end of a disk).
+func (v *Volume) AdjacencyDepth() int { return v.adjDepth }
+
+// NumDisks returns the number of member disks.
+func (v *Volume) NumDisks() int { return len(v.disks) }
+
+// Disk returns the i-th member drive (for statistics and inspection).
+func (v *Volume) Disk(i int) *disk.Disk { return v.disks[i] }
+
+// TotalBlocks returns the volume capacity in blocks.
+func (v *Volume) TotalBlocks() int64 { return v.total }
+
+// Locate resolves a VLBN to (disk index, disk-local LBN).
+func (v *Volume) Locate(vlbn int64) (diskIdx int, lbn int64, err error) {
+	if vlbn < 0 || vlbn >= v.total {
+		return 0, 0, fmt.Errorf("lvm: VLBN %d out of range [0,%d)", vlbn, v.total)
+	}
+	// Linear scan: volumes have a handful of disks.
+	i := len(v.starts) - 1
+	for i > 0 && v.starts[i] > vlbn {
+		i--
+	}
+	return i, vlbn - v.starts[i], nil
+}
+
+// VLBN converts a disk-local LBN back to a volume LBN.
+func (v *Volume) VLBN(diskIdx int, lbn int64) int64 { return v.starts[diskIdx] + lbn }
+
+// DiskStart returns the first VLBN of disk i's segment.
+func (v *Volume) DiskStart(diskIdx int) int64 { return v.starts[diskIdx] }
+
+// DiskBlocks returns the capacity, in blocks, of disk i's segment.
+func (v *Volume) DiskBlocks(diskIdx int) int64 {
+	return v.disks[diskIdx].Geometry().TotalBlocks()
+}
+
+// GetAdjacent returns up to d adjacent blocks of vlbn (d <= D), the
+// interface call of §3.2. Adjacency never crosses disks; near the end
+// of a disk the list is shorter.
+func (v *Volume) GetAdjacent(vlbn int64, d int) ([]int64, error) {
+	if d < 1 || d > v.adjDepth {
+		return nil, fmt.Errorf("lvm: requested depth %d out of [1,%d]", d, v.adjDepth)
+	}
+	di, lbn, err := v.Locate(vlbn)
+	if err != nil {
+		return nil, err
+	}
+	adjs, err := v.disks[di].Geometry().Adjacent(lbn, d)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int64, len(adjs))
+	for i, a := range adjs {
+		out[i] = v.VLBN(di, a)
+	}
+	return out, nil
+}
+
+// GetAdjacentK returns the k-th adjacent block of vlbn (1 <= k <= D).
+func (v *Volume) GetAdjacentK(vlbn int64, k int) (int64, error) {
+	if k < 1 || k > v.adjDepth {
+		return 0, fmt.Errorf("lvm: adjacency index %d out of [1,%d]", k, v.adjDepth)
+	}
+	di, lbn, err := v.Locate(vlbn)
+	if err != nil {
+		return 0, err
+	}
+	a, err := v.disks[di].Geometry().AdjacentBlock(lbn, k)
+	if err != nil {
+		return 0, err
+	}
+	return v.VLBN(di, a), nil
+}
+
+// GetTrackBoundaries returns the half-open VLBN interval of the track
+// containing vlbn, the second interface call of §3.2.
+func (v *Volume) GetTrackBoundaries(vlbn int64) (start, next int64, err error) {
+	di, lbn, err := v.Locate(vlbn)
+	if err != nil {
+		return 0, 0, err
+	}
+	s, n, err := v.disks[di].Geometry().TrackBoundaries(lbn)
+	if err != nil {
+		return 0, 0, err
+	}
+	return v.VLBN(di, s), v.VLBN(di, n), nil
+}
+
+// TrackLen returns the track length (the paper's T) at vlbn.
+func (v *Volume) TrackLen(vlbn int64) (int, error) {
+	di, lbn, err := v.Locate(vlbn)
+	if err != nil {
+		return 0, err
+	}
+	return v.disks[di].Geometry().TrackLen(lbn), nil
+}
+
+// ZoneExtent describes a run of same-track-length cylinders on one
+// member disk, in volume coordinates. MultiMap sizes basic cubes per
+// zone and never maps a cube across a zone boundary.
+type ZoneExtent struct {
+	DiskIdx   int
+	StartVLBN int64
+	Blocks    int64
+	TrackLen  int
+	Tracks    int
+}
+
+// Zones enumerates the zone extents of every member disk in VLBN order.
+func (v *Volume) Zones() []ZoneExtent {
+	var out []ZoneExtent
+	for di, d := range v.disks {
+		g := d.Geometry()
+		for zi := 0; zi < g.NumZones(); zi++ {
+			z := g.ZoneByIndex(zi)
+			nTracks := z.Cylinders() * g.Surfaces
+			out = append(out, ZoneExtent{
+				DiskIdx:   di,
+				StartVLBN: v.VLBN(di, z.StartLBN()),
+				Blocks:    int64(nTracks) * int64(z.SectorsPerTrack),
+				TrackLen:  z.SectorsPerTrack,
+				Tracks:    nTracks,
+			})
+		}
+	}
+	return out
+}
+
+// ServeBatch routes requests to their disks and services each disk's
+// sub-batch with the given policy. Disks operate in parallel: the
+// returned elapsed time is the maximum over the member disks' busy
+// intervals for this batch, while completions carry per-request costs.
+func (v *Volume) ServeBatch(reqs []Request, policy disk.SchedPolicy) ([]Completion, float64, error) {
+	perDisk := make([][]disk.Request, len(v.disks))
+	for _, r := range reqs {
+		di, lbn, err := v.Locate(r.VLBN)
+		if err != nil {
+			return nil, 0, err
+		}
+		if lbn+int64(r.Count) > v.DiskBlocks(di) {
+			return nil, 0, fmt.Errorf("lvm: request [%d,+%d) crosses disk %d segment end",
+				r.VLBN, r.Count, di)
+		}
+		perDisk[di] = append(perDisk[di], disk.Request{LBN: lbn, Count: r.Count})
+	}
+	var out []Completion
+	var elapsed float64
+	for di, sub := range perDisk {
+		if len(sub) == 0 {
+			continue
+		}
+		d := v.disks[di]
+		start := d.NowMs()
+		comps, err := d.ServeBatch(sub, policy)
+		if err != nil {
+			return nil, 0, err
+		}
+		if busy := d.NowMs() - start; busy > elapsed {
+			elapsed = busy
+		}
+		for _, c := range comps {
+			out = append(out, Completion{
+				Req:      Request{VLBN: v.VLBN(di, c.Req.LBN), Count: c.Req.Count},
+				DiskIdx:  di,
+				Cost:     c.Cost,
+				FinishMs: c.FinishMs,
+			})
+		}
+	}
+	return out, elapsed, nil
+}
+
+// Reset restores every member disk to its initial state.
+func (v *Volume) Reset() {
+	for _, d := range v.disks {
+		d.Reset()
+	}
+}
+
+// Stats returns per-disk accumulated statistics.
+func (v *Volume) Stats() []disk.Stats {
+	out := make([]disk.Stats, len(v.disks))
+	for i, d := range v.disks {
+		out[i] = d.Stats()
+	}
+	return out
+}

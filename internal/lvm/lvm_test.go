@@ -1,0 +1,307 @@
+package lvm
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/disk"
+)
+
+func twoDiskVolume(t *testing.T) *Volume {
+	t.Helper()
+	v, err := New(16, disk.SmallTestDisk(), disk.SmallTestDisk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0); err == nil {
+		t.Error("empty volume accepted")
+	}
+	if _, err := New(-1, disk.SmallTestDisk()); err == nil {
+		t.Error("negative depth accepted")
+	}
+	g := disk.SmallTestDisk()
+	if _, err := New(g.AdjSpan()+1, g); err == nil {
+		t.Error("depth beyond settle span accepted")
+	}
+	v, err := New(0, disk.AtlasTenKIII())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.AdjacencyDepth() != DefaultAdjacencyDepth {
+		t.Errorf("default depth %d, want %d", v.AdjacencyDepth(), DefaultAdjacencyDepth)
+	}
+}
+
+func TestLocateRoundTrip(t *testing.T) {
+	v := twoDiskVolume(t)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		vlbn := rng.Int63n(v.TotalBlocks())
+		di, lbn, err := v.Locate(vlbn)
+		if err != nil {
+			return false
+		}
+		return v.VLBN(di, lbn) == vlbn && lbn >= 0 && lbn < v.DiskBlocks(di)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+	if _, _, err := v.Locate(-1); err == nil {
+		t.Error("negative VLBN accepted")
+	}
+	if _, _, err := v.Locate(v.TotalBlocks()); err == nil {
+		t.Error("VLBN past end accepted")
+	}
+}
+
+func TestSegmentBoundaries(t *testing.T) {
+	v := twoDiskVolume(t)
+	d0 := v.DiskBlocks(0)
+	di, lbn, err := v.Locate(d0 - 1)
+	if err != nil || di != 0 || lbn != d0-1 {
+		t.Fatalf("last block of disk 0: got (%d,%d,%v)", di, lbn, err)
+	}
+	di, lbn, err = v.Locate(d0)
+	if err != nil || di != 1 || lbn != 0 {
+		t.Fatalf("first block of disk 1: got (%d,%d,%v)", di, lbn, err)
+	}
+}
+
+func TestGetAdjacentMatchesDisk(t *testing.T) {
+	v := twoDiskVolume(t)
+	g := v.Disk(1).Geometry()
+	lbn := int64(100)
+	vlbn := v.VLBN(1, lbn)
+	want, err := g.Adjacent(lbn, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := v.GetAdjacent(vlbn, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d adjacents, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != v.VLBN(1, want[i]) {
+			t.Fatalf("adjacent %d: got %d, want %d", i, got[i], v.VLBN(1, want[i]))
+		}
+		// Adjacency must never leave the disk segment.
+		di, _, _ := v.Locate(got[i])
+		if di != 1 {
+			t.Fatalf("adjacency crossed disks")
+		}
+	}
+	k2, err := v.GetAdjacentK(vlbn, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k2 != got[1] {
+		t.Fatalf("GetAdjacentK(2)=%d, want %d", k2, got[1])
+	}
+}
+
+func TestGetAdjacentDepthLimit(t *testing.T) {
+	v := twoDiskVolume(t)
+	if _, err := v.GetAdjacent(0, v.AdjacencyDepth()+1); err == nil {
+		t.Error("depth beyond D accepted")
+	}
+	if _, err := v.GetAdjacentK(0, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+}
+
+func TestGetTrackBoundaries(t *testing.T) {
+	v := twoDiskVolume(t)
+	vlbn := v.VLBN(1, 57)
+	start, next, err := v.GetTrackBoundaries(vlbn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vlbn < start || vlbn >= next {
+		t.Fatalf("vlbn outside its track boundaries")
+	}
+	tl, err := v.TrackLen(vlbn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int(next-start) != tl {
+		t.Fatalf("track interval %d != track length %d", next-start, tl)
+	}
+}
+
+func TestZonesCoverVolume(t *testing.T) {
+	v := twoDiskVolume(t)
+	zones := v.Zones()
+	var blocks int64
+	for i, z := range zones {
+		blocks += z.Blocks
+		if z.Blocks != int64(z.Tracks)*int64(z.TrackLen) {
+			t.Fatalf("zone %d: blocks %d != tracks*tracklen", i, z.Blocks)
+		}
+	}
+	if blocks != v.TotalBlocks() {
+		t.Fatalf("zones cover %d blocks, volume has %d", blocks, v.TotalBlocks())
+	}
+}
+
+func TestServeBatchRoutesToDisks(t *testing.T) {
+	v := twoDiskVolume(t)
+	reqs := []Request{
+		{VLBN: 10, Count: 2},
+		{VLBN: v.DiskStart(1) + 20, Count: 1},
+		{VLBN: 30, Count: 1},
+	}
+	comps, elapsed, err := v.ServeBatch(reqs, disk.SchedFIFO)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(comps) != 3 {
+		t.Fatalf("got %d completions", len(comps))
+	}
+	var on0, on1 int
+	for _, c := range comps {
+		switch c.DiskIdx {
+		case 0:
+			on0++
+		case 1:
+			on1++
+		}
+	}
+	if on0 != 2 || on1 != 1 {
+		t.Fatalf("routing wrong: %d on disk0, %d on disk1", on0, on1)
+	}
+	if elapsed <= 0 {
+		t.Fatal("elapsed must be positive")
+	}
+	s := v.Stats()
+	if s[0].Requests != 2 || s[1].Requests != 1 {
+		t.Fatalf("per-disk stats wrong: %+v", s)
+	}
+}
+
+func TestServeBatchParallelElapsed(t *testing.T) {
+	// Elapsed for a batch split across two disks is the max per-disk
+	// time, not the sum: disks position independently.
+	v := twoDiskVolume(t)
+	reqs := []Request{{VLBN: 1000, Count: 1}, {VLBN: v.DiskStart(1) + 1000, Count: 1}}
+	comps, elapsed, err := v.ServeBatch(reqs, disk.SchedFIFO)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := comps[0].Cost.TotalMs() + comps[1].Cost.TotalMs()
+	if elapsed >= sum {
+		t.Fatalf("elapsed %.2f not better than serial %.2f", elapsed, sum)
+	}
+}
+
+func TestServeBatchRejectsCrossSegment(t *testing.T) {
+	v := twoDiskVolume(t)
+	r := Request{VLBN: v.DiskStart(1) - 1, Count: 2}
+	if _, _, err := v.ServeBatch([]Request{r}, disk.SchedFIFO); err == nil {
+		t.Error("cross-segment request accepted")
+	}
+}
+
+func TestReset(t *testing.T) {
+	v := twoDiskVolume(t)
+	if _, _, err := v.ServeBatch([]Request{{VLBN: 5, Count: 1}}, disk.SchedFIFO); err != nil {
+		t.Fatal(err)
+	}
+	v.Reset()
+	for i, s := range v.Stats() {
+		if s.Requests != 0 {
+			t.Fatalf("disk %d stats survived reset: %+v", i, s)
+		}
+	}
+}
+
+func TestDeclusterer(t *testing.T) {
+	v := twoDiskVolume(t)
+	d, err := NewDeclusterer(v, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int64]bool{}
+	var disks []int
+	for i := 0; i < 10; i++ {
+		vlbn, di, err := d.Alloc()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[vlbn] {
+			t.Fatalf("unit %d allocated twice", vlbn)
+		}
+		seen[vlbn] = true
+		disks = append(disks, di)
+		// Unit must lie fully within its disk segment.
+		ld, lbn, _ := v.Locate(vlbn)
+		if ld != di || lbn%100 != 0 {
+			t.Fatalf("unit at %d not unit-aligned on disk %d", vlbn, di)
+		}
+	}
+	// Round-robin: alternating disks.
+	for i := 1; i < len(disks); i++ {
+		if disks[i] == disks[i-1] {
+			t.Fatalf("round-robin broken: %v", disks)
+		}
+	}
+	alloc := d.Allocated()
+	if alloc[0]+alloc[1] != 10 {
+		t.Fatalf("allocated %v, want total 10", alloc)
+	}
+}
+
+func TestDeclustererAllocOn(t *testing.T) {
+	v := twoDiskVolume(t)
+	d, err := NewDeclusterer(v, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := d.AllocOn(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := d.AllocOn(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b != a+50 {
+		t.Fatalf("consecutive units on one disk not contiguous: %d then %d", a, b)
+	}
+	if _, err := d.AllocOn(7); err == nil {
+		t.Error("bad disk index accepted")
+	}
+}
+
+func TestDeclustererExhaustion(t *testing.T) {
+	v, err := New(16, disk.SmallTestDisk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	unit := v.DiskBlocks(0) / 2
+	d, err := NewDeclusterer(v, unit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, _, err := d.Alloc(); err != nil {
+			t.Fatalf("alloc %d: %v", i, err)
+		}
+	}
+	if _, _, err := d.Alloc(); err == nil {
+		t.Error("allocation past capacity accepted")
+	}
+	if _, err := NewDeclusterer(v, v.DiskBlocks(0)+1); err == nil {
+		t.Error("unit larger than disk accepted")
+	}
+	if _, err := NewDeclusterer(v, 0); err == nil {
+		t.Error("zero unit accepted")
+	}
+}

@@ -1,0 +1,189 @@
+package octree
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Region is a grown uniform area (§4.5): an axis-aligned box of
+// equal-depth leaves that MultiMap can treat as a grid. Lo and Hi are
+// in leaf-side units at LeafDepth (Hi exclusive).
+type Region struct {
+	LeafDepth int
+	Lo, Hi    [3]int
+}
+
+// GridDims returns the region's grid shape in cells (leaves).
+func (r Region) GridDims() []int {
+	return []int{r.Hi[0] - r.Lo[0], r.Hi[1] - r.Lo[1], r.Hi[2] - r.Lo[2]}
+}
+
+// Leaves returns the region's cell count.
+func (r Region) Leaves() int64 {
+	d := r.GridDims()
+	return int64(d[0]) * int64(d[1]) * int64(d[2])
+}
+
+// ContainsLeaf reports whether a leaf (with the region's depth) lies in
+// the region.
+func (r Region) ContainsLeaf(l Leaf, maxDepth int) bool {
+	if l.Depth != r.LeafDepth {
+		return false
+	}
+	side := l.Side(maxDepth)
+	for i := 0; i < 3; i++ {
+		u := l.Anchor[i] / side
+		if u < r.Lo[i] || u >= r.Hi[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// GrowRegions merges uniform subtrees of equal leaf depth (equal
+// density, §4.5: "incorporating its neighbors of similar density ...
+// we just need to compare the levels of the elements") into maximal
+// axis-aligned boxes. Subtrees whose boxes cannot merge stay as
+// single-subtree regions. minLeaves filters out regions too small to
+// fill a basic cube profitably; they fall back to linear mapping.
+func GrowRegions(subs []Subtree, maxDepth int, minLeaves int64) (regions []Region, rest []Subtree) {
+	byDepth := map[int][]Region{}
+	for _, s := range subs {
+		leafSide := 1 << uint(maxDepth-s.LeafDepth)
+		span := 1 << uint(s.LeafDepth-s.Depth) // leaves per axis
+		var r Region
+		r.LeafDepth = s.LeafDepth
+		for i := 0; i < 3; i++ {
+			r.Lo[i] = s.Anchor[i] / leafSide
+			r.Hi[i] = r.Lo[i] + span
+		}
+		byDepth[s.LeafDepth] = append(byDepth[s.LeafDepth], r)
+	}
+	var depths []int
+	for d := range byDepth {
+		depths = append(depths, d)
+	}
+	sort.Ints(depths)
+	var all []Region
+	for _, d := range depths {
+		all = append(all, mergeBoxes(byDepth[d])...)
+	}
+	// Large regions are mapped with MultiMap; the rest revert to the
+	// linear layout (§4.5 "as a last resort").
+	for _, r := range all {
+		if r.Leaves() >= minLeaves {
+			regions = append(regions, r)
+		} else {
+			// Recover the constituent subtrees for the remainder list.
+			for _, s := range subs {
+				leafSide := 1 << uint(maxDepth-s.LeafDepth)
+				if s.LeafDepth == r.LeafDepth &&
+					s.Anchor[0]/leafSide >= r.Lo[0] && s.Anchor[0]/leafSide < r.Hi[0] &&
+					s.Anchor[1]/leafSide >= r.Lo[1] && s.Anchor[1]/leafSide < r.Hi[1] &&
+					s.Anchor[2]/leafSide >= r.Lo[2] && s.Anchor[2]/leafSide < r.Hi[2] {
+					rest = append(rest, s)
+				}
+			}
+		}
+	}
+	return regions, rest
+}
+
+// mergeBoxes repeatedly merges pairs of boxes that are identical in two
+// axes and adjacent in the third, until no merge applies.
+func mergeBoxes(boxes []Region) []Region {
+	merged := true
+	for merged {
+		merged = false
+	outer:
+		for i := 0; i < len(boxes); i++ {
+			for j := i + 1; j < len(boxes); j++ {
+				if m, ok := tryMerge(boxes[i], boxes[j]); ok {
+					boxes[i] = m
+					boxes = append(boxes[:j], boxes[j+1:]...)
+					merged = true
+					break outer
+				}
+			}
+		}
+	}
+	// Deterministic order for callers.
+	sort.Slice(boxes, func(i, j int) bool {
+		a, b := boxes[i], boxes[j]
+		if a.Lo[2] != b.Lo[2] {
+			return a.Lo[2] < b.Lo[2]
+		}
+		if a.Lo[1] != b.Lo[1] {
+			return a.Lo[1] < b.Lo[1]
+		}
+		return a.Lo[0] < b.Lo[0]
+	})
+	return boxes
+}
+
+func tryMerge(a, b Region) (Region, bool) {
+	if a.LeafDepth != b.LeafDepth {
+		return Region{}, false
+	}
+	for axis := 0; axis < 3; axis++ {
+		same := true
+		for i := 0; i < 3; i++ {
+			if i == axis {
+				continue
+			}
+			if a.Lo[i] != b.Lo[i] || a.Hi[i] != b.Hi[i] {
+				same = false
+				break
+			}
+		}
+		if !same {
+			continue
+		}
+		if a.Hi[axis] == b.Lo[axis] {
+			a.Hi[axis] = b.Hi[axis]
+			return a, true
+		}
+		if b.Hi[axis] == a.Lo[axis] {
+			a.Lo[axis] = b.Lo[axis]
+			return a, true
+		}
+	}
+	return Region{}, false
+}
+
+// CoverageReport summarizes how much of the dataset the grown regions
+// capture — the paper reports the earthquake dataset has roughly four
+// uniform subareas, two covering more than 60% of all elements.
+type CoverageReport struct {
+	TotalLeaves  int64
+	Regions      int
+	RegionLeaves int64
+	TopTwoLeaves int64
+	RestSubtrees int
+	RestLeaves   int64
+}
+
+// Coverage computes the report for a tree and its grown regions.
+func Coverage(t *Tree, regions []Region, rest []Subtree) CoverageReport {
+	rep := CoverageReport{TotalLeaves: t.NumLeaves(), Regions: len(regions), RestSubtrees: len(rest)}
+	sizes := make([]int64, 0, len(regions))
+	for _, r := range regions {
+		n := r.Leaves()
+		rep.RegionLeaves += n
+		sizes = append(sizes, n)
+	}
+	sort.Slice(sizes, func(i, j int) bool { return sizes[i] > sizes[j] })
+	for i := 0; i < len(sizes) && i < 2; i++ {
+		rep.TopTwoLeaves += sizes[i]
+	}
+	for _, s := range rest {
+		rep.RestLeaves += s.Leaves
+	}
+	return rep
+}
+
+func (r CoverageReport) String() string {
+	return fmt.Sprintf("%d regions covering %d/%d leaves (top two: %.0f%%), %d remainder subtrees (%d leaves)",
+		r.Regions, r.RegionLeaves, r.TotalLeaves,
+		100*float64(r.TopTwoLeaves)/float64(r.TotalLeaves), r.RestSubtrees, r.RestLeaves)
+}

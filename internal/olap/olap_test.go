@@ -1,0 +1,221 @@
+package olap
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/disk"
+	"repro/internal/lvm"
+	"repro/internal/mapping"
+	"repro/internal/query"
+)
+
+func TestPaperDims(t *testing.T) {
+	if d := FullDims(); d[0] != 1182 || d[1] != 150 || d[2] != 25 || d[3] != 50 {
+		t.Errorf("FullDims=%v", d)
+	}
+	if d := ChunkDims(); d[0] != 591 || d[1] != 75 || d[2] != 25 || d[3] != 25 {
+		t.Errorf("ChunkDims=%v", d)
+	}
+}
+
+func TestScaledChunkDims(t *testing.T) {
+	d, err := ScaledChunkDims(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range d {
+		if d[i] != ChunkDims()[i] {
+			t.Errorf("scale 1 altered dims: %v", d)
+		}
+	}
+	d, err = ScaledChunkDims(0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d[0] != 59 || d[1] != 7 {
+		t.Errorf("scale 0.1: %v", d)
+	}
+	for _, x := range d {
+		if x < 4 {
+			t.Errorf("dimension below floor: %v", d)
+		}
+	}
+	if _, err := ScaledChunkDims(0); err == nil {
+		t.Error("scale 0 accepted")
+	}
+	if _, err := ScaledChunkDims(2); err == nil {
+		t.Error("scale 2 accepted")
+	}
+}
+
+func TestQueriesShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	dims := ChunkDims()
+	qs, err := Queries(rng, dims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs) != 5 {
+		t.Fatalf("got %d queries, want 5", len(qs))
+	}
+	// Q1: beam along OrderDay.
+	q1 := qs[0]
+	if q1.Cells() != int64(dims[DimOrderDay]) {
+		t.Errorf("Q1 touches %d cells, want %d", q1.Cells(), dims[DimOrderDay])
+	}
+	// Q2: beam along NationID.
+	q2 := qs[1]
+	if q2.Cells() != int64(dims[DimNationID]) {
+		t.Errorf("Q2 touches %d cells, want %d", q2.Cells(), dims[DimNationID])
+	}
+	// Q3: one year x all quantities: 183 * 75.
+	q3 := qs[2]
+	if q3.Cells() != 183*75 {
+		t.Errorf("Q3 touches %d cells, want %d", q3.Cells(), 183*75)
+	}
+	// Q4: Q3 x all countries.
+	q4 := qs[3]
+	if q4.Cells() != 183*75*25 {
+		t.Errorf("Q4 touches %d cells, want %d", q4.Cells(), 183*75*25)
+	}
+	// Q5: 10 day-cells x 10 x 10 x 10.
+	q5 := qs[4]
+	if q5.Cells() != 10*10*10*10 {
+		t.Errorf("Q5 touches %d cells, want 10000", q5.Cells())
+	}
+	for _, q := range qs {
+		for i := range q.Lo {
+			if q.Lo[i] < 0 || q.Hi[i] > dims[i] || q.Lo[i] >= q.Hi[i] {
+				t.Errorf("%s: bad box dim %d: [%d,%d)", q.Name, i, q.Lo[i], q.Hi[i])
+			}
+		}
+	}
+}
+
+func TestQueriesValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := Queries(rng, []int{5, 5, 5}); err == nil {
+		t.Error("3-D chunk accepted")
+	}
+	if _, err := Queries(rng, []int{5, 5, 5, 1}); err == nil {
+		t.Error("degenerate dimension accepted")
+	}
+}
+
+func TestGenLineItemsRanges(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	items := GenLineItems(rng, 5000)
+	if len(items) != 5000 {
+		t.Fatal("wrong count")
+	}
+	for _, it := range items {
+		if it.OrderDay < 0 || it.OrderDay >= 2361 ||
+			it.Quantity < 1 || it.Quantity > 150 ||
+			it.NationID < 0 || it.NationID >= 25 ||
+			it.PartType < 0 || it.PartType >= 50 ||
+			it.PriceC <= 0 {
+			t.Fatalf("row out of domain: %+v", it)
+		}
+	}
+}
+
+func TestBuildCubeAggregates(t *testing.T) {
+	items := []LineItem{
+		{OrderDay: 0, Quantity: 1, NationID: 0, PartType: 0, PriceC: 100},
+		{OrderDay: 1, Quantity: 1, NationID: 0, PartType: 0, PriceC: 50},   // same 2-day cell
+		{OrderDay: 2, Quantity: 1, NationID: 0, PartType: 0, PriceC: 25},   // next cell
+		{OrderDay: 9999, Quantity: 1, NationID: 0, PartType: 0, PriceC: 1}, // outside chunk
+	}
+	c, err := BuildCube(items, []int{4, 4, 4, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := c.CellCount([4]int{0, 0, 0, 0})
+	if err != nil || n != 2 {
+		t.Fatalf("cell (0,0,0,0) count %d, want 2 (2-day roll-up)", n)
+	}
+	n, _ = c.CellCount([4]int{1, 0, 0, 0})
+	if n != 1 {
+		t.Fatalf("cell (1,0,0,0) count %d, want 1", n)
+	}
+	got, err := c.ProfitCents(Query{Lo: []int{0, 0, 0, 0}, Hi: []int{2, 1, 1, 1}})
+	if err != nil || got != 175 {
+		t.Fatalf("profit %d, want 175", got)
+	}
+	if _, err := c.CellCount([4]int{9, 0, 0, 0}); err == nil {
+		t.Error("out-of-range cell accepted")
+	}
+}
+
+// TestOLAPQueryOrderingMatchesFig8 runs the five queries on a scaled
+// chunk across all four mappings and checks the orderings the paper
+// reports: Q1 Naive/MultiMap crush the curves; Q2 curves beat Naive and
+// MultiMap is best; Q5 MultiMap beats all.
+func TestOLAPQueryOrderingMatchesFig8(t *testing.T) {
+	// Scale 0.5 on a real drive model: large enough that curve-ordered
+	// neighbours along the short dimensions sit tracks apart, as in the
+	// paper's full-size chunk. (At tiny scales every mapping's blocks
+	// are physically close and the orderings collapse.)
+	dims, err := ScaledChunkDims(0.5) // (295, 37, 12, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(42))
+	qs, err := Queries(rng, dims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perCell := map[string]map[string]float64{}
+	for _, k := range mapping.Kinds() {
+		v, err := lvm.New(0, disk.AtlasTenKIII())
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := mapping.New(k, v, dims, mapping.Options{DiskIdx: 0})
+		if err != nil {
+			t.Fatalf("%v: %v", k, err)
+		}
+		e := query.NewExecutor(v, m)
+		for _, q := range qs {
+			st, err := e.Range(q.Lo, q.Hi)
+			if err != nil {
+				t.Fatalf("%v %s: %v", k, q.Name, err)
+			}
+			if perCell[q.Name] == nil {
+				perCell[q.Name] = map[string]float64{}
+			}
+			perCell[q.Name][k.String()] = st.MsPerCell()
+		}
+	}
+	// Q1 (major-order beam): Naive and MultiMap far ahead of the curves
+	// ("two orders of magnitude" at paper scale).
+	q1 := perCell["Q1"]
+	if q1["Naive"]*5 > q1["Z-order"] || q1["MultiMap"]*5 > q1["Hilbert"] {
+		t.Errorf("Q1 ordering wrong: %v", q1)
+	}
+	// Q2 (non-major beam): MultiMap best.
+	q2 := perCell["Q2"]
+	if q2["MultiMap"] >= q2["Naive"] || q2["MultiMap"] >= q2["Z-order"] || q2["MultiMap"] >= q2["Hilbert"] {
+		t.Errorf("Q2 ordering wrong: %v", q2)
+	}
+	// Q3/Q4 (ranges including the major order): Naive beats the curves
+	// and MultiMap stays at least level with Naive.
+	for _, name := range []string{"Q3", "Q4"} {
+		q := perCell[name]
+		if q["Naive"] >= q["Z-order"] || q["Naive"] >= q["Hilbert"] {
+			t.Errorf("%s: Naive should beat the curves: %v", name, q)
+		}
+		if q["MultiMap"] > q["Naive"]*1.25 {
+			t.Errorf("%s: MultiMap %.3f should match Naive %.3f", name, q["MultiMap"], q["Naive"])
+		}
+	}
+	// Q5 (4-D range): MultiMap best, and clearly ahead of Hilbert and
+	// Naive. (Our Z-order's very fine fragmentation suffers rotational
+	// near-misses under command overhead, so unlike the paper it can
+	// fall behind Naive here; see EXPERIMENTS.md.)
+	q5 := perCell["Q5"]
+	if q5["MultiMap"] >= q5["Naive"] || q5["MultiMap"] >= q5["Z-order"] || q5["MultiMap"] >= q5["Hilbert"] {
+		t.Errorf("Q5 ordering wrong: %v", q5)
+	}
+}

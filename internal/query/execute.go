@@ -1,0 +1,45 @@
+package query
+
+import (
+	"repro/internal/disk"
+	"repro/internal/lvm"
+)
+
+// Execute services a prepared request batch and returns its statistics.
+// Dataset stores that plan their own requests (the octree and OLAP
+// layers) use this instead of Executor.
+func Execute(vol *lvm.Volume, reqs []lvm.Request, policy disk.SchedPolicy) (Stats, error) {
+	var st Stats
+	comps, elapsed, err := vol.ServeBatch(reqs, policy)
+	if err != nil {
+		return Stats{}, err
+	}
+	st.addCompletions(comps, elapsed)
+	return st, nil
+}
+
+// SortCoalesce sorts requests in ascending VLBN order and merges
+// contiguous ones — the storage manager's issue optimization for the
+// linear mappings (§5.2).
+func SortCoalesce(reqs []lvm.Request) []lvm.Request { return sortCoalesce(reqs) }
+
+// CoalesceSortedLBNs merges an already-ascending list of single-block
+// LBNs into contiguous requests.
+func CoalesceSortedLBNs(lbns []int64) []lvm.Request { return coalesceSorted(lbns) }
+
+// PolicyFor returns the issue policy a mapping kind uses: MultiMap
+// leaves ordering to the disk's internal scheduler, linear mappings
+// pre-sort and go FIFO.
+func PolicyFor(semiSequential bool) disk.SchedPolicy {
+	if semiSequential {
+		return disk.SchedSPTF
+	}
+	return disk.SchedFIFO
+}
+
+// PlanForTrace exposes an executor's request plan for a box so tools
+// (mmtrace) can serve it themselves while capturing completions. It
+// returns the requests, the issue policy, and the planned padding.
+func PlanForTrace(e *Executor, lo, hi []int) ([]lvm.Request, disk.SchedPolicy, int64, error) {
+	return e.plan(lo, hi)
+}

@@ -1,0 +1,142 @@
+package sfc
+
+import (
+	"fmt"
+	"slices"
+)
+
+// Curve is an invertible mapping between grid cells and positions along
+// a space-filling curve. Keys are unique per cell but, on grids whose
+// side lengths are not powers of two, not dense: the curve also visits
+// points outside the grid.
+type Curve interface {
+	// Dims returns the grid shape the curve was built for.
+	Dims() []int
+	// Key returns the cell's position along the curve.
+	Key(cell []int) (uint64, error)
+	// Cell inverts Key into out.
+	Cell(key uint64, out []int) error
+}
+
+// NumCells returns the number of cells in a grid shape.
+func NumCells(dims []int) int64 {
+	n := int64(1)
+	for _, d := range dims {
+		n *= int64(d)
+	}
+	return n
+}
+
+// Ranked densifies a curve over its grid: cells are numbered 0..N-1 in
+// curve order with no gaps. This reproduces the paper's layout step
+// where cells ordered by curve value are "stored sequentially on disks"
+// (§5.2). For power-of-two grids the curve is already dense and no
+// auxiliary memory is used; otherwise Ranked materializes the sorted
+// key list once (8 bytes per cell).
+type Ranked struct {
+	curve Curve
+	n     int64
+	keys  []uint64 // nil when the curve is dense on this grid
+}
+
+// NewRanked builds the dense ranking for the curve over its grid.
+func NewRanked(curve Curve) (*Ranked, error) {
+	dims := curve.Dims()
+	n := NumCells(dims)
+	r := &Ranked{curve: curve, n: n}
+	if denseOnGrid(curve) {
+		return r, nil
+	}
+	keys := make([]uint64, 0, n)
+	cell := make([]int, len(dims))
+	for {
+		k, err := curve.Key(cell)
+		if err != nil {
+			return nil, fmt.Errorf("sfc: ranking: %w", err)
+		}
+		keys = append(keys, k)
+		if !nextCell(cell, dims) {
+			break
+		}
+	}
+	slices.Sort(keys)
+	for i := 1; i < len(keys); i++ {
+		if keys[i] == keys[i-1] {
+			return nil, fmt.Errorf("sfc: curve is not injective: duplicate key %d", keys[i])
+		}
+	}
+	r.keys = keys
+	return r, nil
+}
+
+// denseOnGrid reports whether the curve's key space exactly matches the
+// grid (every dimension a power of two of the curve's width), so keys
+// are already dense ranks.
+func denseOnGrid(curve Curve) bool {
+	switch c := curve.(type) {
+	case *ZOrder:
+		for i, d := range c.dims {
+			if d != 1<<uint(c.bw[i]) {
+				return false
+			}
+		}
+		return true
+	case *Hilbert:
+		for _, d := range c.dims {
+			if d != 1<<uint(c.order) {
+				return false
+			}
+		}
+		return true
+	default:
+		return false
+	}
+}
+
+// nextCell advances cell through the grid in row-major order (first
+// dimension fastest) and reports whether it wrapped to the end.
+func nextCell(cell, dims []int) bool {
+	for i := 0; i < len(dims); i++ {
+		cell[i]++
+		if cell[i] < dims[i] {
+			return true
+		}
+		cell[i] = 0
+	}
+	return false
+}
+
+// Len returns the number of cells.
+func (r *Ranked) Len() int64 { return r.n }
+
+// Dims returns the grid shape.
+func (r *Ranked) Dims() []int { return r.curve.Dims() }
+
+// Rank returns the cell's dense position along the curve, in [0, Len).
+func (r *Ranked) Rank(cell []int) (int64, error) {
+	k, err := r.curve.Key(cell)
+	if err != nil {
+		return 0, err
+	}
+	if r.keys == nil {
+		return int64(k), nil
+	}
+	i, ok := slices.BinarySearch(r.keys, k)
+	if !ok {
+		return 0, fmt.Errorf("sfc: cell %v not in ranked grid", cell)
+	}
+	return int64(i), nil
+}
+
+// CellAt inverts Rank, writing the cell with the given dense position
+// into out.
+func (r *Ranked) CellAt(rank int64, out []int) error {
+	if rank < 0 || rank >= r.n {
+		return fmt.Errorf("sfc: rank %d out of [0,%d)", rank, r.n)
+	}
+	k := uint64(rank)
+	if r.keys != nil {
+		k = r.keys[rank]
+	}
+	return r.curve.Cell(k, out)
+}

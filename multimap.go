@@ -1,0 +1,230 @@
+package multimap
+
+import (
+	"fmt"
+
+	"repro/internal/analytic"
+	"repro/internal/core"
+	"repro/internal/disk"
+	"repro/internal/lvm"
+	"repro/internal/mapping"
+	"repro/internal/query"
+)
+
+// DiskModel names a simulated drive.
+type DiskModel string
+
+// The built-in drive models. The first two are the paper's testbed.
+const (
+	AtlasTenKIII       DiskModel = "atlas10k3"
+	CheetahThirtySixES DiskModel = "cheetah36es"
+	SyntheticModern    DiskModel = "modern"
+	SmallTestDisk      DiskModel = "smalltest"
+	MediumTestDisk     DiskModel = "mediumtest"
+)
+
+// DiskModels lists the available drive model names.
+func DiskModels() []string { return disk.ModelNames() }
+
+// Mapping selects a data placement algorithm.
+type Mapping = mapping.Kind
+
+// The four placements the paper evaluates, plus the Gray-coded curve
+// from related work.
+const (
+	Naive    = mapping.Naive
+	ZOrder   = mapping.ZOrder
+	Hilbert  = mapping.Hilbert
+	Gray     = mapping.Gray
+	MultiMap = mapping.MultiMap
+)
+
+// Mappings returns the four placements compared in the paper.
+func Mappings() []Mapping { return mapping.Kinds() }
+
+// ParseMapping converts a CLI-friendly name ("naive", "zorder",
+// "hilbert", "gray", "multimap") to a Mapping.
+func ParseMapping(s string) (Mapping, error) { return mapping.ParseKind(s) }
+
+// Stats is the I/O summary of one query; see MsPerCell for the paper's
+// headline metric.
+type Stats = query.Stats
+
+// Volume is a logical volume over one or more simulated drives,
+// exporting the paper's adjacency interface.
+type Volume struct {
+	v *lvm.Volume
+}
+
+// OpenVolume builds a volume from drive model names with the paper's
+// adjacency depth D=128.
+func OpenVolume(models ...DiskModel) (*Volume, error) {
+	return OpenVolumeDepth(0, models...)
+}
+
+// OpenVolumeDepth builds a volume with an explicit adjacency depth
+// (0 selects the paper's D=128).
+func OpenVolumeDepth(adjDepth int, models ...DiskModel) (*Volume, error) {
+	if len(models) == 0 {
+		return nil, fmt.Errorf("multimap: at least one disk model required")
+	}
+	geoms := make([]*disk.Geometry, 0, len(models))
+	for _, m := range models {
+		g, err := disk.ModelByName(string(m))
+		if err != nil {
+			return nil, err
+		}
+		geoms = append(geoms, g)
+	}
+	v, err := lvm.New(adjDepth, geoms...)
+	if err != nil {
+		return nil, err
+	}
+	return &Volume{v: v}, nil
+}
+
+// NumDisks returns the number of member drives.
+func (v *Volume) NumDisks() int { return v.v.NumDisks() }
+
+// TotalBlocks returns the volume capacity in 512-byte blocks.
+func (v *Volume) TotalBlocks() int64 { return v.v.TotalBlocks() }
+
+// AdjacencyDepth returns the exported D.
+func (v *Volume) AdjacencyDepth() int { return v.v.AdjacencyDepth() }
+
+// GetAdjacent returns up to d adjacent blocks of a volume LBN — the
+// first interface call of the paper's LVM (§3.2).
+func (v *Volume) GetAdjacent(vlbn int64, d int) ([]int64, error) {
+	return v.v.GetAdjacent(vlbn, d)
+}
+
+// GetTrackBoundaries returns the half-open LBN interval of the track
+// containing vlbn — the second interface call of the paper's LVM.
+func (v *Volume) GetTrackBoundaries(vlbn int64) (start, next int64, err error) {
+	return v.v.GetTrackBoundaries(vlbn)
+}
+
+// Reset restores all drives to their initial head positions and clears
+// statistics.
+func (v *Volume) Reset() { v.v.Reset() }
+
+// Internal exposes the underlying LVM volume for advanced use (the
+// experiment drivers and examples use it).
+func (v *Volume) Internal() *lvm.Volume { return v.v }
+
+// StoreOptions tunes dataset placement.
+type StoreOptions struct {
+	// DiskIdx pins the dataset to one member drive. -1 lets MultiMap
+	// decluster basic cubes across drives (§4.4); linear mappings
+	// treat -1 as drive 0.
+	DiskIdx int
+	// CellBlocks is the cell size in blocks (default 1) — §4's
+	// "a single cell can occupy multiple LBNs".
+	CellBlocks int
+}
+
+// Store is a mapped multidimensional dataset ready for queries.
+type Store struct {
+	vol  *Volume
+	m    mapping.Mapper
+	exec *query.Executor
+}
+
+// NewStore maps an N-dimensional grid dataset (one block per cell)
+// onto the volume using the given placement.
+func NewStore(vol *Volume, kind Mapping, dims []int, opts ...StoreOptions) (*Store, error) {
+	o := StoreOptions{DiskIdx: 0}
+	if len(opts) > 1 {
+		return nil, fmt.Errorf("multimap: at most one StoreOptions")
+	}
+	if len(opts) == 1 {
+		o = opts[0]
+	}
+	m, err := mapping.New(kind, vol.v, dims, mapping.Options{
+		DiskIdx: o.DiskIdx, CellBlocks: o.CellBlocks,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Store{vol: vol, m: m, exec: query.NewExecutor(vol.v, m)}, nil
+}
+
+// CellBlocks returns the store's cell size in blocks.
+func (s *Store) CellBlocks() int {
+	if cs, ok := s.m.(mapping.CellSized); ok {
+		return cs.CellBlocks()
+	}
+	return 1
+}
+
+// Mapping returns the store's placement algorithm.
+func (s *Store) Mapping() Mapping { return s.m.Kind() }
+
+// Dims returns the dataset side lengths.
+func (s *Store) Dims() []int { return s.m.Dims() }
+
+// CellLBN returns the volume LBN storing a cell — useful for building
+// external indexes over the placement.
+func (s *Store) CellLBN(cell []int) (int64, error) { return s.m.CellVLBN(cell) }
+
+// Beam fetches all cells along dimension dim with the remaining
+// coordinates fixed, and returns the simulated I/O statistics (§5.1).
+func (s *Store) Beam(dim int, fixed []int) (Stats, error) { return s.exec.Beam(dim, fixed) }
+
+// RangeQuery fetches the box [lo, hi) (hi exclusive per dimension).
+func (s *Store) RangeQuery(lo, hi []int) (Stats, error) { return s.exec.Range(lo, hi) }
+
+// Model is the closed-form analytical cost model (§5) for one drive.
+type Model struct {
+	m    *analytic.Model
+	spec *core.CubeSpec
+	dims []int
+}
+
+// NewModel builds the analytic model for a drive model and dataset
+// shape, using the same basic cube MultiMap would choose.
+func NewModel(model DiskModel, dims []int) (*Model, error) {
+	g, err := disk.ModelByName(string(model))
+	if err != nil {
+		return nil, err
+	}
+	v, err := lvm.New(0, g)
+	if err != nil {
+		return nil, err
+	}
+	mm, err := core.NewMapping(v, dims, core.MapOptions{DiskIdx: 0})
+	if err != nil {
+		return nil, err
+	}
+	return &Model{m: analytic.New(g), spec: mm.Spec(), dims: append([]int(nil), dims...)}, nil
+}
+
+// EstimateBeamMs predicts total beam-query I/O time for a mapping
+// (Naive or MultiMap).
+func (m *Model) EstimateBeamMs(kind Mapping, dim int) (float64, error) {
+	switch kind {
+	case Naive:
+		return m.m.NaiveBeamMs(m.dims, dim)
+	case MultiMap:
+		return m.m.MultiMapBeamMs(m.spec, m.dims, dim)
+	default:
+		return 0, fmt.Errorf("multimap: analytic model covers Naive and MultiMap, not %v", kind)
+	}
+}
+
+// EstimateRangeMs predicts total range-query I/O time for a box with
+// q[i] cells per dimension.
+func (m *Model) EstimateRangeMs(kind Mapping, q []int) (float64, error) {
+	switch kind {
+	case Naive:
+		return m.m.NaiveRangeMs(m.dims, q)
+	case MultiMap:
+		return m.m.MultiMapRangeMs(m.spec, m.dims, q)
+	default:
+		return 0, fmt.Errorf("multimap: analytic model covers Naive and MultiMap, not %v", kind)
+	}
+}
+
+// BasicCube returns the basic-cube side lengths the mapping chose
+// (§4.2) for inspection.
+func (m *Model) BasicCube() []int { return append([]int(nil), m.spec.K...) }

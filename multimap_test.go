@@ -1,0 +1,178 @@
+package multimap
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestOpenVolume(t *testing.T) {
+	v, err := OpenVolume(AtlasTenKIII, CheetahThirtySixES)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.NumDisks() != 2 {
+		t.Errorf("NumDisks=%d", v.NumDisks())
+	}
+	if v.AdjacencyDepth() != 128 {
+		t.Errorf("D=%d, want the paper's 128", v.AdjacencyDepth())
+	}
+	if v.TotalBlocks() <= 0 {
+		t.Error("empty volume")
+	}
+	if _, err := OpenVolume(); err == nil {
+		t.Error("no disks accepted")
+	}
+	if _, err := OpenVolume("nonsense"); err == nil {
+		t.Error("bad model accepted")
+	}
+}
+
+func TestVolumeAdjacencyInterface(t *testing.T) {
+	v, err := OpenVolume(AtlasTenKIII)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adjs, err := v.GetAdjacent(1000, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(adjs) != 128 {
+		t.Fatalf("got %d adjacent blocks, want 128", len(adjs))
+	}
+	start, next, err := v.GetTrackBoundaries(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(start <= 1000 && 1000 < next) {
+		t.Fatalf("track boundaries [%d,%d) exclude the block", start, next)
+	}
+}
+
+func TestStoreQueries(t *testing.T) {
+	v, err := OpenVolumeDepth(32, MediumTestDisk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range Mappings() {
+		s, err := NewStore(v, kind, []int{40, 12, 8})
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		if s.Mapping() != kind {
+			t.Errorf("Mapping()=%v, want %v", s.Mapping(), kind)
+		}
+		st, err := s.Beam(1, []int{5, 0, 3})
+		if err != nil {
+			t.Fatalf("%v beam: %v", kind, err)
+		}
+		if st.Cells != 12 {
+			t.Errorf("%v: beam fetched %d cells, want 12", kind, st.Cells)
+		}
+		st, err = s.RangeQuery([]int{0, 0, 0}, []int{10, 4, 2})
+		if err != nil {
+			t.Fatalf("%v range: %v", kind, err)
+		}
+		if st.Cells != 80 {
+			t.Errorf("%v: range fetched %d cells, want 80", kind, st.Cells)
+		}
+		if _, err := s.CellLBN([]int{0, 0, 0}); err != nil {
+			t.Errorf("%v: CellLBN: %v", kind, err)
+		}
+	}
+	if _, err := NewStore(v, MultiMap, []int{40, 12, 8}, StoreOptions{}, StoreOptions{}); err == nil {
+		t.Error("two option structs accepted")
+	}
+}
+
+func TestParseMappingAndModels(t *testing.T) {
+	k, err := ParseMapping("multimap")
+	if err != nil || k != MultiMap {
+		t.Errorf("ParseMapping: %v %v", k, err)
+	}
+	if len(DiskModels()) < 4 {
+		t.Error("missing disk models")
+	}
+	if len(Mappings()) != 4 {
+		t.Error("paper compares four mappings")
+	}
+}
+
+func TestAnalyticModelFacade(t *testing.T) {
+	// Paper-scale chunk: at smaller scales Naive's Dim1 stride stays
+	// within one track and genuinely wins, as the model correctly says.
+	m, err := NewModel(AtlasTenKIII, []int{259, 259, 259})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.BasicCube()) != 3 {
+		t.Error("basic cube arity wrong")
+	}
+	nb, err := m.EstimateBeamMs(Naive, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb, err := m.EstimateBeamMs(MultiMap, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mb >= nb {
+		t.Errorf("model: MultiMap beam %.1f not better than Naive %.1f", mb, nb)
+	}
+	if _, err := m.EstimateBeamMs(Hilbert, 1); err == nil {
+		t.Error("model should only cover Naive and MultiMap")
+	}
+	nr, err := m.EstimateRangeMs(Naive, []int{60, 60, 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mr, err := m.EstimateRangeMs(MultiMap, []int{60, 60, 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nr <= 0 || mr <= 0 {
+		t.Error("non-positive estimates")
+	}
+	if _, err := m.EstimateRangeMs(ZOrder, []int{1, 1, 1}); err == nil {
+		t.Error("model should only cover Naive and MultiMap")
+	}
+}
+
+func TestRunExperimentFacade(t *testing.T) {
+	cfg := ExperimentConfig{Disks: []DiskModel{AtlasTenKIII}, Scale: 0.15, Runs: 2, Seed: 5}
+	for _, id := range []string{"fig1a", "fig1b"} {
+		tb, err := RunExperiment(id, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if len(tb.Rows) == 0 || !strings.Contains(tb.String(), id) {
+			t.Errorf("%s: empty table", id)
+		}
+	}
+	if _, err := RunExperiment("fig99", cfg); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+	if len(ExperimentIDs()) != 9 {
+		t.Errorf("want 9 experiment ids, got %v", ExperimentIDs())
+	}
+}
+
+func TestStoreMultiBlockCells(t *testing.T) {
+	v, err := OpenVolumeDepth(32, MediumTestDisk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewStore(v, MultiMap, []int{12, 4, 3}, StoreOptions{CellBlocks: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.CellBlocks() != 4 {
+		t.Fatalf("CellBlocks=%d", s.CellBlocks())
+	}
+	st, err := s.Beam(1, []int{3, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Cells != 4 {
+		t.Fatalf("beam fetched %d cells, want 4", st.Cells)
+	}
+}

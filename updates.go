@@ -1,0 +1,104 @@
+package multimap
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/query"
+)
+
+// UpdatableStore adds the paper's online-update support (§4.6) on top
+// of a mapped dataset: cells are loaded at a tunable fill factor,
+// inserts that overflow a cell go to overflow pages, and underflowing
+// chains are reorganized.
+type UpdatableStore struct {
+	*Store
+	cells *core.CellStore
+}
+
+// UpdateOptions tunes §4.6 behaviour.
+type UpdateOptions struct {
+	// PointsPerBlock is the cell capacity in points (rows). Default 64.
+	PointsPerBlock int
+	// FillFactor in (0,1] reserves insert headroom at load time.
+	// Default 0.75.
+	FillFactor float64
+	// ReclaimBelow in [0,1) triggers reorganization when a chain's
+	// occupancy drops under it. Default 0.25.
+	ReclaimBelow float64
+	// OverflowBlocks reserves this many blocks for overflow pages at
+	// the end of the dataset's disk. Default 1/8 of the dataset size.
+	OverflowBlocks int64
+}
+
+func (o UpdateOptions) withDefaults(datasetBlocks int64) UpdateOptions {
+	if o.PointsPerBlock == 0 {
+		o.PointsPerBlock = 64
+	}
+	if o.FillFactor == 0 {
+		o.FillFactor = 0.75
+	}
+	if o.ReclaimBelow == 0 {
+		o.ReclaimBelow = 0.25
+	}
+	if o.OverflowBlocks == 0 {
+		o.OverflowBlocks = datasetBlocks/8 + 1
+	}
+	return o
+}
+
+// NewUpdatableStore maps the dataset and attaches update bookkeeping.
+func NewUpdatableStore(vol *Volume, kind Mapping, dims []int, opts UpdateOptions) (*UpdatableStore, error) {
+	s, err := NewStore(vol, kind, dims)
+	if err != nil {
+		return nil, err
+	}
+	blocks := int64(1)
+	for _, d := range dims {
+		blocks *= int64(d)
+	}
+	opts = opts.withDefaults(blocks)
+	// Overflow extent at the tail of disk 0's segment.
+	overflowStart := vol.v.DiskStart(0) + vol.v.DiskBlocks(0) - opts.OverflowBlocks
+	if overflowStart < 0 {
+		return nil, fmt.Errorf("multimap: overflow extent larger than the disk")
+	}
+	cells, err := core.NewCellStore(s.m.CellVLBN, opts.PointsPerBlock,
+		opts.FillFactor, opts.ReclaimBelow, overflowStart, opts.OverflowBlocks)
+	if err != nil {
+		return nil, err
+	}
+	return &UpdatableStore{Store: s, cells: cells}, nil
+}
+
+// LoadCell bulk-loads n points into a cell at the configured fill
+// factor.
+func (u *UpdatableStore) LoadCell(cell []int, n int) error { return u.cells.LoadCell(cell, n) }
+
+// Insert adds one point to a cell, overflowing if the home block is
+// full.
+func (u *UpdatableStore) Insert(cell []int) error { return u.cells.Insert(cell) }
+
+// Delete removes one point from a cell, reorganizing underflowing
+// chains.
+func (u *UpdatableStore) Delete(cell []int) error { return u.cells.Delete(cell) }
+
+// Points returns a cell's live point count.
+func (u *UpdatableStore) Points(cell []int) (int, error) { return u.cells.Points(cell) }
+
+// ChainLen returns the number of blocks backing a cell (1 = no
+// overflow).
+func (u *UpdatableStore) ChainLen(cell []int) (int, error) { return u.cells.ChainLen(cell) }
+
+// Reorganizations counts chain compactions so far.
+func (u *UpdatableStore) Reorganizations() int { return u.cells.Reorganizations() }
+
+// FetchCell reads a cell including its overflow chain and returns the
+// simulated I/O statistics — the §4.6 cost of an overflowed cell.
+func (u *UpdatableStore) FetchCell(cell []int) (Stats, error) {
+	reqs, err := u.cells.ReadRequests(cell)
+	if err != nil {
+		return Stats{}, err
+	}
+	return query.Execute(u.vol.v, reqs, query.PolicyFor(u.Mapping() == MultiMap))
+}

@@ -1,0 +1,104 @@
+package multimap
+
+import "testing"
+
+func newUpdatable(t *testing.T, opts UpdateOptions) *UpdatableStore {
+	t.Helper()
+	v, err := OpenVolumeDepth(32, MediumTestDisk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := NewUpdatableStore(v, MultiMap, []int{30, 8, 5}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u
+}
+
+func TestUpdatableStoreDefaults(t *testing.T) {
+	u := newUpdatable(t, UpdateOptions{})
+	if err := u.LoadCell([]int{1, 2, 3}, 100); err != nil {
+		t.Fatal(err)
+	}
+	n, err := u.Points([]int{1, 2, 3})
+	if err != nil || n != 100 {
+		t.Fatalf("Points=%d err=%v", n, err)
+	}
+	// 100 points at capacity 64, fill 0.75 (48/block) -> 3 blocks.
+	cl, err := u.ChainLen([]int{1, 2, 3})
+	if err != nil || cl != 3 {
+		t.Fatalf("ChainLen=%d err=%v, want 3", cl, err)
+	}
+}
+
+func TestUpdatableInsertOverflowDelete(t *testing.T) {
+	u := newUpdatable(t, UpdateOptions{PointsPerBlock: 4, FillFactor: 1, ReclaimBelow: 0.3})
+	cell := []int{0, 0, 0}
+	for i := 0; i < 10; i++ {
+		if err := u.Insert(cell); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if cl, _ := u.ChainLen(cell); cl != 3 {
+		t.Fatalf("ChainLen=%d, want 3 (10 points at 4/block)", cl)
+	}
+	st, err := u.FetchCell(cell)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Cells != 3 {
+		t.Fatalf("FetchCell read %d blocks, want 3", st.Cells)
+	}
+	// Deleting down to 2 points triggers reorganization (2/12 < 0.3).
+	for i := 0; i < 8; i++ {
+		if err := u.Delete(cell); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if u.Reorganizations() == 0 {
+		t.Error("no reorganization after underflow")
+	}
+	if cl, _ := u.ChainLen(cell); cl != 1 {
+		t.Errorf("chain not compacted: %d", cl)
+	}
+}
+
+func TestUpdatableFetchCostGrowsWithChain(t *testing.T) {
+	u := newUpdatable(t, UpdateOptions{PointsPerBlock: 2, FillFactor: 1})
+	a, b := []int{5, 5, 2}, []int{6, 5, 2}
+	if err := u.LoadCell(a, 2); err != nil { // one block
+		t.Fatal(err)
+	}
+	if err := u.LoadCell(b, 12); err != nil { // six blocks
+		t.Fatal(err)
+	}
+	u.vol.Reset()
+	stA, err := u.FetchCell(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u.vol.Reset()
+	stB, err := u.FetchCell(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stB.TotalMs <= stA.TotalMs {
+		t.Errorf("overflowed cell fetch %.2f ms not costlier than clean cell %.2f ms",
+			stB.TotalMs, stA.TotalMs)
+	}
+}
+
+func TestUpdatableStoreValidation(t *testing.T) {
+	v, err := OpenVolumeDepth(32, MediumTestDisk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewUpdatableStore(v, MultiMap, []int{30, 8, 5},
+		UpdateOptions{OverflowBlocks: 1 << 40}); err == nil {
+		t.Error("oversized overflow extent accepted")
+	}
+	if _, err := NewUpdatableStore(v, MultiMap, []int{30, 8, 5},
+		UpdateOptions{FillFactor: 2}); err == nil {
+		t.Error("bad fill factor accepted")
+	}
+}
