@@ -1,0 +1,72 @@
+// Command fig6probe prints raw simulated TotalMs for the paper's
+// Figure-6 configurations (beams and ranges on the synthetic 3-D grid)
+// so two builds can be diffed value by value.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+
+	"repro/internal/dataset"
+	"repro/internal/disk"
+	"repro/internal/lvm"
+	"repro/internal/mapping"
+	"repro/internal/query"
+)
+
+func main() {
+	side := 259
+	if len(os.Args) > 1 && os.Args[1] == "small" {
+		side = 64
+	}
+	dims := []int{side, side, side}
+	grid, err := dataset.NewGrid(dims...)
+	if err != nil {
+		panic(err)
+	}
+	g := disk.AtlasTenKIII()
+	for _, kind := range mapping.Kinds() {
+		v, err := lvm.New(0, g)
+		if err != nil {
+			panic(err)
+		}
+		m, err := mapping.New(kind, v, dims, mapping.Options{DiskIdx: 0})
+		if err != nil {
+			panic(err)
+		}
+		e := query.NewExecutor(v, m)
+		// Fig 6(a): beams along each dimension.
+		for dim := 0; dim < 3; dim++ {
+			rng := rand.New(rand.NewSource(int64(dim)*1000 + 3))
+			for r := 0; r < 3; r++ {
+				v.Disk(0).RandomizePosition(rng)
+				fixed, err := grid.RandomBeam(rng, dim)
+				if err != nil {
+					panic(err)
+				}
+				st, err := e.Beam(dim, fixed)
+				if err != nil {
+					panic(err)
+				}
+				fmt.Printf("%s beam d%d r%d total=%.6f cells=%d reqs=%d\n",
+					kind, dim, r, st.TotalMs, st.Cells, st.Requests)
+			}
+		}
+		// Fig 6(b): range queries at the paper's selectivities.
+		for _, sel := range []float64{0.01, 1, 10, 40, 100} {
+			rng := rand.New(rand.NewSource(int64(sel*1000) + 7919))
+			v.Disk(0).RandomizePosition(rng)
+			lo, hi, err := grid.RandomRange(rng, sel/100)
+			if err != nil {
+				panic(err)
+			}
+			st, err := e.Range(lo, hi)
+			if err != nil {
+				panic(err)
+			}
+			fmt.Printf("%s range sel%g total=%.6f cells=%d reqs=%d pad=%d\n",
+				kind, sel, st.TotalMs, st.Cells, st.Requests, st.Padding)
+		}
+	}
+}

@@ -21,15 +21,20 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "experiment id ("+strings.Join(multimap.ExperimentIDs(), ", ")+") or 'all'")
-		scale = flag.Float64("scale", 1, "dataset scale in (0,1]; 1 = paper size")
-		runs  = flag.Int("runs", 0, "randomized repetitions (0 = paper's 15)")
-		seed  = flag.Int64("seed", 1, "workload random seed")
-		disks = flag.String("disks", "", "comma-separated disk models (default: the paper's two drives); available: "+strings.Join(multimap.DiskModels(), ", "))
+		exp    = flag.String("exp", "all", "experiment id ("+strings.Join(multimap.ExperimentIDs(), ", ")+") or 'all'")
+		scale  = flag.Float64("scale", 1, "dataset scale in (0,1]; 1 = paper size")
+		runs   = flag.Int("runs", 0, "randomized repetitions (0 = paper's 15)")
+		seed   = flag.Int64("seed", 1, "workload random seed")
+		disks  = flag.String("disks", "", "comma-separated disk models (default: the paper's two drives); available: "+strings.Join(multimap.DiskModels(), ", "))
+		policy = flag.String("policy", "", "force the drive scheduler for every query: fifo, sptf, or elevator (default: each mapping's preferred policy)")
+		chunk  = flag.Int64("chunk", 0, "streaming-planner chunk size in cells for grid box queries (0 = plan each query as one chunk; fig7's octree leaf planner is never chunked)")
 	)
 	flag.Parse()
 
-	cfg := multimap.ExperimentConfig{Scale: *scale, Runs: *runs, Seed: *seed}
+	cfg := multimap.ExperimentConfig{
+		Scale: *scale, Runs: *runs, Seed: *seed,
+		Policy: *policy, ChunkCells: *chunk,
+	}
 	if *disks != "" {
 		for _, d := range strings.Split(*disks, ",") {
 			cfg.Disks = append(cfg.Disks, multimap.DiskModel(strings.TrimSpace(d)))

@@ -18,6 +18,7 @@ import (
 	"strings"
 
 	"repro/internal/disk"
+	"repro/internal/engine"
 	"repro/internal/lvm"
 	"repro/internal/mapping"
 	"repro/internal/query"
@@ -72,15 +73,18 @@ func main() {
 	if err != nil {
 		die(err)
 	}
-	comps, elapsed, err := v.ServeBatch(reqs, policy)
+	// Serve the plan through the shared engine, capturing every
+	// completion for the trace.
+	tr := &trace.Trace{}
+	st, err := engine.Run(v, engine.Static(reqs, policy), engine.Options{
+		Trace: tr.Add,
+	})
 	if err != nil {
 		die(err)
 	}
-	tr := &trace.Trace{}
-	tr.Add(comps)
 
 	fmt.Printf("%s over %v on %s: box [%v, %v), policy %v, elapsed %.1f ms\n\n",
-		kind, dims, g.Name, lo, hi, policy, elapsed)
+		kind, dims, g.Name, lo, hi, policy, st.ElapsedMs)
 	fmt.Println(tr.Summarize().String())
 	fmt.Println()
 	fmt.Print(tr.Dump(*n))

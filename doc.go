@@ -19,6 +19,25 @@
 // datasets, an analytical cost model, and drivers regenerating every
 // figure in the paper's evaluation.
 //
+// # Execution engine
+//
+// Every query layer executes through one shared pipeline
+// (internal/engine): plan → dispatch → schedule → aggregate. A planner
+// — the storage manager (internal/query), the octree and OLAP dataset
+// stores, or a tool with a prepared batch — produces a stream of
+// request chunks, each tagged with the issue policy the paper's
+// storage manager would choose (§5.2). The engine dispatches chunks to
+// the logical volume, whose member disks service their sub-batches
+// concurrently (one goroutine per drive); each drive applies its
+// internal scheduler — a bucketed O(n log n) shortest-positioning-time
+// (SPTF) scheduler, or C-LOOK for comparison runs — and the engine
+// aggregates completions into Stats. The storage manager's planner
+// streams: a query box is sliced along its slowest dimension into
+// bounded sub-boxes, so huge ranges never materialize every block at
+// once. StoreOptions.Policy and StoreOptions.PlanChunkCells expose the
+// scheduler and chunking knobs; cmd/mmbench mirrors them as -policy
+// and -chunk.
+//
 // Quick start:
 //
 //	vol, _ := multimap.OpenVolume(multimap.AtlasTenKIII)

@@ -17,6 +17,13 @@ type ExperimentConfig struct {
 	Runs int
 	// Seed fixes the random workload.
 	Seed int64
+	// Policy forces the drive-internal scheduling policy for every
+	// query ("fifo", "sptf", "elevator"); empty keeps each mapping's
+	// preferred policy — the paper's configuration.
+	Policy string
+	// ChunkCells bounds the streaming planner's per-chunk expansion;
+	// 0 plans each query as one chunk.
+	ChunkCells int64
 }
 
 // ExperimentIDs lists the regenerable paper artifacts plus the two
@@ -31,7 +38,10 @@ type ExperimentTable = experiments.Table
 // RunExperiment regenerates one of the paper's figures and returns its
 // table. See ExperimentIDs for valid ids.
 func RunExperiment(id string, cfg ExperimentConfig) (*ExperimentTable, error) {
-	ic := experiments.Config{Scale: cfg.Scale, Runs: cfg.Runs, Seed: cfg.Seed}
+	ic := experiments.Config{
+		Scale: cfg.Scale, Runs: cfg.Runs, Seed: cfg.Seed,
+		Policy: cfg.Policy, ChunkCells: cfg.ChunkCells,
+	}
 	for _, m := range cfg.Disks {
 		g, err := disk.ModelByName(string(m))
 		if err != nil {

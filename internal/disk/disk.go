@@ -155,7 +155,7 @@ func (d *Disk) Access(r Request) (AccessCost, error) {
 
 		seekMs := d.g.positionTimeMs(d.curTrack, p.Track)
 		arrive := d.nowMs + seekMs
-		rotMs := d.g.rotateWaitMs(arrive, d.g.angleOfSectorStart(p.Track, p.Sector))
+		rotMs := d.g.rotateWaitMs(arrive, d.g.angleOfSectorIn(z, p.Track, p.Sector))
 		xferMs := float64(run) * d.g.rotationMs / float64(z.SectorsPerTrack)
 
 		cost.SeekMs += seekMs
@@ -183,6 +183,6 @@ func (d *Disk) positioningEstimateMs(r Request) float64 {
 	p := d.g.mustDecode(r.LBN)
 	seekMs := d.g.positionTimeMs(d.curTrack, p.Track)
 	arrive := d.nowMs + cmd + seekMs
-	rotMs := d.g.rotateWaitMs(arrive, d.g.angleOfSectorStart(p.Track, p.Sector))
+	rotMs := d.g.rotateWaitMs(arrive, d.g.angleOfSectorIn(&d.g.Zones[p.Zone], p.Track, p.Sector))
 	return cmd + seekMs + rotMs
 }

@@ -1,6 +1,9 @@
 package disk
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // PBN is a decoded physical block number: the physical coordinates of a
 // logical block.
@@ -51,13 +54,13 @@ func (g *Geometry) mustDecode(lbn int64) PBN {
 // zoneOfTrack returns the zone containing the global track index, or nil
 // if the track is beyond the last zone.
 func (g *Geometry) zoneOfTrack(track int) *Zone {
-	for i := range g.Zones {
-		z := &g.Zones[i]
-		if track >= z.startTrack && track < z.startTrack+z.Cylinders()*g.Surfaces {
-			return z
-		}
+	if track < 0 || track >= g.TotalTracks() {
+		return nil
 	}
-	return nil
+	i := sort.Search(len(g.Zones), func(i int) bool {
+		return g.Zones[i].startTrack > track
+	}) - 1
+	return &g.Zones[i]
 }
 
 // Encode maps (global track, sector) back to an LBN. It is the inverse
@@ -108,6 +111,12 @@ func (g *Geometry) skewOffset(track int) int {
 	if z == nil {
 		return 0
 	}
+	return g.skewOffsetIn(z, track)
+}
+
+// skewOffsetIn is skewOffset with the track's zone already resolved —
+// the form the per-request hot paths use.
+func (g *Geometry) skewOffsetIn(z *Zone, track int) int {
 	t := track - z.startTrack
 	cylsCrossed := t / g.Surfaces
 	skew := t*z.TrackSkew + cylsCrossed*z.CylSkew
@@ -122,7 +131,12 @@ func (g *Geometry) angleOfSectorStart(track, sector int) float64 {
 	if z == nil {
 		panic(fmt.Sprintf("disk: %s: track %d out of range", g.Name, track))
 	}
-	s := (sector + g.skewOffset(track)) % z.SectorsPerTrack
+	return g.angleOfSectorIn(z, track, sector)
+}
+
+// angleOfSectorIn is angleOfSectorStart with the zone already resolved.
+func (g *Geometry) angleOfSectorIn(z *Zone, track, sector int) float64 {
+	s := (sector + g.skewOffsetIn(z, track)) % z.SectorsPerTrack
 	return float64(s) / float64(z.SectorsPerTrack)
 }
 

@@ -1,5 +1,7 @@
 package disk
 
+import "fmt"
+
 // SchedPolicy selects how a batch of outstanding requests is ordered by
 // the drive's internal scheduler.
 type SchedPolicy int
@@ -14,6 +16,11 @@ const (
 	// scheduler" that fetches MultiMap's unsorted semi-sequential
 	// batches along the most efficient path (§5.2).
 	SchedSPTF
+	// SchedELEVATOR services requests in C-LOOK order: one ascending
+	// track sweep from the current head position, then a wrap to the
+	// outermost pending request. A seek-only scheduler for comparison
+	// runs against the positioning-aware SPTF.
+	SchedELEVATOR
 )
 
 func (p SchedPolicy) String() string {
@@ -22,16 +29,32 @@ func (p SchedPolicy) String() string {
 		return "fifo"
 	case SchedSPTF:
 		return "sptf"
+	case SchedELEVATOR:
+		return "elevator"
 	default:
 		return "unknown"
 	}
 }
 
-// maxSPTFBatch bounds the O(n²) greedy SPTF scan. Real drives hold a
-// bounded number of outstanding commands; larger batches are served in
-// windows of this size, preserving the issue order across windows —
-// which the storage manager arranges to be adjacency-chain order, so
-// each window covers a compact band of tracks.
+// ParsePolicy converts a CLI-friendly name to a scheduling policy.
+func ParsePolicy(s string) (SchedPolicy, error) {
+	switch s {
+	case "fifo":
+		return SchedFIFO, nil
+	case "sptf":
+		return SchedSPTF, nil
+	case "elevator", "clook", "c-look":
+		return SchedELEVATOR, nil
+	default:
+		return 0, fmt.Errorf("disk: unknown scheduling policy %q", s)
+	}
+}
+
+// maxSPTFBatch bounds one scheduling window. Real drives hold a bounded
+// number of outstanding commands; larger batches are served in windows
+// of this size, preserving the issue order across windows — which the
+// storage manager arranges to be adjacency-chain order, so each window
+// covers a compact band of tracks.
 const maxSPTFBatch = 4096
 
 // ServeBatch services every request in reqs according to the policy and
@@ -43,53 +66,37 @@ func (d *Disk) ServeBatch(reqs []Request, policy SchedPolicy) ([]Completion, err
 			return nil, err
 		}
 	}
-	if policy == SchedSPTF {
+	switch policy {
+	case SchedSPTF:
+		return d.serveWindowed(reqs, d.serveSPTF)
+	case SchedELEVATOR:
+		return d.serveWindowed(reqs, d.serveElevator)
+	default:
 		out := make([]Completion, 0, len(reqs))
-		for start := 0; start < len(reqs); start += maxSPTFBatch {
-			end := start + maxSPTFBatch
-			if end > len(reqs) {
-				end = len(reqs)
-			}
-			comps, err := d.serveSPTF(reqs[start:end])
+		for _, r := range reqs {
+			cost, err := d.Access(r)
 			if err != nil {
 				return nil, err
 			}
-			out = append(out, comps...)
+			out = append(out, Completion{Req: r, Cost: cost, FinishMs: d.nowMs})
 		}
 		return out, nil
 	}
-	out := make([]Completion, 0, len(reqs))
-	for _, r := range reqs {
-		cost, err := d.Access(r)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, Completion{Req: r, Cost: cost, FinishMs: d.nowMs})
-	}
-	return out, nil
 }
 
-// serveSPTF greedily picks the pending request with the least estimated
-// positioning cost from the current head state.
-func (d *Disk) serveSPTF(reqs []Request) ([]Completion, error) {
-	pending := make([]Request, len(reqs))
-	copy(pending, reqs)
+// serveWindowed applies a reordering scheduler window by window.
+func (d *Disk) serveWindowed(reqs []Request, serve func([]Request) ([]Completion, error)) ([]Completion, error) {
 	out := make([]Completion, 0, len(reqs))
-	for len(pending) > 0 {
-		best, bestCost := 0, d.positioningEstimateMs(pending[0])
-		for i := 1; i < len(pending); i++ {
-			if c := d.positioningEstimateMs(pending[i]); c < bestCost {
-				best, bestCost = i, c
-			}
+	for start := 0; start < len(reqs); start += maxSPTFBatch {
+		end := start + maxSPTFBatch
+		if end > len(reqs) {
+			end = len(reqs)
 		}
-		r := pending[best]
-		pending[best] = pending[len(pending)-1]
-		pending = pending[:len(pending)-1]
-		cost, err := d.Access(r)
+		comps, err := serve(reqs[start:end])
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, Completion{Req: r, Cost: cost, FinishMs: d.nowMs})
+		out = append(out, comps...)
 	}
 	return out, nil
 }

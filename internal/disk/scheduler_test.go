@@ -136,6 +136,229 @@ func TestLargeBatchWindowedSPTF(t *testing.T) {
 	}
 }
 
+// serveSPTFGreedy is the O(n²) reference scheduler: before every pick it
+// re-estimates the positioning cost of every pending request and services
+// the argmin. The production scheduler must match its schedules.
+func serveSPTFGreedy(d *Disk, reqs []Request) ([]Completion, error) {
+	pending := make([]Request, len(reqs))
+	copy(pending, reqs)
+	out := make([]Completion, 0, len(reqs))
+	for len(pending) > 0 {
+		best, bestCost := 0, d.positioningEstimateMs(pending[0])
+		for i := 1; i < len(pending); i++ {
+			if c := d.positioningEstimateMs(pending[i]); c < bestCost {
+				best, bestCost = i, c
+			}
+		}
+		r := pending[best]
+		pending[best] = pending[len(pending)-1]
+		pending = pending[:len(pending)-1]
+		cost, err := d.Access(r)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Completion{Req: r, Cost: cost, FinishMs: d.nowMs})
+	}
+	return out, nil
+}
+
+// TestSPTFMatchesGreedyReference is the scheduler-equivalence property
+// test: across geometries, batch shapes, and head states, the bucketed
+// O(n log n) SPTF must service exactly the reference's request set with
+// total time within a small tolerance (exact ties may break differently).
+func TestSPTFMatchesGreedyReference(t *testing.T) {
+	// Exact-cost ties (same seek plateau, same discrete sector angle) can
+	// break differently between the two implementations and compound, so
+	// the tolerance is workload-dependent: tight on the paper's drives,
+	// looser on the toy geometry where nearly everything ties.
+	geoms := []struct {
+		g   *Geometry
+		tol float64
+	}{
+		{SmallTestDisk(), 0.05},
+		{AtlasTenKIII(), 0.01},
+		{CheetahThirtySixES(), 0.01},
+	}
+	for gi, gt := range geoms {
+		g, tol := gt.g, gt.tol
+		for trial := 0; trial < 8; trial++ {
+			rng := rand.New(rand.NewSource(int64(gi*100 + trial)))
+			n := 1 + rng.Intn(500)
+			reqs := make([]Request, n)
+			for i := range reqs {
+				switch trial % 3 {
+				case 0: // uniform random over the drive
+					reqs[i] = Request{LBN: rng.Int63n(g.TotalBlocks() - 8), Count: 1 + rng.Intn(8)}
+				case 1: // compact band (MultiMap's windows)
+					span := int64(20000)
+					if span > g.TotalBlocks()/2 {
+						span = g.TotalBlocks() / 2
+					}
+					base := rng.Int63n(g.TotalBlocks() - span)
+					reqs[i] = Request{LBN: base + rng.Int63n(span), Count: 1}
+				default: // heavy duplication on few tracks
+					span := int64(2000)
+					if span > g.TotalBlocks() {
+						span = g.TotalBlocks()
+					}
+					reqs[i] = Request{LBN: rng.Int63n(span), Count: 1}
+				}
+			}
+			dNew, dRef := New(g), New(g)
+			dNew.RandomizePosition(rand.New(rand.NewSource(int64(trial))))
+			dRef.RandomizePosition(rand.New(rand.NewSource(int64(trial))))
+
+			compsNew, err := dNew.serveSPTF(reqs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			compsRef, err := serveSPTFGreedy(dRef, reqs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(compsNew) != n || len(compsRef) != n {
+				t.Fatalf("%s trial %d: served %d/%d of %d", g.Name, trial, len(compsNew), len(compsRef), n)
+			}
+			seen := map[Request]int{}
+			for _, c := range compsNew {
+				seen[c.Req]++
+			}
+			for _, c := range compsRef {
+				seen[c.Req]--
+			}
+			for r, cnt := range seen {
+				if cnt != 0 {
+					t.Fatalf("%s trial %d: request %v served a different number of times", g.Name, trial, r)
+				}
+			}
+			newMs, refMs := dNew.NowMs(), dRef.NowMs()
+			if diff := newMs - refMs; diff > refMs*tol+1e-6 || diff < -refMs*tol-1e-6 {
+				t.Errorf("%s trial %d (n=%d): new SPTF %.3f ms vs greedy %.3f ms (%.2f%%)",
+					g.Name, trial, n, newMs, refMs, 100*(newMs-refMs)/refMs)
+			}
+		}
+	}
+}
+
+// TestSPTFPicksTrueArgmin checks the scheduler's core invariant
+// directly: every pick's estimated positioning cost equals the
+// brute-force minimum over the requests still pending at that moment.
+func TestSPTFPicksTrueArgmin(t *testing.T) {
+	g := AtlasTenKIII()
+	rng := rand.New(rand.NewSource(99))
+	n := 300
+	reqs := make([]Request, n)
+	for i := range reqs {
+		base := rng.Int63n(g.TotalBlocks() - 40000)
+		reqs[i] = Request{LBN: base + rng.Int63n(40000), Count: 1 + rng.Intn(4)}
+	}
+	d := New(g)
+	s := newSPTF(d, reqs)
+	pending := map[int]bool{}
+	for i := range reqs {
+		pending[i] = true
+	}
+	for s.live > 0 {
+		e := s.pop()
+		got := d.positioningEstimateMs(e.req)
+		want := -1.0
+		for i := range pending {
+			if c := d.positioningEstimateMs(reqs[i]); want < 0 || c < want {
+				want = c
+			}
+		}
+		if got > want+1e-9 {
+			t.Fatalf("picked cost %.6f ms, brute-force min %.6f ms (pending %d)",
+				got, want, len(pending))
+		}
+		// Drop one pending instance matching the pick.
+		for i := range pending {
+			if reqs[i] == e.req {
+				delete(pending, i)
+				break
+			}
+		}
+		if _, err := d.Access(e.req); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(pending) != 0 {
+		t.Fatalf("%d requests never served", len(pending))
+	}
+}
+
+func TestElevatorCLOOKOrder(t *testing.T) {
+	d := New(SmallTestDisk())
+	// Park the heads mid-disk so the sweep must wrap.
+	if _, err := d.Access(Request{LBN: d.g.TotalBlocks() / 2, Count: 1}); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	reqs := make([]Request, 64)
+	for i := range reqs {
+		reqs[i] = Request{LBN: rng.Int63n(d.g.TotalBlocks()), Count: 1}
+	}
+	comps, err := d.ServeBatch(reqs, SchedELEVATOR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(comps) != len(reqs) {
+		t.Fatalf("served %d of %d", len(comps), len(reqs))
+	}
+	// Tracks ascend from the head position, wrap exactly once, then
+	// ascend again.
+	startTrack := d.g.mustDecode(d.g.TotalBlocks() / 2).Track
+	wraps := 0
+	prev := -1
+	for i, c := range comps {
+		tr := d.g.mustDecode(c.Req.LBN).Track
+		if i == 0 && tr < startTrack {
+			t.Fatalf("sweep started below the heads (track %d < %d)", tr, startTrack)
+		}
+		if prev >= 0 && tr < prev {
+			wraps++
+		}
+		prev = tr
+	}
+	if wraps > 1 {
+		t.Errorf("C-LOOK wrapped %d times", wraps)
+	}
+}
+
+func TestElevatorNotWorseThanFIFOOnRandom(t *testing.T) {
+	g := AtlasTenKIII()
+	rng := rand.New(rand.NewSource(31))
+	reqs := make([]Request, 150)
+	for i := range reqs {
+		reqs[i] = Request{LBN: rng.Int63n(g.TotalBlocks()), Count: 1}
+	}
+	dE, dF := New(g), New(g)
+	if _, err := dE.ServeBatch(reqs, SchedELEVATOR); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dF.ServeBatch(reqs, SchedFIFO); err != nil {
+		t.Fatal(err)
+	}
+	if dE.NowMs() > dF.NowMs() {
+		t.Errorf("elevator %.1f ms worse than FIFO %.1f ms on random batch", dE.NowMs(), dF.NowMs())
+	}
+}
+
+func TestParsePolicy(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want SchedPolicy
+	}{{"fifo", SchedFIFO}, {"sptf", SchedSPTF}, {"elevator", SchedELEVATOR}, {"clook", SchedELEVATOR}} {
+		got, err := ParsePolicy(tc.in)
+		if err != nil || got != tc.want {
+			t.Errorf("ParsePolicy(%q) = %v, %v", tc.in, got, err)
+		}
+	}
+	if _, err := ParsePolicy("lifo"); err == nil {
+		t.Error("bad policy name accepted")
+	}
+}
+
 func TestBatchTimeMs(t *testing.T) {
 	d := New(SmallTestDisk())
 	comps, err := d.ServeBatch([]Request{{LBN: 10, Count: 1}, {LBN: 500, Count: 2}}, SchedFIFO)
@@ -152,7 +375,7 @@ func TestBatchTimeMs(t *testing.T) {
 }
 
 func TestSchedPolicyString(t *testing.T) {
-	if SchedFIFO.String() != "fifo" || SchedSPTF.String() != "sptf" {
+	if SchedFIFO.String() != "fifo" || SchedSPTF.String() != "sptf" || SchedELEVATOR.String() != "elevator" {
 		t.Error("policy names wrong")
 	}
 	if SchedPolicy(99).String() != "unknown" {

@@ -1,0 +1,356 @@
+package disk
+
+import (
+	"math"
+	"slices"
+	"sort"
+)
+
+// This file implements the positioning-aware SPTF scheduler. The naive
+// formulation re-estimates the positioning cost of every pending
+// request before every pick — an O(n²) scan per window. This scheduler
+// exploits two structural facts instead:
+//
+//  1. Seek time is a nondecreasing function of cylinder distance, so
+//     candidate cylinders can be examined outward from the heads in
+//     nondecreasing seek order and the search cut off as soon as even a
+//     zero-rotation candidate on the next band cannot beat the best
+//     cost found so far.
+//  2. On one track every candidate shares the same seek cost, so the
+//     minimum-rotational-wait request is the cyclic successor of the
+//     head's arrival angle — a binary search in an angle-sorted bucket.
+//
+// Requests are decoded once on admission and bucketed by track within
+// cylinder bands; each pick is a bounded best-first search over the
+// nearest bands. Service order matches the greedy reference (the true
+// positioning-cost argmin) up to floating-point ties.
+
+// sptfEntry is one pending request with its precomputed physical
+// coordinates; the scheduler never re-decodes an LBN after admission.
+type sptfEntry struct {
+	req   Request
+	track int
+	cyl   int
+	angle float64 // angle at which the request's first sector passes the head
+	dead  bool
+}
+
+// sptfTrack holds one track's pending entries in ascending angle order.
+// Serviced entries are tombstoned and compacted once they outnumber the
+// live ones, keeping successor scans amortized O(1).
+type sptfTrack struct {
+	entries []*sptfEntry
+	live    int
+	dead    int
+}
+
+func (b *sptfTrack) compact() {
+	kept := b.entries[:0]
+	for _, e := range b.entries {
+		if !e.dead {
+			kept = append(kept, e)
+		}
+	}
+	b.entries = kept
+	b.dead = 0
+}
+
+// minWait returns the live entry with the least rotational wait for a
+// head arriving at arriveMs, and that wait. The candidate is the cyclic
+// successor of the arrival angle; the predecessor is also probed to
+// honour rotateWaitMs's epsilon for exact continuations.
+func (b *sptfTrack) minWait(g *Geometry, arriveMs float64) (*sptfEntry, float64) {
+	es := b.entries
+	target := g.angleAt(arriveMs)
+	idx := sort.Search(len(es), func(i int) bool { return es[i].angle >= target })
+
+	var succ, pred *sptfEntry
+	for k, i := 0, idx; k < len(es); k, i = k+1, i+1 {
+		if i == len(es) {
+			i = 0
+		}
+		if !es[i].dead {
+			succ = es[i]
+			break
+		}
+	}
+	for k, i := 0, idx-1; k < len(es); k, i = k+1, i-1 {
+		if i < 0 {
+			i = len(es) - 1
+		}
+		if !es[i].dead {
+			pred = es[i]
+			break
+		}
+	}
+	if succ == nil {
+		return nil, 0
+	}
+	e, w := succ, g.rotateWaitMs(arriveMs, succ.angle)
+	if pred != nil && pred != succ {
+		if pw := g.rotateWaitMs(arriveMs, pred.angle); pw < w {
+			e, w = pred, pw
+		}
+	}
+	return e, w
+}
+
+// sptfSched is the pending-request index for one scheduling window.
+type sptfSched struct {
+	d       *Disk
+	byTrack map[int]*sptfTrack
+	byLBN   map[int64][]*sptfEntry // continuation candidates, insertion order
+
+	// Non-empty cylinder bands, sorted. left/right stitch over emptied
+	// bands so the outward walk skips them.
+	cyls    []int
+	liveCyl []int
+	left    []int
+	right   []int
+
+	live int
+}
+
+func newSPTF(d *Disk, reqs []Request) *sptfSched {
+	s := &sptfSched{
+		d:       d,
+		byTrack: make(map[int]*sptfTrack),
+		byLBN:   make(map[int64][]*sptfEntry, len(reqs)),
+		live:    len(reqs),
+	}
+	entries := make([]sptfEntry, len(reqs))
+	cylSet := make(map[int]int) // cylinder -> live count
+	for i, r := range reqs {
+		p := d.g.mustDecode(r.LBN)
+		z := &d.g.Zones[p.Zone]
+		e := &entries[i]
+		*e = sptfEntry{
+			req:   r,
+			track: p.Track,
+			cyl:   p.Cyl,
+			angle: d.g.angleOfSectorIn(z, p.Track, p.Sector),
+		}
+		s.byLBN[r.LBN] = append(s.byLBN[r.LBN], e)
+		b := s.byTrack[p.Track]
+		if b == nil {
+			b = &sptfTrack{}
+			s.byTrack[p.Track] = b
+		}
+		b.entries = append(b.entries, e)
+		b.live++
+		cylSet[p.Cyl]++
+	}
+	for _, b := range s.byTrack {
+		slices.SortFunc(b.entries, func(a, c *sptfEntry) int {
+			switch {
+			case a.angle != c.angle:
+				if a.angle < c.angle {
+					return -1
+				}
+				return 1
+			case a.req.LBN != c.req.LBN:
+				if a.req.LBN < c.req.LBN {
+					return -1
+				}
+				return 1
+			default:
+				return a.req.Count - c.req.Count
+			}
+		})
+	}
+	s.cyls = make([]int, 0, len(cylSet))
+	for c := range cylSet {
+		s.cyls = append(s.cyls, c)
+	}
+	slices.Sort(s.cyls)
+	s.liveCyl = make([]int, len(s.cyls))
+	s.left = make([]int, len(s.cyls))
+	s.right = make([]int, len(s.cyls))
+	for i, c := range s.cyls {
+		s.liveCyl[i] = cylSet[c]
+		s.left[i] = i - 1
+		s.right[i] = i + 1
+	}
+	return s
+}
+
+func (s *sptfSched) liveLeftFrom(i int) int {
+	for i >= 0 && s.liveCyl[i] == 0 {
+		i = s.left[i]
+	}
+	return i
+}
+
+func (s *sptfSched) liveRightFrom(i int) int {
+	for i < len(s.cyls) && s.liveCyl[i] == 0 {
+		i = s.right[i]
+	}
+	return i
+}
+
+// pop removes and returns the pending request with the least estimated
+// positioning cost from the drive's current head state.
+func (s *sptfSched) pop() *sptfEntry {
+	d, g := s.d, s.d.g
+	var best *sptfEntry
+	bestCost := math.Inf(1)
+
+	// Prefetch-continuation fast path: the request beginning exactly
+	// where the last transfer ended pays no command overhead.
+	for _, e := range s.byLBN[d.lastEnd] {
+		if !e.dead {
+			best, bestCost = e, d.positioningEstimateMs(e.req)
+			break
+		}
+	}
+
+	curCyl := g.cylOfTrack(d.curTrack)
+	pos := sort.SearchInts(s.cyls, curCyl)
+	li := s.liveLeftFrom(pos - 1)
+	ri := s.liveRightFrom(pos)
+	if ri < len(s.cyls) && s.cyls[ri] == curCyl {
+		// Examine the current band first: it holds the only zero-seek
+		// candidates.
+		s.evalBand(ri, curCyl, &best, &bestCost)
+		ri = s.liveRightFrom(s.right[ri])
+	}
+	for li >= 0 || ri < len(s.cyls) {
+		var i int
+		if ri >= len(s.cyls) || (li >= 0 && curCyl-s.cyls[li] <= s.cyls[ri]-curCyl) {
+			i = li
+			li = s.liveLeftFrom(s.left[li])
+		} else {
+			i = ri
+			ri = s.liveRightFrom(s.right[ri])
+		}
+		dc := s.cyls[i] - curCyl
+		if dc < 0 {
+			dc = -dc
+		}
+		// Every remaining band is at least this far, so even a request
+		// with zero rotational wait there cannot win: stop searching.
+		if g.CommandMs+g.SeekTimeMs(dc) >= bestCost {
+			break
+		}
+		s.evalBand(i, curCyl, &best, &bestCost)
+	}
+	if best != nil {
+		s.remove(best)
+	}
+	return best
+}
+
+// evalBand scores the best candidate on every non-empty track of the
+// band at cyls[i] against the current best.
+func (s *sptfSched) evalBand(i, curCyl int, best **sptfEntry, bestCost *float64) {
+	d, g := s.d, s.d.g
+	base := s.cyls[i] * g.Surfaces
+	for t := base; t < base+g.Surfaces; t++ {
+		b := s.byTrack[t]
+		if b == nil || b.live == 0 {
+			continue
+		}
+		seekMs := g.positionTimeMs(d.curTrack, t)
+		if g.CommandMs+seekMs >= *bestCost {
+			continue
+		}
+		arrive := d.nowMs + g.CommandMs + seekMs
+		if e, w := b.minWait(g, arrive); e != nil {
+			if c := g.CommandMs + seekMs + w; c <= *bestCost {
+				*best, *bestCost = e, c
+			}
+		}
+	}
+}
+
+func (s *sptfSched) remove(e *sptfEntry) {
+	e.dead = true
+	s.live--
+	b := s.byTrack[e.track]
+	b.live--
+	b.dead++
+	if b.live == 0 {
+		delete(s.byTrack, e.track)
+	} else if b.dead > b.live && b.dead > 16 {
+		b.compact()
+	}
+	ci := sort.SearchInts(s.cyls, e.cyl)
+	s.liveCyl[ci]--
+	if s.liveCyl[ci] == 0 {
+		// Stitch neighbours so the outward walk skips this band.
+		if l := s.left[ci]; l >= 0 {
+			s.right[l] = s.right[ci]
+		}
+		if r := s.right[ci]; r < len(s.cyls) {
+			s.left[r] = s.left[ci]
+		}
+	}
+}
+
+// serveSPTF services one scheduling window in shortest-positioning-time
+// order, advancing the drive clock and heads.
+func (d *Disk) serveSPTF(reqs []Request) ([]Completion, error) {
+	out := make([]Completion, 0, len(reqs))
+	if len(reqs) == 1 {
+		cost, err := d.Access(reqs[0])
+		if err != nil {
+			return nil, err
+		}
+		return append(out, Completion{Req: reqs[0], Cost: cost, FinishMs: d.nowMs}), nil
+	}
+	s := newSPTF(d, reqs)
+	for s.live > 0 {
+		e := s.pop()
+		cost, err := d.Access(e.req)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Completion{Req: e.req, Cost: cost, FinishMs: d.nowMs})
+	}
+	return out, nil
+}
+
+// serveElevator services one window in C-LOOK order: ascending track
+// (and angle within a track) starting from the current head position,
+// wrapping once to the outermost pending request.
+func (d *Disk) serveElevator(reqs []Request) ([]Completion, error) {
+	type elevEntry struct {
+		req    Request
+		track  int
+		sector int
+	}
+	order := make([]elevEntry, len(reqs))
+	for i, r := range reqs {
+		p := d.g.mustDecode(r.LBN)
+		order[i] = elevEntry{req: r, track: p.Track, sector: p.Sector}
+	}
+	slices.SortFunc(order, func(a, b elevEntry) int {
+		switch {
+		case a.track != b.track:
+			return a.track - b.track
+		case a.sector != b.sector:
+			return a.sector - b.sector
+		default:
+			return int(a.req.LBN - b.req.LBN)
+		}
+	})
+	split := sort.Search(len(order), func(i int) bool { return order[i].track >= d.curTrack })
+	out := make([]Completion, 0, len(reqs))
+	serve := func(es []elevEntry) error {
+		for _, e := range es {
+			cost, err := d.Access(e.req)
+			if err != nil {
+				return err
+			}
+			out = append(out, Completion{Req: e.req, Cost: cost, FinishMs: d.nowMs})
+		}
+		return nil
+	}
+	if err := serve(order[split:]); err != nil {
+		return nil, err
+	}
+	if err := serve(order[:split]); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

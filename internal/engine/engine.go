@@ -1,0 +1,135 @@
+// Package engine is the shared execution engine behind every query
+// layer: it owns the plan → dispatch → schedule → aggregate pipeline.
+//
+// A planner (the storage manager in internal/query, the octree and OLAP
+// dataset stores, or a tool with a prepared request batch) produces a
+// Plan: a stream of request Chunks, each carrying the issue policy the
+// paper's storage manager would choose for it (§5.2). Run drains the
+// plan chunk by chunk through the logical volume — whose member disks
+// service their sub-batches concurrently and apply the drive-internal
+// scheduler (SPTF, or C-LOOK for comparison runs) — and aggregates the
+// completions into Stats. Layers therefore share one serve-and-sum
+// loop instead of each hand-rolling its own, and a planner can yield a
+// large query in bounded-memory chunks instead of materializing every
+// block up front.
+package engine
+
+import (
+	"repro/internal/disk"
+	"repro/internal/lvm"
+)
+
+// Stats summarizes the I/O work of one query.
+type Stats struct {
+	Cells      int64   // useful cells fetched (excludes bridged padding)
+	Padding    int64   // padding blocks read and discarded by gap bridging
+	Requests   int     // I/O requests issued after coalescing
+	TotalMs    float64 // summed service time across disks
+	ElapsedMs  float64 // wall-clock time (disks work in parallel)
+	CommandMs  float64
+	SeekMs     float64
+	RotateMs   float64
+	TransferMs float64
+}
+
+// MsPerCell returns the paper's headline metric: average I/O time per
+// cell, including initial positioning (§5.3).
+func (s Stats) MsPerCell() float64 {
+	if s.Cells == 0 {
+		return 0
+	}
+	return s.TotalMs / float64(s.Cells)
+}
+
+// AddCompletions folds one served batch into the running totals.
+func (s *Stats) AddCompletions(comps []lvm.Completion, elapsed float64) {
+	for _, c := range comps {
+		s.Requests++
+		s.Cells += int64(c.Req.Count)
+		s.TotalMs += c.Cost.TotalMs()
+		s.CommandMs += c.Cost.CommandMs
+		s.SeekMs += c.Cost.SeekMs
+		s.RotateMs += c.Cost.RotateMs
+		s.TransferMs += c.Cost.TransferMs
+	}
+	s.ElapsedMs += elapsed
+}
+
+// Chunk is one dispatch window of planned requests.
+type Chunk struct {
+	Reqs []lvm.Request
+	// Policy is the drive-internal scheduling policy to issue under.
+	Policy disk.SchedPolicy
+	// Padding counts blocks in Reqs read only to bridge small gaps.
+	Padding int64
+}
+
+// Plan is a streaming source of request chunks. Next returns ok=false
+// once the plan is exhausted.
+type Plan interface {
+	Next() (c Chunk, ok bool, err error)
+}
+
+// staticPlan serves one prepared batch as a single chunk.
+type staticPlan struct {
+	chunk Chunk
+	done  bool
+}
+
+func (p *staticPlan) Next() (Chunk, bool, error) {
+	if p.done {
+		return Chunk{}, false, nil
+	}
+	p.done = true
+	return p.chunk, true, nil
+}
+
+// Static wraps a prepared request batch as a single-chunk plan.
+func Static(reqs []lvm.Request, policy disk.SchedPolicy) Plan {
+	return &staticPlan{chunk: Chunk{Reqs: reqs, Policy: policy}}
+}
+
+// Options tunes one execution.
+type Options struct {
+	// Policy, when non-nil, overrides every chunk's issue policy — the
+	// knob behind comparison runs (e.g. forcing C-LOOK under a
+	// MultiMap plan). Nil keeps the planner's choice.
+	Policy *disk.SchedPolicy
+	// Trace, when set, receives every chunk's completions in service
+	// order (the mmtrace hook).
+	Trace func([]lvm.Completion)
+}
+
+// Run drains a plan through the volume and aggregates its statistics.
+func Run(vol *lvm.Volume, p Plan, opts Options) (Stats, error) {
+	var st Stats
+	for {
+		c, ok, err := p.Next()
+		if err != nil {
+			return Stats{}, err
+		}
+		if !ok {
+			return st, nil
+		}
+		policy := c.Policy
+		if opts.Policy != nil {
+			policy = *opts.Policy
+		}
+		comps, elapsed, err := vol.ServeBatch(c.Reqs, policy)
+		if err != nil {
+			return Stats{}, err
+		}
+		st.AddCompletions(comps, elapsed)
+		st.Padding += c.Padding
+		if opts.Trace != nil {
+			opts.Trace(comps)
+		}
+	}
+}
+
+// Execute services a prepared request batch under one policy — the
+// entry point for layers that plan their own batches (octree, OLAP,
+// updates, tools).
+func Execute(vol *lvm.Volume, reqs []lvm.Request, policy disk.SchedPolicy) (Stats, error) {
+	return Run(vol, Static(reqs, policy), Options{})
+}

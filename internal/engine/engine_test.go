@@ -1,0 +1,203 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/disk"
+	"repro/internal/lvm"
+)
+
+func testVolume(t testing.TB, geoms ...*disk.Geometry) *lvm.Volume {
+	t.Helper()
+	if len(geoms) == 0 {
+		geoms = []*disk.Geometry{disk.SmallTestDisk()}
+	}
+	v, err := lvm.New(16, geoms...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func randomReqs(rng *rand.Rand, v *lvm.Volume, n int) []lvm.Request {
+	reqs := make([]lvm.Request, n)
+	for i := range reqs {
+		reqs[i] = lvm.Request{VLBN: rng.Int63n(v.TotalBlocks() - 4), Count: 1 + rng.Intn(4)}
+		di, lbn, _ := v.Locate(reqs[i].VLBN)
+		if over := lbn + int64(reqs[i].Count) - v.DiskBlocks(di); over > 0 {
+			reqs[i].VLBN -= over
+		}
+	}
+	return reqs
+}
+
+func TestExecuteMatchesDirectServe(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	vEng := testVolume(t)
+	vRef := testVolume(t)
+	reqs := randomReqs(rng, vEng, 200)
+
+	st, err := Execute(vEng, reqs, disk.SchedSPTF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comps, elapsed, err := vRef.ServeBatch(reqs, disk.SchedSPTF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want Stats
+	want.AddCompletions(comps, elapsed)
+	if st != want {
+		t.Fatalf("engine stats %+v differ from direct serve %+v", st, want)
+	}
+	if sum := st.CommandMs + st.SeekMs + st.RotateMs + st.TransferMs; math.Abs(sum-st.TotalMs) > 1e-6 {
+		t.Errorf("component sum %.4f != total %.4f", sum, st.TotalMs)
+	}
+}
+
+func TestRunStreamsChunks(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	v := testVolume(t)
+	reqs := randomReqs(rng, v, 90)
+
+	// A three-chunk plan must aggregate the same cells/blocks as one
+	// static chunk and deliver every completion to the trace hook.
+	chunks := []Chunk{
+		{Reqs: reqs[:30], Policy: disk.SchedSPTF, Padding: 1},
+		{Reqs: reqs[30:60], Policy: disk.SchedFIFO, Padding: 2},
+		{Reqs: reqs[60:], Policy: disk.SchedSPTF},
+	}
+	i := 0
+	p := planFunc(func() (Chunk, bool, error) {
+		if i == len(chunks) {
+			return Chunk{}, false, nil
+		}
+		i++
+		return chunks[i-1], true, nil
+	})
+	var traced int
+	st, err := Run(v, p, Options{Trace: func(cs []lvm.Completion) { traced += len(cs) }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var blocks int64
+	for _, r := range reqs {
+		blocks += int64(r.Count)
+	}
+	if st.Cells != blocks {
+		t.Errorf("streamed stats cover %d blocks, want %d", st.Cells, blocks)
+	}
+	if st.Padding != 3 {
+		t.Errorf("padding %d, want 3", st.Padding)
+	}
+	if traced != len(reqs) {
+		t.Errorf("trace saw %d completions, want %d", traced, len(reqs))
+	}
+}
+
+// planFunc adapts a closure to the Plan interface.
+type planFunc func() (Chunk, bool, error)
+
+func (f planFunc) Next() (Chunk, bool, error) { return f() }
+
+func TestPolicyOverride(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	vA := testVolume(t)
+	vB := testVolume(t)
+	reqs := randomReqs(rng, vA, 120)
+
+	// Forcing FIFO over an SPTF chunk must reproduce the FIFO schedule.
+	fifo := disk.SchedFIFO
+	stForced, err := Run(vA, Static(reqs, disk.SchedSPTF), Options{Policy: &fifo})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stFIFO, err := Execute(vB, reqs, disk.SchedFIFO)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stForced != stFIFO {
+		t.Errorf("override stats %+v != native FIFO stats %+v", stForced, stFIFO)
+	}
+}
+
+// TestExecuteMultiDiskConcurrent exercises the per-disk goroutines of
+// the volume layer through the engine; run with -race to verify drive
+// isolation.
+func TestExecuteMultiDiskConcurrent(t *testing.T) {
+	v := testVolume(t, disk.SmallTestDisk(), disk.SmallTestDisk(), disk.SmallTestDisk())
+	rng := rand.New(rand.NewSource(4))
+	for round := 0; round < 4; round++ {
+		reqs := randomReqs(rng, v, 240)
+		st, err := Execute(v, reqs, disk.SchedSPTF)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Requests != len(reqs) {
+			t.Fatalf("round %d: %d completions for %d requests", round, st.Requests, len(reqs))
+		}
+		if st.ElapsedMs <= 0 || st.ElapsedMs > st.TotalMs {
+			t.Fatalf("round %d: elapsed %.3f outside (0, %.3f]: disks not parallel",
+				round, st.ElapsedMs, st.TotalMs)
+		}
+	}
+}
+
+func TestStatsMsPerCell(t *testing.T) {
+	if (Stats{}).MsPerCell() != 0 {
+		t.Error("MsPerCell of empty stats should be 0")
+	}
+	s := Stats{Cells: 4, TotalMs: 10}
+	if s.MsPerCell() != 2.5 {
+		t.Errorf("MsPerCell = %v, want 2.5", s.MsPerCell())
+	}
+}
+
+// BenchmarkExecuteSPTF measures the full plan-free execution path —
+// routing, scheduling, and aggregation — across batch sizes spanning
+// 1e3 to 1e5 requests on the paper's primary drive.
+func BenchmarkExecuteSPTF(b *testing.B) {
+	for _, n := range []int{1_000, 10_000, 100_000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			v := testVolume(b, disk.AtlasTenKIII())
+			rng := rand.New(rand.NewSource(7))
+			// A compact band, like a MultiMap window set.
+			base := rng.Int63n(v.TotalBlocks() / 2)
+			reqs := make([]lvm.Request, n)
+			for i := range reqs {
+				reqs[i] = lvm.Request{VLBN: base + rng.Int63n(400_000), Count: 1}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				v.Reset()
+				if _, err := Execute(v, reqs, disk.SchedSPTF); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkExecuteFIFO is the sequential-issue baseline at the same
+// batch sizes.
+func BenchmarkExecuteFIFO(b *testing.B) {
+	for _, n := range []int{1_000, 10_000, 100_000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			v := testVolume(b, disk.AtlasTenKIII())
+			reqs := make([]lvm.Request, n)
+			for i := range reqs {
+				reqs[i] = lvm.Request{VLBN: int64(i) * 16, Count: 8}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				v.Reset()
+				if _, err := Execute(v, reqs, disk.SchedFIFO); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

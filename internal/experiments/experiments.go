@@ -10,6 +10,7 @@ import (
 	"strings"
 
 	"repro/internal/disk"
+	"repro/internal/query"
 )
 
 // Config scopes an experiment run.
@@ -23,6 +24,13 @@ type Config struct {
 	Runs int
 	// Seed makes runs reproducible.
 	Seed int64
+	// Policy forces the drive-internal scheduling policy for every
+	// query ("fifo", "sptf", "elevator"); empty keeps each mapping's
+	// preferred policy — the paper's configuration.
+	Policy string
+	// ChunkCells bounds how many cells the streaming planner expands
+	// per dispatch chunk; 0 plans each query as one chunk.
+	ChunkCells int64
 }
 
 // Defaults fills unset fields: both paper drives, full scale, 15 runs.
@@ -49,7 +57,15 @@ func (c Config) validate() error {
 	if c.Runs < 1 {
 		return fmt.Errorf("experiments: runs must be positive")
 	}
+	if _, err := c.execOptions(); err != nil {
+		return err
+	}
 	return nil
+}
+
+// execOptions translates the engine knobs for the query layer.
+func (c Config) execOptions() (query.ExecOptions, error) {
+	return query.ExecOptionsFor(c.Policy, c.ChunkCells)
 }
 
 // Table is a printable experiment result.

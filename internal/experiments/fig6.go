@@ -21,8 +21,9 @@ func synthChunkDims(scale float64) []int {
 	return []int{side, side, side}
 }
 
-// buildExecutor maps the dataset on a fresh single-disk volume.
-func buildExecutor(g *disk.Geometry, kind mapping.Kind, dims []int) (*query.Executor, *lvm.Volume, error) {
+// buildExecutor maps the dataset on a fresh single-disk volume, wiring
+// the run's engine knobs (policy override, planner chunking) through.
+func buildExecutor(cfg Config, g *disk.Geometry, kind mapping.Kind, dims []int) (*query.Executor, *lvm.Volume, error) {
 	v, err := lvm.New(0, g)
 	if err != nil {
 		return nil, nil, err
@@ -31,7 +32,11 @@ func buildExecutor(g *disk.Geometry, kind mapping.Kind, dims []int) (*query.Exec
 	if err != nil {
 		return nil, nil, err
 	}
-	return query.NewExecutor(v, m), v, nil
+	opts, err := cfg.execOptions()
+	if err != nil {
+		return nil, nil, err
+	}
+	return query.NewExecutorOptions(v, m, opts), v, nil
 }
 
 // Fig6aResult holds ms/cell per disk, mapping, and dimension.
@@ -59,7 +64,7 @@ func Fig6aBeams(cfg Config) (*Table, Fig6aResult, error) {
 	for _, g := range cfg.Disks {
 		res[g.Name] = map[string][3]float64{}
 		for _, kind := range mapping.Kinds() {
-			e, v, err := buildExecutor(g, kind, dims)
+			e, v, err := buildExecutor(cfg, g, kind, dims)
 			if err != nil {
 				return nil, nil, err
 			}
@@ -132,7 +137,7 @@ func Fig6bRanges(cfg Config) (*Table, Fig6bResult, error) {
 	for _, g := range cfg.Disks {
 		totals[g.Name] = map[string]map[float64]*cell{}
 		for _, kind := range mapping.Kinds() {
-			e, v, err := buildExecutor(g, kind, dims)
+			e, v, err := buildExecutor(cfg, g, kind, dims)
 			if err != nil {
 				return nil, nil, err
 			}

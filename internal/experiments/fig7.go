@@ -9,7 +9,6 @@ import (
 	"repro/internal/lvm"
 	"repro/internal/mapping"
 	"repro/internal/octree"
-	"repro/internal/query"
 )
 
 // quakeDepth maps the scale knob to the octree's maximum depth:
@@ -25,8 +24,13 @@ func quakeDepth(scale float64) int {
 	}
 }
 
-// quakeStore builds the earthquake dataset under one mapping.
-func quakeStore(g *disk.Geometry, kind mapping.Kind, md int) (*octree.Store, *lvm.Volume, *octree.Tree, error) {
+// quakeStore builds the earthquake dataset under one mapping, wiring
+// the config's scheduler-override knob through to query execution.
+func quakeStore(cfg Config, g *disk.Geometry, kind mapping.Kind, md int) (*octree.Store, *lvm.Volume, *octree.Tree, error) {
+	eo, err := cfg.execOptions()
+	if err != nil {
+		return nil, nil, nil, err
+	}
 	v, err := lvm.New(0, g)
 	if err != nil {
 		return nil, nil, nil, err
@@ -35,7 +39,10 @@ func quakeStore(g *disk.Geometry, kind mapping.Kind, md int) (*octree.Store, *lv
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	s, err := octree.NewStore(v, tr, kind, octree.StoreOptions{DiskIdx: 0})
+	s, err := octree.NewStore(v, tr, kind, octree.StoreOptions{
+		DiskIdx:        0,
+		PolicyOverride: eo.PolicyOverride,
+	})
 	if err != nil {
 		return nil, nil, nil, err
 	}
@@ -62,7 +69,7 @@ func Fig7aQuakeBeams(cfg Config) (*Table, Fig7aResult, error) {
 	for _, g := range cfg.Disks {
 		res[g.Name] = map[string][3]float64{}
 		for _, kind := range mapping.Kinds() {
-			s, v, tr, err := quakeStore(g, kind, md)
+			s, v, tr, err := quakeStore(cfg, g, kind, md)
 			if err != nil {
 				return nil, nil, err
 			}
@@ -82,11 +89,7 @@ func Fig7aQuakeBeams(cfg Config) (*Table, Fig7aResult, error) {
 					if err != nil {
 						return nil, nil, err
 					}
-					reqs, policy, err := s.Plan(leaves)
-					if err != nil {
-						return nil, nil, err
-					}
-					st, err := query.Execute(v, reqs, policy)
+					st, err := s.Query(leaves)
 					if err != nil {
 						return nil, nil, err
 					}
@@ -137,7 +140,7 @@ func Fig7bQuakeRanges(cfg Config) (*Table, Fig7bResult, error) {
 	var domain int
 	for _, g := range cfg.Disks {
 		for _, kind := range mapping.Kinds() {
-			s, v, tr, err := quakeStore(g, kind, md)
+			s, v, tr, err := quakeStore(cfg, g, kind, md)
 			if err != nil {
 				return nil, nil, err
 			}
@@ -174,11 +177,7 @@ func Fig7bQuakeRanges(cfg Config) (*Table, Fig7bResult, error) {
 					if err != nil {
 						return nil, nil, err
 					}
-					reqs, policy, err := s.Plan(leaves)
-					if err != nil {
-						return nil, nil, err
-					}
-					st, err := query.Execute(v, reqs, policy)
+					st, err := s.Query(leaves)
 					if err != nil {
 						return nil, nil, err
 					}

@@ -12,6 +12,8 @@ package lvm
 
 import (
 	"fmt"
+	"sort"
+	"sync"
 
 	"repro/internal/disk"
 )
@@ -89,11 +91,7 @@ func (v *Volume) Locate(vlbn int64) (diskIdx int, lbn int64, err error) {
 	if vlbn < 0 || vlbn >= v.total {
 		return 0, 0, fmt.Errorf("lvm: VLBN %d out of range [0,%d)", vlbn, v.total)
 	}
-	// Linear scan: volumes have a handful of disks.
-	i := len(v.starts) - 1
-	for i > 0 && v.starts[i] > vlbn {
-		i--
-	}
+	i := sort.Search(len(v.starts), func(i int) bool { return v.starts[i] > vlbn }) - 1
 	return i, vlbn - v.starts[i], nil
 }
 
@@ -201,12 +199,19 @@ func (v *Volume) Zones() []ZoneExtent {
 }
 
 // ServeBatch routes requests to their disks and services each disk's
-// sub-batch with the given policy. Disks operate in parallel: the
-// returned elapsed time is the maximum over the member disks' busy
-// intervals for this batch, while completions carry per-request costs.
+// sub-batch with the given policy. Member disks are serviced
+// concurrently — one goroutine per busy drive, each drive touched only
+// by its own goroutine — so the simulated elapsed time (the maximum
+// over the member disks' busy intervals) is also how the work is
+// actually performed. Completions are returned grouped by disk, in
+// per-disk service order.
 func (v *Volume) ServeBatch(reqs []Request, policy disk.SchedPolicy) ([]Completion, float64, error) {
-	perDisk := make([][]disk.Request, len(v.disks))
-	for _, r := range reqs {
+	// Route: one pass to locate and validate, counting per-disk load so
+	// the sub-batches are allocated exactly once.
+	counts := make([]int, len(v.disks))
+	routed := make([]disk.Request, len(reqs))
+	disks := make([]int, len(reqs))
+	for i, r := range reqs {
 		di, lbn, err := v.Locate(r.VLBN)
 		if err != nil {
 			return nil, 0, err
@@ -215,24 +220,65 @@ func (v *Volume) ServeBatch(reqs []Request, policy disk.SchedPolicy) ([]Completi
 			return nil, 0, fmt.Errorf("lvm: request [%d,+%d) crosses disk %d segment end",
 				r.VLBN, r.Count, di)
 		}
-		perDisk[di] = append(perDisk[di], disk.Request{LBN: lbn, Count: r.Count})
+		routed[i] = disk.Request{LBN: lbn, Count: r.Count}
+		disks[i] = di
+		counts[di]++
 	}
-	var out []Completion
+	perDisk := make([][]disk.Request, len(v.disks))
+	busy := 0
+	for di, n := range counts {
+		if n > 0 {
+			perDisk[di] = make([]disk.Request, 0, n)
+			busy++
+		}
+	}
+	for i, r := range routed {
+		perDisk[disks[i]] = append(perDisk[disks[i]], r)
+	}
+
+	comps := make([][]disk.Completion, len(v.disks))
+	errs := make([]error, len(v.disks))
+	starts := make([]float64, len(v.disks))
+	serve := func(di int) {
+		d := v.disks[di]
+		starts[di] = d.NowMs()
+		comps[di], errs[di] = d.ServeBatch(perDisk[di], policy)
+	}
+	if busy == 1 {
+		// Common single-disk path: no goroutine overhead.
+		for di := range perDisk {
+			if len(perDisk[di]) > 0 {
+				serve(di)
+			}
+		}
+	} else if busy > 1 {
+		var wg sync.WaitGroup
+		for di := range perDisk {
+			if len(perDisk[di]) == 0 {
+				continue
+			}
+			wg.Add(1)
+			go func(di int) {
+				defer wg.Done()
+				serve(di)
+			}(di)
+		}
+		wg.Wait()
+	}
+
 	var elapsed float64
-	for di, sub := range perDisk {
-		if len(sub) == 0 {
+	out := make([]Completion, 0, len(reqs))
+	for di := range v.disks {
+		if len(perDisk[di]) == 0 {
 			continue
 		}
-		d := v.disks[di]
-		start := d.NowMs()
-		comps, err := d.ServeBatch(sub, policy)
-		if err != nil {
-			return nil, 0, err
+		if errs[di] != nil {
+			return nil, 0, errs[di]
 		}
-		if busy := d.NowMs() - start; busy > elapsed {
-			elapsed = busy
+		if b := v.disks[di].NowMs() - starts[di]; b > elapsed {
+			elapsed = b
 		}
-		for _, c := range comps {
+		for _, c := range comps[di] {
 			out = append(out, Completion{
 				Req:      Request{VLBN: v.VLBN(di, c.Req.LBN), Count: c.Req.Count},
 				DiskIdx:  di,

@@ -151,6 +151,80 @@ func TestZonesCoverVolume(t *testing.T) {
 	}
 }
 
+// TestLocateSegmentEdges pins the binary-search Locate on every segment
+// boundary of a multi-disk volume: the first and last VLBN of each
+// member segment must resolve to that disk, with exact local LBNs.
+func TestLocateSegmentEdges(t *testing.T) {
+	v, err := New(16, disk.SmallTestDisk(), disk.SmallTestDisk(), disk.SmallTestDisk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for di := 0; di < v.NumDisks(); di++ {
+		first := v.DiskStart(di)
+		last := first + v.DiskBlocks(di) - 1
+		gd, lbn, err := v.Locate(first)
+		if err != nil || gd != di || lbn != 0 {
+			t.Errorf("Locate(first of disk %d) = (%d,%d,%v), want (%d,0)", di, gd, lbn, err, di)
+		}
+		gd, lbn, err = v.Locate(last)
+		if err != nil || gd != di || lbn != v.DiskBlocks(di)-1 {
+			t.Errorf("Locate(last of disk %d) = (%d,%d,%v), want (%d,%d)",
+				di, gd, lbn, err, di, v.DiskBlocks(di)-1)
+		}
+	}
+}
+
+// TestServeBatchConcurrentDisks drives large batches across all member
+// disks of a multi-disk volume repeatedly; under -race this verifies
+// that the per-disk goroutines never share drive state.
+func TestServeBatchConcurrentDisks(t *testing.T) {
+	v, err := New(16, disk.SmallTestDisk(), disk.SmallTestDisk(), disk.SmallTestDisk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	for round := 0; round < 5; round++ {
+		reqs := make([]Request, 300)
+		for i := range reqs {
+			reqs[i] = Request{VLBN: rng.Int63n(v.TotalBlocks() - 4), Count: 1 + rng.Intn(4)}
+		}
+		// Keep requests inside their disk segment.
+		for i := range reqs {
+			di, lbn, err := v.Locate(reqs[i].VLBN)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if over := lbn + int64(reqs[i].Count) - v.DiskBlocks(di); over > 0 {
+				reqs[i].VLBN -= over
+			}
+		}
+		comps, elapsed, err := v.ServeBatch(reqs, disk.SchedSPTF)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(comps) != len(reqs) {
+			t.Fatalf("round %d: %d completions for %d requests", round, len(comps), len(reqs))
+		}
+		// Elapsed is the max per-disk busy time, so it can never exceed
+		// the serial sum and must be positive.
+		var sum float64
+		for _, c := range comps {
+			sum += c.Cost.TotalMs()
+		}
+		if elapsed <= 0 || elapsed > sum {
+			t.Fatalf("round %d: elapsed %.3f outside (0, %.3f]", round, elapsed, sum)
+		}
+	}
+	s := v.Stats()
+	var served int64
+	for _, st := range s {
+		served += st.Requests
+	}
+	if served != 5*300 {
+		t.Fatalf("disks served %d requests in total, want %d", served, 5*300)
+	}
+}
+
 func TestServeBatchRoutesToDisks(t *testing.T) {
 	v := twoDiskVolume(t)
 	reqs := []Request{

@@ -54,6 +54,61 @@ func (c *curveMapper) CellExtents(cell []int) ([]lvm.Request, error) {
 	return []lvm.Request{{VLBN: vlbn, Count: c.cellBlocks}}, nil
 }
 
+// BoxRequests expands the box [lo,hi) into ascending coalesced
+// requests: raw curve keys for every cell, one bulk sort, one bulk
+// rank conversion, and an on-the-fly coalesce of consecutive ranks.
+func (c *curveMapper) BoxRequests(lo, hi []int) ([]lvm.Request, error) {
+	if len(lo) != len(c.dims) || len(hi) != len(c.dims) {
+		return nil, fmt.Errorf("mapping: box arity mismatch")
+	}
+	n := int64(1)
+	for i := range c.dims {
+		if lo[i] < 0 || hi[i] > c.dims[i] || lo[i] >= hi[i] {
+			return nil, fmt.Errorf("mapping: bad box [%d,%d) on dim %d", lo[i], hi[i], i)
+		}
+		n *= int64(hi[i] - lo[i])
+	}
+	keys := make([]uint64, 0, n)
+	cell := append([]int(nil), lo...)
+	for {
+		k, err := c.ranked.KeyOf(cell)
+		if err != nil {
+			return nil, err
+		}
+		keys = append(keys, k)
+		done := true
+		for i := 0; i < len(cell); i++ {
+			cell[i]++
+			if cell[i] < hi[i] {
+				done = false
+				break
+			}
+			cell[i] = lo[i]
+		}
+		if done {
+			break
+		}
+	}
+	sfc.SortKeys(keys)
+	if err := c.ranked.RanksOfSortedKeys(keys); err != nil {
+		return nil, err
+	}
+	b := int64(c.cellBlocks)
+	var out []lvm.Request
+	for i := 0; i < len(keys); {
+		j := i + 1
+		for j < len(keys) && keys[j] == keys[j-1]+1 {
+			j++
+		}
+		out = append(out, lvm.Request{
+			VLBN:  c.base + int64(keys[i])*b,
+			Count: (j - i) * int(b),
+		})
+		i = j
+	}
+	return out, nil
+}
+
 // CellAt inverts the placement: the cell stored at the block.
 func (c *curveMapper) CellAt(vlbn int64, out []int) error {
 	if vlbn < c.base || vlbn >= c.base+c.ranked.Len()*int64(c.cellBlocks) {
@@ -63,6 +118,7 @@ func (c *curveMapper) CellAt(vlbn int64, out []int) error {
 }
 
 var (
-	_ Mapper    = (*curveMapper)(nil)
-	_ CellSized = (*curveMapper)(nil)
+	_ Mapper     = (*curveMapper)(nil)
+	_ CellSized  = (*curveMapper)(nil)
+	_ BoxPlanner = (*curveMapper)(nil)
 )

@@ -88,6 +88,14 @@ type SemiSequential interface {
 	semiSequential()
 }
 
+// BoxPlanner is implemented by mappers that can expand a whole query
+// box [lo,hi) into ascending, coalesced requests directly — cheaper
+// than one CellVLBN lookup per cell. The curve mappings use it to
+// replace per-cell rank searches with one bulk sort-and-merge.
+type BoxPlanner interface {
+	BoxRequests(lo, hi []int) ([]lvm.Request, error)
+}
+
 // Options configures dataset placement for all mappers.
 type Options struct {
 	// DiskIdx pins the dataset to one member disk; -1 lets MultiMap

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/disk"
+	"repro/internal/engine"
 	"repro/internal/lvm"
 	"repro/internal/mapping"
 	"repro/internal/sfc"
@@ -79,6 +80,9 @@ type StoreOptions struct {
 	// grid (§4.5); smaller ones revert to the linear remainder.
 	// Zero selects a reasonable default.
 	MinRegionLeaves int64
+	// PolicyOverride forces the issue policy of every query (nil keeps
+	// each plan's preferred policy) — the scheduler-comparison knob.
+	PolicyOverride *disk.SchedPolicy
 }
 
 // Store places an octree dataset on a volume under one of the four
@@ -86,9 +90,10 @@ type StoreOptions struct {
 // applies §4.5: each grown uniform region becomes its own grid mapping
 // and the remainder reverts to the linear layout.
 type Store struct {
-	vol  *lvm.Volume
-	kind mapping.Kind
-	tree *Tree
+	vol            *lvm.Volume
+	kind           mapping.Kind
+	tree           *Tree
+	policyOverride *disk.SchedPolicy
 
 	// MultiMap state
 	regions  []Region
@@ -107,7 +112,7 @@ func NewStore(vol *lvm.Volume, tree *Tree, kind mapping.Kind, opts StoreOptions)
 	if opts.DiskIdx < 0 || opts.DiskIdx >= vol.NumDisks() {
 		return nil, fmt.Errorf("octree: disk index %d out of range", opts.DiskIdx)
 	}
-	s := &Store{vol: vol, kind: kind, tree: tree}
+	s := &Store{vol: vol, kind: kind, tree: tree, policyOverride: opts.PolicyOverride}
 	if kind == mapping.MultiMap {
 		return s, s.placeMultiMap(opts)
 	}
@@ -341,13 +346,18 @@ func (s *Store) Plan(leaves []Leaf) ([]lvm.Request, disk.SchedPolicy, error) {
 		return reqs, disk.SchedSPTF, nil
 	}
 	slices.Sort(lbns)
-	var reqs []lvm.Request
-	for _, l := range lbns {
-		if n := len(reqs); n > 0 && reqs[n-1].VLBN+int64(reqs[n-1].Count) == l {
-			reqs[n-1].Count++
-		} else {
-			reqs = append(reqs, lvm.Request{VLBN: l, Count: 1})
-		}
+	return engine.CoalesceSortedLBNs(lbns), disk.SchedFIFO, nil
+}
+
+// Query plans a leaf set and services it through the shared execution
+// engine, returning the simulated I/O statistics.
+func (s *Store) Query(leaves []Leaf) (engine.Stats, error) {
+	reqs, policy, err := s.Plan(leaves)
+	if err != nil {
+		return engine.Stats{}, err
 	}
-	return reqs, disk.SchedFIFO, nil
+	if s.policyOverride != nil {
+		policy = *s.policyOverride
+	}
+	return engine.Execute(s.vol, reqs, policy)
 }

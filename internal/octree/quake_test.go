@@ -6,7 +6,6 @@ import (
 	"repro/internal/disk"
 	"repro/internal/lvm"
 	"repro/internal/mapping"
-	"repro/internal/query"
 )
 
 func quakeFixture(t *testing.T) (*lvm.Volume, *Tree) {
@@ -154,7 +153,7 @@ func TestQuakePlanPoliciesAndExecution(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		reqs, policy, err := s.Plan(leaves)
+		_, policy, err := s.Plan(leaves)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
@@ -165,7 +164,7 @@ func TestQuakePlanPoliciesAndExecution(t *testing.T) {
 		if !isMM && policy != disk.SchedFIFO {
 			t.Errorf("%s: want FIFO", name)
 		}
-		st, err := query.Execute(s.vol, reqs, policy)
+		st, err := s.Query(leaves)
 		if err != nil {
 			t.Fatalf("%s: execute: %v", name, err)
 		}
@@ -189,11 +188,7 @@ func TestQuakeMultiMapBeatsNaiveOffMajor(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		reqs, policy, err := s.Plan(leaves)
-		if err != nil {
-			t.Fatal(err)
-		}
-		st, err := query.Execute(v, reqs, policy)
+		st, err := s.Query(leaves)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -252,11 +247,7 @@ func TestQuakeFromPointsMatchesDepthFn(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	reqs, policy, err := s.Plan(leaves)
-	if err != nil {
-		t.Fatal(err)
-	}
-	st, err := query.Execute(v, reqs, policy)
+	st, err := s.Query(leaves)
 	if err != nil {
 		t.Fatal(err)
 	}

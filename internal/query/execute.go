@@ -2,30 +2,25 @@ package query
 
 import (
 	"repro/internal/disk"
+	"repro/internal/engine"
 	"repro/internal/lvm"
 )
 
-// Execute services a prepared request batch and returns its statistics.
-// Dataset stores that plan their own requests (the octree and OLAP
-// layers) use this instead of Executor.
+// Execute services a prepared request batch through the shared engine
+// and returns its statistics. Dataset stores that plan their own
+// requests (the octree and OLAP layers) use this instead of Executor.
 func Execute(vol *lvm.Volume, reqs []lvm.Request, policy disk.SchedPolicy) (Stats, error) {
-	var st Stats
-	comps, elapsed, err := vol.ServeBatch(reqs, policy)
-	if err != nil {
-		return Stats{}, err
-	}
-	st.addCompletions(comps, elapsed)
-	return st, nil
+	return engine.Execute(vol, reqs, policy)
 }
 
 // SortCoalesce sorts requests in ascending VLBN order and merges
 // contiguous ones — the storage manager's issue optimization for the
 // linear mappings (§5.2).
-func SortCoalesce(reqs []lvm.Request) []lvm.Request { return sortCoalesce(reqs) }
+func SortCoalesce(reqs []lvm.Request) []lvm.Request { return engine.SortCoalesce(reqs) }
 
 // CoalesceSortedLBNs merges an already-ascending list of single-block
 // LBNs into contiguous requests.
-func CoalesceSortedLBNs(lbns []int64) []lvm.Request { return coalesceSorted(lbns) }
+func CoalesceSortedLBNs(lbns []int64) []lvm.Request { return engine.CoalesceSortedLBNs(lbns) }
 
 // PolicyFor returns the issue policy a mapping kind uses: MultiMap
 // leaves ordering to the disk's internal scheduler, linear mappings
@@ -37,9 +32,10 @@ func PolicyFor(semiSequential bool) disk.SchedPolicy {
 	return disk.SchedFIFO
 }
 
-// PlanForTrace exposes an executor's request plan for a box so tools
-// (mmtrace) can serve it themselves while capturing completions. It
-// returns the requests, the issue policy, and the planned padding.
+// PlanForTrace exposes an executor's materialized request plan for a
+// box so tools (mmtrace) can inspect it before serving it through the
+// engine. It returns the requests, the issue policy, and the planned
+// padding.
 func PlanForTrace(e *Executor, lo, hi []int) ([]lvm.Request, disk.SchedPolicy, int64, error) {
 	return e.plan(lo, hi)
 }

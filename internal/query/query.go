@@ -1,7 +1,7 @@
 // Package query implements the database storage manager of the paper's
 // prototype (§5.1-5.2): it translates beam and range queries over a
 // mapped dataset into disk requests, applying each mapping's preferred
-// issue strategy.
+// issue strategy, and executes them through the shared engine.
 //
 //   - Linear mappings (Naive, Z-order, Hilbert, Gray): identify the
 //     blocks, sort ascending by LBN, coalesce contiguous runs, issue in
@@ -14,50 +14,57 @@
 //   - MultiMap range queries: favour sequential over semi-sequential
 //     access — fetch Dim0 runs first, stepping the remaining dimensions
 //     in adjacency-chain order.
+//
+// The planner streams: a query box is sliced along its slowest
+// dimension into sub-boxes of at most ChunkCells cells, each planned
+// with the strategy above and yielded to engine.Run as its own chunk,
+// so a huge range never materializes every block at once. The default
+// (ChunkCells 0) plans each query as a single chunk, which preserves
+// the global sort the issue optimization depends on.
 package query
 
 import (
 	"fmt"
-	"slices"
 
 	"repro/internal/disk"
+	"repro/internal/engine"
 	"repro/internal/lvm"
 	"repro/internal/mapping"
 )
 
-// Stats summarizes the I/O work of one query.
-type Stats struct {
-	Cells      int64   // useful cells fetched (excludes bridged padding)
-	Padding    int64   // padding blocks read and discarded by gap bridging
-	Requests   int     // I/O requests issued after coalescing
-	TotalMs    float64 // summed service time across disks
-	ElapsedMs  float64 // wall-clock time (disks work in parallel)
-	CommandMs  float64
-	SeekMs     float64
-	RotateMs   float64
-	TransferMs float64
+// Stats summarizes the I/O work of one query; it is the engine's
+// aggregate, re-exported for API stability.
+type Stats = engine.Stats
+
+// ExecOptions tunes an executor beyond its defaults.
+type ExecOptions struct {
+	// PolicyOverride forces every chunk's issue policy (nil keeps each
+	// mapping's preferred policy) — the knob behind scheduler
+	// comparison runs.
+	PolicyOverride *disk.SchedPolicy
+	// ChunkCells bounds how many cells the planner expands per chunk; 0
+	// plans each query as one chunk. Chunking bounds planner memory on
+	// huge ranges at the cost of sorting per chunk instead of globally.
+	ChunkCells int64
 }
 
-// MsPerCell returns the paper's headline metric: average I/O time per
-// cell, including initial positioning (§5.3).
-func (s Stats) MsPerCell() float64 {
-	if s.Cells == 0 {
-		return 0
+// ExecOptionsFor translates the user-facing engine knobs — a policy
+// name ("", "fifo", "sptf", "elevator") and a planner chunk bound —
+// into ExecOptions. It is the one place the string knobs are parsed,
+// shared by the root API and the experiment drivers.
+func ExecOptionsFor(policy string, chunkCells int64) (ExecOptions, error) {
+	if chunkCells < 0 {
+		return ExecOptions{}, fmt.Errorf("query: chunk cells must be non-negative")
 	}
-	return s.TotalMs / float64(s.Cells)
-}
-
-func (s *Stats) addCompletions(comps []lvm.Completion, elapsed float64) {
-	for _, c := range comps {
-		s.Requests++
-		s.Cells += int64(c.Req.Count)
-		s.TotalMs += c.Cost.TotalMs()
-		s.CommandMs += c.Cost.CommandMs
-		s.SeekMs += c.Cost.SeekMs
-		s.RotateMs += c.Cost.RotateMs
-		s.TransferMs += c.Cost.TransferMs
+	opts := ExecOptions{ChunkCells: chunkCells}
+	if policy != "" {
+		p, err := disk.ParsePolicy(policy)
+		if err != nil {
+			return ExecOptions{}, err
+		}
+		opts.PolicyOverride = &p
 	}
-	s.ElapsedMs += elapsed
+	return opts, nil
 }
 
 // Executor runs queries for one mapped dataset.
@@ -65,10 +72,17 @@ type Executor struct {
 	vol       *lvm.Volume
 	m         mapping.Mapper
 	bridgeGap int
+	opts      ExecOptions
 }
 
-// NewExecutor builds an executor over a mapper and its volume.
+// NewExecutor builds an executor over a mapper and its volume with
+// default options.
 func NewExecutor(vol *lvm.Volume, m mapping.Mapper) *Executor {
+	return NewExecutorOptions(vol, m, ExecOptions{})
+}
+
+// NewExecutorOptions builds an executor with explicit options.
+func NewExecutorOptions(vol *lvm.Volume, m mapping.Mapper, opts ExecOptions) *Executor {
 	// Largest same-track gap worth reading through instead of
 	// repositioning: a small fraction of the shortest track, capped so
 	// the read-through always costs less than command + settle.
@@ -82,7 +96,7 @@ func NewExecutor(vol *lvm.Volume, m mapping.Mapper) *Executor {
 	if gap > maxBridgeGap {
 		gap = maxBridgeGap
 	}
-	return &Executor{vol: vol, m: m, bridgeGap: gap}
+	return &Executor{vol: vol, m: m, bridgeGap: gap, opts: opts}
 }
 
 // Mapper returns the executor's mapping.
@@ -113,45 +127,129 @@ func (e *Executor) Beam(dim int, fixed []int) (Stats, error) {
 
 // Range fetches the box [lo, hi) (hi exclusive in every dimension).
 func (e *Executor) Range(lo, hi []int) (Stats, error) {
-	dims := e.m.Dims()
-	if len(lo) != len(dims) || len(hi) != len(dims) {
-		return Stats{}, fmt.Errorf("query: bounds arity mismatch")
-	}
-	cells := int64(1)
-	for i := range dims {
-		if lo[i] < 0 || hi[i] > dims[i] || lo[i] >= hi[i] {
-			return Stats{}, fmt.Errorf("query: bad range [%d,%d) on dim %d (length %d)",
-				lo[i], hi[i], i, dims[i])
-		}
-		cells *= int64(hi[i] - lo[i])
-	}
-	reqs, policy, padding, err := e.plan(lo, hi)
+	cells, err := e.checkBox(lo, hi)
 	if err != nil {
 		return Stats{}, err
 	}
-	var st Stats
-	comps, elapsed, err := e.vol.ServeBatch(reqs, policy)
+	p := e.newBoxPlan(lo, hi)
+	st, err := engine.Run(e.vol, p, engine.Options{Policy: e.opts.PolicyOverride})
 	if err != nil {
 		return Stats{}, err
 	}
-	st.addCompletions(comps, elapsed)
-	st.Padding = padding
 	// Blocks fetched = cells * cell size + bridged padding; report in
 	// cells so MsPerCell stays the paper's metric.
 	b := int64(1)
 	if cs, ok := e.m.(mapping.CellSized); ok {
 		b = int64(cs.CellBlocks())
 	}
-	st.Cells = (st.Cells - padding) / b
+	st.Cells = (st.Cells - st.Padding) / b
 	if st.Cells != cells {
 		return st, fmt.Errorf("query: fetched %d useful cells, want %d", st.Cells, cells)
 	}
 	return st, nil
 }
 
-// plan translates a box into requests, the issue policy, and the
-// number of padding blocks the request set reads beyond the box.
+// checkBox validates the box and returns its cell count.
+func (e *Executor) checkBox(lo, hi []int) (int64, error) {
+	dims := e.m.Dims()
+	if len(lo) != len(dims) || len(hi) != len(dims) {
+		return 0, fmt.Errorf("query: bounds arity mismatch")
+	}
+	cells := int64(1)
+	for i := range dims {
+		if lo[i] < 0 || hi[i] > dims[i] || lo[i] >= hi[i] {
+			return 0, fmt.Errorf("query: bad range [%d,%d) on dim %d (length %d)",
+				lo[i], hi[i], i, dims[i])
+		}
+		cells *= int64(hi[i] - lo[i])
+	}
+	return cells, nil
+}
+
+// Plan returns the streaming request plan for the box [lo, hi): the
+// box is sliced along its slowest dimension into sub-boxes of at most
+// ChunkCells cells (one chunk when ChunkCells is 0), each planned with
+// the mapping's issue strategy.
+func (e *Executor) Plan(lo, hi []int) (engine.Plan, error) {
+	if _, err := e.checkBox(lo, hi); err != nil {
+		return nil, err
+	}
+	return e.newBoxPlan(lo, hi), nil
+}
+
+// newBoxPlan builds the streaming plan for an already-validated box.
+func (e *Executor) newBoxPlan(lo, hi []int) engine.Plan {
+	// Copy the bounds: the plan is drained lazily, after the caller may
+	// have reused its buffers for the next box.
+	lo = append([]int(nil), lo...)
+	hi = append([]int(nil), hi...)
+	return &boxPlan{e: e, lo: lo, hi: hi, next: lo[len(lo)-1]}
+}
+
+// boxPlan streams a box query as sub-box chunks.
+type boxPlan struct {
+	e      *Executor
+	lo, hi []int
+	next   int // next unplanned slice of the slowest dimension
+}
+
+func (p *boxPlan) Next() (engine.Chunk, bool, error) {
+	last := len(p.lo) - 1
+	if p.next >= p.hi[last] {
+		return engine.Chunk{}, false, nil
+	}
+	end := p.hi[last]
+	if limit := p.e.opts.ChunkCells; limit > 0 {
+		perSlice := int64(1)
+		for i := 0; i < last; i++ {
+			perSlice *= int64(p.hi[i] - p.lo[i])
+		}
+		slices := int(limit / perSlice)
+		if slices < 1 {
+			slices = 1
+		}
+		if e := p.next + slices; e < end {
+			end = e
+		}
+	}
+	lo := append([]int(nil), p.lo...)
+	hi := append([]int(nil), p.hi...)
+	lo[last], hi[last] = p.next, end
+	p.next = end
+	reqs, policy, padding, err := p.e.planBox(lo, hi)
+	if err != nil {
+		return engine.Chunk{}, false, err
+	}
+	return engine.Chunk{Reqs: reqs, Policy: policy, Padding: padding}, true, nil
+}
+
+// plan materializes the whole plan of a box — the non-streaming view
+// used by tools and tests.
 func (e *Executor) plan(lo, hi []int) ([]lvm.Request, disk.SchedPolicy, int64, error) {
+	p, err := e.Plan(lo, hi)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	var reqs []lvm.Request
+	var policy disk.SchedPolicy
+	var padding int64
+	for {
+		c, ok, err := p.Next()
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		if !ok {
+			return reqs, policy, padding, nil
+		}
+		reqs = append(reqs, c.Reqs...)
+		policy = c.Policy
+		padding += c.Padding
+	}
+}
+
+// planBox translates one sub-box into requests, the issue policy, and
+// the number of padding blocks the request set reads beyond the box.
+func (e *Executor) planBox(lo, hi []int) ([]lvm.Request, disk.SchedPolicy, int64, error) {
 	_, semiSeq := e.m.(mapping.SemiSequential)
 	runner, hasRuns := e.m.(mapping.Dim0Runner)
 
@@ -170,7 +268,7 @@ func (e *Executor) plan(lo, hi []int) ([]lvm.Request, disk.SchedPolicy, int64, e
 		// blocks and discarding them is far cheaper than a separate
 		// positioning. Gaps from adjacency chains span tracks and stay
 		// unbridged.
-		merged, padding := bridgedCoalesce(sortCoalesce(reqs), e.bridgeGap)
+		merged, padding := engine.BridgedCoalesce(engine.SortCoalesce(reqs), e.bridgeGap)
 		return merged, disk.SchedSPTF, padding, nil
 	}
 
@@ -180,10 +278,20 @@ func (e *Executor) plan(lo, hi []int) ([]lvm.Request, disk.SchedPolicy, int64, e
 		if err != nil {
 			return nil, 0, 0, err
 		}
-		return sortCoalesce(reqs), disk.SchedFIFO, 0, nil
+		return engine.SortCoalesce(reqs), disk.SchedFIFO, 0, nil
 	}
 
-	// Curve mappings: per-cell extents, sorted ascending and coalesced.
+	// Curve mappings that support bulk expansion: ascending coalesced
+	// requests in one sort-and-merge pass.
+	if bp, ok := e.m.(mapping.BoxPlanner); ok {
+		reqs, err := bp.BoxRequests(lo, hi)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		return reqs, disk.SchedFIFO, 0, nil
+	}
+
+	// Fallback: per-cell extents, sorted ascending and coalesced.
 	b := 1
 	if cs, ok := e.m.(mapping.CellSized); ok {
 		b = cs.CellBlocks()
@@ -200,41 +308,22 @@ func (e *Executor) plan(lo, hi []int) ([]lvm.Request, disk.SchedPolicy, int64, e
 			break
 		}
 	}
-	slices.Sort(lbns)
 	if b == 1 {
-		return coalesceSorted(lbns), disk.SchedFIFO, 0, nil
+		reqs := make([]lvm.Request, len(lbns))
+		for i, l := range lbns {
+			reqs[i] = lvm.Request{VLBN: l, Count: 1}
+		}
+		return engine.SortCoalesce(reqs), disk.SchedFIFO, 0, nil
 	}
 	reqs := make([]lvm.Request, len(lbns))
 	for i, l := range lbns {
 		reqs[i] = lvm.Request{VLBN: l, Count: b}
 	}
-	return sortCoalesce(reqs), disk.SchedFIFO, 0, nil
+	return engine.SortCoalesce(reqs), disk.SchedFIFO, 0, nil
 }
 
-// maxBridgeGap caps the gap-bridging threshold (see NewExecutor).
+// maxBridgeGap caps the gap-bridging threshold (see NewExecutorOptions).
 const maxBridgeGap = 64
-
-// bridgedCoalesce merges ascending-sorted requests whose gaps are at
-// most maxGap blocks, returning the merged set and the total padding
-// blocks the merges read beyond the originals.
-func bridgedCoalesce(reqs []lvm.Request, maxGap int) ([]lvm.Request, int64) {
-	if len(reqs) <= 1 {
-		return reqs, 0
-	}
-	var padding int64
-	out := reqs[:1]
-	for _, r := range reqs[1:] {
-		last := &out[len(out)-1]
-		gap := r.VLBN - (last.VLBN + int64(last.Count))
-		if gap >= 0 && gap <= int64(maxGap) {
-			padding += gap
-			last.Count += int(gap) + r.Count
-		} else {
-			out = append(out, r)
-		}
-	}
-	return out, padding
-}
 
 // runsForBox expands a box into Dim0 runs, stepping the remaining
 // dimensions in row-major order (Dim1 fastest — adjacency-chain order
@@ -278,48 +367,4 @@ func nextInBoxAbove0(cell, lo, hi []int) bool {
 		cell[i] = lo[i]
 	}
 	return false
-}
-
-// sortCoalesce sorts requests by VLBN and merges contiguous ones.
-func sortCoalesce(reqs []lvm.Request) []lvm.Request {
-	if len(reqs) <= 1 {
-		return reqs
-	}
-	slices.SortFunc(reqs, func(a, b lvm.Request) int {
-		switch {
-		case a.VLBN < b.VLBN:
-			return -1
-		case a.VLBN > b.VLBN:
-			return 1
-		default:
-			return a.Count - b.Count
-		}
-	})
-	out := reqs[:1]
-	for _, r := range reqs[1:] {
-		last := &out[len(out)-1]
-		if r.VLBN == last.VLBN+int64(last.Count) {
-			last.Count += r.Count
-		} else {
-			out = append(out, r)
-		}
-	}
-	return out
-}
-
-// coalesceSorted merges an ascending LBN list into contiguous requests.
-func coalesceSorted(lbns []int64) []lvm.Request {
-	if len(lbns) == 0 {
-		return nil
-	}
-	out := []lvm.Request{{VLBN: lbns[0], Count: 1}}
-	for _, l := range lbns[1:] {
-		last := &out[len(out)-1]
-		if l == last.VLBN+int64(last.Count) {
-			last.Count++
-		} else {
-			out = append(out, lvm.Request{VLBN: l, Count: 1})
-		}
-	}
-	return out
 }

@@ -230,7 +230,7 @@ func TestMultiMapRangeFavoursSequential(t *testing.T) {
 
 func TestSortCoalesce(t *testing.T) {
 	in := []lvm.Request{{VLBN: 10, Count: 2}, {VLBN: 5, Count: 1}, {VLBN: 13, Count: 3}, {VLBN: 6, Count: 4}}
-	out := sortCoalesce(in)
+	out := SortCoalesce(in)
 	want := []lvm.Request{{VLBN: 5, Count: 7}, {VLBN: 13, Count: 3}}
 	if len(out) != len(want) {
 		t.Fatalf("got %v, want %v", out, want)
@@ -240,13 +240,13 @@ func TestSortCoalesce(t *testing.T) {
 			t.Fatalf("got %v, want %v", out, want)
 		}
 	}
-	if got := sortCoalesce(nil); len(got) != 0 {
+	if got := SortCoalesce(nil); len(got) != 0 {
 		t.Error("empty input should stay empty")
 	}
 }
 
 func TestCoalesceSorted(t *testing.T) {
-	out := coalesceSorted([]int64{1, 2, 3, 7, 8, 20})
+	out := CoalesceSortedLBNs([]int64{1, 2, 3, 7, 8, 20})
 	want := []lvm.Request{{VLBN: 1, Count: 3}, {VLBN: 7, Count: 2}, {VLBN: 20, Count: 1}}
 	if len(out) != len(want) {
 		t.Fatalf("got %v", out)
@@ -256,7 +256,7 @@ func TestCoalesceSorted(t *testing.T) {
 			t.Fatalf("got %v, want %v", out, want)
 		}
 	}
-	if coalesceSorted(nil) != nil {
+	if CoalesceSortedLBNs(nil) != nil {
 		t.Error("nil input should return nil")
 	}
 }

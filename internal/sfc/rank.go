@@ -59,7 +59,7 @@ func NewRanked(curve Curve) (*Ranked, error) {
 			break
 		}
 	}
-	slices.Sort(keys)
+	SortKeys(keys)
 	for i := 1; i < len(keys); i++ {
 		if keys[i] == keys[i-1] {
 			return nil, fmt.Errorf("sfc: curve is not injective: duplicate key %d", keys[i])
@@ -126,6 +126,48 @@ func (r *Ranked) Rank(cell []int) (int64, error) {
 		return 0, fmt.Errorf("sfc: cell %v not in ranked grid", cell)
 	}
 	return int64(i), nil
+}
+
+// KeyOf returns the raw (sparse) curve key of a cell; pair with
+// RanksOfSortedKeys for bulk conversion.
+func (r *Ranked) KeyOf(cell []int) (uint64, error) { return r.curve.Key(cell) }
+
+// RanksOfSortedKeys converts ascending raw curve keys into dense ranks
+// in place. Small batches use per-key binary search; batches comparable
+// to the grid size use a single linear merge over the sorted key list,
+// which is what makes bulk range planning O(n) instead of O(n log N).
+func (r *Ranked) RanksOfSortedKeys(keys []uint64) error {
+	if r.keys == nil {
+		// Dense curve: keys are ranks already; only bounds need checking,
+		// and keys are ascending so the last one suffices.
+		if n := len(keys); n > 0 && keys[n-1] >= uint64(r.n) {
+			return fmt.Errorf("sfc: key %d not in ranked grid", keys[n-1])
+		}
+		return nil
+	}
+	if int64(len(keys))*32 < int64(len(r.keys)) {
+		for i, k := range keys {
+			j, ok := slices.BinarySearch(r.keys, k)
+			if !ok {
+				return fmt.Errorf("sfc: key %d not in ranked grid", k)
+			}
+			keys[i] = uint64(j)
+		}
+		return nil
+	}
+	j := 0
+	for i, k := range keys {
+		for j < len(r.keys) && r.keys[j] < k {
+			j++
+		}
+		if j == len(r.keys) || r.keys[j] != k {
+			return fmt.Errorf("sfc: key %d not in ranked grid", k)
+		}
+		keys[i] = uint64(j)
+		// Duplicate input keys (multi-visit callers) keep the same rank,
+		// so j is not advanced here.
+	}
+	return nil
 }
 
 // CellAt inverts Rank, writing the cell with the given dense position

@@ -2,6 +2,7 @@ package sfc
 
 import (
 	"math/rand"
+	"slices"
 	"testing"
 	"testing/quick"
 )
@@ -320,5 +321,103 @@ func TestHilbertClustersBetterThanZ(t *testing.T) {
 	zRuns, hRuns := runs(z), runs(h)
 	if hRuns >= zRuns {
 		t.Errorf("Hilbert runs/query %.1f not better than Z-order %.1f", hRuns, zRuns)
+	}
+}
+
+func TestSortKeysMatchesSlicesSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range []int{0, 1, 100, radixSortThreshold + 1000} {
+		keys := make([]uint64, n)
+		want := make([]uint64, n)
+		for i := range keys {
+			// Mix of small and huge keys so whole byte lanes are constant.
+			keys[i] = uint64(rng.Int63n(1 << 20))
+			if i%7 == 0 {
+				keys[i] |= uint64(rng.Int63()) << 20
+			}
+			want[i] = keys[i]
+		}
+		SortKeys(keys)
+		slices.Sort(want)
+		if !slices.Equal(keys, want) {
+			t.Fatalf("n=%d: radix order differs from comparison sort", n)
+		}
+	}
+}
+
+func TestRanksOfSortedKeysMatchesRank(t *testing.T) {
+	dims := []int{7, 5, 6} // non-power-of-two: sparse keys, real ranking
+	c, err := NewHilbert(dims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRanked(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var keys []uint64
+	var cells [][]int
+	cell := []int{1, 0, 2}
+	lo, hi := []int{1, 0, 2}, []int{6, 4, 5}
+	for {
+		k, err := r.KeyOf(cell)
+		if err != nil {
+			t.Fatal(err)
+		}
+		keys = append(keys, k)
+		cells = append(cells, append([]int(nil), cell...))
+		done := true
+		for i := 0; i < len(cell); i++ {
+			cell[i]++
+			if cell[i] < hi[i] {
+				done = false
+				break
+			}
+			cell[i] = lo[i]
+		}
+		if done {
+			break
+		}
+	}
+	want := map[uint64]bool{}
+	for _, cl := range cells {
+		rk, err := r.Rank(cl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[uint64(rk)] = true
+	}
+	SortKeys(keys)
+	if err := r.RanksOfSortedKeys(keys); err != nil {
+		t.Fatal(err)
+	}
+	for i, k := range keys {
+		if !want[k] {
+			t.Fatalf("bulk rank %d (index %d) not produced by per-cell Rank", k, i)
+		}
+		if i > 0 && keys[i] < keys[i-1] {
+			t.Fatalf("bulk ranks not ascending at %d", i)
+		}
+	}
+	// An out-of-grid key must be rejected.
+	bad := []uint64{^uint64(0) >> 8}
+	if err := r.RanksOfSortedKeys(bad); err == nil {
+		t.Error("foreign key accepted")
+	}
+	// Same contract on a dense (power-of-two) grid, where keys are
+	// already ranks and only bounds are checked.
+	dc, err := NewHilbert([]int{8, 8, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dr, err := NewRanked(dc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dr.RanksOfSortedKeys([]uint64{0, 511}); err != nil {
+		t.Errorf("in-grid dense keys rejected: %v", err)
+	}
+	if err := dr.RanksOfSortedKeys([]uint64{0, 512}); err == nil {
+		t.Error("dense grid accepted out-of-range key")
 	}
 }

@@ -112,7 +112,7 @@ func (v *Volume) Reset() { v.v.Reset() }
 // experiment drivers and examples use it).
 func (v *Volume) Internal() *lvm.Volume { return v.v }
 
-// StoreOptions tunes dataset placement.
+// StoreOptions tunes dataset placement and query execution.
 type StoreOptions struct {
 	// DiskIdx pins the dataset to one member drive. -1 lets MultiMap
 	// decluster basic cubes across drives (§4.4); linear mappings
@@ -121,6 +121,15 @@ type StoreOptions struct {
 	// CellBlocks is the cell size in blocks (default 1) — §4's
 	// "a single cell can occupy multiple LBNs".
 	CellBlocks int
+	// Policy forces the drive-internal scheduling policy for every
+	// query ("fifo", "sptf", "elevator"); empty keeps each mapping's
+	// preferred policy (§5.2). Use it for scheduler comparison runs.
+	Policy string
+	// PlanChunkCells bounds how many cells the streaming planner
+	// expands per dispatch chunk; 0 plans each query as one chunk.
+	// Chunking bounds planner memory on huge ranges at the cost of
+	// sorting per chunk instead of globally.
+	PlanChunkCells int64
 }
 
 // Store is a mapped multidimensional dataset ready for queries.
@@ -146,7 +155,11 @@ func NewStore(vol *Volume, kind Mapping, dims []int, opts ...StoreOptions) (*Sto
 	if err != nil {
 		return nil, err
 	}
-	return &Store{vol: vol, m: m, exec: query.NewExecutor(vol.v, m)}, nil
+	eo, err := query.ExecOptionsFor(o.Policy, o.PlanChunkCells)
+	if err != nil {
+		return nil, err
+	}
+	return &Store{vol: vol, m: m, exec: query.NewExecutorOptions(vol.v, m, eo)}, nil
 }
 
 // CellBlocks returns the store's cell size in blocks.

@@ -82,6 +82,9 @@ func TestStoreQueries(t *testing.T) {
 	if _, err := NewStore(v, MultiMap, []int{40, 12, 8}, StoreOptions{}, StoreOptions{}); err == nil {
 		t.Error("two option structs accepted")
 	}
+	if _, err := NewStore(v, MultiMap, []int{40, 12, 8}, StoreOptions{PlanChunkCells: -1}); err == nil {
+		t.Error("negative PlanChunkCells accepted")
+	}
 }
 
 func TestParseMappingAndModels(t *testing.T) {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/query"
 )
 
@@ -100,5 +101,5 @@ func (u *UpdatableStore) FetchCell(cell []int) (Stats, error) {
 	if err != nil {
 		return Stats{}, err
 	}
-	return query.Execute(u.vol.v, reqs, query.PolicyFor(u.Mapping() == MultiMap))
+	return engine.Execute(u.vol.v, reqs, query.PolicyFor(u.Mapping() == MultiMap))
 }
