@@ -1,6 +1,11 @@
 // Command fig6probe prints raw simulated TotalMs for the paper's
 // Figure-6 configurations (beams and ranges on the synthetic 3-D grid)
 // so two builds can be diffed value by value.
+//
+// Args: "small" shrinks the grid to 64³ (seconds instead of minutes);
+// "serve" routes every query through a single session of the
+// concurrent query service instead of the synchronous engine — diffing
+// the two modes is the service's single-session equivalence evidence.
 package main
 
 import (
@@ -10,6 +15,7 @@ import (
 
 	"repro/internal/dataset"
 	"repro/internal/disk"
+	"repro/internal/engine"
 	"repro/internal/lvm"
 	"repro/internal/mapping"
 	"repro/internal/query"
@@ -17,8 +23,17 @@ import (
 
 func main() {
 	side := 259
-	if len(os.Args) > 1 && os.Args[1] == "small" {
-		side = 64
+	serve := false
+	for _, arg := range os.Args[1:] {
+		switch arg {
+		case "small":
+			side = 64
+		case "serve":
+			serve = true
+		default:
+			fmt.Fprintf(os.Stderr, "fig6probe: unknown arg %q (want small and/or serve)\n", arg)
+			os.Exit(2)
+		}
 	}
 	dims := []int{side, side, side}
 	grid, err := dataset.NewGrid(dims...)
@@ -36,6 +51,12 @@ func main() {
 			panic(err)
 		}
 		e := query.NewExecutor(v, m)
+		runner := engine.OnVolume(v)
+		if serve {
+			svc := engine.NewService(v, engine.ServiceOptions{})
+			defer svc.Close()
+			runner = svc.NewSession(engine.SessionOptions{})
+		}
 		// Fig 6(a): beams along each dimension.
 		for dim := 0; dim < 3; dim++ {
 			rng := rand.New(rand.NewSource(int64(dim)*1000 + 3))
@@ -45,7 +66,7 @@ func main() {
 				if err != nil {
 					panic(err)
 				}
-				st, err := e.Beam(dim, fixed)
+				st, err := e.BeamOn(runner, dim, fixed)
 				if err != nil {
 					panic(err)
 				}
@@ -61,7 +82,7 @@ func main() {
 			if err != nil {
 				panic(err)
 			}
-			st, err := e.Range(lo, hi)
+			st, err := e.RangeOn(runner, lo, hi)
 			if err != nil {
 				panic(err)
 			}

@@ -38,6 +38,29 @@
 // scheduler and chunking knobs; cmd/mmbench mirrors them as -policy
 // and -chunk.
 //
+// # Concurrent query service
+//
+// All simulated head state lives behind a per-volume service loop
+// goroutine (running only while queries are in flight): stores and
+// their Sessions submit plan chunks to it over a queue, so any number
+// of goroutines may query one volume at once. The loop admits everything queued
+// since its last pass as one admission batch, coalesces requests
+// across the in-flight queries into shared SPTF extents (blocks wanted
+// by several queries are read once), and attributes per-request costs
+// back to each originating session — every query keeps its own Stats,
+// and their sum reproduces the service's totals (Volume.ServiceTotals).
+// A batch holding a single chunk is served verbatim, which is why one
+// session with the cache off is bit-identical to the synchronous
+// engine (cmd/fig6probe's "serve" mode diffs the two). An optional
+// shared extent cache — an LRU over coalesced [lbn, lbn+count) block
+// extents — lets overlapping queries skip re-simulated I/O entirely,
+// with hits and misses surfaced in Stats. Store.Begin opens sessions;
+// StoreOptions.CacheBlocks and StoreOptions.MaxInflight (chunks a
+// session keeps in flight; planning is pipelined with service either
+// way) are the knobs, mirrored by cmd/mmbench as -cache and the
+// -clients/-queries throughput mode (-exp serve). Volume.Reset is
+// serialized through the loop and safe under live traffic.
+//
 // Quick start:
 //
 //	vol, _ := multimap.OpenVolume(multimap.AtlasTenKIII)

@@ -24,12 +24,22 @@ type ExperimentConfig struct {
 	// ChunkCells bounds the streaming planner's per-chunk expansion;
 	// 0 plans each query as one chunk.
 	ChunkCells int64
+	// Clients is the number of concurrent sessions in the "serve"
+	// throughput experiment (default 4).
+	Clients int
+	// Queries is how many queries each "serve" client issues
+	// (default 32).
+	Queries int
+	// CacheBlocks sizes the "serve" experiment's shared extent cache
+	// in blocks (0 = cache off).
+	CacheBlocks int64
 }
 
 // ExperimentIDs lists the regenerable paper artifacts plus the two
-// analysis tables from §4.3-§4.4.
+// analysis tables from §4.3-§4.4 and the beyond-the-paper concurrent
+// serving benchmark ("serve").
 func ExperimentIDs() []string {
-	return []string{"fig1a", "fig1b", "fig6a", "fig6b", "fig7a", "fig7b", "fig8", "eq5", "space"}
+	return []string{"fig1a", "fig1b", "fig6a", "fig6b", "fig7a", "fig7b", "fig8", "eq5", "space", "serve"}
 }
 
 // ExperimentTable is a printable experiment result.
@@ -41,6 +51,7 @@ func RunExperiment(id string, cfg ExperimentConfig) (*ExperimentTable, error) {
 	ic := experiments.Config{
 		Scale: cfg.Scale, Runs: cfg.Runs, Seed: cfg.Seed,
 		Policy: cfg.Policy, ChunkCells: cfg.ChunkCells,
+		Clients: cfg.Clients, Queries: cfg.Queries, CacheBlocks: cfg.CacheBlocks,
 	}
 	for _, m := range cfg.Disks {
 		g, err := disk.ModelByName(string(m))
@@ -73,6 +84,9 @@ func RunExperiment(id string, cfg ExperimentConfig) (*ExperimentTable, error) {
 		return experiments.DimensionSupport(ic)
 	case "space":
 		return experiments.SpaceEfficiency(ic)
+	case "serve":
+		t, _, err := experiments.ServiceThroughput(ic)
+		return t, err
 	default:
 		return nil, fmt.Errorf("multimap: unknown experiment %q (have %v)", id, ExperimentIDs())
 	}

@@ -1,0 +1,110 @@
+package engine
+
+import (
+	"container/list"
+	"slices"
+	"sort"
+)
+
+// extentCache is the service's shared read cache: an LRU over disjoint
+// block extents [start, end) in volume LBN space, capacity-bounded in
+// blocks. A request hits only when one cached extent fully covers it —
+// a partial overlap still costs the full disk access, exactly as a
+// block cache that refuses partial reads would behave. Extents inserted
+// after a serve are unioned with any cached neighbours (overlapping or
+// exactly adjacent), so repeated overlapping queries converge onto a
+// few large extents instead of fragmenting.
+//
+// The cache is owned by the service loop and needs no locking of its
+// own.
+type extentCache struct {
+	capBlocks int64
+	used      int64
+	lru       *list.List      // front = most recently used; values are *cachedExtent
+	byStart   []*cachedExtent // ascending by start; extents are disjoint
+}
+
+type cachedExtent struct {
+	start, end int64
+	elem       *list.Element
+}
+
+func newExtentCache(capBlocks int64) *extentCache {
+	if capBlocks <= 0 {
+		return nil
+	}
+	return &extentCache{capBlocks: capBlocks, lru: list.New()}
+}
+
+// blocks returns the extent's size.
+func (e *cachedExtent) blocks() int64 { return e.end - e.start }
+
+// search returns the index of the first cached extent with start > x.
+func (c *extentCache) search(x int64) int {
+	return sort.Search(len(c.byStart), func(i int) bool { return c.byStart[i].start > x })
+}
+
+// covered reports whether [start, end) lies entirely inside one cached
+// extent, refreshing that extent's recency on a hit.
+func (c *extentCache) covered(start, end int64) bool {
+	i := c.search(start) - 1
+	if i < 0 {
+		return false
+	}
+	if e := c.byStart[i]; e.end >= end {
+		c.lru.MoveToFront(e.elem)
+		return true
+	}
+	return false
+}
+
+// insert adds [start, end) as most-recently-used, merging it with every
+// overlapping or adjacent cached extent, then evicts least-recently-used
+// extents until the capacity holds. Extents larger than the whole cache
+// are not cached at all.
+func (c *extentCache) insert(start, end int64) {
+	if end-start > c.capBlocks || end <= start {
+		return
+	}
+	// All cached extents with e.end >= start and e.start <= end merge.
+	lo := c.search(start - 1)
+	if lo > 0 && c.byStart[lo-1].end >= start {
+		lo--
+	}
+	hi := lo
+	for hi < len(c.byStart) && c.byStart[hi].start <= end {
+		e := c.byStart[hi]
+		if e.start < start {
+			start = e.start
+		}
+		if e.end > end {
+			end = e.end
+		}
+		c.used -= e.blocks()
+		c.lru.Remove(e.elem)
+		hi++
+	}
+	merged := &cachedExtent{start: start, end: end}
+	merged.elem = c.lru.PushFront(merged)
+	if hi > lo {
+		c.byStart[lo] = merged
+		c.byStart = append(c.byStart[:lo+1], c.byStart[hi:]...)
+	} else {
+		c.byStart = slices.Insert(c.byStart, lo, merged)
+	}
+	c.used += merged.blocks()
+	for c.used > c.capBlocks {
+		victim := c.lru.Back().Value.(*cachedExtent)
+		c.lru.Remove(victim.elem)
+		i := c.search(victim.start) - 1
+		c.byStart = append(c.byStart[:i], c.byStart[i+1:]...)
+		c.used -= victim.blocks()
+	}
+}
+
+// clear drops every cached extent (volume reset, cache reconfiguration).
+func (c *extentCache) clear() {
+	c.lru.Init()
+	c.byStart = c.byStart[:0]
+	c.used = 0
+}

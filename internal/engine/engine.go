@@ -12,6 +12,17 @@
 // loop instead of each hand-rolling its own, and a planner can yield a
 // large query in bounded-memory chunks instead of materializing every
 // block up front.
+//
+// Run is the synchronous single-caller path. For concurrent clients,
+// Service runs a per-volume loop goroutine that owns all disk head
+// state: Sessions submit plan chunks over its queue (pipelined — chunk
+// N+1 is planned while chunk N is on the disks), the loop merges
+// everything queued since its last pass into one admission batch
+// (cross-query coalescing into shared SPTF extents), serves it, and
+// attributes per-request costs back to the originating sessions. An
+// optional shared extent cache (LRU over coalesced [lbn, lbn+count)
+// extents) lets overlapping queries skip re-simulated I/O, with
+// hit/miss accounting in Stats.
 package engine
 
 import (
@@ -30,6 +41,12 @@ type Stats struct {
 	SeekMs     float64
 	RotateMs   float64
 	TransferMs float64
+	// CacheHits counts requests served entirely from the service's
+	// shared extent cache (no disk I/O); CacheMisses counts requests
+	// that reached the disks. Both stay zero when queries run without a
+	// service or with the cache disabled.
+	CacheHits   int64
+	CacheMisses int64
 }
 
 // MsPerCell returns the paper's headline metric: average I/O time per

@@ -1,0 +1,451 @@
+package engine
+
+import (
+	"fmt"
+	"slices"
+	"sync"
+
+	"repro/internal/disk"
+	"repro/internal/lvm"
+)
+
+// Service is the concurrent query service for one logical volume. A
+// single service-loop goroutine owns every member disk's mutable head
+// state: sessions submit plan chunks over a queue, the loop admits
+// everything queued since the last batch as one admission batch, merges
+// the batch's requests into a shared SPTF schedule (cross-query
+// coalescing), serves it through lvm.Volume.ServeBatch, and attributes
+// per-request costs back to the originating sessions so every query
+// still gets its own Stats. An optional shared extent cache lets
+// overlapping queries skip re-simulated I/O entirely.
+//
+// A batch of exactly one chunk is served verbatim — same requests, same
+// issue policy, no re-coalescing — so a single session with the cache
+// off produces bit-identical Stats to calling Run directly.
+type Service struct {
+	vol  *lvm.Volume
+	opts ServiceOptions
+
+	mu      sync.Mutex
+	idle    sync.Cond // signalled when running drops to false
+	queue   []*serviceOp
+	running bool // a loop goroutine exists and owns the disks
+	closed  bool
+	cache   *extentCache // owned by the loop; guarded by mu only for reconfiguration
+	totals  ServiceTotals
+}
+
+// ServiceOptions tunes a service.
+type ServiceOptions struct {
+	// CacheBlocks is the shared extent cache capacity in blocks;
+	// 0 disables the cache.
+	CacheBlocks int64
+	// MaxBatch caps how many chunks one admission batch may merge;
+	// 0 means no cap (admit everything queued).
+	MaxBatch int
+}
+
+// ServiceTotals is the service loop's own bookkeeping, the ground truth
+// the per-session Stats must add up to.
+type ServiceTotals struct {
+	// Batches counts admission batches served; MergedBatches counts
+	// those that coalesced more than one chunk, and MaxBatchChunks is
+	// the largest admission batch seen — direct evidence of how many
+	// queries were in flight together.
+	Batches        int64
+	MergedBatches  int64
+	MaxBatchChunks int
+	// IssuedRequests counts requests actually sent to the disks after
+	// cross-query coalescing and cache hits.
+	IssuedRequests int64
+	// Attributed aggregates exactly what was handed back to sessions:
+	// summing every session's per-query Stats reproduces these fields
+	// (ElapsedMs aside — each chunk of a merged batch observes the full
+	// batch's elapsed time, while Attributed counts it once).
+	Attributed Stats
+}
+
+type opKind int
+
+const (
+	opChunk opKind = iota
+	opReset
+	opCacheCfg
+)
+
+// serviceOp is one message to the service loop.
+type serviceOp struct {
+	kind opKind
+
+	// opChunk fields.
+	chunk  Chunk
+	policy disk.SchedPolicy // effective issue policy (session override applied)
+	trace  func([]lvm.Completion)
+
+	// opCacheCfg field.
+	cacheBlocks int64
+
+	reply chan opResult
+}
+
+// opResult is the loop's answer to one chunk: the completions
+// attributed to that chunk (synthesized shares when the batch merged
+// requests across queries), cache accounting, and the batch's elapsed
+// time.
+type opResult struct {
+	comps    []lvm.Completion
+	hits     int64 // requests served whole from the extent cache
+	hitCells int64 // blocks those hits covered
+	misses   int64 // requests that reached the disks (cache enabled only)
+	elapsed  float64
+	err      error
+}
+
+// NewService builds the service for a volume. The caller hands the
+// volume's head state to the service: until Close, every ServeBatch and
+// Reset must go through it. The loop goroutine runs only while work is
+// queued — the first submission of a busy period starts it, and it
+// exits once the queue drains — so an idle or abandoned service holds
+// no goroutine.
+func NewService(vol *lvm.Volume, opts ServiceOptions) *Service {
+	s := &Service{
+		vol:   vol,
+		opts:  opts,
+		cache: newExtentCache(opts.CacheBlocks),
+	}
+	s.idle.L = &s.mu
+	return s
+}
+
+// Close rejects further submissions and waits for the in-flight batches
+// to finish, so the caller regains exclusive use of the volume. Close
+// is idempotent.
+func (s *Service) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	for s.running {
+		s.idle.Wait()
+	}
+}
+
+// Reset restores every member disk to its initial state and clears the
+// extent cache and totals, serialized after all in-flight batches.
+func (s *Service) Reset() error {
+	return s.control(&serviceOp{kind: opReset, reply: make(chan opResult, 1)})
+}
+
+// ConfigureCache resizes the shared extent cache (0 disables it),
+// dropping its current contents. Serialized with in-flight batches.
+func (s *Service) ConfigureCache(blocks int64) error {
+	return s.control(&serviceOp{kind: opCacheCfg, cacheBlocks: blocks, reply: make(chan opResult, 1)})
+}
+
+// Totals snapshots the service-loop bookkeeping.
+func (s *Service) Totals() ServiceTotals {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.totals
+}
+
+func (s *Service) control(op *serviceOp) error {
+	if err := s.submit(op); err != nil {
+		return err
+	}
+	return (<-op.reply).err
+}
+
+// submit enqueues one op, starting a loop goroutine if none is running.
+// The op's reply channel (buffer >= 1) receives exactly one result
+// unless submit returns an error.
+func (s *Service) submit(op *serviceOp) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return fmt.Errorf("engine: service is closed")
+	}
+	s.queue = append(s.queue, op)
+	if !s.running {
+		s.running = true
+		go s.loop()
+	}
+	s.mu.Unlock()
+	return nil
+}
+
+// loop is the service goroutine: it grabs everything queued since the
+// last pass as one admission batch, serves it, and exits when the queue
+// drains. At most one loop runs at a time (the running flag), so the
+// disks have a single owner.
+func (s *Service) loop() {
+	for {
+		s.mu.Lock()
+		batch := s.queue
+		s.queue = nil
+		if len(batch) == 0 {
+			s.running = false
+			s.idle.Broadcast()
+			s.mu.Unlock()
+			return
+		}
+		s.mu.Unlock()
+		s.process(batch)
+	}
+}
+
+// process serves one admitted batch in submission order: consecutive
+// chunk ops form admission batches; control ops are barriers.
+func (s *Service) process(batch []*serviceOp) {
+	for i := 0; i < len(batch); {
+		if batch[i].kind != opChunk {
+			s.handleControl(batch[i])
+			i++
+			continue
+		}
+		j := i
+		for j < len(batch) && batch[j].kind == opChunk {
+			j++
+		}
+		for i < j {
+			k := j
+			if m := s.opts.MaxBatch; m > 0 && k-i > m {
+				k = i + m
+			}
+			s.serveChunks(batch[i:k])
+			i = k
+		}
+	}
+}
+
+func (s *Service) handleControl(op *serviceOp) {
+	var err error
+	switch op.kind {
+	case opReset:
+		s.vol.Reset()
+		s.mu.Lock()
+		if s.cache != nil {
+			s.cache.clear()
+		}
+		s.totals = ServiceTotals{}
+		s.mu.Unlock()
+	case opCacheCfg:
+		s.mu.Lock()
+		s.cache = newExtentCache(op.cacheBlocks)
+		s.mu.Unlock()
+	default:
+		err = fmt.Errorf("engine: unknown service op %d", op.kind)
+	}
+	op.reply <- opResult{err: err}
+}
+
+// serveChunks services one admission batch of chunk ops.
+func (s *Service) serveChunks(items []*serviceOp) {
+	if len(items) == 1 {
+		s.serveSingle(items[0])
+		return
+	}
+	s.serveMerged(items)
+}
+
+// serveSingle services a lone chunk exactly as Run would: the planner's
+// requests, the chunk's policy, no re-coalescing. With the cache off
+// this path is bit-identical to the synchronous engine.
+func (s *Service) serveSingle(op *serviceOp) {
+	var res opResult
+	reqs := op.chunk.Reqs
+	if s.cache != nil {
+		kept := make([]lvm.Request, 0, len(reqs))
+		for _, r := range reqs {
+			if s.cache.covered(r.VLBN, r.VLBN+int64(r.Count)) {
+				res.hits++
+				res.hitCells += int64(r.Count)
+				continue
+			}
+			res.misses++
+			kept = append(kept, r)
+		}
+		reqs = kept
+	}
+	if len(reqs) > 0 {
+		comps, elapsed, err := s.vol.ServeBatch(reqs, op.policy)
+		if err != nil {
+			op.reply <- opResult{err: err}
+			return
+		}
+		res.comps, res.elapsed = comps, elapsed
+		if s.cache != nil {
+			for _, c := range comps {
+				s.cache.insert(c.Req.VLBN, c.Req.VLBN+int64(c.Req.Count))
+			}
+		}
+	}
+	s.account([]*serviceOp{op}, []opResult{res}, int64(len(reqs)), res.elapsed)
+	if op.trace != nil && len(res.comps) > 0 {
+		op.trace(res.comps)
+	}
+	op.reply <- res
+}
+
+// serveMerged coalesces the batch's requests across queries into shared
+// extents, serves them as one batch — under the chunks' unanimous
+// policy, or SPTF when the batch mixes policies (cross-query order is
+// the drive's to choose) — and splits each served extent's cost among
+// its contributors in proportion to the blocks each asked for. Blocks
+// wanted by several queries are read once; every query is still
+// credited its own cells.
+func (s *Service) serveMerged(items []*serviceOp) {
+	results := make([]opResult, len(items))
+	fail := func(err error) {
+		for _, it := range items {
+			it.reply <- opResult{err: err}
+		}
+	}
+
+	type entry struct {
+		item int
+		req  lvm.Request
+	}
+	var entries []entry
+	for i, it := range items {
+		for _, r := range it.chunk.Reqs {
+			if s.cache != nil {
+				if s.cache.covered(r.VLBN, r.VLBN+int64(r.Count)) {
+					results[i].hits++
+					results[i].hitCells += int64(r.Count)
+					continue
+				}
+				results[i].misses++
+			}
+			entries = append(entries, entry{item: i, req: r})
+		}
+	}
+
+	var reqs []lvm.Request
+	var elapsed float64
+	// members[k] lists the entry indices merged into extent reqs[k].
+	var members [][]int
+	if len(entries) > 0 {
+		slices.SortStableFunc(entries, func(a, b entry) int {
+			switch {
+			case a.req.VLBN != b.req.VLBN:
+				if a.req.VLBN < b.req.VLBN {
+					return -1
+				}
+				return 1
+			default:
+				return a.req.Count - b.req.Count
+			}
+		})
+		var boundary int64 // end VLBN of the current extent's disk segment
+		for idx, e := range entries {
+			start := e.req.VLBN
+			end := start + int64(e.req.Count)
+			if n := len(reqs); n > 0 {
+				last := &reqs[n-1]
+				lastEnd := last.VLBN + int64(last.Count)
+				// Merge overlap or exact adjacency, but never across a
+				// disk-segment boundary: each original request lies in one
+				// segment, so extents clipped to the boundary stay valid.
+				if start <= lastEnd && start < boundary {
+					if end > lastEnd {
+						last.Count = int(end - last.VLBN)
+					}
+					members[n-1] = append(members[n-1], idx)
+					continue
+				}
+			}
+			di, lbn, err := s.vol.Locate(start)
+			if err != nil {
+				fail(err)
+				return
+			}
+			boundary = start - lbn + s.vol.DiskBlocks(di)
+			reqs = append(reqs, lvm.Request{VLBN: start, Count: e.req.Count})
+			members = append(members, []int{idx})
+		}
+
+		policy := items[0].policy
+		for _, it := range items[1:] {
+			if it.policy != policy {
+				policy = disk.SchedSPTF
+				break
+			}
+		}
+		comps, el, err := s.vol.ServeBatch(reqs, policy)
+		if err != nil {
+			fail(err)
+			return
+		}
+		elapsed = el
+		// Extents are disjoint, so a completion maps back by start VLBN.
+		compAt := make(map[int64]lvm.Completion, len(comps))
+		for _, c := range comps {
+			compAt[c.Req.VLBN] = c
+		}
+		for k, r := range reqs {
+			c := compAt[r.VLBN]
+			if s.cache != nil {
+				s.cache.insert(r.VLBN, r.VLBN+int64(r.Count))
+			}
+			if len(members[k]) == 1 {
+				e := entries[members[k][0]]
+				results[e.item].comps = append(results[e.item].comps, c)
+				continue
+			}
+			var owned int64
+			for _, mi := range members[k] {
+				owned += int64(entries[mi].req.Count)
+			}
+			for _, mi := range members[k] {
+				e := entries[mi]
+				f := float64(e.req.Count) / float64(owned)
+				results[e.item].comps = append(results[e.item].comps, lvm.Completion{
+					Req:     e.req,
+					DiskIdx: c.DiskIdx,
+					Cost: disk.AccessCost{
+						CommandMs:  c.Cost.CommandMs * f,
+						SeekMs:     c.Cost.SeekMs * f,
+						RotateMs:   c.Cost.RotateMs * f,
+						TransferMs: c.Cost.TransferMs * f,
+					},
+					FinishMs: c.FinishMs,
+				})
+			}
+		}
+	}
+	for i := range results {
+		results[i].elapsed = elapsed
+	}
+	s.account(items, results, int64(len(reqs)), elapsed)
+	for i, it := range items {
+		if it.trace != nil && len(results[i].comps) > 0 {
+			it.trace(results[i].comps)
+		}
+		it.reply <- results[i]
+	}
+}
+
+// account folds one served admission batch into the service totals,
+// mirroring exactly the folds the sessions will perform.
+func (s *Service) account(items []*serviceOp, results []opResult, issued int64, elapsed float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t := &s.totals
+	t.Batches++
+	if len(items) > 1 {
+		t.MergedBatches++
+	}
+	if len(items) > t.MaxBatchChunks {
+		t.MaxBatchChunks = len(items)
+	}
+	t.IssuedRequests += issued
+	for i, it := range items {
+		r := &results[i]
+		t.Attributed.AddCompletions(r.comps, 0)
+		t.Attributed.Padding += it.chunk.Padding
+		t.Attributed.Cells += r.hitCells
+		t.Attributed.CacheHits += r.hits
+		t.Attributed.CacheMisses += r.misses
+	}
+	t.Attributed.ElapsedMs += elapsed
+}

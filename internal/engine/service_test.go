@@ -1,0 +1,484 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/disk"
+	"repro/internal/lvm"
+)
+
+// chunkPlan replays a fixed chunk sequence (fresh cursor per plan).
+func chunkPlan(chunks []Chunk) Plan {
+	i := 0
+	return planFunc(func() (Chunk, bool, error) {
+		if i == len(chunks) {
+			return Chunk{}, false, nil
+		}
+		i++
+		return chunks[i-1], true, nil
+	})
+}
+
+func randomChunks(rng *rand.Rand, v *lvm.Volume, nChunks, perChunk int) []Chunk {
+	chunks := make([]Chunk, nChunks)
+	for i := range chunks {
+		policy := disk.SchedSPTF
+		if i%2 == 1 {
+			policy = disk.SchedFIFO
+		}
+		chunks[i] = Chunk{
+			Reqs:    SortCoalesce(randomReqs(rng, v, perChunk)),
+			Policy:  policy,
+			Padding: int64(i % 3),
+		}
+	}
+	return chunks
+}
+
+// TestSessionSingleMatchesRun: a lone session with the cache off must
+// return bit-identical Stats to the synchronous engine — same chunks,
+// same policies, same floating-point fold order.
+func TestSessionSingleMatchesRun(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	vRun := testVolume(t)
+	vSvc := testVolume(t)
+	chunks := randomChunks(rng, vRun, 5, 40)
+
+	want, err := Run(vRun, chunkPlan(chunks), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := NewService(vSvc, ServiceOptions{})
+	defer svc.Close()
+	sess := svc.NewSession(SessionOptions{})
+	got, err := sess.RunPlan(chunkPlan(chunks), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("session stats %+v != engine.Run stats %+v", got, want)
+	}
+	if tot := svc.Totals(); tot.Attributed != want || tot.Batches != 5 || tot.MergedBatches != 0 {
+		t.Fatalf("service totals %+v inconsistent with %+v", tot, want)
+	}
+	if sess.Totals() != want {
+		t.Fatalf("session lifetime totals %+v != %+v", sess.Totals(), want)
+	}
+
+	// The policy override must flow through sessions too.
+	vRun2, vSvc2 := testVolume(t), testVolume(t)
+	fifo := disk.SchedFIFO
+	want2, err := Run(vRun2, chunkPlan(chunks), Options{Policy: &fifo})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc2 := NewService(vSvc2, ServiceOptions{})
+	defer svc2.Close()
+	got2, err := svc2.NewSession(SessionOptions{}).RunPlan(chunkPlan(chunks), Options{Policy: &fifo})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got2 != want2 {
+		t.Fatalf("override via session %+v != via Run %+v", got2, want2)
+	}
+}
+
+// statsClose compares two stats up to floating-point attribution drift.
+func statsClose(a, b Stats, tb testing.TB) {
+	tb.Helper()
+	if a.Cells != b.Cells || a.Padding != b.Padding || a.Requests != b.Requests ||
+		a.CacheHits != b.CacheHits || a.CacheMisses != b.CacheMisses {
+		tb.Fatalf("integer stats differ: %+v vs %+v", a, b)
+	}
+	for _, p := range [][2]float64{
+		{a.TotalMs, b.TotalMs}, {a.CommandMs, b.CommandMs}, {a.SeekMs, b.SeekMs},
+		{a.RotateMs, b.RotateMs}, {a.TransferMs, b.TransferMs},
+	} {
+		if diff := math.Abs(p[0] - p[1]); diff > 1e-6*(1+math.Abs(p[0])) {
+			tb.Fatalf("float stats differ by %g: %+v vs %+v", diff, a, b)
+		}
+	}
+}
+
+// TestServiceConcurrentSessions runs many goroutines' worth of mixed
+// plans through one service (run with -race): each session must be
+// credited exactly its own blocks, and the per-session Stats must sum
+// to the service loop's attributed totals.
+func TestServiceConcurrentSessions(t *testing.T) {
+	v := testVolume(t, disk.SmallTestDisk(), disk.SmallTestDisk(), disk.SmallTestDisk())
+	svc := NewService(v, ServiceOptions{CacheBlocks: 4096})
+	defer svc.Close()
+
+	const clients = 8
+	var wg sync.WaitGroup
+	sessions := make([]*Session, clients)
+	wantCells := make([]int64, clients)
+	errs := make([]error, clients)
+	for i := 0; i < clients; i++ {
+		sessions[i] = svc.NewSession(SessionOptions{MaxInflight: 1 + i%3})
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(100 + i)))
+			for q := 0; q < 6; q++ {
+				chunks := randomChunks(rng, v, 1+rng.Intn(3), 30)
+				for _, c := range chunks {
+					for _, r := range c.Reqs {
+						wantCells[i] += int64(r.Count)
+					}
+				}
+				st, err := sessions[i].RunPlan(chunkPlan(chunks), Options{})
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				if st.Requests+int(st.CacheHits) == 0 {
+					errs[i] = fmt.Errorf("query credited no work: %+v", st)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("client %d: %v", i, err)
+		}
+	}
+
+	var sum Stats
+	for i, s := range sessions {
+		st := s.Totals()
+		if st.Cells != wantCells[i] {
+			t.Errorf("session %d credited %d cells, want %d", i, st.Cells, wantCells[i])
+		}
+		sum.Accumulate(st)
+	}
+	tot := svc.Totals()
+	// ElapsedMs is per-batch for the loop but per-chunk for sessions, so
+	// align it before the exact comparison.
+	sum.ElapsedMs = tot.Attributed.ElapsedMs
+	statsClose(sum, tot.Attributed, t)
+	if tot.Batches == 0 || tot.IssuedRequests == 0 {
+		t.Fatalf("service served nothing: %+v", tot)
+	}
+	if sum.TotalMs <= 0 {
+		t.Fatal("no simulated time attributed")
+	}
+}
+
+// TestServeMergedAttribution drives the cross-query coalescing path
+// directly: overlapping, adjacent, identical, and disjoint requests
+// from two queries must merge into shared extents whose costs are split
+// back in proportion to the blocks each query asked for.
+func TestServeMergedAttribution(t *testing.T) {
+	v := testVolume(t)
+	svc := NewService(v, ServiceOptions{})
+	defer svc.Close()
+
+	mk := func(reqs ...lvm.Request) *serviceOp {
+		return &serviceOp{
+			kind:   opChunk,
+			chunk:  Chunk{Reqs: reqs, Policy: disk.SchedSPTF},
+			policy: disk.SchedSPTF,
+			reply:  make(chan opResult, 1),
+		}
+	}
+	a := mk(
+		lvm.Request{VLBN: 1000, Count: 16}, // overlaps b's first
+		lvm.Request{VLBN: 5000, Count: 8},  // identical to b's second
+		lvm.Request{VLBN: 9000, Count: 4},  // disjoint
+	)
+	b := mk(
+		lvm.Request{VLBN: 1008, Count: 16}, // overlaps a's first
+		lvm.Request{VLBN: 5000, Count: 8},
+		lvm.Request{VLBN: 1024, Count: 8}, // adjacent to the merged [1000,1024)
+	)
+	svc.serveMerged([]*serviceOp{a, b})
+	ra, rb := <-a.reply, <-b.reply
+	if ra.err != nil || rb.err != nil {
+		t.Fatal(ra.err, rb.err)
+	}
+	// Extents: [1000,1032) from three requests, [5000,5008) shared,
+	// [9000,9004) alone.
+	tot := svc.Totals()
+	if tot.IssuedRequests != 3 {
+		t.Fatalf("issued %d extents, want 3", tot.IssuedRequests)
+	}
+	if tot.Batches != 1 || tot.MergedBatches != 1 || tot.MaxBatchChunks != 2 {
+		t.Fatalf("batch bookkeeping wrong: %+v", tot)
+	}
+	var stA, stB Stats
+	stA.AddCompletions(ra.comps, ra.elapsed)
+	stB.AddCompletions(rb.comps, rb.elapsed)
+	if stA.Cells != 16+8+4 || stB.Cells != 16+8+8 {
+		t.Fatalf("cells credited A=%d B=%d, want 28 and 32", stA.Cells, stB.Cells)
+	}
+	if stA.Requests != 3 || stB.Requests != 3 {
+		t.Fatalf("requests credited A=%d B=%d, want 3 and 3", stA.Requests, stB.Requests)
+	}
+	// The attributed shares must sum to the actual disk time.
+	var sum Stats
+	sum.Accumulate(stA)
+	sum.Accumulate(stB)
+	sum.ElapsedMs = tot.Attributed.ElapsedMs
+	statsClose(sum, tot.Attributed, t)
+	var diskMs float64
+	for _, ds := range v.Stats() {
+		diskMs += ds.BusyMs
+	}
+	if diff := math.Abs(diskMs - sum.TotalMs); diff > 1e-6*(1+diskMs) {
+		t.Fatalf("attributed %.6f ms != disk busy %.6f ms", sum.TotalMs, diskMs)
+	}
+	// The identical request must have cost each query half the extent.
+	var costA, costB float64
+	for _, c := range ra.comps {
+		if c.Req.VLBN == 5000 {
+			costA = c.Cost.TotalMs()
+		}
+	}
+	for _, c := range rb.comps {
+		if c.Req.VLBN == 5000 {
+			costB = c.Cost.TotalMs()
+		}
+	}
+	if costA <= 0 || math.Abs(costA-costB) > 1e-9 {
+		t.Fatalf("shared extent split unevenly: %.6f vs %.6f", costA, costB)
+	}
+}
+
+// TestServeMergedRespectsDiskBoundaries: adjacent requests from two
+// queries that touch across a disk-segment boundary must not merge into
+// one extent (which the volume would reject).
+func TestServeMergedRespectsDiskBoundaries(t *testing.T) {
+	v := testVolume(t, disk.SmallTestDisk(), disk.SmallTestDisk())
+	svc := NewService(v, ServiceOptions{})
+	defer svc.Close()
+	edge := v.DiskBlocks(0)
+	a := &serviceOp{kind: opChunk, policy: disk.SchedSPTF, reply: make(chan opResult, 1),
+		chunk: Chunk{Reqs: []lvm.Request{{VLBN: edge - 8, Count: 8}}}}
+	b := &serviceOp{kind: opChunk, policy: disk.SchedSPTF, reply: make(chan opResult, 1),
+		chunk: Chunk{Reqs: []lvm.Request{{VLBN: edge, Count: 8}}}}
+	svc.serveMerged([]*serviceOp{a, b})
+	ra, rb := <-a.reply, <-b.reply
+	if ra.err != nil || rb.err != nil {
+		t.Fatal(ra.err, rb.err)
+	}
+	if tot := svc.Totals(); tot.IssuedRequests != 2 {
+		t.Fatalf("issued %d requests, want 2 (no cross-disk merge)", tot.IssuedRequests)
+	}
+	if ra.comps[0].DiskIdx != 0 || rb.comps[0].DiskIdx != 1 {
+		t.Fatalf("requests routed to disks %d/%d, want 0/1",
+			ra.comps[0].DiskIdx, rb.comps[0].DiskIdx)
+	}
+}
+
+// TestServiceExtentCache: a repeated plan must be served from the cache
+// the second time — zero disk time, full hit accounting — and Reset
+// must drop the cached extents.
+func TestServiceExtentCache(t *testing.T) {
+	v := testVolume(t)
+	svc := NewService(v, ServiceOptions{CacheBlocks: 1 << 20})
+	defer svc.Close()
+	sess := svc.NewSession(SessionOptions{})
+	reqs := []lvm.Request{{VLBN: 100, Count: 8}, {VLBN: 400, Count: 16}, {VLBN: 900, Count: 4}}
+
+	first, err := sess.RunPlan(Static(reqs, disk.SchedSPTF), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.CacheHits != 0 || first.CacheMisses != 3 || first.Requests != 3 {
+		t.Fatalf("cold run accounting wrong: %+v", first)
+	}
+	second, err := sess.RunPlan(Static(reqs, disk.SchedSPTF), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.CacheHits != 3 || second.CacheMisses != 0 || second.Requests != 0 {
+		t.Fatalf("warm run accounting wrong: %+v", second)
+	}
+	if second.TotalMs != 0 || second.Cells != first.Cells {
+		t.Fatalf("warm run should cost nothing and credit %d cells: %+v", first.Cells, second)
+	}
+	// A sub-extent of a cached extent hits too.
+	sub, err := sess.RunPlan(Static([]lvm.Request{{VLBN: 404, Count: 4}}, disk.SchedSPTF), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.CacheHits != 1 || sub.Cells != 4 {
+		t.Fatalf("contained request missed the cache: %+v", sub)
+	}
+
+	if err := svc.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	cold, err := sess.RunPlan(Static(reqs, disk.SchedSPTF), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.CacheHits != 0 || cold.CacheMisses != 3 {
+		t.Fatalf("reset did not clear the cache: %+v", cold)
+	}
+}
+
+// TestExtentCacheEviction exercises the LRU bound and extent merging
+// directly.
+func TestExtentCacheEviction(t *testing.T) {
+	c := newExtentCache(100)
+	c.insert(0, 40)
+	c.insert(100, 140)
+	c.insert(200, 240) // over capacity: evicts [0,40), the LRU
+	if c.used != 80 {
+		t.Fatalf("used %d blocks, want 80", c.used)
+	}
+	if c.covered(0, 40) {
+		t.Fatal("evicted extent still reported cached")
+	}
+	if !c.covered(100, 140) || !c.covered(200, 240) {
+		t.Fatal("recent extents missing")
+	}
+	// An extent larger than the whole cache is not admitted.
+	c.insert(1000, 2000)
+	if c.covered(1000, 1001) {
+		t.Fatal("oversized extent admitted")
+	}
+
+	// Overlap and adjacency merge into one extent.
+	c = newExtentCache(200)
+	c.insert(100, 140)
+	c.insert(200, 240)
+	c.insert(140, 160) // adjacent to [100,140)
+	c.insert(150, 200) // bridges to [200,240)
+	if len(c.byStart) != 1 || !c.covered(100, 240) {
+		t.Fatalf("extents did not merge: %d extents, used %d", len(c.byStart), c.used)
+	}
+	if c.used != 140 {
+		t.Fatalf("merged used %d blocks, want 140", c.used)
+	}
+}
+
+// TestServiceMaxBatch: a MaxBatch cap must split one admission run into
+// several batches, with every chunk still answered and accounted.
+func TestServiceMaxBatch(t *testing.T) {
+	v := testVolume(t)
+	svc := NewService(v, ServiceOptions{MaxBatch: 2})
+	defer svc.Close()
+	rng := rand.New(rand.NewSource(21))
+	ops := make([]*serviceOp, 5)
+	for i := range ops {
+		ops[i] = &serviceOp{
+			kind:   opChunk,
+			chunk:  Chunk{Reqs: SortCoalesce(randomReqs(rng, v, 8)), Policy: disk.SchedSPTF},
+			policy: disk.SchedSPTF,
+			reply:  make(chan opResult, 1),
+		}
+	}
+	svc.process(ops)
+	var credited int64
+	for i, op := range ops {
+		r := <-op.reply
+		if r.err != nil {
+			t.Fatalf("op %d: %v", i, r.err)
+		}
+		for _, c := range r.comps {
+			credited += int64(c.Req.Count)
+		}
+	}
+	var want int64
+	for _, op := range ops {
+		for _, r := range op.chunk.Reqs {
+			want += int64(r.Count)
+		}
+	}
+	if credited != want {
+		t.Fatalf("credited %d blocks across split batches, want %d", credited, want)
+	}
+	tot := svc.Totals()
+	if tot.Batches != 3 || tot.MaxBatchChunks != 2 || tot.MergedBatches != 2 {
+		t.Fatalf("MaxBatch=2 over 5 chunks should give 3 batches (2+2+1): %+v", tot)
+	}
+}
+
+// TestServiceClose: submitting after Close fails cleanly, Close is
+// idempotent, and Reset on a closed service reports the error.
+func TestServiceClose(t *testing.T) {
+	v := testVolume(t)
+	svc := NewService(v, ServiceOptions{})
+	sess := svc.NewSession(SessionOptions{})
+	if _, err := sess.RunPlan(Static(randomReqs(rand.New(rand.NewSource(5)), v, 10), disk.SchedSPTF), Options{}); err != nil {
+		t.Fatal(err)
+	}
+	svc.Close()
+	svc.Close()
+	if _, err := sess.RunPlan(Static([]lvm.Request{{VLBN: 0, Count: 1}}, disk.SchedSPTF), Options{}); err == nil {
+		t.Fatal("RunPlan after Close should fail")
+	}
+	if err := svc.Reset(); err == nil {
+		t.Fatal("Reset after Close should fail")
+	}
+}
+
+// TestSessionPlanError: a failing plan aborts the query and reports the
+// planner's error.
+func TestSessionPlanError(t *testing.T) {
+	v := testVolume(t)
+	svc := NewService(v, ServiceOptions{})
+	defer svc.Close()
+	boom := fmt.Errorf("boom")
+	i := 0
+	p := planFunc(func() (Chunk, bool, error) {
+		i++
+		if i > 2 {
+			return Chunk{}, false, boom
+		}
+		return Chunk{Reqs: []lvm.Request{{VLBN: int64(i) * 100, Count: 4}}, Policy: disk.SchedSPTF}, true, nil
+	})
+	if _, err := svc.NewSession(SessionOptions{MaxInflight: 2}).RunPlan(p, Options{}); err != boom {
+		t.Fatalf("got %v, want planner error", err)
+	}
+}
+
+// BenchmarkService measures end-to-end service throughput at 1, 4, and
+// 16 concurrent clients, cache off and on, next to the raw Execute
+// benchmarks: each op is one client-query of 200 requests over a
+// compact band (overlapping across clients, so the cache has work).
+func BenchmarkService(b *testing.B) {
+	for _, clients := range []int{1, 4, 16} {
+		for _, cacheBlocks := range []int64{0, 1 << 22} {
+			name := fmt.Sprintf("clients=%d/cache=%d", clients, cacheBlocks)
+			b.Run(name, func(b *testing.B) {
+				v := testVolume(b, disk.AtlasTenKIII())
+				svc := NewService(v, ServiceOptions{CacheBlocks: cacheBlocks})
+				defer svc.Close()
+				plans := make([][]lvm.Request, clients)
+				for i := range plans {
+					rng := rand.New(rand.NewSource(int64(40 + i)))
+					base := int64(1_000_000)
+					plans[i] = make([]lvm.Request, 200)
+					for j := range plans[i] {
+						plans[i][j] = lvm.Request{VLBN: base + rng.Int63n(400_000), Count: 1 + rng.Intn(8)}
+					}
+				}
+				b.ResetTimer()
+				for n := 0; n < b.N; n++ {
+					var wg sync.WaitGroup
+					for i := 0; i < clients; i++ {
+						wg.Add(1)
+						go func(i int) {
+							defer wg.Done()
+							sess := svc.NewSession(SessionOptions{})
+							if _, err := sess.RunPlan(Static(plans[i], disk.SchedSPTF), Options{}); err != nil {
+								b.Error(err)
+							}
+						}(i)
+					}
+					wg.Wait()
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,187 @@
+package engine
+
+import (
+	"sync"
+
+	"repro/internal/lvm"
+)
+
+// Runner executes a plan and aggregates its statistics. Two
+// implementations exist: OnVolume (the synchronous single-caller path,
+// identical to Run) and Session (submission through a volume's
+// concurrent Service).
+type Runner interface {
+	RunPlan(p Plan, opts Options) (Stats, error)
+}
+
+// volumeRunner adapts the synchronous Run to the Runner interface.
+type volumeRunner struct{ vol *lvm.Volume }
+
+func (r volumeRunner) RunPlan(p Plan, opts Options) (Stats, error) {
+	return Run(r.vol, p, opts)
+}
+
+// OnVolume returns the synchronous Runner for a volume: RunPlan is
+// exactly Run. Use it only when nothing else touches the volume — for
+// concurrent callers, go through a Service and its Sessions.
+func OnVolume(vol *lvm.Volume) Runner { return volumeRunner{vol: vol} }
+
+// SessionOptions tunes one session.
+type SessionOptions struct {
+	// MaxInflight is how many plan chunks the session keeps outstanding
+	// in the service at once (minimum and default 1). Even at 1 the
+	// planner is pipelined: chunk N+1 is planned while chunk N is on
+	// the disks. Values above 1 let one query's chunks share admission
+	// batches, trading exact single-stream schedule reproduction for
+	// more cross-chunk coalescing.
+	MaxInflight int
+}
+
+// Session is one client's handle on a Service. Sessions are cheap and
+// safe for concurrent use; each RunPlan call gets its own Stats, and
+// the session accumulates lifetime totals.
+type Session struct {
+	svc         *Service
+	maxInflight int
+
+	mu     sync.Mutex
+	totals Stats
+}
+
+// NewSession opens a client session on the service.
+func (s *Service) NewSession(opts SessionOptions) *Session {
+	mi := opts.MaxInflight
+	if mi < 1 {
+		mi = 1
+	}
+	return &Session{svc: s, maxInflight: mi}
+}
+
+// Totals returns the session's accumulated statistics across every
+// completed RunPlan.
+func (s *Session) Totals() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.totals
+}
+
+// RunPlan drains a plan through the service, planning ahead of the
+// disks: a planner goroutine produces the next chunk while earlier
+// chunks are in flight, and up to MaxInflight chunks ride the service
+// queue at once. Costs attributed by the service loop are folded into
+// this query's Stats in chunk order, so a lone session with the cache
+// off returns bit-identical Stats to Run. Options.Trace, when set, is
+// invoked from the service loop with this query's attributed
+// completions.
+func (s *Session) RunPlan(p Plan, opts Options) (Stats, error) {
+	type planned struct {
+		c   Chunk
+		ok  bool
+		err error
+	}
+	quit := make(chan struct{})
+	defer close(quit)
+	planCh := make(chan planned, s.maxInflight)
+	go func() {
+		defer close(planCh)
+		for {
+			c, ok, err := p.Next()
+			select {
+			case planCh <- planned{c: c, ok: ok, err: err}:
+				if !ok || err != nil {
+					return
+				}
+			case <-quit:
+				return
+			}
+		}
+	}()
+
+	var st Stats
+	var pending []*serviceOp
+	fold := func(op *serviceOp) error {
+		r := <-op.reply
+		if r.err != nil {
+			return r.err
+		}
+		st.AddCompletions(r.comps, r.elapsed)
+		st.Padding += op.chunk.Padding
+		st.Cells += r.hitCells
+		st.CacheHits += r.hits
+		st.CacheMisses += r.misses
+		return nil
+	}
+	// finish folds (or, after a failure, waits out) every outstanding
+	// op. Submitted chunks are always drained to their reply: the query
+	// must not return while the loop could still serve its chunks and
+	// fire its Trace callback.
+	finish := func(failed error) (Stats, error) {
+		var err error
+		for _, op := range pending {
+			if failed != nil || err != nil {
+				<-op.reply
+				continue
+			}
+			err = fold(op)
+		}
+		pending = nil
+		if failed == nil {
+			failed = err
+		}
+		if failed != nil {
+			return Stats{}, failed
+		}
+		s.mu.Lock()
+		s.totals.Accumulate(st)
+		s.mu.Unlock()
+		return st, nil
+	}
+
+	for pl := range planCh {
+		if pl.err != nil {
+			return finish(pl.err)
+		}
+		if !pl.ok {
+			break
+		}
+		policy := pl.c.Policy
+		if opts.Policy != nil {
+			policy = *opts.Policy
+		}
+		op := &serviceOp{
+			kind:   opChunk,
+			chunk:  pl.c,
+			policy: policy,
+			trace:  opts.Trace,
+			reply:  make(chan opResult, 1),
+		}
+		if err := s.svc.submit(op); err != nil {
+			return finish(err)
+		}
+		pending = append(pending, op)
+		if len(pending) >= s.maxInflight {
+			if err := fold(pending[0]); err != nil {
+				pending = pending[1:]
+				return finish(err)
+			}
+			pending = pending[1:]
+		}
+	}
+	return finish(nil)
+}
+
+// Accumulate folds another query's stats into s — lifetime session
+// totals, experiment aggregation.
+func (s *Stats) Accumulate(q Stats) {
+	s.Cells += q.Cells
+	s.Padding += q.Padding
+	s.Requests += q.Requests
+	s.TotalMs += q.TotalMs
+	s.ElapsedMs += q.ElapsedMs
+	s.CommandMs += q.CommandMs
+	s.SeekMs += q.SeekMs
+	s.RotateMs += q.RotateMs
+	s.TransferMs += q.TransferMs
+	s.CacheHits += q.CacheHits
+	s.CacheMisses += q.CacheMisses
+}

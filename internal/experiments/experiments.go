@@ -31,6 +31,14 @@ type Config struct {
 	// ChunkCells bounds how many cells the streaming planner expands
 	// per dispatch chunk; 0 plans each query as one chunk.
 	ChunkCells int64
+	// Clients is the number of concurrent query sessions in the
+	// service-throughput experiment (default 4).
+	Clients int
+	// Queries is how many queries each client issues there (default 32).
+	Queries int
+	// CacheBlocks sizes the shared extent cache for that experiment
+	// (0 = cache off).
+	CacheBlocks int64
 }
 
 // Defaults fills unset fields: both paper drives, full scale, 15 runs.
@@ -56,6 +64,9 @@ func (c Config) validate() error {
 	}
 	if c.Runs < 1 {
 		return fmt.Errorf("experiments: runs must be positive")
+	}
+	if c.Clients < 0 || c.Queries < 0 || c.CacheBlocks < 0 {
+		return fmt.Errorf("experiments: clients, queries, and cache blocks must be non-negative")
 	}
 	if _, err := c.execOptions(); err != nil {
 		return err

@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestServiceThroughput runs the concurrent serving benchmark at a
+// small scale, cache off and on, and checks its invariants: every query
+// completes, attribution reaches the table, and the cache absorbs part
+// of the hot-region workload.
+func TestServiceThroughput(t *testing.T) {
+	cfg := fastCfg()
+	cfg.Clients = 4
+	cfg.Queries = 8
+	cfg.ChunkCells = 512
+
+	tb, byDisk, err := ServiceThroughput(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(byDisk) != len(cfg.Disks) {
+		t.Fatalf("want one run per disk, got %d for %d disks", len(byDisk), len(cfg.Disks))
+	}
+	res, ok := byDisk[cfg.Disks[0].Name]
+	if !ok {
+		t.Fatalf("no run for %s: %v", cfg.Disks[0].Name, byDisk)
+	}
+	if res.Queries != 32 || res.QueriesPerSec <= 0 || res.MsPerCell <= 0 {
+		t.Fatalf("cold result wrong: %+v", res)
+	}
+	if res.HitRate != 0 {
+		t.Fatalf("cache off but hit rate %v", res.HitRate)
+	}
+	if len(res.PerSession) != 4 {
+		t.Fatalf("want 4 session stats, got %d", len(res.PerSession))
+	}
+	var cells int64
+	for _, st := range res.PerSession {
+		cells += st.Cells
+	}
+	if cells != res.Totals.Attributed.Cells {
+		t.Fatalf("session cells %d != attributed %d", cells, res.Totals.Attributed.Cells)
+	}
+	if !strings.Contains(tb.String(), "q/s") {
+		t.Fatalf("table missing throughput column:\n%s", tb)
+	}
+
+	cfg.CacheBlocks = 1 << 22
+	_, warmByDisk, err := ServiceThroughput(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := warmByDisk[cfg.Disks[0].Name]
+	if warm.HitRate <= 0 || warm.HitRate > 1 {
+		t.Fatalf("hot-region workload should hit the cache: %+v", warm)
+	}
+	if warm.IssuedRequests >= res.IssuedRequests {
+		t.Fatalf("cache did not reduce issued requests: %d vs %d",
+			warm.IssuedRequests, res.IssuedRequests)
+	}
+
+	bad := cfg
+	bad.Clients = -1
+	if _, _, err := ServiceThroughput(bad); err == nil {
+		t.Fatal("negative clients accepted")
+	}
+}

@@ -8,6 +8,20 @@
 // address spaces; chunk-grain declustering (§4.4) is provided by
 // Declusterer. All adjacency relations stay within a single disk, as
 // they must: adjacency is a property of one arm and one platter stack.
+//
+// # Concurrency contract
+//
+// A Volume's geometry queries (Locate, GetAdjacent, GetTrackBoundaries,
+// Zones, ...) are read-only and safe for any number of goroutines. The
+// head-state mutators — ServeBatch, Reset, and direct Disk access such
+// as RandomizePosition — are NOT: they must be serialized by exactly
+// one owner. In this codebase that owner is either a single synchronous
+// caller (engine.Run, the experiment drivers) or the per-volume
+// engine.Service loop goroutine, which concurrent sessions submit to
+// over its queue; the public multimap.Volume routes Reset through that
+// loop whenever a service is running. ServeBatch's own per-disk
+// goroutines are internal: each member disk is touched only by its own
+// goroutine within one ServeBatch call.
 package lvm
 
 import (
@@ -205,6 +219,10 @@ func (v *Volume) Zones() []ZoneExtent {
 // over the member disks' busy intervals) is also how the work is
 // actually performed. Completions are returned grouped by disk, in
 // per-disk service order.
+//
+// ServeBatch mutates head state and must be serialized with every
+// other mutator (see the package concurrency contract); concurrent
+// callers go through an engine.Service instead of calling it directly.
 func (v *Volume) ServeBatch(reqs []Request, policy disk.SchedPolicy) ([]Completion, float64, error) {
 	// Route: one pass to locate and validate, counting per-disk load so
 	// the sub-batches are allocated exactly once.
@@ -290,7 +308,10 @@ func (v *Volume) ServeBatch(reqs []Request, policy disk.SchedPolicy) ([]Completi
 	return out, elapsed, nil
 }
 
-// Reset restores every member disk to its initial state.
+// Reset restores every member disk to its initial state. Like
+// ServeBatch it mutates head state: under a running engine.Service it
+// must be issued through the service (Service.Reset), which serializes
+// it after every in-flight batch.
 func (v *Volume) Reset() {
 	for _, d := range v.disks {
 		d.Reset()

@@ -106,6 +106,13 @@ func (e *Executor) Mapper() mapping.Mapper { return e.m }
 // held at fixed (fixed[dim] is ignored). This is the paper's beam
 // query: a 1-D query parallel to an axis (§5.1).
 func (e *Executor) Beam(dim int, fixed []int) (Stats, error) {
+	return e.BeamOn(engine.OnVolume(e.vol), dim, fixed)
+}
+
+// BeamOn runs a beam query through an explicit engine runner — a
+// concurrent-service Session, or engine.OnVolume for the synchronous
+// single-caller path Beam uses.
+func (e *Executor) BeamOn(r engine.Runner, dim int, fixed []int) (Stats, error) {
 	dims := e.m.Dims()
 	if dim < 0 || dim >= len(dims) {
 		return Stats{}, fmt.Errorf("query: beam dimension %d out of range", dim)
@@ -122,17 +129,25 @@ func (e *Executor) Beam(dim int, fixed []int) (Stats, error) {
 			hi[i] = fixed[i] + 1
 		}
 	}
-	return e.Range(lo, hi)
+	return e.RangeOn(r, lo, hi)
 }
 
 // Range fetches the box [lo, hi) (hi exclusive in every dimension).
 func (e *Executor) Range(lo, hi []int) (Stats, error) {
+	return e.RangeOn(engine.OnVolume(e.vol), lo, hi)
+}
+
+// RangeOn runs a range query through an explicit engine runner. The
+// planner streams chunks to the runner; a Session runner pipelines them
+// (chunk N+1 is planned while chunk N is on the disks) and may batch
+// them with other sessions' in-flight queries.
+func (e *Executor) RangeOn(r engine.Runner, lo, hi []int) (Stats, error) {
 	cells, err := e.checkBox(lo, hi)
 	if err != nil {
 		return Stats{}, err
 	}
 	p := e.newBoxPlan(lo, hi)
-	st, err := engine.Run(e.vol, p, engine.Options{Policy: e.opts.PolicyOverride})
+	st, err := r.RunPlan(p, engine.Options{Policy: e.opts.PolicyOverride})
 	if err != nil {
 		return Stats{}, err
 	}

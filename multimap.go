@@ -2,10 +2,12 @@ package multimap
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/analytic"
 	"repro/internal/core"
 	"repro/internal/disk"
+	"repro/internal/engine"
 	"repro/internal/lvm"
 	"repro/internal/mapping"
 	"repro/internal/query"
@@ -50,10 +52,25 @@ func ParseMapping(s string) (Mapping, error) { return mapping.ParseKind(s) }
 // headline metric.
 type Stats = query.Stats
 
+// ServiceTotals is the per-volume query service's own bookkeeping:
+// admission batches served, how many merged concurrent queries, and the
+// aggregate attributed Stats that every session's per-query Stats must
+// sum to.
+type ServiceTotals = engine.ServiceTotals
+
 // Volume is a logical volume over one or more simulated drives,
 // exporting the paper's adjacency interface.
+//
+// All simulated head state lives behind a per-volume query service: a
+// single service-loop goroutine (running only while queries are in
+// flight) owns the member disks, so any number of stores and sessions
+// may query the volume concurrently. Reset is serialized through that
+// loop.
 type Volume struct {
 	v *lvm.Volume
+
+	mu  sync.Mutex
+	svc *engine.Service
 }
 
 // OpenVolume builds a volume from drive model names with the paper's
@@ -104,9 +121,67 @@ func (v *Volume) GetTrackBoundaries(vlbn int64) (start, next int64, err error) {
 	return v.v.GetTrackBoundaries(vlbn)
 }
 
+// service returns the volume's query service, created on first use.
+// Its loop goroutine runs only while queries are in flight, so an idle
+// volume holds no goroutine.
+func (v *Volume) service() *engine.Service {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.svc == nil {
+		v.svc = engine.NewService(v.v, engine.ServiceOptions{})
+	}
+	return v.svc
+}
+
 // Reset restores all drives to their initial head positions and clears
-// statistics.
-func (v *Volume) Reset() { v.v.Reset() }
+// statistics and the extent cache. When the query service is running,
+// the reset is serialized after every in-flight batch, so it is safe to
+// call while other goroutines query the volume.
+func (v *Volume) Reset() {
+	for {
+		v.mu.Lock()
+		svc := v.svc
+		if svc == nil {
+			// No service: holding mu excludes a concurrent NewStore from
+			// starting one mid-reset, so the direct reset is race-free.
+			v.v.Reset()
+			v.mu.Unlock()
+			return
+		}
+		v.mu.Unlock()
+		if svc.Reset() == nil {
+			return
+		}
+		// That service was closed concurrently (Close leaves it
+		// quiescent and clears v.svc); re-evaluate.
+	}
+}
+
+// Close shuts the volume's query service, waiting for in-flight
+// batches so the caller regains exclusive use of the volume. Queries on
+// existing stores and sessions fail afterwards; a new store restarts
+// the service. Close is optional — an idle service holds no resources.
+func (v *Volume) Close() {
+	v.mu.Lock()
+	svc := v.svc
+	v.svc = nil
+	v.mu.Unlock()
+	if svc != nil {
+		svc.Close()
+	}
+}
+
+// ServiceTotals snapshots the query service's bookkeeping (zero before
+// the first store is built).
+func (v *Volume) ServiceTotals() ServiceTotals {
+	v.mu.Lock()
+	svc := v.svc
+	v.mu.Unlock()
+	if svc == nil {
+		return ServiceTotals{}
+	}
+	return svc.Totals()
+}
 
 // Internal exposes the underlying LVM volume for advanced use (the
 // experiment drivers and examples use it).
@@ -130,13 +205,31 @@ type StoreOptions struct {
 	// Chunking bounds planner memory on huge ranges at the cost of
 	// sorting per chunk instead of globally.
 	PlanChunkCells int64
+	// CacheBlocks sizes the volume's shared extent cache in blocks. The
+	// cache is a service-level resource: it starts off, a positive value
+	// reconfigures it for every store sharing the volume, and 0 leaves
+	// the volume's current cache configuration unchanged. Overlapping
+	// queries skip re-simulated I/O (Stats.CacheHits).
+	CacheBlocks int64
+	// MaxInflight is how many plan chunks each of this store's sessions
+	// keeps outstanding in the service at once (default 1). Even at 1
+	// the planner is pipelined — chunk N+1 is planned while chunk N is
+	// on the disks; higher values also let one query's chunks share
+	// admission batches.
+	MaxInflight int
 }
 
-// Store is a mapped multidimensional dataset ready for queries.
+// Store is a mapped multidimensional dataset ready for queries. Its
+// query methods submit to the volume's concurrent service through a
+// default session and are safe to call from multiple goroutines; use
+// Begin for per-client sessions with their own Stats attribution.
 type Store struct {
-	vol  *Volume
-	m    mapping.Mapper
-	exec *query.Executor
+	vol         *Volume
+	m           mapping.Mapper
+	exec        *query.Executor
+	svc         *engine.Service // the volume service this store was built on
+	def         *engine.Session
+	maxInflight int
 }
 
 // NewStore maps an N-dimensional grid dataset (one block per cell)
@@ -159,7 +252,65 @@ func NewStore(vol *Volume, kind Mapping, dims []int, opts ...StoreOptions) (*Sto
 	if err != nil {
 		return nil, err
 	}
-	return &Store{vol: vol, m: m, exec: query.NewExecutorOptions(vol.v, m, eo)}, nil
+	if o.CacheBlocks < 0 {
+		return nil, fmt.Errorf("multimap: CacheBlocks must be non-negative")
+	}
+	svc := vol.service()
+	if o.CacheBlocks > 0 {
+		if err := svc.ConfigureCache(o.CacheBlocks); err != nil {
+			return nil, err
+		}
+	}
+	if o.MaxInflight < 1 {
+		o.MaxInflight = 1
+	}
+	return &Store{
+		vol:         vol,
+		m:           m,
+		exec:        query.NewExecutorOptions(vol.v, m, eo),
+		svc:         svc,
+		def:         svc.NewSession(engine.SessionOptions{MaxInflight: o.MaxInflight}),
+		maxInflight: o.MaxInflight,
+	}, nil
+}
+
+// Session is one client's handle for issuing queries concurrently with
+// other sessions on the same volume. The service loop merges in-flight
+// sessions' requests into shared disk batches and attributes costs
+// back, so each query's Stats remain its own.
+type Session struct {
+	s  *Store
+	es *engine.Session
+}
+
+// Begin opens a new query session on the store. Sessions are bound to
+// the service the store was built on: after Volume.Close they fail like
+// the store's own queries, rather than resurrecting a service.
+func (s *Store) Begin() *Session {
+	return &Session{
+		s:  s,
+		es: s.svc.NewSession(engine.SessionOptions{MaxInflight: s.maxInflight}),
+	}
+}
+
+// Beam runs the paper's beam query through this session.
+func (q *Session) Beam(dim int, fixed []int) (Stats, error) {
+	return q.s.exec.BeamOn(q.es, dim, fixed)
+}
+
+// RangeQuery fetches the box [lo, hi) through this session.
+func (q *Session) RangeQuery(lo, hi []int) (Stats, error) {
+	return q.s.exec.RangeOn(q.es, lo, hi)
+}
+
+// Stats returns the session's accumulated statistics across all its
+// completed queries.
+func (q *Session) Stats() Stats { return q.es.Totals() }
+
+// runStatic services a prepared request batch through the store's
+// default session (the update layer's path to the disks).
+func (s *Store) runStatic(reqs []lvm.Request, policy disk.SchedPolicy) (Stats, error) {
+	return s.def.RunPlan(engine.Static(reqs, policy), engine.Options{})
 }
 
 // CellBlocks returns the store's cell size in blocks.
@@ -182,10 +333,10 @@ func (s *Store) CellLBN(cell []int) (int64, error) { return s.m.CellVLBN(cell) }
 
 // Beam fetches all cells along dimension dim with the remaining
 // coordinates fixed, and returns the simulated I/O statistics (§5.1).
-func (s *Store) Beam(dim int, fixed []int) (Stats, error) { return s.exec.Beam(dim, fixed) }
+func (s *Store) Beam(dim int, fixed []int) (Stats, error) { return s.exec.BeamOn(s.def, dim, fixed) }
 
 // RangeQuery fetches the box [lo, hi) (hi exclusive per dimension).
-func (s *Store) RangeQuery(lo, hi []int) (Stats, error) { return s.exec.Range(lo, hi) }
+func (s *Store) RangeQuery(lo, hi []int) (Stats, error) { return s.exec.RangeOn(s.def, lo, hi) }
 
 // Model is the closed-form analytical cost model (§5) for one drive.
 type Model struct {

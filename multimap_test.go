@@ -1,8 +1,17 @@
 package multimap
 
 import (
+	"fmt"
+	"math"
+	"math/rand"
 	"strings"
+	"sync"
 	"testing"
+
+	"repro/internal/disk"
+	"repro/internal/lvm"
+	"repro/internal/mapping"
+	"repro/internal/query"
 )
 
 func TestOpenVolume(t *testing.T) {
@@ -87,6 +96,174 @@ func TestStoreQueries(t *testing.T) {
 	}
 }
 
+// TestStoreMatchesDirectExecutor: the store's service path (one
+// session, cache off) must reproduce the synchronous executor's Stats
+// bit for bit — the refactor's equivalence guarantee at the API level.
+func TestStoreMatchesDirectExecutor(t *testing.T) {
+	dims := []int{40, 12, 8}
+	for _, kind := range Mappings() {
+		vs, err := OpenVolumeDepth(32, MediumTestDisk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := NewStore(vs, kind, dims)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vd, err := lvm.New(32, mustGeom(t))
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := mapping.New(kind, vd, dims, mapping.Options{DiskIdx: 0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		direct := query.NewExecutor(vd, m)
+
+		gotB, err := s.Beam(2, []int{7, 3, 0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantB, err := direct.Beam(2, []int{7, 3, 0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotB != wantB {
+			t.Errorf("%v: store beam %+v != direct executor %+v", kind, gotB, wantB)
+		}
+		gotR, err := s.RangeQuery([]int{1, 1, 1}, []int{20, 9, 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantR, err := direct.Range([]int{1, 1, 1}, []int{20, 9, 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotR != wantR {
+			t.Errorf("%v: store range %+v != direct executor %+v", kind, gotR, wantR)
+		}
+		vs.Close()
+	}
+}
+
+func mustGeom(t *testing.T) *disk.Geometry {
+	t.Helper()
+	g, err := disk.ModelByName(string(MediumTestDisk))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestConcurrentStoreSessions is the serving-layer race test: several
+// goroutines issue mixed beam and range queries through their own
+// sessions of two stores on one volume (run with -race). Every query
+// must be credited exactly its cells, and the per-session totals must
+// sum to the service loop's attributed totals.
+func TestConcurrentStoreSessions(t *testing.T) {
+	v, err := OpenVolumeDepth(32, MediumTestDisk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer v.Close()
+	dims := []int{40, 12, 8}
+	mm, err := NewStore(v, MultiMap, dims, StoreOptions{CacheBlocks: 4096, MaxInflight: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hb, err := NewStore(v, Hilbert, dims)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const clients = 6
+	sessions := make([]*Session, clients)
+	errs := make([]error, clients)
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		st := mm
+		if i%2 == 1 {
+			st = hb
+		}
+		sessions[i] = st.Begin()
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(31 + i)))
+			for q := 0; q < 8; q++ {
+				if rng.Intn(2) == 0 {
+					dim := rng.Intn(3)
+					fixed := []int{rng.Intn(40), rng.Intn(12), rng.Intn(8)}
+					st, err := sessions[i].Beam(dim, fixed)
+					if err != nil {
+						errs[i] = err
+						return
+					}
+					if st.Cells != int64(dims[dim]) {
+						errs[i] = errWrongCells(st.Cells, int64(dims[dim]))
+						return
+					}
+				} else {
+					lo := []int{rng.Intn(20), rng.Intn(6), rng.Intn(4)}
+					hi := []int{lo[0] + 1 + rng.Intn(10), lo[1] + 1 + rng.Intn(4), lo[2] + 1 + rng.Intn(3)}
+					want := int64(hi[0]-lo[0]) * int64(hi[1]-lo[1]) * int64(hi[2]-lo[2])
+					st, err := sessions[i].RangeQuery(lo, hi)
+					if err != nil {
+						errs[i] = err
+						return
+					}
+					if st.Cells != want {
+						errs[i] = errWrongCells(st.Cells, want)
+						return
+					}
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("client %d: %v", i, err)
+		}
+	}
+
+	var sum Stats
+	for _, s := range sessions {
+		sum.Accumulate(s.Stats())
+	}
+	tot := v.ServiceTotals()
+	if tot.Batches == 0 {
+		t.Fatal("service loop served nothing")
+	}
+	// Sessions observe per-chunk elapsed, the loop per-batch; every
+	// other field must match to attribution precision.
+	if sum.Cells != tot.Attributed.Cells || sum.Requests != tot.Attributed.Requests ||
+		sum.Padding != tot.Attributed.Padding ||
+		sum.CacheHits != tot.Attributed.CacheHits || sum.CacheMisses != tot.Attributed.CacheMisses {
+		t.Fatalf("session sums %+v != service totals %+v", sum, tot.Attributed)
+	}
+	if diff := math.Abs(sum.TotalMs - tot.Attributed.TotalMs); diff > 1e-6*(1+sum.TotalMs) {
+		t.Fatalf("attributed time drift %g: %v vs %v", diff, sum.TotalMs, tot.Attributed.TotalMs)
+	}
+
+	// Reset under a live service must leave a clean volume behind.
+	v.Reset()
+	if tot := v.ServiceTotals(); tot.Batches != 0 {
+		t.Fatalf("reset kept totals %+v", tot)
+	}
+	st, err := mm.Beam(1, []int{5, 0, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Cells != 12 || st.CacheHits != 0 {
+		t.Fatalf("post-reset query wrong: %+v", st)
+	}
+}
+
+func errWrongCells(got, want int64) error {
+	return fmt.Errorf("fetched %d cells, want %d", got, want)
+}
+
 func TestParseMappingAndModels(t *testing.T) {
 	k, err := ParseMapping("multimap")
 	if err != nil || k != MultiMap {
@@ -154,8 +331,8 @@ func TestRunExperimentFacade(t *testing.T) {
 	if _, err := RunExperiment("fig99", cfg); err == nil {
 		t.Error("unknown experiment accepted")
 	}
-	if len(ExperimentIDs()) != 9 {
-		t.Errorf("want 9 experiment ids, got %v", ExperimentIDs())
+	if len(ExperimentIDs()) != 10 {
+		t.Errorf("want 10 experiment ids, got %v", ExperimentIDs())
 	}
 }
 

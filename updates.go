@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"repro/internal/core"
-	"repro/internal/engine"
 	"repro/internal/query"
 )
 
@@ -101,5 +100,5 @@ func (u *UpdatableStore) FetchCell(cell []int) (Stats, error) {
 	if err != nil {
 		return Stats{}, err
 	}
-	return engine.Execute(u.vol.v, reqs, query.PolicyFor(u.Mapping() == MultiMap))
+	return u.runStatic(reqs, query.PolicyFor(u.Mapping() == MultiMap))
 }
