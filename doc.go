@@ -61,6 +61,26 @@
 // -clients/-queries throughput mode (-exp serve). Volume.Reset is
 // serialized through the loop and safe under live traffic.
 //
+// # Write path and cache coherence
+//
+// Updates (§4.6: UpdatableStore's Insert, Delete, LoadCell) are
+// first-class write operations on the same service. The cell store
+// computes which blocks a mutation dirties and emits them as a write
+// request list; the session submits that list as a write op, admitted
+// in the same batches as reads. The coherence contract: within one
+// admission batch, reads are served before writes (a read admitted
+// concurrently with an in-flight write linearizes before it); each
+// write then invalidates every cached extent overlapping its mutated
+// [lbn, lbn+count) ranges before its simulated I/O cost is charged to
+// the submitting session (Stats.Writes, Stats.InvalidatedBlocks).
+// Only the service loop goroutine may touch the extent cache, so a
+// completed write guarantees that no later FetchCell — from any
+// session — can replay a stale, pre-update extent: with the cache on,
+// post-update fetch costs are identical to a cache-off run.
+// UpdatableStore.Begin opens sessions that mix queries with updates
+// concurrently; cmd/mmbench mirrors the mixed workload as
+// -exp serve -writes <fraction>.
+//
 // Quick start:
 //
 //	vol, _ := multimap.OpenVolume(multimap.AtlasTenKIII)

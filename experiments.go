@@ -33,6 +33,11 @@ type ExperimentConfig struct {
 	// CacheBlocks sizes the "serve" experiment's shared extent cache
 	// in blocks (0 = cache off).
 	CacheBlocks int64
+	// WriteFraction in [0,1) is the share of each "serve" client's
+	// operations that are update bursts submitted through the write
+	// path (0 = read-only). Raising it shows the cache hit rate fall
+	// as writes invalidate hot extents.
+	WriteFraction float64
 }
 
 // ExperimentIDs lists the regenerable paper artifacts plus the two
@@ -52,6 +57,7 @@ func RunExperiment(id string, cfg ExperimentConfig) (*ExperimentTable, error) {
 		Scale: cfg.Scale, Runs: cfg.Runs, Seed: cfg.Seed,
 		Policy: cfg.Policy, ChunkCells: cfg.ChunkCells,
 		Clients: cfg.Clients, Queries: cfg.Queries, CacheBlocks: cfg.CacheBlocks,
+		WriteFraction: cfg.WriteFraction,
 	}
 	for _, m := range cfg.Disks {
 		g, err := disk.ModelByName(string(m))

@@ -414,3 +414,25 @@ func (m *Mapping) Blocks() int64 {
 // NextFreeVLBN returns the first volume address past the last allocated
 // cube group, where a subsequent mapping or extent may begin.
 func (m *Mapping) NextFreeVLBN() int64 { return m.nextFree }
+
+// SpanVLBN returns the half-open VLBN interval the mapping may touch:
+// from the first track of the lowest allocated cube group to the first
+// free VLBN past the last. The interval is conservative — it includes
+// unfilled edge-cube space and allocation gaps — which is what overlap
+// checks against other on-disk extents want.
+func (m *Mapping) SpanVLBN() (start, end int64) {
+	if len(m.cubes) == 0 {
+		return 0, 0
+	}
+	start = m.cubes[0].base
+	for _, cp := range m.cubes {
+		t := int64(cp.trackLen)
+		// Cells wrap circularly within their track, so the whole first
+		// track of the cube's group counts as touched.
+		ts := cp.zoneStart + (cp.base-cp.zoneStart)/t*t
+		if ts < start {
+			start = ts
+		}
+	}
+	return start, m.nextFree
+}

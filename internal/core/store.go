@@ -2,6 +2,8 @@ package core
 
 import (
 	"fmt"
+	"sort"
+	"sync"
 
 	"repro/internal/lvm"
 )
@@ -15,12 +17,20 @@ type CellLocator func(cell []int) (int64, error)
 // cell is loaded at a tunable fill factor; inserts that overflow a
 // cell's home block go to overflow pages; underflowing cells past a
 // reclamation threshold are compacted by Reorganize.
+//
+// The store tracks chain state only — it performs no I/O itself.
+// Every mutator returns the list of block extents it dirtied, so the
+// caller can submit them as a write op to the volume's engine.Service,
+// which invalidates overlapping cached extents and charges the write's
+// simulated cost. A CellStore is safe for concurrent use; each method
+// is atomic under an internal mutex.
 type CellStore struct {
 	locate   CellLocator
 	capacity int     // points a block can hold
 	fill     float64 // initial fill factor at load time
 	reclaim  float64 // underflow threshold triggering reorganization
 
+	mu       sync.Mutex
 	counts   map[int64]int   // live points per block (home or overflow)
 	chains   map[int64]int64 // block -> its overflow page (0 = none)
 	overflow struct {
@@ -61,17 +71,56 @@ func NewCellStore(locate CellLocator, capacity int, fillFactor, reclaim float64,
 	return s, nil
 }
 
+// writeSet accumulates the blocks one mutation dirties and emits them
+// as sorted, coalesced single-extent requests.
+type writeSet struct {
+	blocks map[int64]struct{}
+}
+
+func (w *writeSet) add(b int64) {
+	if w.blocks == nil {
+		w.blocks = make(map[int64]struct{})
+	}
+	w.blocks[b] = struct{}{}
+}
+
+// reqs returns the dirtied blocks as ascending requests, adjacent
+// blocks merged into one extent.
+func (w *writeSet) reqs() []lvm.Request {
+	if len(w.blocks) == 0 {
+		return nil
+	}
+	bs := make([]int64, 0, len(w.blocks))
+	for b := range w.blocks {
+		bs = append(bs, b)
+	}
+	sort.Slice(bs, func(i, j int) bool { return bs[i] < bs[j] })
+	out := []lvm.Request{{VLBN: bs[0], Count: 1}}
+	for _, b := range bs[1:] {
+		if last := &out[len(out)-1]; b == last.VLBN+int64(last.Count) {
+			last.Count++
+		} else {
+			out = append(out, lvm.Request{VLBN: b, Count: 1})
+		}
+	}
+	return out
+}
+
 // LoadCell bulk-loads n points into a cell, honouring the fill factor:
 // the home block keeps at most capacity*fill points and the rest spill
-// to overflow pages immediately (a bulk load of a skewed cell).
-func (s *CellStore) LoadCell(cell []int, n int) error {
+// to overflow pages immediately (a bulk load of a skewed cell). It
+// returns the block extents the load dirtied.
+func (s *CellStore) LoadCell(cell []int, n int) ([]lvm.Request, error) {
 	if n < 0 {
-		return fmt.Errorf("core: negative point count")
+		return nil, fmt.Errorf("core: negative point count")
 	}
 	home, err := s.locate(cell)
 	if err != nil {
-		return err
+		return nil, err
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var w writeSet
 	budget := int(float64(s.capacity) * s.fill)
 	if budget < 1 {
 		budget = 1
@@ -80,53 +129,71 @@ func (s *CellStore) LoadCell(cell []int, n int) error {
 	if take > budget {
 		take = budget
 	}
-	s.counts[home] += take
+	if take > 0 {
+		s.counts[home] += take
+		w.add(home)
+	}
 	n -= take
 	for n > 0 {
-		page, err := s.appendPage(home)
+		page, tail, err := s.appendPage(home)
 		if err != nil {
-			return err
+			return w.reqs(), err
 		}
+		w.add(tail) // the chain pointer written into the old tail
 		take = n
 		if take > budget {
 			take = budget
 		}
 		s.counts[page] += take
+		w.add(page)
 		n -= take
 	}
-	return nil
+	return w.reqs(), nil
 }
 
 // Insert adds one point to a cell: into free space in the destination
-// cell if any, otherwise into (possibly new) overflow pages (§4.6).
-func (s *CellStore) Insert(cell []int) error {
+// cell if any, otherwise into (possibly new) overflow pages (§4.6). It
+// returns the block extents the insert dirtied — the block that
+// received the point, plus the old chain tail and the fresh page when
+// the chain grew.
+func (s *CellStore) Insert(cell []int) ([]lvm.Request, error) {
 	home, err := s.locate(cell)
 	if err != nil {
-		return err
+		return nil, err
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var w writeSet
 	for b := home; ; {
 		if s.counts[b] < s.capacity {
 			s.counts[b]++
-			return nil
+			w.add(b)
+			return w.reqs(), nil
 		}
 		nxt, ok := s.chains[b]
 		if !ok {
-			nxt, err = s.appendPage(home)
+			page, tail, err := s.appendPage(home)
 			if err != nil {
-				return err
+				return nil, err
 			}
+			w.add(tail)
+			nxt = page
 		}
 		b = nxt
 	}
 }
 
 // Delete removes one point from a cell's chain, reorganizing the chain
-// if its occupancy drops below the reclamation threshold.
-func (s *CellStore) Delete(cell []int) error {
+// if its occupancy drops below the reclamation threshold. It returns
+// the block extents the delete dirtied — one block usually, the whole
+// pre-compaction chain when a reorganization ran.
+func (s *CellStore) Delete(cell []int) ([]lvm.Request, error) {
 	home, err := s.locate(cell)
 	if err != nil {
-		return err
+		return nil, err
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	// Remove from the tail-most non-empty block, keeping early blocks
 	// dense.
 	var blocks []int64
@@ -138,26 +205,32 @@ func (s *CellStore) Delete(cell []int) error {
 		}
 		b = nxt
 	}
+	var w writeSet
 	for i := len(blocks) - 1; i >= 0; i-- {
 		if s.counts[blocks[i]] > 0 {
 			s.counts[blocks[i]]--
+			w.add(blocks[i])
 			if s.occupancy(home) < s.reclaim {
-				s.reorganize(home)
+				for _, b := range s.reorganize(home) {
+					w.add(b)
+				}
 			}
-			return nil
+			return w.reqs(), nil
 		}
 	}
-	return fmt.Errorf("core: delete from empty cell %v", cell)
+	return nil, fmt.Errorf("core: delete from empty cell %v", cell)
 }
 
-// appendPage allocates a fresh overflow page at the chain tail.
-func (s *CellStore) appendPage(home int64) (int64, error) {
+// appendPage allocates a fresh overflow page at the chain tail and
+// returns (page, tail): the new page and the block whose chain pointer
+// was rewritten to reach it.
+func (s *CellStore) appendPage(home int64) (page, tail int64, err error) {
 	if s.overflow.next >= s.overflow.end {
-		return 0, fmt.Errorf("core: overflow extent exhausted")
+		return 0, 0, fmt.Errorf("core: overflow extent exhausted")
 	}
-	page := s.overflow.next
+	page = s.overflow.next
 	s.overflow.next++
-	tail := home
+	tail = home
 	for {
 		nxt, ok := s.chains[tail]
 		if !ok {
@@ -166,7 +239,7 @@ func (s *CellStore) appendPage(home int64) (int64, error) {
 		tail = nxt
 	}
 	s.chains[tail] = page
-	return page, nil
+	return page, tail, nil
 }
 
 // occupancy returns the chain's live fraction of its total capacity.
@@ -187,8 +260,9 @@ func (s *CellStore) occupancy(home int64) float64 {
 // reorganize compacts a chain: all points move as low as possible and
 // empty tail pages are dropped (their blocks leak back to the store's
 // free list conceptually; the paper calls reorganization "an expensive
-// operation for any mapping technique" and so do we by counting it).
-func (s *CellStore) reorganize(home int64) {
+// operation for any mapping technique" and so do we by counting it and
+// by returning every pre-compaction chain block as dirtied).
+func (s *CellStore) reorganize(home int64) []int64 {
 	var blocks []int64
 	points := 0
 	for b := home; ; {
@@ -222,10 +296,15 @@ func (s *CellStore) reorganize(home int64) {
 		}
 	}
 	s.reorgs++
+	return blocks
 }
 
 // Reorganizations returns how many chain compactions have run.
-func (s *CellStore) Reorganizations() int { return s.reorgs }
+func (s *CellStore) Reorganizations() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.reorgs
+}
 
 // Points returns the live point count of a cell's chain.
 func (s *CellStore) Points(cell []int) (int, error) {
@@ -233,6 +312,8 @@ func (s *CellStore) Points(cell []int) (int, error) {
 	if err != nil {
 		return 0, err
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	n := 0
 	for b := home; ; {
 		n += s.counts[b]
@@ -245,12 +326,15 @@ func (s *CellStore) Points(cell []int) (int, error) {
 }
 
 // ReadRequests returns the I/O requests needed to fetch a cell: its
-// home block plus any overflow pages.
+// home block plus any overflow pages. The snapshot is atomic — it
+// reflects the chain as of some instant between concurrent mutations.
 func (s *CellStore) ReadRequests(cell []int) ([]lvm.Request, error) {
 	home, err := s.locate(cell)
 	if err != nil {
 		return nil, err
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	reqs := []lvm.Request{{VLBN: home, Count: 1}}
 	for b := home; ; {
 		nxt, ok := s.chains[b]

@@ -57,7 +57,7 @@ func TestNewCellStoreValidation(t *testing.T) {
 func TestLoadCellHonoursFillFactor(t *testing.T) {
 	s := newTestStore(t, 10, 0.5, 0)
 	// 12 points at fill 0.5 => 5 per block => 3 blocks.
-	if err := s.LoadCell([]int{1, 1}, 12); err != nil {
+	if _, err := s.LoadCell([]int{1, 1}, 12); err != nil {
 		t.Fatal(err)
 	}
 	n, err := s.Points([]int{1, 1})
@@ -72,12 +72,12 @@ func TestLoadCellHonoursFillFactor(t *testing.T) {
 
 func TestInsertUsesHeadroomThenOverflows(t *testing.T) {
 	s := newTestStore(t, 10, 0.5, 0)
-	if err := s.LoadCell([]int{0, 0}, 5); err != nil { // home at fill budget
+	if _, err := s.LoadCell([]int{0, 0}, 5); err != nil { // home at fill budget
 		t.Fatal(err)
 	}
 	// 5 inserts fit in the home block's headroom.
 	for i := 0; i < 5; i++ {
-		if err := s.Insert([]int{0, 0}); err != nil {
+		if _, err := s.Insert([]int{0, 0}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -85,7 +85,7 @@ func TestInsertUsesHeadroomThenOverflows(t *testing.T) {
 		t.Fatalf("headroom inserts created overflow (chain %d)", cl)
 	}
 	// The next insert must allocate an overflow page.
-	if err := s.Insert([]int{0, 0}); err != nil {
+	if _, err := s.Insert([]int{0, 0}); err != nil {
 		t.Fatal(err)
 	}
 	if cl, _ := s.ChainLen([]int{0, 0}); cl != 2 {
@@ -98,7 +98,7 @@ func TestInsertUsesHeadroomThenOverflows(t *testing.T) {
 
 func TestReadRequestsIncludeOverflowPages(t *testing.T) {
 	s := newTestStore(t, 2, 1, 0)
-	if err := s.LoadCell([]int{2, 3}, 5); err != nil {
+	if _, err := s.LoadCell([]int{2, 3}, 5); err != nil {
 		t.Fatal(err)
 	}
 	reqs, err := s.ReadRequests([]int{2, 3})
@@ -125,24 +125,24 @@ func TestOverflowExhaustion(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < 3; i++ {
-		if err := s.Insert([]int{0, 0}); err != nil {
+		if _, err := s.Insert([]int{0, 0}); err != nil {
 			t.Fatalf("insert %d: %v", i, err)
 		}
 	}
-	if err := s.Insert([]int{0, 0}); err == nil {
+	if _, err := s.Insert([]int{0, 0}); err == nil {
 		t.Fatal("insert past overflow extent accepted")
 	}
 }
 
 func TestDeleteAndReorganize(t *testing.T) {
 	s := newTestStore(t, 4, 1, 0.4)
-	if err := s.LoadCell([]int{3, 3}, 12); err != nil { // 3 full blocks
+	if _, err := s.LoadCell([]int{3, 3}, 12); err != nil { // 3 full blocks
 		t.Fatal(err)
 	}
 	// Delete down to 4 points: occupancy 4/12 = 0.33 < 0.4 triggers
 	// reorganization, compacting to a single block.
 	for i := 0; i < 8; i++ {
-		if err := s.Delete([]int{3, 3}); err != nil {
+		if _, err := s.Delete([]int{3, 3}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -159,7 +159,7 @@ func TestDeleteAndReorganize(t *testing.T) {
 
 func TestDeleteEmptyCell(t *testing.T) {
 	s := newTestStore(t, 4, 1, 0)
-	if err := s.Delete([]int{0, 1}); err == nil {
+	if _, err := s.Delete([]int{0, 1}); err == nil {
 		t.Fatal("delete from empty cell accepted")
 	}
 }
@@ -169,13 +169,13 @@ func TestStorePreservesPointTotals(t *testing.T) {
 	want := 0
 	for i := 0; i < 50; i++ {
 		cell := []int{i % 4, (i / 4) % 4}
-		if err := s.Insert(cell); err != nil {
+		if _, err := s.Insert(cell); err != nil {
 			t.Fatal(err)
 		}
 		want++
 	}
 	for i := 0; i < 10; i++ {
-		if err := s.Delete([]int{0, 0}); err == nil {
+		if _, err := s.Delete([]int{0, 0}); err == nil {
 			want--
 		} else {
 			break
@@ -206,7 +206,7 @@ func TestStoreWithMultiMapLocator(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < 30; i++ {
-		if err := s.Insert([]int{i % 10, i % 4, i % 3}); err != nil {
+		if _, err := s.Insert([]int{i % 10, i % 4, i % 3}); err != nil {
 			t.Fatal(err)
 		}
 	}

@@ -61,7 +61,9 @@ func (c *extentCache) covered(start, end int64) bool {
 // insert adds [start, end) as most-recently-used, merging it with every
 // overlapping or adjacent cached extent, then evicts least-recently-used
 // extents until the capacity holds. Extents larger than the whole cache
-// are not cached at all.
+// are not cached at all — and when merging would produce such an
+// extent, the insert is skipped entirely so the existing cached
+// neighbours survive instead of being evicted through.
 func (c *extentCache) insert(start, end int64) {
 	if end-start > c.capBlocks || end <= start {
 		return
@@ -80,9 +82,14 @@ func (c *extentCache) insert(start, end int64) {
 		if e.end > end {
 			end = e.end
 		}
+		hi++
+	}
+	if end-start > c.capBlocks {
+		return
+	}
+	for _, e := range c.byStart[lo:hi] {
 		c.used -= e.blocks()
 		c.lru.Remove(e.elem)
-		hi++
 	}
 	merged := &cachedExtent{start: start, end: end}
 	merged.elem = c.lru.PushFront(merged)
@@ -100,6 +107,47 @@ func (c *extentCache) insert(start, end int64) {
 		c.byStart = append(c.byStart[:i], c.byStart[i+1:]...)
 		c.used -= victim.blocks()
 	}
+}
+
+// invalidate removes [start, end) from the cache: fully covered extents
+// are dropped, partially covered ones are trimmed, and an extent
+// straddling the range splits in two — every remnant keeps the original
+// extent's recency. Only the service loop calls this, on behalf of a
+// write op mutating those blocks, before the write's cost is charged.
+// Returns the number of cached blocks invalidated.
+func (c *extentCache) invalidate(start, end int64) int64 {
+	if end <= start || len(c.byStart) == 0 {
+		return 0
+	}
+	lo := c.search(start) - 1
+	if lo < 0 || c.byStart[lo].end <= start {
+		lo++
+	}
+	hi := lo
+	var dropped int64
+	var remnants []*cachedExtent
+	for hi < len(c.byStart) && c.byStart[hi].start < end {
+		e := c.byStart[hi]
+		cutLo, cutHi := max(e.start, start), min(e.end, end)
+		dropped += cutHi - cutLo
+		if e.start < start {
+			left := &cachedExtent{start: e.start, end: start}
+			left.elem = c.lru.InsertBefore(left, e.elem)
+			remnants = append(remnants, left)
+		}
+		if e.end > end {
+			right := &cachedExtent{start: end, end: e.end}
+			right.elem = c.lru.InsertBefore(right, e.elem)
+			remnants = append(remnants, right)
+		}
+		c.lru.Remove(e.elem)
+		hi++
+	}
+	if hi > lo {
+		c.byStart = slices.Replace(c.byStart, lo, hi, remnants...)
+		c.used -= dropped
+	}
+	return dropped
 }
 
 // clear drops every cached extent (volume reset, cache reconfiguration).

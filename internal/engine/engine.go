@@ -47,6 +47,16 @@ type Stats struct {
 	// service or with the cache disabled.
 	CacheHits   int64
 	CacheMisses int64
+	// Writes counts blocks written through the service's write path
+	// (Session.Write); write I/O requests fold into Requests and their
+	// simulated time into TotalMs/ElapsedMs like reads, while written
+	// blocks stay out of Cells. Note that on a mixed workload MsPerCell
+	// therefore spreads total I/O time — write time included — over the
+	// read cells only.
+	Writes int64
+	// InvalidatedBlocks counts cached blocks dropped by write-aware
+	// invalidation on behalf of this query's writes.
+	InvalidatedBlocks int64
 }
 
 // MsPerCell returns the paper's headline metric: average I/O time per
@@ -63,6 +73,22 @@ func (s *Stats) AddCompletions(comps []lvm.Completion, elapsed float64) {
 	for _, c := range comps {
 		s.Requests++
 		s.Cells += int64(c.Req.Count)
+		s.TotalMs += c.Cost.TotalMs()
+		s.CommandMs += c.Cost.CommandMs
+		s.SeekMs += c.Cost.SeekMs
+		s.RotateMs += c.Cost.RotateMs
+		s.TransferMs += c.Cost.TransferMs
+	}
+	s.ElapsedMs += elapsed
+}
+
+// AddWriteCompletions folds one served write batch into the running
+// totals: same time accounting as reads, but blocks land in Writes
+// instead of Cells.
+func (s *Stats) AddWriteCompletions(comps []lvm.Completion, elapsed float64) {
+	for _, c := range comps {
+		s.Requests++
+		s.Writes += int64(c.Req.Count)
 		s.TotalMs += c.Cost.TotalMs()
 		s.CommandMs += c.Cost.CommandMs
 		s.SeekMs += c.Cost.SeekMs

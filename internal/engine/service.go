@@ -22,6 +22,22 @@ import (
 // A batch of exactly one chunk is served verbatim — same requests, same
 // issue policy, no re-coalescing — so a single session with the cache
 // off produces bit-identical Stats to calling Run directly.
+//
+// # Write path and cache coherence
+//
+// Writes (Session.Write) are first-class service ops, admitted in the
+// same batches as reads. The ordering policy is: within one admission
+// batch every read chunk is served before the batch's writes, and
+// writes then apply in submission order. A write op first invalidates
+// every cached extent overlapping its mutated [lbn, lbn+count) ranges
+// — the service loop is the only goroutine allowed to touch the extent
+// cache, so invalidation needs no further synchronization — and only
+// then is the write's I/O served and its cost charged. Because a
+// write's submitter does not unblock until after invalidation, any
+// read issued after a write completes observes the invalidation; a
+// read admitted concurrently with an in-flight write linearizes before
+// it and may still be served from pre-write cache state. Writes do not
+// populate the cache (invalidate-on-write, not write-allocate).
 type Service struct {
 	vol  *lvm.Volume
 	opts ServiceOptions
@@ -58,6 +74,11 @@ type ServiceTotals struct {
 	// IssuedRequests counts requests actually sent to the disks after
 	// cross-query coalescing and cache hits.
 	IssuedRequests int64
+	// WriteOps counts write ops served; InvalidatedBlocks counts cached
+	// blocks their write-aware invalidation dropped (also folded into
+	// Attributed.InvalidatedBlocks).
+	WriteOps          int64
+	InvalidatedBlocks int64
 	// Attributed aggregates exactly what was handed back to sessions:
 	// summing every session's per-query Stats reproduces these fields
 	// (ElapsedMs aside — each chunk of a merged batch observes the full
@@ -69,6 +90,7 @@ type opKind int
 
 const (
 	opChunk opKind = iota
+	opWrite
 	opReset
 	opCacheCfg
 )
@@ -77,7 +99,8 @@ const (
 type serviceOp struct {
 	kind opKind
 
-	// opChunk fields.
+	// opChunk and opWrite fields; a write op carries its mutated block
+	// extents in chunk.Reqs.
 	chunk  Chunk
 	policy disk.SchedPolicy // effective issue policy (session override applied)
 	trace  func([]lvm.Completion)
@@ -93,12 +116,13 @@ type serviceOp struct {
 // requests across queries), cache accounting, and the batch's elapsed
 // time.
 type opResult struct {
-	comps    []lvm.Completion
-	hits     int64 // requests served whole from the extent cache
-	hitCells int64 // blocks those hits covered
-	misses   int64 // requests that reached the disks (cache enabled only)
-	elapsed  float64
-	err      error
+	comps       []lvm.Completion
+	hits        int64 // requests served whole from the extent cache
+	hitCells    int64 // blocks those hits covered
+	misses      int64 // requests that reached the disks (cache enabled only)
+	invalidated int64 // cached blocks dropped by a write op's invalidation
+	elapsed     float64
+	err         error
 }
 
 // NewService builds the service for a volume. The caller hands the
@@ -127,6 +151,14 @@ func (s *Service) Close() {
 	for s.running {
 		s.idle.Wait()
 	}
+}
+
+// Closed reports whether Close has been called. A closed service may
+// still be draining; Close (idempotent) waits for quiescence.
+func (s *Service) Closed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
 }
 
 // Reset restores every member disk to its initial state and clears the
@@ -194,16 +226,17 @@ func (s *Service) loop() {
 }
 
 // process serves one admitted batch in submission order: consecutive
-// chunk ops form admission batches; control ops are barriers.
+// chunk and write ops form admission batches; control ops are barriers.
 func (s *Service) process(batch []*serviceOp) {
+	isWork := func(k opKind) bool { return k == opChunk || k == opWrite }
 	for i := 0; i < len(batch); {
-		if batch[i].kind != opChunk {
+		if !isWork(batch[i].kind) {
 			s.handleControl(batch[i])
 			i++
 			continue
 		}
 		j := i
-		for j < len(batch) && batch[j].kind == opChunk {
+		for j < len(batch) && isWork(batch[j].kind) {
 			j++
 		}
 		for i < j {
@@ -238,13 +271,70 @@ func (s *Service) handleControl(op *serviceOp) {
 	op.reply <- opResult{err: err}
 }
 
-// serveChunks services one admission batch of chunk ops.
+// serveChunks services one admission batch of chunk and write ops
+// under the documented ordering policy: all read chunks first (merged
+// across queries when more than one), then the batch's writes in
+// submission order, each invalidating overlapping cached extents
+// before its cost is charged.
 func (s *Service) serveChunks(items []*serviceOp) {
-	if len(items) == 1 {
-		s.serveSingle(items[0])
-		return
+	var reads, writes []*serviceOp
+	for _, op := range items {
+		if op.kind == opWrite {
+			writes = append(writes, op)
+		} else {
+			reads = append(reads, op)
+		}
 	}
-	s.serveMerged(items)
+	switch len(reads) {
+	case 0:
+	case 1:
+		s.serveSingle(reads[0])
+	default:
+		s.serveMerged(reads)
+	}
+	for _, op := range writes {
+		s.serveWrite(op)
+	}
+}
+
+// serveWrite applies one write op: invalidate every cached extent
+// overlapping the mutated ranges, then serve the write I/O and charge
+// its cost to the submitting session. Writes never populate the cache.
+func (s *Service) serveWrite(op *serviceOp) {
+	var res opResult
+	if s.cache != nil {
+		for _, r := range op.chunk.Reqs {
+			res.invalidated += s.cache.invalidate(r.VLBN, r.VLBN+int64(r.Count))
+		}
+	}
+	if len(op.chunk.Reqs) > 0 {
+		comps, elapsed, err := s.vol.ServeBatch(op.chunk.Reqs, op.policy)
+		if err != nil {
+			// The invalidation already happened and stays visible to
+			// later reads, so it must stay visible in the bookkeeping
+			// too — and in the reply, so the session's totals match.
+			s.mu.Lock()
+			s.totals.WriteOps++
+			s.totals.InvalidatedBlocks += res.invalidated
+			s.totals.Attributed.InvalidatedBlocks += res.invalidated
+			s.mu.Unlock()
+			op.reply <- opResult{err: err, invalidated: res.invalidated}
+			return
+		}
+		res.comps, res.elapsed = comps, elapsed
+	}
+	s.mu.Lock()
+	t := &s.totals
+	t.WriteOps++
+	t.InvalidatedBlocks += res.invalidated
+	t.IssuedRequests += int64(len(op.chunk.Reqs))
+	t.Attributed.AddWriteCompletions(res.comps, res.elapsed)
+	t.Attributed.InvalidatedBlocks += res.invalidated
+	s.mu.Unlock()
+	if op.trace != nil && len(res.comps) > 0 {
+		op.trace(res.comps)
+	}
+	op.reply <- res
 }
 
 // serveSingle services a lone chunk exactly as Run would: the planner's

@@ -91,7 +91,8 @@ func TestSessionSingleMatchesRun(t *testing.T) {
 func statsClose(a, b Stats, tb testing.TB) {
 	tb.Helper()
 	if a.Cells != b.Cells || a.Padding != b.Padding || a.Requests != b.Requests ||
-		a.CacheHits != b.CacheHits || a.CacheMisses != b.CacheMisses {
+		a.CacheHits != b.CacheHits || a.CacheMisses != b.CacheMisses ||
+		a.Writes != b.Writes || a.InvalidatedBlocks != b.InvalidatedBlocks {
 		tb.Fatalf("integer stats differ: %+v vs %+v", a, b)
 	}
 	for _, p := range [][2]float64{
@@ -359,6 +360,235 @@ func TestExtentCacheEviction(t *testing.T) {
 	if c.used != 140 {
 		t.Fatalf("merged used %d blocks, want 140", c.used)
 	}
+
+	// A merge whose union would exceed the whole cache is skipped: the
+	// existing neighbours must survive rather than be evicted through.
+	c = newExtentCache(100)
+	c.insert(0, 60)
+	c.insert(100, 140)
+	c.insert(60, 100) // union [0,140) = 140 > 100: not cached
+	if !c.covered(0, 60) || !c.covered(100, 140) {
+		t.Fatal("oversized merge evicted its neighbours")
+	}
+	if c.covered(60, 100) || c.used != 100 {
+		t.Fatalf("oversized merge was cached anyway (used %d)", c.used)
+	}
+}
+
+// TestExtentCacheInvalidate exercises write-aware invalidation: full
+// drops, trims, straddling splits, and recency preservation.
+func TestExtentCacheInvalidate(t *testing.T) {
+	c := newExtentCache(1000)
+	c.insert(100, 200)
+	c.insert(300, 400)
+	c.insert(500, 600)
+
+	// Fully covered extent drops.
+	if got := c.invalidate(300, 400); got != 100 {
+		t.Fatalf("invalidated %d blocks, want 100", got)
+	}
+	if c.covered(300, 301) || c.used != 200 {
+		t.Fatalf("extent survived full invalidation (used %d)", c.used)
+	}
+
+	// A range straddling the middle splits the extent in two.
+	if got := c.invalidate(130, 150); got != 20 {
+		t.Fatalf("invalidated %d blocks, want 20", got)
+	}
+	if !c.covered(100, 130) || !c.covered(150, 200) {
+		t.Fatal("split remnants missing")
+	}
+	if c.covered(130, 131) || c.covered(125, 155) {
+		t.Fatal("invalidated gap still reported covered")
+	}
+	if c.used != 180 {
+		t.Fatalf("used %d blocks after split, want 180", c.used)
+	}
+
+	// Overlapping several extents: trim edges, keep the outside.
+	if got := c.invalidate(190, 520); got != 30 {
+		t.Fatalf("invalidated %d blocks, want 30 (10 + 20)", got)
+	}
+	if !c.covered(150, 190) || !c.covered(520, 600) {
+		t.Fatal("trimmed remnants missing")
+	}
+	if c.covered(195, 196) || c.covered(505, 506) {
+		t.Fatal("trimmed ranges still covered")
+	}
+
+	// A miss range invalidates nothing.
+	if got := c.invalidate(700, 800); got != 0 {
+		t.Fatalf("invalidated %d blocks in empty range", got)
+	}
+
+	// Remnants keep their LRU position: filling the cache must evict
+	// the oldest remnant first, not a fresh insert.
+	c = newExtentCache(100)
+	c.insert(0, 60)      // oldest
+	c.insert(100, 140)   // newer
+	c.invalidate(20, 40) // splits [0,60) into two remnants, same recency
+	c.insert(200, 240)   // 40+40+40+... = 120 > 100: evicts LRU remnants
+	if !c.covered(100, 140) || !c.covered(200, 240) {
+		t.Fatal("newer extents evicted instead of the old remnants")
+	}
+}
+
+// TestServiceWriteInvalidates: a write op must drop exactly the cached
+// extents overlapping its ranges, charge real I/O to the session, and
+// force the next read of those blocks back to the disks.
+func TestServiceWriteInvalidates(t *testing.T) {
+	v := testVolume(t)
+	svc := NewService(v, ServiceOptions{CacheBlocks: 1 << 20})
+	defer svc.Close()
+	sess := svc.NewSession(SessionOptions{})
+	reqs := []lvm.Request{{VLBN: 100, Count: 8}, {VLBN: 400, Count: 16}}
+	if _, err := sess.RunPlan(Static(reqs, disk.SchedSPTF), Options{}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Write over the second extent only.
+	wst, err := sess.Write([]lvm.Request{{VLBN: 404, Count: 4}}, disk.SchedSPTF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wst.Writes != 4 || wst.Requests != 1 || wst.TotalMs <= 0 {
+		t.Fatalf("write not charged: %+v", wst)
+	}
+	// Only the dirtied blocks drop; the clean remnants [400,404) and
+	// [408,416) stay cached (they still hold valid data).
+	if wst.InvalidatedBlocks != 4 {
+		t.Fatalf("invalidated %d blocks, want exactly the dirtied range (4)", wst.InvalidatedBlocks)
+	}
+	if wst.Cells != 0 {
+		t.Fatalf("write blocks credited as cells: %+v", wst)
+	}
+
+	// First extent still hits; the written one must miss again.
+	st, err := sess.RunPlan(Static(reqs, disk.SchedSPTF), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.CacheHits != 1 || st.CacheMisses != 1 {
+		t.Fatalf("post-write read: hits=%d misses=%d, want 1/1: %+v", st.CacheHits, st.CacheMisses, st)
+	}
+
+	tot := svc.Totals()
+	if tot.WriteOps != 1 || tot.InvalidatedBlocks != 4 {
+		t.Fatalf("service write bookkeeping wrong: %+v", tot)
+	}
+	if tot.Attributed.Writes != 4 {
+		t.Fatalf("attributed writes %d, want 4", tot.Attributed.Writes)
+	}
+	// The session's lifetime totals must reproduce the attributed sum.
+	lt := sess.Totals()
+	lt.ElapsedMs = tot.Attributed.ElapsedMs
+	statsClose(lt, tot.Attributed, t)
+	if lt.Writes != tot.Attributed.Writes || lt.InvalidatedBlocks != tot.Attributed.InvalidatedBlocks {
+		t.Fatalf("write fields differ: session %+v vs attributed %+v", lt, tot.Attributed)
+	}
+}
+
+// TestServiceBatchReadsBeforeWrites pins the documented ordering policy:
+// within one admission batch, read chunks are served before writes, so
+// a read admitted with a conflicting write linearizes before it (and
+// the write's invalidation lands after the read primed the cache).
+func TestServiceBatchReadsBeforeWrites(t *testing.T) {
+	v := testVolume(t)
+	svc := NewService(v, ServiceOptions{CacheBlocks: 1 << 20})
+	defer svc.Close()
+
+	read := &serviceOp{
+		kind:   opChunk,
+		chunk:  Chunk{Reqs: []lvm.Request{{VLBN: 100, Count: 8}}, Policy: disk.SchedSPTF},
+		policy: disk.SchedSPTF,
+		reply:  make(chan opResult, 1),
+	}
+	write := &serviceOp{
+		kind:   opWrite,
+		chunk:  Chunk{Reqs: []lvm.Request{{VLBN: 100, Count: 8}}},
+		policy: disk.SchedSPTF,
+		reply:  make(chan opResult, 1),
+	}
+	// Write submitted BEFORE the read, same admission batch: the read
+	// must still be served first (miss — nothing cached yet), then the
+	// write invalidates what the read just cached.
+	svc.process([]*serviceOp{write, read})
+	rr, rw := <-read.reply, <-write.reply
+	if rr.err != nil || rw.err != nil {
+		t.Fatal(rr.err, rw.err)
+	}
+	if rr.hits != 0 || rr.misses != 1 {
+		t.Fatalf("read in mixed batch: hits=%d misses=%d, want 0/1", rr.hits, rr.misses)
+	}
+	if rw.invalidated != 8 {
+		t.Fatalf("write invalidated %d blocks, want the read's fresh extent (8)", rw.invalidated)
+	}
+	// After the batch, the blocks are uncached.
+	sess := svc.NewSession(SessionOptions{})
+	st, err := sess.RunPlan(Static([]lvm.Request{{VLBN: 100, Count: 8}}, disk.SchedSPTF), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.CacheHits != 0 || st.CacheMisses != 1 {
+		t.Fatalf("blocks still cached after in-batch write: %+v", st)
+	}
+}
+
+// TestServiceConcurrentWrites mixes writers and readers under -race and
+// re-checks the attribution sum property with write ops in play.
+func TestServiceConcurrentWrites(t *testing.T) {
+	v := testVolume(t, disk.SmallTestDisk(), disk.SmallTestDisk())
+	svc := NewService(v, ServiceOptions{CacheBlocks: 4096})
+	defer svc.Close()
+
+	const clients = 6
+	sessions := make([]*Session, clients)
+	errs := make([]error, clients)
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		sessions[i] = svc.NewSession(SessionOptions{MaxInflight: 1 + i%2})
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(500 + i)))
+			for q := 0; q < 8; q++ {
+				if q%3 == 2 {
+					reqs := SortCoalesce(randomReqs(rng, v, 5))
+					if _, err := sessions[i].Write(reqs, disk.SchedSPTF); err != nil {
+						errs[i] = err
+						return
+					}
+					continue
+				}
+				chunks := randomChunks(rng, v, 1+rng.Intn(2), 20)
+				if _, err := sessions[i].RunPlan(chunkPlan(chunks), Options{}); err != nil {
+					errs[i] = err
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("client %d: %v", i, err)
+		}
+	}
+	var sum Stats
+	for _, s := range sessions {
+		sum.Accumulate(s.Totals())
+	}
+	tot := svc.Totals()
+	sum.ElapsedMs = tot.Attributed.ElapsedMs
+	statsClose(sum, tot.Attributed, t)
+	if sum.Writes != tot.Attributed.Writes || sum.InvalidatedBlocks != tot.Attributed.InvalidatedBlocks {
+		t.Fatalf("write attribution mismatch: sessions %+v vs service %+v", sum, tot.Attributed)
+	}
+	// q%3==2 fires twice per client over 8 queries.
+	if tot.WriteOps != clients*2 || sum.Writes == 0 {
+		t.Fatalf("expected %d write ops with blocks written, got %+v (writes=%d)",
+			clients*2, tot, sum.Writes)
+	}
 }
 
 // TestServiceMaxBatch: a MaxBatch cap must split one admission run into
@@ -423,7 +653,9 @@ func TestServiceClose(t *testing.T) {
 }
 
 // TestSessionPlanError: a failing plan aborts the query and reports the
-// planner's error.
+// planner's error — but chunks the service already served still land in
+// the session's lifetime totals, preserving the attribution sum
+// property for workloads containing failed queries.
 func TestSessionPlanError(t *testing.T) {
 	v := testVolume(t)
 	svc := NewService(v, ServiceOptions{})
@@ -437,48 +669,76 @@ func TestSessionPlanError(t *testing.T) {
 		}
 		return Chunk{Reqs: []lvm.Request{{VLBN: int64(i) * 100, Count: 4}}, Policy: disk.SchedSPTF}, true, nil
 	})
-	if _, err := svc.NewSession(SessionOptions{MaxInflight: 2}).RunPlan(p, Options{}); err != boom {
+	sess := svc.NewSession(SessionOptions{MaxInflight: 2})
+	if _, err := sess.RunPlan(p, Options{}); err != boom {
 		t.Fatalf("got %v, want planner error", err)
+	}
+	tot := svc.Totals()
+	lt := sess.Totals()
+	lt.ElapsedMs = tot.Attributed.ElapsedMs
+	statsClose(lt, tot.Attributed, t)
+	if lt.Cells != 8 {
+		t.Fatalf("served chunks of the failed query not in lifetime totals: %+v", lt)
 	}
 }
 
 // BenchmarkService measures end-to-end service throughput at 1, 4, and
-// 16 concurrent clients, cache off and on, next to the raw Execute
-// benchmarks: each op is one client-query of 200 requests over a
-// compact band (overlapping across clients, so the cache has work).
+// 16 concurrent clients, cache off and on, with a pure-read and a
+// 10%-writes workload, next to the raw Execute benchmarks: each op is
+// one client-query of 200 requests over a compact band (overlapping
+// across clients, so the cache has work — and the writes give its
+// invalidation path work).
 func BenchmarkService(b *testing.B) {
 	for _, clients := range []int{1, 4, 16} {
 		for _, cacheBlocks := range []int64{0, 1 << 22} {
-			name := fmt.Sprintf("clients=%d/cache=%d", clients, cacheBlocks)
-			b.Run(name, func(b *testing.B) {
-				v := testVolume(b, disk.AtlasTenKIII())
-				svc := NewService(v, ServiceOptions{CacheBlocks: cacheBlocks})
-				defer svc.Close()
-				plans := make([][]lvm.Request, clients)
-				for i := range plans {
-					rng := rand.New(rand.NewSource(int64(40 + i)))
-					base := int64(1_000_000)
-					plans[i] = make([]lvm.Request, 200)
-					for j := range plans[i] {
-						plans[i][j] = lvm.Request{VLBN: base + rng.Int63n(400_000), Count: 1 + rng.Intn(8)}
-					}
-				}
-				b.ResetTimer()
-				for n := 0; n < b.N; n++ {
-					var wg sync.WaitGroup
-					for i := 0; i < clients; i++ {
-						wg.Add(1)
-						go func(i int) {
-							defer wg.Done()
-							sess := svc.NewSession(SessionOptions{})
-							if _, err := sess.RunPlan(Static(plans[i], disk.SchedSPTF), Options{}); err != nil {
-								b.Error(err)
+			for _, writeEvery := range []int{0, 10} { // 0 = read-only, 10 = 10% writes
+				name := fmt.Sprintf("clients=%d/cache=%d/writes=%d%%", clients, cacheBlocks, writeEvery)
+				b.Run(name, func(b *testing.B) {
+					v := testVolume(b, disk.AtlasTenKIII())
+					svc := NewService(v, ServiceOptions{CacheBlocks: cacheBlocks})
+					defer svc.Close()
+					plans := make([][]lvm.Request, clients)
+					writes := make([][]lvm.Request, clients)
+					for i := range plans {
+						rng := rand.New(rand.NewSource(int64(40 + i)))
+						base := int64(1_000_000)
+						plans[i] = make([]lvm.Request, 200)
+						for j := range plans[i] {
+							plans[i][j] = lvm.Request{VLBN: base + rng.Int63n(400_000), Count: 1 + rng.Intn(8)}
+						}
+						if writeEvery > 0 {
+							// One write op per writeEvery reads, over the
+							// same band so it collides with cached extents.
+							writes[i] = make([]lvm.Request, len(plans[i])/writeEvery)
+							for j := range writes[i] {
+								writes[i][j] = lvm.Request{VLBN: base + rng.Int63n(400_000), Count: 1 + rng.Intn(4)}
 							}
-						}(i)
+						}
 					}
-					wg.Wait()
-				}
-			})
+					b.ResetTimer()
+					for n := 0; n < b.N; n++ {
+						var wg sync.WaitGroup
+						for i := 0; i < clients; i++ {
+							wg.Add(1)
+							go func(i int) {
+								defer wg.Done()
+								sess := svc.NewSession(SessionOptions{})
+								if _, err := sess.RunPlan(Static(plans[i], disk.SchedSPTF), Options{}); err != nil {
+									b.Error(err)
+									return
+								}
+								for _, w := range writes[i] {
+									if _, err := sess.Write([]lvm.Request{w}, disk.SchedSPTF); err != nil {
+										b.Error(err)
+										return
+									}
+								}
+							}(i)
+						}
+						wg.Wait()
+					}
+				})
+			}
 		}
 	}
 }

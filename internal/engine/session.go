@@ -3,6 +3,7 @@ package engine
 import (
 	"sync"
 
+	"repro/internal/disk"
 	"repro/internal/lvm"
 )
 
@@ -114,12 +115,20 @@ func (s *Session) RunPlan(p Plan, opts Options) (Stats, error) {
 	// finish folds (or, after a failure, waits out) every outstanding
 	// op. Submitted chunks are always drained to their reply: the query
 	// must not return while the loop could still serve its chunks and
-	// fire its Trace callback.
+	// fire its Trace callback. Chunks the loop already served are folded
+	// into the session's lifetime totals even when the query fails, so
+	// summing session totals still reproduces ServiceTotals.Attributed.
 	finish := func(failed error) (Stats, error) {
 		var err error
 		for _, op := range pending {
 			if failed != nil || err != nil {
-				<-op.reply
+				if r := <-op.reply; r.err == nil {
+					st.AddCompletions(r.comps, r.elapsed)
+					st.Padding += op.chunk.Padding
+					st.Cells += r.hitCells
+					st.CacheHits += r.hits
+					st.CacheMisses += r.misses
+				}
 				continue
 			}
 			err = fold(op)
@@ -128,12 +137,12 @@ func (s *Session) RunPlan(p Plan, opts Options) (Stats, error) {
 		if failed == nil {
 			failed = err
 		}
-		if failed != nil {
-			return Stats{}, failed
-		}
 		s.mu.Lock()
 		s.totals.Accumulate(st)
 		s.mu.Unlock()
+		if failed != nil {
+			return Stats{}, failed
+		}
 		return st, nil
 	}
 
@@ -170,6 +179,40 @@ func (s *Session) RunPlan(p Plan, opts Options) (Stats, error) {
 	return finish(nil)
 }
 
+// Write submits one batch of block writes through the service as a
+// first-class write op. The service loop invalidates every cached
+// extent overlapping the mutated [lbn, lbn+count) ranges before the
+// write's simulated I/O is served under the given policy; by the time
+// Write returns, no stale extent over those blocks survives, so a
+// subsequent read through any session pays the full disk cost. The
+// returned Stats carry the write's I/O time with the blocks in Writes
+// (not Cells) and the invalidation count in InvalidatedBlocks.
+func (s *Session) Write(reqs []lvm.Request, policy disk.SchedPolicy) (Stats, error) {
+	op := &serviceOp{
+		kind:   opWrite,
+		chunk:  Chunk{Reqs: reqs},
+		policy: policy,
+		reply:  make(chan opResult, 1),
+	}
+	if err := s.svc.submit(op); err != nil {
+		return Stats{}, err
+	}
+	r := <-op.reply
+	var st Stats
+	st.AddWriteCompletions(r.comps, r.elapsed)
+	st.InvalidatedBlocks = r.invalidated
+	// Invalidation sticks even when the write I/O itself failed, so it
+	// is folded into the lifetime totals either way (the sum property
+	// against ServiceTotals.Attributed holds for failed writes too).
+	s.mu.Lock()
+	s.totals.Accumulate(st)
+	s.mu.Unlock()
+	if r.err != nil {
+		return Stats{}, r.err
+	}
+	return st, nil
+}
+
 // Accumulate folds another query's stats into s — lifetime session
 // totals, experiment aggregation.
 func (s *Stats) Accumulate(q Stats) {
@@ -184,4 +227,6 @@ func (s *Stats) Accumulate(q Stats) {
 	s.TransferMs += q.TransferMs
 	s.CacheHits += q.CacheHits
 	s.CacheMisses += q.CacheMisses
+	s.Writes += q.Writes
+	s.InvalidatedBlocks += q.InvalidatedBlocks
 }

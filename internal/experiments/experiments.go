@@ -39,6 +39,10 @@ type Config struct {
 	// CacheBlocks sizes the shared extent cache for that experiment
 	// (0 = cache off).
 	CacheBlocks int64
+	// WriteFraction in [0,1) is the share of each client's operations
+	// that are update bursts (point inserts submitted as service write
+	// ops) in the service-throughput experiment. 0 = read-only.
+	WriteFraction float64
 }
 
 // Defaults fills unset fields: both paper drives, full scale, 15 runs.
@@ -67,6 +71,9 @@ func (c Config) validate() error {
 	}
 	if c.Clients < 0 || c.Queries < 0 || c.CacheBlocks < 0 {
 		return fmt.Errorf("experiments: clients, queries, and cache blocks must be non-negative")
+	}
+	if c.WriteFraction < 0 || c.WriteFraction >= 1 {
+		return fmt.Errorf("experiments: write fraction %v outside [0,1)", c.WriteFraction)
 	}
 	if _, err := c.execOptions(); err != nil {
 		return err

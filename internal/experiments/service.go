@@ -1,12 +1,16 @@
 package experiments
 
 // Service-throughput experiment: the concurrent serving mode beyond the
-// paper. N client sessions issue mixed beam/range queries against one
-// MultiMap store at once; the per-volume service loop merges their
-// in-flight chunks into shared SPTF batches and the optional extent
-// cache absorbs overlapping reads. The table reports aggregate
-// throughput (queries/sec), cache hit rate, and per-query ms/cell
-// alongside the service's own batching evidence.
+// paper. N client sessions issue mixed beam/range queries — and, with
+// cfg.WriteFraction > 0, §4.6 point inserts submitted as service write
+// ops — against one MultiMap store at once; the per-volume service loop
+// merges their in-flight chunks into shared SPTF batches, the optional
+// extent cache absorbs overlapping reads, and every write invalidates
+// the cached extents it dirties. The table reports aggregate throughput
+// (queries/sec), cache hit rate, and per-query ms/cell alongside the
+// service's own batching and invalidation evidence — run it with rising
+// -writes fractions to watch the hit rate fall as writes churn the
+// cache.
 
 import (
 	"fmt"
@@ -14,6 +18,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/disk"
 	"repro/internal/engine"
@@ -29,7 +34,7 @@ type ServeResult map[string]ServeRun
 // ServeRun summarizes the service-throughput run on one drive.
 type ServeRun struct {
 	Clients        int
-	Queries        int     // total completed queries
+	Queries        int     // total completed queries (writes included)
 	WallSeconds    float64 // host wall-clock time
 	QueriesPerSec  float64
 	MsPerCell      float64 // aggregate simulated ms per cell
@@ -38,6 +43,9 @@ type ServeRun struct {
 	MaxBatchChunks int     // largest admission batch: queries in flight together
 	MergedBatches  int64
 	IssuedRequests int64
+	WriteOps       int64 // write ops served by the service loop
+	BlocksWritten  int64
+	Invalidated    int64          // cached blocks dropped by write invalidation
 	PerSession     []engine.Stats // lifetime stats of each client session
 	Totals         engine.ServiceTotals
 }
@@ -45,8 +53,10 @@ type ServeRun struct {
 // ServiceThroughput drives cfg.Clients concurrent sessions per
 // configured drive, each issuing cfg.Queries mixed beam/range queries
 // over the synthetic 3-D dataset, through one volume service with
-// cfg.CacheBlocks of extent cache. Queries are seeded per client, so a
-// run is reproducible in workload (though not in interleaving).
+// cfg.CacheBlocks of extent cache; a cfg.WriteFraction share of each
+// client's operations are update bursts on the hot region. Queries are
+// seeded per client, so a run is reproducible in workload (though not
+// in interleaving).
 func ServiceThroughput(cfg Config) (*Table, ServeResult, error) {
 	cfg = cfg.Defaults()
 	if cfg.Clients == 0 {
@@ -66,10 +76,10 @@ func ServiceThroughput(cfg Config) (*Table, ServeResult, error) {
 	res := ServeResult{}
 	t := &Table{
 		ID: "serve",
-		Title: fmt.Sprintf("Concurrent query service, %v cells, cache %d blocks",
-			dims, cfg.CacheBlocks),
+		Title: fmt.Sprintf("Concurrent query service, %v cells, cache %d blocks, write fraction %.2f",
+			dims, cfg.CacheBlocks, cfg.WriteFraction),
 		Header: []string{"disk", "clients", "queries", "q/s", "ms/cell", "ms/query",
-			"hit rate", "max batch", "merged", "issued reqs"},
+			"hit rate", "max batch", "merged", "issued reqs", "writes", "inval blk"},
 	}
 	for _, g := range cfg.Disks {
 		run, err := serveOneDisk(cfg, g, grid, dims)
@@ -82,7 +92,8 @@ func ServiceThroughput(cfg Config) (*Table, ServeResult, error) {
 			fmt.Sprintf("%.1f", run.QueriesPerSec), f3(run.MsPerCell),
 			fmt.Sprintf("%.1f", run.MeanQueryMs), fmt.Sprintf("%.2f", run.HitRate),
 			fmt.Sprint(run.MaxBatchChunks), fmt.Sprint(run.MergedBatches),
-			fmt.Sprint(run.IssuedRequests),
+			fmt.Sprint(run.IssuedRequests), fmt.Sprint(run.BlocksWritten),
+			fmt.Sprint(run.Invalidated),
 		})
 	}
 	return t, res, nil
@@ -104,6 +115,25 @@ func serveOneDisk(cfg Config, g *disk.Geometry, grid *dataset.Grid, dims []int) 
 	}
 	exec := query.NewExecutorOptions(v, m, eo)
 
+	// The update layer for the write share: overflow pages live past the
+	// mapped span, clear of every cell (the same invariant the public
+	// UpdatableStore validates).
+	var cells *core.CellStore
+	if cfg.WriteFraction > 0 {
+		_, hi := m.(mapping.Spanned).SpanVLBN()
+		overflow := v.TotalBlocks() - hi
+		if overflow <= 0 {
+			return ServeRun{}, fmt.Errorf("experiments: no room for an overflow extent past VLBN %d", hi)
+		}
+		if overflow > 1<<16 {
+			overflow = 1 << 16
+		}
+		cells, err = core.NewCellStore(m.CellVLBN, 64, 0.75, 0.25, v.TotalBlocks()-overflow, overflow)
+		if err != nil {
+			return ServeRun{}, err
+		}
+	}
+
 	svc := engine.NewService(v, engine.ServiceOptions{CacheBlocks: cfg.CacheBlocks})
 	defer svc.Close()
 
@@ -123,7 +153,13 @@ func serveOneDisk(cfg Config, g *disk.Geometry, grid *dataset.Grid, dims []int) 
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(cfg.Seed + int64(i)*7919))
 			for q := 0; q < cfg.Queries; q++ {
-				if err := runMixedQuery(exec, sessions[i], grid, dims, rng); err != nil {
+				var err error
+				if cells != nil && rng.Float64() < cfg.WriteFraction {
+					err = runInsertBurst(cells, sessions[i], dims, rng)
+				} else {
+					err = runMixedQuery(exec, sessions[i], grid, dims, rng)
+				}
+				if err != nil {
 					errs[i] = fmt.Errorf("client %d query %d: %w", i, q, err)
 					return
 				}
@@ -163,7 +199,34 @@ func serveOneDisk(cfg Config, g *disk.Geometry, grid *dataset.Grid, dims []int) 
 	run.MaxBatchChunks = run.Totals.MaxBatchChunks
 	run.MergedBatches = run.Totals.MergedBatches
 	run.IssuedRequests = run.Totals.IssuedRequests
+	run.WriteOps = run.Totals.WriteOps
+	run.BlocksWritten = sum.Writes
+	run.Invalidated = run.Totals.InvalidatedBlocks
 	return run, nil
+}
+
+// runInsertBurst performs one update operation: a burst of point
+// inserts into a cell on the hot-region alignment grid (the same
+// region the hot range queries keep re-reading), each submitted as a
+// service write op so the loop invalidates any cached extents over the
+// dirtied blocks before charging the write.
+func runInsertBurst(cells *core.CellStore, sess *engine.Session, dims []int, rng *rand.Rand) error {
+	cell := make([]int, len(dims))
+	for i, d := range dims {
+		side := max(1, d/16)
+		slots := max(1, d/8/side)
+		cell[i] = rng.Intn(slots) * side
+	}
+	for k := 0; k < 8; k++ {
+		reqs, err := cells.Insert(cell)
+		if err != nil {
+			return err
+		}
+		if _, err := sess.Write(reqs, disk.SchedSPTF); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // runMixedQuery issues one query through the client's session: half

@@ -65,4 +65,53 @@ func TestServiceThroughput(t *testing.T) {
 	if _, _, err := ServiceThroughput(bad); err == nil {
 		t.Fatal("negative clients accepted")
 	}
+	bad = cfg
+	bad.WriteFraction = 1
+	if _, _, err := ServiceThroughput(bad); err == nil {
+		t.Fatal("write fraction 1 accepted")
+	}
+}
+
+// TestServiceThroughputWithWrites mixes update bursts into the cached
+// workload: the writes must reach the service as write ops, invalidate
+// hot cached extents, and drag the hit rate below the read-only run's.
+func TestServiceThroughputWithWrites(t *testing.T) {
+	cfg := fastCfg()
+	cfg.Clients = 4
+	cfg.Queries = 8
+	cfg.ChunkCells = 512
+	cfg.CacheBlocks = 1 << 22
+
+	_, readOnly, err := ServiceThroughput(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ro := readOnly[cfg.Disks[0].Name]
+
+	cfg.WriteFraction = 0.3
+	tb, mixedByDisk, err := ServiceThroughput(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mixed := mixedByDisk[cfg.Disks[0].Name]
+	if mixed.WriteOps == 0 || mixed.BlocksWritten == 0 {
+		t.Fatalf("write fraction 0.3 produced no write ops: %+v", mixed)
+	}
+	if mixed.Invalidated == 0 {
+		t.Fatalf("hot-region writes invalidated nothing: %+v", mixed)
+	}
+	if mixed.HitRate >= ro.HitRate {
+		t.Fatalf("hit rate did not fall under writes: %.3f (mixed) vs %.3f (read-only)",
+			mixed.HitRate, ro.HitRate)
+	}
+	var writes int64
+	for _, st := range mixed.PerSession {
+		writes += st.Writes
+	}
+	if writes != mixed.Totals.Attributed.Writes {
+		t.Fatalf("session writes %d != attributed %d", writes, mixed.Totals.Attributed.Writes)
+	}
+	if !strings.Contains(tb.String(), "inval blk") {
+		t.Fatalf("table missing invalidation column:\n%s", tb)
+	}
 }

@@ -22,6 +22,14 @@
 // loop whenever a service is running. ServeBatch's own per-disk
 // goroutines are internal: each member disk is touched only by its own
 // goroutine within one ServeBatch call.
+//
+// The same ownership rule covers the service's extent cache over this
+// volume's blocks: only the service loop may insert or invalidate
+// cache entries. Writes reach the disks exclusively as service write
+// ops, which invalidate every cached extent overlapping the mutated
+// block ranges before the write's cost is charged — no other goroutine
+// may mutate blocks behind the cache's back, or a later read would
+// replay a stale extent's cost.
 package lvm
 
 import (

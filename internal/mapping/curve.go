@@ -117,8 +117,15 @@ func (c *curveMapper) CellAt(vlbn int64, out []int) error {
 	return c.ranked.CellAt((vlbn-c.base)/int64(c.cellBlocks), out)
 }
 
+// SpanVLBN: a curve-ordered dataset is one contiguous extent of densely
+// packed ranks.
+func (c *curveMapper) SpanVLBN() (int64, int64) {
+	return c.base, c.base + sfc.NumCells(c.dims)*int64(c.cellBlocks)
+}
+
 var (
 	_ Mapper     = (*curveMapper)(nil)
 	_ CellSized  = (*curveMapper)(nil)
 	_ BoxPlanner = (*curveMapper)(nil)
+	_ Spanned    = (*curveMapper)(nil)
 )

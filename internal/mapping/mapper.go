@@ -123,6 +123,16 @@ func (o Options) normalize() (Options, error) {
 	return o, nil
 }
 
+// Spanned is implemented by every mapper; SpanVLBN reports the
+// half-open VLBN interval the dataset occupies on the volume. The
+// interval is conservative (it may include allocation gaps and
+// unfilled edge-cube space); layers that carve auxiliary extents —
+// like the update layer's overflow pages — use it to prove they do not
+// collide with mapped cells.
+type Spanned interface {
+	SpanVLBN() (start, end int64)
+}
+
 // CellSized is implemented by every mapper; it reports the cell size in
 // blocks and the full extent list of one cell (two extents only when a
 // MultiMap cell wraps its circular track).
@@ -220,8 +230,11 @@ func (mm *multiMapper) CellExtents(cell []int) ([]lvm.Request, error) {
 // experiments and tests).
 func (mm *multiMapper) Core() *core.Mapping { return mm.m }
 
+func (mm *multiMapper) SpanVLBN() (int64, int64) { return mm.m.SpanVLBN() }
+
 var (
 	_ Dim0Runner     = (*multiMapper)(nil)
 	_ SemiSequential = (*multiMapper)(nil)
 	_ CellSized      = (*multiMapper)(nil)
+	_ Spanned        = (*multiMapper)(nil)
 )

@@ -84,7 +84,13 @@ func (n *naiveMapper) Dim0Run(cell []int, length int) ([]lvm.Request, error) {
 	return []lvm.Request{{VLBN: vlbn, Count: length * n.cellBlocks}}, nil
 }
 
+// SpanVLBN: a naive dataset is one contiguous extent.
+func (n *naiveMapper) SpanVLBN() (int64, int64) {
+	return n.base, n.base + n.cells*int64(n.cellBlocks)
+}
+
 var (
 	_ Dim0Runner = (*naiveMapper)(nil)
 	_ CellSized  = (*naiveMapper)(nil)
+	_ Spanned    = (*naiveMapper)(nil)
 )

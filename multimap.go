@@ -123,14 +123,38 @@ func (v *Volume) GetTrackBoundaries(vlbn int64) (start, next int64, err error) {
 
 // service returns the volume's query service, created on first use.
 // Its loop goroutine runs only while queries are in flight, so an idle
-// volume holds no goroutine.
+// volume holds no goroutine. A service found mid-Close is waited out
+// (Close is idempotent and returns at quiescence) and replaced, so a
+// store built concurrently with Volume.Close still gets a live
+// service rather than a permanently dead one.
 func (v *Volume) service() *engine.Service {
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	if v.svc == nil {
-		v.svc = engine.NewService(v.v, engine.ServiceOptions{})
+	for {
+		v.mu.Lock()
+		if v.svc == nil {
+			v.svc = engine.NewService(v.v, engine.ServiceOptions{})
+			svc := v.svc
+			v.mu.Unlock()
+			return svc
+		}
+		svc := v.svc
+		v.mu.Unlock()
+		if !svc.Closed() {
+			return svc
+		}
+		v.retire(svc)
 	}
-	return v.svc
+}
+
+// retire waits for a closed service to drain and clears it from v.svc
+// (unless another goroutine already replaced it). Only after the drain
+// may anything else own the disks.
+func (v *Volume) retire(svc *engine.Service) {
+	svc.Close()
+	v.mu.Lock()
+	if v.svc == svc {
+		v.svc = nil
+	}
+	v.mu.Unlock()
 }
 
 // Reset restores all drives to their initial head positions and clears
@@ -152,8 +176,9 @@ func (v *Volume) Reset() {
 		if svc.Reset() == nil {
 			return
 		}
-		// That service was closed concurrently (Close leaves it
-		// quiescent and clears v.svc); re-evaluate.
+		// That service was closed concurrently. Wait out its drain and
+		// clear it, then re-evaluate — no spinning while it drains.
+		v.retire(svc)
 	}
 }
 
@@ -164,11 +189,15 @@ func (v *Volume) Reset() {
 func (v *Volume) Close() {
 	v.mu.Lock()
 	svc := v.svc
-	v.svc = nil
 	v.mu.Unlock()
-	if svc != nil {
-		svc.Close()
+	if svc == nil {
+		return
 	}
+	// Drain before forgetting the service: while batches are still in
+	// flight the loop goroutine owns the disk head state, so v.svc must
+	// keep pointing at it — otherwise a concurrent Reset or NewStore
+	// would see "no service" and touch the disks alongside the loop.
+	v.retire(svc)
 }
 
 // ServiceTotals snapshots the query service's bookkeeping (zero before
@@ -306,12 +335,6 @@ func (q *Session) RangeQuery(lo, hi []int) (Stats, error) {
 // Stats returns the session's accumulated statistics across all its
 // completed queries.
 func (q *Session) Stats() Stats { return q.es.Totals() }
-
-// runStatic services a prepared request batch through the store's
-// default session (the update layer's path to the disks).
-func (s *Store) runStatic(reqs []lvm.Request, policy disk.SchedPolicy) (Stats, error) {
-	return s.def.RunPlan(engine.Static(reqs, policy), engine.Options{})
-}
 
 // CellBlocks returns the store's cell size in blocks.
 func (s *Store) CellBlocks() int {

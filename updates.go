@@ -4,6 +4,9 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/lvm"
+	"repro/internal/mapping"
 	"repro/internal/query"
 )
 
@@ -11,45 +14,79 @@ import (
 // of a mapped dataset: cells are loaded at a tunable fill factor,
 // inserts that overflow a cell go to overflow pages, and underflowing
 // chains are reorganized.
+//
+// Updates are first-class write operations on the volume's query
+// service: every Insert/Delete/LoadCell submits the blocks it dirties
+// as a write op through a session, and the service loop invalidates
+// any cached extents over those blocks before the write's simulated
+// I/O cost is charged. A later FetchCell therefore always pays the
+// real (post-update) disk cost, with or without the extent cache, and
+// the store is safe for concurrent sessions mixing updates with
+// queries.
 type UpdatableStore struct {
 	*Store
 	cells *core.CellStore
+	upd   *UpdateSession // default update session behind the method-set API (distinct from the embedded Store's def read session)
 }
 
-// UpdateOptions tunes §4.6 behaviour.
+// UpdateOptions tunes §4.6 behaviour. The fractional fields use
+// pointers so an explicit zero survives: nil selects the default,
+// while &0.0 (see Frac) means exactly zero.
 type UpdateOptions struct {
-	// PointsPerBlock is the cell capacity in points (rows). Default 64.
+	// PointsPerBlock is the cell capacity in points (rows). 0 selects
+	// the default 64.
 	PointsPerBlock int
-	// FillFactor in (0,1] reserves insert headroom at load time.
-	// Default 0.75.
-	FillFactor float64
-	// ReclaimBelow in [0,1) triggers reorganization when a chain's
-	// occupancy drops under it. Default 0.25.
-	ReclaimBelow float64
+	// FillFactor reserves insert headroom at load time. nil selects the
+	// default 0.75; explicit values must lie in (0,1].
+	FillFactor *float64
+	// ReclaimBelow triggers reorganization when a chain's occupancy
+	// drops under it. nil selects the default 0.25; Frac(0) disables
+	// reclamation entirely; explicit values must lie in [0,1).
+	ReclaimBelow *float64
 	// OverflowBlocks reserves this many blocks for overflow pages at
-	// the end of the dataset's disk. Default 1/8 of the dataset size.
+	// the end of the dataset's disk. 0 selects the default 1/8 of the
+	// dataset size. The extent must not collide with the mapped cells;
+	// NewUpdatableStore validates this.
 	OverflowBlocks int64
 }
 
-func (o UpdateOptions) withDefaults(datasetBlocks int64) UpdateOptions {
+// Frac returns a pointer to v for UpdateOptions' optional fractional
+// fields, letting an explicit zero be distinguished from "unset".
+func Frac(v float64) *float64 { return &v }
+
+func (o UpdateOptions) withDefaults(datasetBlocks int64) (UpdateOptions, error) {
+	if o.PointsPerBlock < 0 {
+		return o, fmt.Errorf("multimap: PointsPerBlock %d must be non-negative", o.PointsPerBlock)
+	}
 	if o.PointsPerBlock == 0 {
 		o.PointsPerBlock = 64
 	}
-	if o.FillFactor == 0 {
-		o.FillFactor = 0.75
+	if o.FillFactor == nil {
+		o.FillFactor = Frac(0.75)
+	} else if f := *o.FillFactor; f <= 0 || f > 1 {
+		return o, fmt.Errorf("multimap: FillFactor %v outside (0,1]", f)
 	}
-	if o.ReclaimBelow == 0 {
-		o.ReclaimBelow = 0.25
+	if o.ReclaimBelow == nil {
+		o.ReclaimBelow = Frac(0.25)
+	} else if r := *o.ReclaimBelow; r < 0 || r >= 1 {
+		return o, fmt.Errorf("multimap: ReclaimBelow %v outside [0,1)", r)
+	}
+	if o.OverflowBlocks < 0 {
+		return o, fmt.Errorf("multimap: OverflowBlocks %d must be non-negative", o.OverflowBlocks)
 	}
 	if o.OverflowBlocks == 0 {
 		o.OverflowBlocks = datasetBlocks/8 + 1
 	}
-	return o
+	return o, nil
 }
 
 // NewUpdatableStore maps the dataset and attaches update bookkeeping.
-func NewUpdatableStore(vol *Volume, kind Mapping, dims []int, opts UpdateOptions) (*UpdatableStore, error) {
-	s, err := NewStore(vol, kind, dims)
+// The overflow extent is carved from the tail of disk 0's segment; the
+// constructor fails if it would overlap the dataset's own cells there.
+// The optional StoreOptions tune the underlying Store exactly as
+// NewStore does (cache, policy, chunking, inflight).
+func NewUpdatableStore(vol *Volume, kind Mapping, dims []int, opts UpdateOptions, sopts ...StoreOptions) (*UpdatableStore, error) {
+	s, err := NewStore(vol, kind, dims, sopts...)
 	if err != nil {
 		return nil, err
 	}
@@ -57,31 +94,60 @@ func NewUpdatableStore(vol *Volume, kind Mapping, dims []int, opts UpdateOptions
 	for _, d := range dims {
 		blocks *= int64(d)
 	}
-	opts = opts.withDefaults(blocks)
-	// Overflow extent at the tail of disk 0's segment.
-	overflowStart := vol.v.DiskStart(0) + vol.v.DiskBlocks(0) - opts.OverflowBlocks
-	if overflowStart < 0 {
-		return nil, fmt.Errorf("multimap: overflow extent larger than the disk")
-	}
-	cells, err := core.NewCellStore(s.m.CellVLBN, opts.PointsPerBlock,
-		opts.FillFactor, opts.ReclaimBelow, overflowStart, opts.OverflowBlocks)
+	opts, err = opts.withDefaults(blocks)
 	if err != nil {
 		return nil, err
 	}
-	return &UpdatableStore{Store: s, cells: cells}, nil
+	// Overflow extent at the tail of disk 0's segment.
+	disk0End := vol.v.DiskStart(0) + vol.v.DiskBlocks(0)
+	overflowStart := disk0End - opts.OverflowBlocks
+	if overflowStart < vol.v.DiskStart(0) {
+		return nil, fmt.Errorf("multimap: overflow extent larger than the disk")
+	}
+	if sp, ok := s.m.(mapping.Spanned); ok {
+		if lo, hi := sp.SpanVLBN(); lo < disk0End && hi > overflowStart {
+			return nil, fmt.Errorf(
+				"multimap: overflow extent [%d,%d) collides with dataset cells [%d,%d) on disk 0; shrink OverflowBlocks (%d)",
+				overflowStart, disk0End, lo, hi, opts.OverflowBlocks)
+		}
+	}
+	cells, err := core.NewCellStore(s.m.CellVLBN, opts.PointsPerBlock,
+		*opts.FillFactor, *opts.ReclaimBelow, overflowStart, opts.OverflowBlocks)
+	if err != nil {
+		return nil, err
+	}
+	u := &UpdatableStore{Store: s, cells: cells}
+	u.upd = u.Begin()
+	return u, nil
+}
+
+// Begin opens an update session: a query session extended with the
+// write-path operations. Sessions are safe for concurrent use with
+// each other; each operation's Stats are attributed to its session.
+func (u *UpdatableStore) Begin() *UpdateSession {
+	return &UpdateSession{u: u, Session: u.Store.Begin()}
 }
 
 // LoadCell bulk-loads n points into a cell at the configured fill
-// factor.
-func (u *UpdatableStore) LoadCell(cell []int, n int) error { return u.cells.LoadCell(cell, n) }
+// factor, charging the load's write I/O to the default session.
+func (u *UpdatableStore) LoadCell(cell []int, n int) error {
+	_, err := u.upd.LoadCell(cell, n)
+	return err
+}
 
-// Insert adds one point to a cell, overflowing if the home block is
-// full.
-func (u *UpdatableStore) Insert(cell []int) error { return u.cells.Insert(cell) }
+// Insert adds one point to a cell through the default session,
+// overflowing if the home block is full.
+func (u *UpdatableStore) Insert(cell []int) error {
+	_, err := u.upd.Insert(cell)
+	return err
+}
 
-// Delete removes one point from a cell, reorganizing underflowing
-// chains.
-func (u *UpdatableStore) Delete(cell []int) error { return u.cells.Delete(cell) }
+// Delete removes one point from a cell through the default session,
+// reorganizing underflowing chains.
+func (u *UpdatableStore) Delete(cell []int) error {
+	_, err := u.upd.Delete(cell)
+	return err
+}
 
 // Points returns a cell's live point count.
 func (u *UpdatableStore) Points(cell []int) (int, error) { return u.cells.Points(cell) }
@@ -93,12 +159,72 @@ func (u *UpdatableStore) ChainLen(cell []int) (int, error) { return u.cells.Chai
 // Reorganizations counts chain compactions so far.
 func (u *UpdatableStore) Reorganizations() int { return u.cells.Reorganizations() }
 
-// FetchCell reads a cell including its overflow chain and returns the
-// simulated I/O statistics — the §4.6 cost of an overflowed cell.
-func (u *UpdatableStore) FetchCell(cell []int) (Stats, error) {
-	reqs, err := u.cells.ReadRequests(cell)
+// FetchCell reads a cell including its overflow chain through the
+// default session and returns the simulated I/O statistics — the §4.6
+// cost of an overflowed cell.
+func (u *UpdatableStore) FetchCell(cell []int) (Stats, error) { return u.upd.FetchCell(cell) }
+
+// UpdateSession is one client's handle for mixing queries and updates
+// concurrently with other sessions on the same volume. Reads ride the
+// embedded query Session; updates go through the same engine session
+// as write ops, so the service loop serializes them against all
+// in-flight reads and keeps the extent cache coherent.
+type UpdateSession struct {
+	u *UpdatableStore
+	*Session
+}
+
+// LoadCell bulk-loads n points into a cell and returns the write-path
+// Stats (blocks written in Stats.Writes). Even when the load fails
+// partway (overflow extent exhausted), the blocks it already dirtied
+// are still submitted as a write op, so their cached extents are
+// invalidated before the error is reported.
+func (q *UpdateSession) LoadCell(cell []int, n int) (Stats, error) {
+	reqs, err := q.u.cells.LoadCell(cell, n)
+	if len(reqs) > 0 {
+		st, werr := q.write(reqs)
+		if err == nil && werr == nil {
+			return st, nil
+		}
+		if err == nil {
+			err = werr
+		}
+	}
+	return Stats{}, err
+}
+
+// Insert adds one point to a cell, overflowing if the home block is
+// full, and returns the write-path Stats.
+func (q *UpdateSession) Insert(cell []int) (Stats, error) {
+	reqs, err := q.u.cells.Insert(cell)
 	if err != nil {
 		return Stats{}, err
 	}
-	return u.runStatic(reqs, query.PolicyFor(u.Mapping() == MultiMap))
+	return q.write(reqs)
+}
+
+// Delete removes one point from a cell, reorganizing underflowing
+// chains, and returns the write-path Stats (a reorganization rewrites
+// the whole chain, which shows in Stats.Writes).
+func (q *UpdateSession) Delete(cell []int) (Stats, error) {
+	reqs, err := q.u.cells.Delete(cell)
+	if err != nil {
+		return Stats{}, err
+	}
+	return q.write(reqs)
+}
+
+// FetchCell reads a cell including its overflow chain and returns the
+// simulated I/O statistics.
+func (q *UpdateSession) FetchCell(cell []int) (Stats, error) {
+	reqs, err := q.u.cells.ReadRequests(cell)
+	if err != nil {
+		return Stats{}, err
+	}
+	return q.es.RunPlan(engine.Static(reqs, query.PolicyFor(q.u.Mapping() == MultiMap)), engine.Options{})
+}
+
+// write submits one mutation's dirtied extents as a service write op.
+func (q *UpdateSession) write(reqs []lvm.Request) (Stats, error) {
+	return q.es.Write(reqs, query.PolicyFor(q.u.Mapping() == MultiMap))
 }

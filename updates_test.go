@@ -1,14 +1,18 @@
 package multimap
 
-import "testing"
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
 
-func newUpdatable(t *testing.T, opts UpdateOptions) *UpdatableStore {
+func newUpdatable(t *testing.T, opts UpdateOptions, sopts ...StoreOptions) *UpdatableStore {
 	t.Helper()
 	v, err := OpenVolumeDepth(32, MediumTestDisk)
 	if err != nil {
 		t.Fatal(err)
 	}
-	u, err := NewUpdatableStore(v, MultiMap, []int{30, 8, 5}, opts)
+	u, err := NewUpdatableStore(v, MultiMap, []int{30, 8, 5}, opts, sopts...)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -32,7 +36,7 @@ func TestUpdatableStoreDefaults(t *testing.T) {
 }
 
 func TestUpdatableInsertOverflowDelete(t *testing.T) {
-	u := newUpdatable(t, UpdateOptions{PointsPerBlock: 4, FillFactor: 1, ReclaimBelow: 0.3})
+	u := newUpdatable(t, UpdateOptions{PointsPerBlock: 4, FillFactor: Frac(1), ReclaimBelow: Frac(0.3)})
 	cell := []int{0, 0, 0}
 	for i := 0; i < 10; i++ {
 		if err := u.Insert(cell); err != nil {
@@ -64,7 +68,7 @@ func TestUpdatableInsertOverflowDelete(t *testing.T) {
 }
 
 func TestUpdatableFetchCostGrowsWithChain(t *testing.T) {
-	u := newUpdatable(t, UpdateOptions{PointsPerBlock: 2, FillFactor: 1})
+	u := newUpdatable(t, UpdateOptions{PointsPerBlock: 2, FillFactor: Frac(1)})
 	a, b := []int{5, 5, 2}, []int{6, 5, 2}
 	if err := u.LoadCell(a, 2); err != nil { // one block
 		t.Fatal(err)
@@ -88,17 +92,312 @@ func TestUpdatableFetchCostGrowsWithChain(t *testing.T) {
 	}
 }
 
+// TestUpdatableWriteCostCharged: updates are real service write ops —
+// their simulated I/O shows up in the per-operation Stats.
+func TestUpdatableWriteCostCharged(t *testing.T) {
+	u := newUpdatable(t, UpdateOptions{PointsPerBlock: 2, FillFactor: Frac(1)})
+	sess := u.Begin()
+	st, err := sess.Insert([]int{3, 3, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Writes != 1 || st.Requests != 1 || st.TotalMs <= 0 {
+		t.Fatalf("insert charged no write I/O: %+v", st)
+	}
+	if st.Cells != 0 {
+		t.Fatalf("write blocks leaked into Cells: %+v", st)
+	}
+	// Overflowing the 2-point home block writes the old tail (chain
+	// pointer) and the fresh overflow page.
+	if _, err := sess.Insert([]int{3, 3, 3}); err != nil {
+		t.Fatal(err)
+	}
+	st, err = sess.Insert([]int{3, 3, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Writes != 2 {
+		t.Fatalf("overflowing insert wrote %d blocks, want 2 (tail pointer + new page): %+v", st.Writes, st)
+	}
+	if got := sess.Stats(); got.Writes != 4 {
+		t.Fatalf("session lifetime writes %d, want 4", got.Writes)
+	}
+}
+
 func TestUpdatableStoreValidation(t *testing.T) {
 	v, err := OpenVolumeDepth(32, MediumTestDisk)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := NewUpdatableStore(v, MultiMap, []int{30, 8, 5},
+	dims := []int{30, 8, 5}
+	if _, err := NewUpdatableStore(v, MultiMap, dims,
 		UpdateOptions{OverflowBlocks: 1 << 40}); err == nil {
 		t.Error("oversized overflow extent accepted")
 	}
-	if _, err := NewUpdatableStore(v, MultiMap, []int{30, 8, 5},
-		UpdateOptions{FillFactor: 2}); err == nil {
+	if _, err := NewUpdatableStore(v, MultiMap, dims,
+		UpdateOptions{FillFactor: Frac(2)}); err == nil {
 		t.Error("bad fill factor accepted")
+	}
+	if _, err := NewUpdatableStore(v, MultiMap, dims,
+		UpdateOptions{FillFactor: Frac(0)}); err == nil {
+		t.Error("zero fill factor accepted")
+	}
+	if _, err := NewUpdatableStore(v, MultiMap, dims,
+		UpdateOptions{ReclaimBelow: Frac(1)}); err == nil {
+		t.Error("reclaim threshold 1 accepted")
+	}
+	if _, err := NewUpdatableStore(v, MultiMap, dims,
+		UpdateOptions{ReclaimBelow: Frac(-0.1)}); err == nil {
+		t.Error("negative reclaim threshold accepted")
+	}
+	if _, err := NewUpdatableStore(v, MultiMap, dims,
+		UpdateOptions{PointsPerBlock: -1}); err == nil {
+		t.Error("negative PointsPerBlock accepted")
+	}
+	if _, err := NewUpdatableStore(v, MultiMap, dims,
+		UpdateOptions{OverflowBlocks: -1}); err == nil {
+		t.Error("negative OverflowBlocks accepted")
+	}
+}
+
+// TestUpdatableReclaimZeroDisablesReorganization: an explicit
+// ReclaimBelow of zero must mean "never reclaim", not "use the 0.25
+// default" — the zero-value sentinel bug.
+func TestUpdatableReclaimZeroDisablesReorganization(t *testing.T) {
+	u := newUpdatable(t, UpdateOptions{PointsPerBlock: 4, FillFactor: Frac(1), ReclaimBelow: Frac(0)})
+	cell := []int{2, 2, 2}
+	if err := u.LoadCell(cell, 12); err != nil { // 3 full blocks
+		t.Fatal(err)
+	}
+	for i := 0; i < 11; i++ { // down to 1/12 occupancy
+		if err := u.Delete(cell); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := u.Reorganizations(); n != 0 {
+		t.Fatalf("ReclaimBelow=Frac(0) still reorganized %d times", n)
+	}
+	if cl, _ := u.ChainLen(cell); cl != 3 {
+		t.Fatalf("chain compacted to %d blocks despite reclamation off", cl)
+	}
+}
+
+// TestOverflowExtentCollision: the overflow extent is carved from the
+// tail of disk 0, so an OverflowBlocks large enough to reach back into
+// the mapped dataset must be rejected at construction.
+func TestOverflowExtentCollision(t *testing.T) {
+	v, err := OpenVolumeDepth(32, MediumTestDisk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The dataset starts at the head of disk 0; reserving all but 100
+	// blocks of the disk reaches into it.
+	huge := v.TotalBlocks() - 100
+	if _, err := NewUpdatableStore(v, MultiMap, []int{30, 8, 5},
+		UpdateOptions{OverflowBlocks: huge}); err == nil {
+		t.Fatal("overflow extent overlapping dataset cells accepted")
+	}
+	// Same check guards the linear mappings' contiguous extent.
+	if _, err := NewUpdatableStore(v, Naive, []int{30, 8, 5},
+		UpdateOptions{OverflowBlocks: huge}); err == nil {
+		t.Fatal("overflow extent overlapping naive extent accepted")
+	}
+	// A tail extent clear of the dataset still works.
+	if _, err := NewUpdatableStore(v, MultiMap, []int{30, 8, 5},
+		UpdateOptions{OverflowBlocks: 1000}); err != nil {
+		t.Fatalf("non-colliding overflow extent rejected: %v", err)
+	}
+}
+
+// stripCacheCounters zeroes the accounting fields that legitimately
+// differ between cache-on and cache-off runs, leaving every cost field
+// for exact comparison.
+func stripCacheCounters(st Stats) Stats {
+	st.CacheHits, st.CacheMisses = 0, 0
+	return st
+}
+
+// TestFetchCellCacheCoherence is the headline regression test: with the
+// extent cache on, FetchCell after any Insert / Delete / reorganization
+// of that cell must return exactly the Stats a cache-off run reports —
+// the write path must invalidate stale extents instead of letting the
+// cache replay a pre-update chain's cost.
+func TestFetchCellCacheCoherence(t *testing.T) {
+	opts := UpdateOptions{PointsPerBlock: 4, FillFactor: Frac(1), ReclaimBelow: Frac(0.3)}
+	cached := newUpdatable(t, opts, StoreOptions{CacheBlocks: 1 << 20})
+	plain := newUpdatable(t, opts)
+	cell := []int{4, 1, 2}
+
+	both := func(op string, f func(u *UpdatableStore) (Stats, error)) (Stats, Stats) {
+		t.Helper()
+		a, err := f(cached)
+		if err != nil {
+			t.Fatalf("%s (cached): %v", op, err)
+		}
+		b, err := f(plain)
+		if err != nil {
+			t.Fatalf("%s (plain): %v", op, err)
+		}
+		return a, b
+	}
+	compare := func(op string, a, b Stats) {
+		t.Helper()
+		if stripCacheCounters(a) != stripCacheCounters(b) {
+			t.Fatalf("%s: cache-on stats %+v != cache-off stats %+v", op, a, b)
+		}
+	}
+
+	if err := cached.LoadCell(cell, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := plain.LoadCell(cell, 4); err != nil {
+		t.Fatal(err)
+	}
+
+	// Cold fetch: identical by construction, and it primes the cache.
+	a, b := both("fetch-cold", func(u *UpdatableStore) (Stats, error) { return u.FetchCell(cell) })
+	compare("fetch-cold", a, b)
+
+	// Prove the cache is live: a repeat fetch on the cached store hits
+	// and performs no disk I/O (so the two head states stay aligned).
+	hit, err := cached.FetchCell(cell)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit.CacheHits != 1 || hit.Requests != 0 || hit.TotalMs != 0 {
+		t.Fatalf("repeat fetch did not hit the cache: %+v", hit)
+	}
+
+	// Insert until the chain overflows to 3 blocks, then fetch: the
+	// cached home-block extent must have been invalidated by the
+	// inserts, so the fetch pays the full 3-block cost.
+	for i := 0; i < 8; i++ {
+		if err := cached.Insert(cell); err != nil {
+			t.Fatal(err)
+		}
+		if err := plain.Insert(cell); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if cl, _ := cached.ChainLen(cell); cl != 3 {
+		t.Fatalf("chain length %d, want 3", cl)
+	}
+	a, b = both("fetch-after-insert", func(u *UpdatableStore) (Stats, error) { return u.FetchCell(cell) })
+	if a.CacheHits != 0 {
+		t.Fatalf("fetch after inserts replayed a stale cached extent: %+v", a)
+	}
+	compare("fetch-after-insert", a, b)
+
+	// Delete down to reorganization, then fetch: the compaction dirtied
+	// the whole chain, so every cached extent over it must be gone.
+	for i := 0; i < 9; i++ {
+		if err := cached.Delete(cell); err != nil {
+			t.Fatal(err)
+		}
+		if err := plain.Delete(cell); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if cached.Reorganizations() == 0 {
+		t.Fatal("expected a reorganization")
+	}
+	a, b = both("fetch-after-reorg", func(u *UpdatableStore) (Stats, error) { return u.FetchCell(cell) })
+	if a.CacheHits != 0 {
+		t.Fatalf("fetch after reorganization replayed a stale cached extent: %+v", a)
+	}
+	compare("fetch-after-reorg", a, b)
+}
+
+// TestLoadCellFailureStillInvalidates: a bulk load that dies partway
+// (overflow extent exhausted) has already dirtied blocks — those must
+// still be invalidated before the error surfaces, or a later fetch
+// would replay their stale cached cost.
+func TestLoadCellFailureStillInvalidates(t *testing.T) {
+	u := newUpdatable(t,
+		UpdateOptions{PointsPerBlock: 4, FillFactor: Frac(1), OverflowBlocks: 1},
+		StoreOptions{CacheBlocks: 1 << 20})
+	cell := []int{7, 3, 1}
+	st, err := u.FetchCell(cell) // primes the cache with the home block
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.CacheMisses != 1 {
+		t.Fatalf("priming fetch accounting wrong: %+v", st)
+	}
+	sess := u.Begin()
+	if _, err := sess.LoadCell(cell, 12); err == nil {
+		t.Fatal("load past the 1-block overflow extent accepted")
+	}
+	// The failed load dirtied the home block (and the one page it got);
+	// the next fetch must go back to the disks for every chain block.
+	st, err = u.FetchCell(cell)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.CacheHits != 0 {
+		t.Fatalf("fetch after failed load replayed a stale cached extent: %+v", st)
+	}
+}
+
+// TestUpdatableConcurrentSessions mixes Insert/Delete traffic with beam
+// and range queries across concurrent sessions on one cached store —
+// the -race exercise for the write path.
+func TestUpdatableConcurrentSessions(t *testing.T) {
+	u := newUpdatable(t,
+		UpdateOptions{PointsPerBlock: 4, FillFactor: Frac(1), ReclaimBelow: Frac(0.3)},
+		StoreOptions{CacheBlocks: 1 << 18})
+	dims := u.Dims()
+	// Preload so deletes have points to remove.
+	for x := 0; x < dims[0]; x++ {
+		if err := u.LoadCell([]int{x, 0, 0}, 6); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	const clients = 6
+	var wg sync.WaitGroup
+	errs := make([]error, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sess := u.Begin()
+			rng := rand.New(rand.NewSource(int64(31 + i)))
+			for op := 0; op < 40; op++ {
+				cell := []int{rng.Intn(dims[0]), 0, 0}
+				var err error
+				switch rng.Intn(4) {
+				case 0:
+					_, err = sess.Insert(cell)
+				case 1:
+					// Deletes race with other sessions' deletes; an
+					// emptied cell is not an error for this test.
+					if _, derr := sess.Delete(cell); derr != nil {
+						continue
+					}
+				case 2:
+					_, err = sess.FetchCell(cell)
+				default:
+					_, err = sess.RangeQuery([]int{cell[0], 0, 0}, []int{cell[0] + 1, dims[1], dims[2]})
+				}
+				if err != nil {
+					errs[i] = err
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("client %d: %v", i, err)
+		}
+	}
+	tot := u.vol.ServiceTotals()
+	if tot.WriteOps == 0 {
+		t.Fatal("no write ops reached the service")
+	}
+	if tot.Attributed.Writes == 0 {
+		t.Fatal("no written blocks attributed")
 	}
 }
