@@ -5,7 +5,10 @@
 // Args: "small" shrinks the grid to 64³ (seconds instead of minutes);
 // "serve" routes every query through a single session of the
 // concurrent query service instead of the synchronous engine — diffing
-// the two modes is the service's single-session equivalence evidence.
+// the two modes is the service's single-session equivalence evidence;
+// "shard" routes every query through a single-shard scatter-gather
+// session instead — diffing against the plain mode is the shard
+// layer's single-shard equivalence evidence.
 package main
 
 import (
@@ -19,19 +22,20 @@ import (
 	"repro/internal/lvm"
 	"repro/internal/mapping"
 	"repro/internal/query"
+	"repro/internal/shard"
 )
 
 func main() {
 	side := 259
-	serve := false
+	mode := ""
 	for _, arg := range os.Args[1:] {
 		switch arg {
 		case "small":
 			side = 64
-		case "serve":
-			serve = true
+		case "serve", "shard":
+			mode = arg
 		default:
-			fmt.Fprintf(os.Stderr, "fig6probe: unknown arg %q (want small and/or serve)\n", arg)
+			fmt.Fprintf(os.Stderr, "fig6probe: unknown arg %q (want small, serve, or shard)\n", arg)
 			os.Exit(2)
 		}
 	}
@@ -46,16 +50,34 @@ func main() {
 		if err != nil {
 			panic(err)
 		}
-		m, err := mapping.New(kind, v, dims, mapping.Options{DiskIdx: 0})
-		if err != nil {
-			panic(err)
-		}
-		e := query.NewExecutor(v, m)
-		runner := engine.OnVolume(v)
-		if serve {
+		// beam and rangeQ run one query in the selected execution mode.
+		var beam func(dim int, fixed []int) (engine.Stats, error)
+		var rangeQ func(lo, hi []int) (engine.Stats, error)
+		switch mode {
+		case "shard":
 			svc := engine.NewService(v, engine.ServiceOptions{})
 			defer svc.Close()
-			runner = svc.NewSession(engine.SessionOptions{})
+			grp, err := shard.Build([]*lvm.Volume{v}, []*engine.Service{svc},
+				kind, dims, mapping.Options{DiskIdx: 0}, query.ExecOptions{})
+			if err != nil {
+				panic(err)
+			}
+			ss := grp.Begin(engine.SessionOptions{})
+			beam, rangeQ = ss.Beam, ss.Box
+		default:
+			m, err := mapping.New(kind, v, dims, mapping.Options{DiskIdx: 0})
+			if err != nil {
+				panic(err)
+			}
+			e := query.NewExecutor(v, m)
+			runner := engine.OnVolume(v)
+			if mode == "serve" {
+				svc := engine.NewService(v, engine.ServiceOptions{})
+				defer svc.Close()
+				runner = svc.NewSession(engine.SessionOptions{})
+			}
+			beam = func(dim int, fixed []int) (engine.Stats, error) { return e.BeamOn(runner, dim, fixed) }
+			rangeQ = func(lo, hi []int) (engine.Stats, error) { return e.RangeOn(runner, lo, hi) }
 		}
 		// Fig 6(a): beams along each dimension.
 		for dim := 0; dim < 3; dim++ {
@@ -66,7 +88,7 @@ func main() {
 				if err != nil {
 					panic(err)
 				}
-				st, err := e.BeamOn(runner, dim, fixed)
+				st, err := beam(dim, fixed)
 				if err != nil {
 					panic(err)
 				}
@@ -82,7 +104,7 @@ func main() {
 			if err != nil {
 				panic(err)
 			}
-			st, err := e.RangeOn(runner, lo, hi)
+			st, err := rangeQ(lo, hi)
 			if err != nil {
 				panic(err)
 			}

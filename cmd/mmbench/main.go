@@ -32,6 +32,8 @@ func main() {
 		queries = flag.Int("queries", 0, "queries each -exp serve client issues (0 = default 32)")
 		cache   = flag.Int64("cache", 0, "shared extent-cache capacity in blocks for -exp serve (0 = cache off)")
 		writes  = flag.Float64("writes", 0, "fraction in [0,1) of each -exp serve client's operations that are update bursts through the write path (0 = read-only)")
+		shards  = flag.Int("shards", 0, "max shard count for -exp serve: the dataset is split along Dim0 across N volumes/services and the table gains scaling rows at 1, 2, 4, ... N shards (0 or 1 = single shard)")
+		window  = flag.Duration("window", 0, "time-based admission window per shard service for -exp serve, e.g. 200us (0 = admit immediately)")
 	)
 	flag.Parse()
 
@@ -40,6 +42,7 @@ func main() {
 		Policy: *policy, ChunkCells: *chunk,
 		Clients: *clients, Queries: *queries, CacheBlocks: *cache,
 		WriteFraction: *writes,
+		Shards:        *shards, BatchWindow: *window,
 	}
 	if *disks != "" {
 		for _, d := range strings.Split(*disks, ",") {

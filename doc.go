@@ -81,6 +81,33 @@
 // concurrently; cmd/mmbench mirrors the mixed workload as
 // -exp serve -writes <fraction>.
 //
+// # Sharded scatter-gather execution
+//
+// One logical dataset can span several shards (StoreOptions.Shards,
+// internal/shard): shard 0 lives on the volume passed to NewStore and
+// the rest on internally created volumes mirroring its hardware, each
+// with its own service loop, head state, and extent cache. A
+// deterministic router partitions the grid along Dim0 into slabs
+// aligned to MultiMap's basic-cube boundaries, so every shard keeps
+// the paper's sequential and semi-sequential locality; each shard maps
+// its slab onto its own volume with the same placement. Store.Begin
+// then returns a scatter-gather session — one engine session per shard
+// — that splits every query box by owning shard, runs the per-shard
+// streaming plans through all shard services concurrently (shards
+// scale across CPUs, not just across an admission batch), and merges
+// the per-shard Stats by summation, so session totals still sum to the
+// per-shard service totals (Store.ShardServiceTotals): the attribution
+// property holds group-wide. Updates route to the shard owning their
+// cell, with a per-shard overflow pool spread round-robin across that
+// shard's member-disk tails. With one shard the group degenerates to
+// exactly the single-volume stack, so the default path is unchanged
+// bit for bit (cmd/fig6probe's "shard" mode diffs the two).
+// Store.Close releases the internal shard volumes; Store.Reset
+// restores all of them. cmd/mmbench mirrors the knob as
+// -exp serve -shards N, printing queries/sec at 1, 2, 4, ... N shards;
+// StoreOptions.BatchWindow (mmbench -window) adds a time-based
+// admission window so bursty clients coalesce into shared batches.
+//
 // Quick start:
 //
 //	vol, _ := multimap.OpenVolume(multimap.AtlasTenKIII)

@@ -2,6 +2,7 @@ package multimap
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/disk"
 	"repro/internal/experiments"
@@ -38,6 +39,13 @@ type ExperimentConfig struct {
 	// path (0 = read-only). Raising it shows the cache hit rate fall
 	// as writes invalidate hot extents.
 	WriteFraction float64
+	// Shards is the maximum shard count of the "serve" experiment's
+	// scaling ladder: rows at 1, 2, 4, ... shards up to this value
+	// (0 or 1 = single shard only).
+	Shards int
+	// BatchWindow is the "serve" experiment's time-based admission
+	// window per shard service (0 = admit immediately).
+	BatchWindow time.Duration
 }
 
 // ExperimentIDs lists the regenerable paper artifacts plus the two
@@ -58,6 +66,7 @@ func RunExperiment(id string, cfg ExperimentConfig) (*ExperimentTable, error) {
 		Policy: cfg.Policy, ChunkCells: cfg.ChunkCells,
 		Clients: cfg.Clients, Queries: cfg.Queries, CacheBlocks: cfg.CacheBlocks,
 		WriteFraction: cfg.WriteFraction,
+		Shards:        cfg.Shards, BatchWindow: cfg.BatchWindow,
 	}
 	for _, m := range cfg.Disks {
 		g, err := disk.ModelByName(string(m))

@@ -55,23 +55,31 @@ type MapOptions struct {
 	CellBlocks int
 }
 
-// NewMapping allocates and maps a dataset of the given side lengths.
-// The basic cube is chosen per §4.4 from the first usable zone; in
-// zones with different track lengths only the per-track packing count
-// changes, so cube addressing stays uniform.
-func NewMapping(vol *lvm.Volume, dims []int, opts MapOptions) (*Mapping, error) {
+// ChooseCube runs the basic-cube selection phase of NewMapping —
+// option validation, zone filtering, and the §4.4 spec choice — without
+// allocating anything on the volume. The shard router uses it to learn
+// the Dim0 cube side K0 (its slab alignment quantum) before any
+// per-shard mapping exists; NewMapping itself builds on it.
+func ChooseCube(vol *lvm.Volume, dims []int, opts MapOptions) (*CubeSpec, error) {
+	spec, _, err := chooseCubeZones(vol, dims, opts)
+	return spec, err
+}
+
+// chooseCubeZones is ChooseCube plus the usable-zone list the spec was
+// sized for, which the allocation phase needs too.
+func chooseCubeZones(vol *lvm.Volume, dims []int, opts MapOptions) (*CubeSpec, []lvm.ZoneExtent, error) {
 	if len(dims) < 2 {
-		return nil, fmt.Errorf("core: MultiMap needs at least 2 dimensions, got %d", len(dims))
+		return nil, nil, fmt.Errorf("core: MultiMap needs at least 2 dimensions, got %d", len(dims))
 	}
 	if opts.CellBlocks == 0 {
 		opts.CellBlocks = 1
 	}
 	if opts.CellBlocks < 1 {
-		return nil, fmt.Errorf("core: cell size %d blocks must be positive", opts.CellBlocks)
+		return nil, nil, fmt.Errorf("core: cell size %d blocks must be positive", opts.CellBlocks)
 	}
 	zones := usableZones(vol, opts)
 	if len(zones) == 0 {
-		return nil, fmt.Errorf("core: no usable zones on volume for options %+v", opts)
+		return nil, nil, fmt.Errorf("core: no usable zones on volume for options %+v", opts)
 	}
 	// Size the cube for the first allocation zone; K0 is additionally
 	// capped by the smallest track length among candidate zones so a
@@ -84,10 +92,25 @@ func NewMapping(vol *lvm.Volume, dims []int, opts MapOptions) (*Mapping, error) 
 		}
 	}
 	if minT/opts.CellBlocks < 1 {
-		return nil, fmt.Errorf("core: cell size %d exceeds the shortest track (%d blocks)",
+		return nil, nil, fmt.Errorf("core: cell size %d exceeds the shortest track (%d blocks)",
 			opts.CellBlocks, minT)
 	}
 	spec, err := ChooseBasicCube(dims, minT/opts.CellBlocks, vol.AdjacencyDepth(), zones[0].Tracks)
+	if err != nil {
+		return nil, nil, err
+	}
+	return spec, zones, nil
+}
+
+// NewMapping allocates and maps a dataset of the given side lengths.
+// The basic cube is chosen per §4.4 from the first usable zone; in
+// zones with different track lengths only the per-track packing count
+// changes, so cube addressing stays uniform.
+func NewMapping(vol *lvm.Volume, dims []int, opts MapOptions) (*Mapping, error) {
+	if opts.CellBlocks == 0 {
+		opts.CellBlocks = 1
+	}
+	spec, zones, err := chooseCubeZones(vol, dims, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -435,4 +458,42 @@ func (m *Mapping) SpanVLBN() (start, end int64) {
 		}
 	}
 	return start, m.nextFree
+}
+
+// SpanOnDisk refines SpanVLBN per member disk: the conservative VLBN
+// interval the mapping may touch within disk di's segment, from the
+// first track of its lowest cube group there to the end of its highest.
+// start == end when no cube landed on that disk. Layers carving
+// auxiliary per-disk extents (the update layer's overflow pages) use it
+// so a tail extent on one disk is only checked against the cells
+// actually placed on that disk — the global span would falsely collide
+// for declustered datasets.
+func (m *Mapping) SpanOnDisk(di int) (start, end int64) {
+	groupTracks := int64(m.spec.Tracks())
+	first := true
+	for i := range m.cubes {
+		cp := &m.cubes[i]
+		if cp.diskIdx != di {
+			continue
+		}
+		t := int64(cp.trackLen)
+		// Cells wrap circularly within their tracks, so the cube's whole
+		// group — groupTracks full tracks from the group's first track —
+		// counts as touched. Every packing slot of a group starts on the
+		// group's first track, so that track start is recoverable from
+		// the cube base alone.
+		ts := cp.zoneStart + (cp.base-cp.zoneStart)/t*t
+		te := ts + groupTracks*t
+		if first || ts < start {
+			start = ts
+		}
+		if first || te > end {
+			end = te
+		}
+		first = false
+	}
+	if first {
+		return 0, 0
+	}
+	return start, end
 }

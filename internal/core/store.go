@@ -34,7 +34,9 @@ type CellStore struct {
 	counts   map[int64]int   // live points per block (home or overflow)
 	chains   map[int64]int64 // block -> its overflow page (0 = none)
 	overflow struct {
-		next, end int64 // free extent for overflow pages
+		ext  []lvm.Request // free extents for overflow pages
+		next []int64       // next free block within each extent
+		rr   int           // round-robin cursor over the extents
 	}
 	reorgs int
 }
@@ -42,10 +44,12 @@ type CellStore struct {
 // NewCellStore builds a store over the locator. capacity is points per
 // block; fillFactor in (0,1] reserves insert headroom at load; the
 // reclaim threshold in [0,1) triggers reorganization when a chain's
-// occupancy falls below it. Overflow pages are carved from the free
-// extent [overflowStart, overflowStart+overflowBlocks).
+// occupancy falls below it. Overflow pages are carved from the given
+// free extents, allocated round-robin across them — with one extent per
+// member disk (how the update layer carves them), overflow chains
+// spread their pages over every disk instead of piling onto one.
 func NewCellStore(locate CellLocator, capacity int, fillFactor, reclaim float64,
-	overflowStart, overflowBlocks int64) (*CellStore, error) {
+	overflow []lvm.Request) (*CellStore, error) {
 	if capacity <= 0 {
 		return nil, fmt.Errorf("core: capacity must be positive, got %d", capacity)
 	}
@@ -55,9 +59,6 @@ func NewCellStore(locate CellLocator, capacity int, fillFactor, reclaim float64,
 	if reclaim < 0 || reclaim >= 1 {
 		return nil, fmt.Errorf("core: reclaim threshold %v outside [0,1)", reclaim)
 	}
-	if overflowBlocks < 0 {
-		return nil, fmt.Errorf("core: negative overflow extent")
-	}
 	s := &CellStore{
 		locate:   locate,
 		capacity: capacity,
@@ -66,8 +67,16 @@ func NewCellStore(locate CellLocator, capacity int, fillFactor, reclaim float64,
 		counts:   make(map[int64]int),
 		chains:   make(map[int64]int64),
 	}
-	s.overflow.next = overflowStart
-	s.overflow.end = overflowStart + overflowBlocks
+	for _, e := range overflow {
+		if e.Count < 0 {
+			return nil, fmt.Errorf("core: negative overflow extent [%d,+%d)", e.VLBN, e.Count)
+		}
+		if e.Count == 0 {
+			continue
+		}
+		s.overflow.ext = append(s.overflow.ext, e)
+		s.overflow.next = append(s.overflow.next, e.VLBN)
+	}
 	return s, nil
 }
 
@@ -107,9 +116,12 @@ func (w *writeSet) reqs() []lvm.Request {
 }
 
 // LoadCell bulk-loads n points into a cell, honouring the fill factor:
-// the home block keeps at most capacity*fill points and the rest spill
-// to overflow pages immediately (a bulk load of a skewed cell). It
-// returns the block extents the load dirtied.
+// every chain block keeps at most capacity*fill points and the rest
+// spill to overflow pages immediately (a bulk load of a skewed cell).
+// Loading into a non-empty cell tops its existing chain blocks up to
+// the fill budget first — never past it, so no block ever exceeds its
+// physical capacity — before growing the chain. It returns the block
+// extents the load dirtied.
 func (s *CellStore) LoadCell(cell []int, n int) ([]lvm.Request, error) {
 	if n < 0 {
 		return nil, fmt.Errorf("core: negative point count")
@@ -125,22 +137,31 @@ func (s *CellStore) LoadCell(cell []int, n int) ([]lvm.Request, error) {
 	if budget < 1 {
 		budget = 1
 	}
-	take := n
-	if take > budget {
-		take = budget
+	// Top up the existing chain first (a block past the budget — filled
+	// by inserts — contributes no headroom).
+	for b := home; n > 0; {
+		if free := budget - s.counts[b]; free > 0 {
+			take := n
+			if take > free {
+				take = free
+			}
+			s.counts[b] += take
+			w.add(b)
+			n -= take
+		}
+		nxt, ok := s.chains[b]
+		if !ok {
+			break
+		}
+		b = nxt
 	}
-	if take > 0 {
-		s.counts[home] += take
-		w.add(home)
-	}
-	n -= take
 	for n > 0 {
 		page, tail, err := s.appendPage(home)
 		if err != nil {
 			return w.reqs(), err
 		}
 		w.add(tail) // the chain pointer written into the old tail
-		take = n
+		take := n
 		if take > budget {
 			take = budget
 		}
@@ -223,13 +244,24 @@ func (s *CellStore) Delete(cell []int) ([]lvm.Request, error) {
 
 // appendPage allocates a fresh overflow page at the chain tail and
 // returns (page, tail): the new page and the block whose chain pointer
-// was rewritten to reach it.
+// was rewritten to reach it. Pages come from the overflow extents
+// round-robin, skipping exhausted extents.
 func (s *CellStore) appendPage(home int64) (page, tail int64, err error) {
-	if s.overflow.next >= s.overflow.end {
+	o := &s.overflow
+	alloc := -1
+	for k := 0; k < len(o.ext); k++ {
+		j := (o.rr + k) % len(o.ext)
+		if o.next[j] < o.ext[j].VLBN+int64(o.ext[j].Count) {
+			alloc = j
+			break
+		}
+	}
+	if alloc < 0 {
 		return 0, 0, fmt.Errorf("core: overflow extent exhausted")
 	}
-	page = s.overflow.next
-	s.overflow.next++
+	page = o.next[alloc]
+	o.next[alloc]++
+	o.rr = alloc + 1
 	tail = home
 	for {
 		nxt, ok := s.chains[tail]

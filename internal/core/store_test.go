@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 	"testing"
+
+	"repro/internal/lvm"
 )
 
 // gridLocator is a trivial row-major locator for store tests.
@@ -26,7 +28,8 @@ func gridLocator(dims []int) CellLocator {
 
 func newTestStore(t *testing.T, capacity int, fill, reclaim float64) *CellStore {
 	t.Helper()
-	s, err := NewCellStore(gridLocator([]int{4, 4}), capacity, fill, reclaim, 1000, 100)
+	s, err := NewCellStore(gridLocator([]int{4, 4}), capacity, fill, reclaim,
+		[]lvm.Request{{VLBN: 1000, Count: 100}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -38,7 +41,7 @@ func TestNewCellStoreValidation(t *testing.T) {
 	cases := []struct {
 		capacity       int
 		fill, reclaim  float64
-		overflowBlocks int64
+		overflowBlocks int
 	}{
 		{0, 1, 0, 10},
 		{4, 0, 0, 10},
@@ -48,7 +51,8 @@ func TestNewCellStoreValidation(t *testing.T) {
 		{4, 1, 0, -1},
 	}
 	for _, tc := range cases {
-		if _, err := NewCellStore(loc, tc.capacity, tc.fill, tc.reclaim, 1000, tc.overflowBlocks); err == nil {
+		if _, err := NewCellStore(loc, tc.capacity, tc.fill, tc.reclaim,
+			[]lvm.Request{{VLBN: 1000, Count: tc.overflowBlocks}}); err == nil {
 			t.Errorf("invalid config %+v accepted", tc)
 		}
 	}
@@ -67,6 +71,58 @@ func TestLoadCellHonoursFillFactor(t *testing.T) {
 	cl, _ := s.ChainLen([]int{1, 1})
 	if cl != 3 {
 		t.Fatalf("ChainLen=%d, want 3", cl)
+	}
+}
+
+// TestLoadCellNeverOverfillsBlocks: repeated loads (and loads after
+// inserts) must honour the per-block fill budget instead of stacking
+// points past a block's physical capacity.
+func TestLoadCellNeverOverfillsBlocks(t *testing.T) {
+	s := newTestStore(t, 10, 1, 0)
+	cell := []int{2, 2}
+	if _, err := s.LoadCell(cell, 10); err != nil { // fills the home block
+		t.Fatal(err)
+	}
+	if _, err := s.LoadCell(cell, 10); err != nil { // must spill, not overfill
+		t.Fatal(err)
+	}
+	if n, _ := s.Points(cell); n != 20 {
+		t.Fatalf("Points=%d, want 20", n)
+	}
+	if cl, _ := s.ChainLen(cell); cl != 2 {
+		t.Fatalf("ChainLen=%d, want 2 (second load must overflow)", cl)
+	}
+	// With fill < 1, a second load tops the home block up to the budget
+	// before growing the chain.
+	s = newTestStore(t, 10, 0.5, 0)
+	if _, err := s.LoadCell(cell, 3); err != nil { // 3 of 5 budget
+		t.Fatal(err)
+	}
+	if _, err := s.LoadCell(cell, 4); err != nil { // 2 top up home, 2 spill
+		t.Fatal(err)
+	}
+	if n, _ := s.Points(cell); n != 7 {
+		t.Fatalf("Points=%d, want 7", n)
+	}
+	if cl, _ := s.ChainLen(cell); cl != 2 {
+		t.Fatalf("ChainLen=%d, want 2", cl)
+	}
+	// A home block filled past the budget by inserts contributes no
+	// headroom — the load goes straight to fresh pages.
+	s = newTestStore(t, 4, 0.5, 0)
+	for i := 0; i < 4; i++ { // inserts fill home to capacity 4 > budget 2
+		if _, err := s.Insert(cell); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := s.LoadCell(cell, 2); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := s.Points(cell); n != 6 {
+		t.Fatalf("Points=%d, want 6", n)
+	}
+	if cl, _ := s.ChainLen(cell); cl != 2 {
+		t.Fatalf("ChainLen=%d, want 2 (over-budget home must not absorb the load)", cl)
 	}
 }
 
@@ -120,7 +176,7 @@ func TestReadRequestsIncludeOverflowPages(t *testing.T) {
 }
 
 func TestOverflowExhaustion(t *testing.T) {
-	s, err := NewCellStore(gridLocator([]int{2, 2}), 1, 1, 0, 1000, 2)
+	s, err := NewCellStore(gridLocator([]int{2, 2}), 1, 1, 0, []lvm.Request{{VLBN: 1000, Count: 2}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,6 +187,48 @@ func TestOverflowExhaustion(t *testing.T) {
 	}
 	if _, err := s.Insert([]int{0, 0}); err == nil {
 		t.Fatal("insert past overflow extent accepted")
+	}
+}
+
+// TestOverflowRoundRobinAcrossExtents: with one overflow extent per
+// disk, successive overflow pages must alternate extents rather than
+// filling the first one, and exhausted extents are skipped until every
+// extent is full.
+func TestOverflowRoundRobinAcrossExtents(t *testing.T) {
+	extents := []lvm.Request{{VLBN: 1000, Count: 2}, {VLBN: 5000, Count: 3}}
+	s, err := NewCellStore(gridLocator([]int{2, 2}), 1, 1, 0, extents)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell := []int{0, 0}
+	// Home holds 1 point; the next 5 inserts each allocate one page.
+	for i := 0; i < 6; i++ {
+		if _, err := s.Insert(cell); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+	}
+	reqs, err := s.ReadRequests(cell)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pages []int64
+	for _, r := range reqs[1:] {
+		pages = append(pages, r.VLBN)
+	}
+	// Round-robin: 1000, 5000, 1001, 5001, then extent 0 is exhausted
+	// and the last page falls through to extent 1.
+	want := []int64{1000, 5000, 1001, 5001, 5002}
+	if len(pages) != len(want) {
+		t.Fatalf("allocated %d pages, want %d", len(pages), len(want))
+	}
+	for i := range want {
+		if pages[i] != want[i] {
+			t.Fatalf("page %d at %d, want %d (pages %v)", i, pages[i], want[i], pages)
+		}
+	}
+	// Both extents full: the next overflow allocation fails.
+	if _, err := s.Insert(cell); err == nil {
+		t.Fatal("insert past every overflow extent accepted")
 	}
 }
 
@@ -201,7 +299,8 @@ func TestStoreWithMultiMapLocator(t *testing.T) {
 	v := testVolume(t)
 	m := mustMapping(t, v, []int{10, 4, 3}, MapOptions{DiskIdx: 0})
 	// Overflow extent after the mapped region.
-	s, err := NewCellStore(m.CellVLBN, 8, 0.75, 0.2, v.TotalBlocks()-500, 500)
+	s, err := NewCellStore(m.CellVLBN, 8, 0.75, 0.2,
+		[]lvm.Request{{VLBN: v.TotalBlocks() - 500, Count: 500}})
 	if err != nil {
 		t.Fatal(err)
 	}

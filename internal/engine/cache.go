@@ -45,8 +45,12 @@ func (c *extentCache) search(x int64) int {
 }
 
 // covered reports whether [start, end) lies entirely inside one cached
-// extent, refreshing that extent's recency on a hit.
+// extent, refreshing that extent's recency on a hit. Like every other
+// method, it is a no-op on the nil cache a zero capacity yields.
 func (c *extentCache) covered(start, end int64) bool {
+	if c == nil {
+		return false
+	}
 	i := c.search(start) - 1
 	if i < 0 {
 		return false
@@ -65,7 +69,7 @@ func (c *extentCache) covered(start, end int64) bool {
 // extent, the insert is skipped entirely so the existing cached
 // neighbours survive instead of being evicted through.
 func (c *extentCache) insert(start, end int64) {
-	if end-start > c.capBlocks || end <= start {
+	if c == nil || end-start > c.capBlocks || end <= start {
 		return
 	}
 	// All cached extents with e.end >= start and e.start <= end merge.
@@ -116,7 +120,7 @@ func (c *extentCache) insert(start, end int64) {
 // write op mutating those blocks, before the write's cost is charged.
 // Returns the number of cached blocks invalidated.
 func (c *extentCache) invalidate(start, end int64) int64 {
-	if end <= start || len(c.byStart) == 0 {
+	if c == nil || end <= start || len(c.byStart) == 0 {
 		return 0
 	}
 	lo := c.search(start) - 1
@@ -152,6 +156,9 @@ func (c *extentCache) invalidate(start, end int64) int64 {
 
 // clear drops every cached extent (volume reset, cache reconfiguration).
 func (c *extentCache) clear() {
+	if c == nil {
+		return
+	}
 	c.lru.Init()
 	c.byStart = c.byStart[:0]
 	c.used = 0

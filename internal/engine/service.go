@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"slices"
 	"sync"
+	"time"
 
 	"repro/internal/disk"
 	"repro/internal/lvm"
@@ -59,6 +60,18 @@ type ServiceOptions struct {
 	// MaxBatch caps how many chunks one admission batch may merge;
 	// 0 means no cap (admit everything queued).
 	MaxBatch int
+	// BatchWindow is the time-based admission window: when positive, the
+	// loop waits the window out after noticing a non-empty queue before
+	// admitting it as a batch, so bursty concurrent clients coalesce
+	// into shared batches even when their submissions are microseconds
+	// apart. 0 (the default) admits immediately — bit-for-bit today's
+	// behavior. The window trades per-op latency for batching: a lone
+	// synchronous client pays the full window per chunk with nothing to
+	// coalesce against (pipelined sessions overlap the wait with
+	// planning), so enable it only for genuinely concurrent workloads.
+	// A pass whose queue holds a control op (Reset, Close drain, cache
+	// reconfiguration) skips the window, keeping those prompt.
+	BatchWindow time.Duration
 }
 
 // ServiceTotals is the service loop's own bookkeeping, the ground truth
@@ -141,6 +154,20 @@ func NewService(vol *lvm.Volume, opts ServiceOptions) *Service {
 	return s
 }
 
+// SetBatchWindow reconfigures the admission window (see
+// ServiceOptions.BatchWindow); it applies from the loop's next
+// admission pass. Negative durations are treated as 0. The window is
+// the one mutable service option: it lives in s.opts under mu, so
+// there is exactly one copy to read.
+func (s *Service) SetBatchWindow(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	s.mu.Lock()
+	s.opts.BatchWindow = d
+	s.mu.Unlock()
+}
+
 // Close rejects further submissions and waits for the in-flight batches
 // to finish, so the caller regains exclusive use of the volume. Close
 // is idempotent.
@@ -208,10 +235,18 @@ func (s *Service) submit(op *serviceOp) error {
 // loop is the service goroutine: it grabs everything queued since the
 // last pass as one admission batch, serves it, and exits when the queue
 // drains. At most one loop runs at a time (the running flag), so the
-// disks have a single owner.
+// disks have a single owner. A positive admission window makes the loop
+// wait it out after noticing pending work, admitting everything that
+// arrived meanwhile as one batch — unless a control op is already
+// queued, which is admitted promptly.
 func (s *Service) loop() {
 	for {
 		s.mu.Lock()
+		if w := s.opts.BatchWindow; w > 0 && len(s.queue) > 0 && !s.queuedControl() {
+			s.mu.Unlock()
+			time.Sleep(w)
+			s.mu.Lock()
+		}
 		batch := s.queue
 		s.queue = nil
 		if len(batch) == 0 {
@@ -223,6 +258,17 @@ func (s *Service) loop() {
 		s.mu.Unlock()
 		s.process(batch)
 	}
+}
+
+// queuedControl reports whether the queue holds a control op (caller
+// must hold mu).
+func (s *Service) queuedControl() bool {
+	for _, op := range s.queue {
+		if op.kind != opChunk && op.kind != opWrite {
+			return true
+		}
+	}
+	return false
 }
 
 // process serves one admitted batch in submission order: consecutive
@@ -256,9 +302,7 @@ func (s *Service) handleControl(op *serviceOp) {
 	case opReset:
 		s.vol.Reset()
 		s.mu.Lock()
-		if s.cache != nil {
-			s.cache.clear()
-		}
+		s.cache.clear() // nil-safe when the cache is off
 		s.totals = ServiceTotals{}
 		s.mu.Unlock()
 	case opCacheCfg:
@@ -297,15 +341,46 @@ func (s *Service) serveChunks(items []*serviceOp) {
 	}
 }
 
+// splitAtSegmentEnds clips extents at member-disk segment boundaries:
+// a request must stay within one disk (the same invariant the read
+// coalescer enforces), but write submitters coalesce the blocks a
+// mutation dirties by plain VLBN adjacency, and an overflow extent
+// ending exactly at one disk's tail can sit adjacent to the next
+// disk's first block. Out-of-range addresses pass through unchanged so
+// ServeBatch surfaces the error to the submitter.
+func (s *Service) splitAtSegmentEnds(reqs []lvm.Request) []lvm.Request {
+	out := make([]lvm.Request, 0, len(reqs))
+	for _, r := range reqs {
+		for {
+			di, lbn, err := s.vol.Locate(r.VLBN)
+			if err != nil {
+				out = append(out, r)
+				break
+			}
+			room := s.vol.DiskBlocks(di) - lbn
+			if int64(r.Count) <= room {
+				out = append(out, r)
+				break
+			}
+			out = append(out, lvm.Request{VLBN: r.VLBN, Count: int(room)})
+			r.VLBN += room
+			r.Count -= int(room)
+		}
+	}
+	return out
+}
+
 // serveWrite applies one write op: invalidate every cached extent
 // overlapping the mutated ranges, then serve the write I/O and charge
 // its cost to the submitting session. Writes never populate the cache.
+// Extents crossing a disk-segment boundary are split here, so Write's
+// contract needs no per-disk precondition from its callers.
 func (s *Service) serveWrite(op *serviceOp) {
 	var res opResult
-	if s.cache != nil {
-		for _, r := range op.chunk.Reqs {
-			res.invalidated += s.cache.invalidate(r.VLBN, r.VLBN+int64(r.Count))
-		}
+	op.chunk.Reqs = s.splitAtSegmentEnds(op.chunk.Reqs)
+	for _, r := range op.chunk.Reqs {
+		// invalidate is nil-safe when the cache is off.
+		res.invalidated += s.cache.invalidate(r.VLBN, r.VLBN+int64(r.Count))
 	}
 	if len(op.chunk.Reqs) > 0 {
 		comps, elapsed, err := s.vol.ServeBatch(op.chunk.Reqs, op.policy)
@@ -363,10 +438,8 @@ func (s *Service) serveSingle(op *serviceOp) {
 			return
 		}
 		res.comps, res.elapsed = comps, elapsed
-		if s.cache != nil {
-			for _, c := range comps {
-				s.cache.insert(c.Req.VLBN, c.Req.VLBN+int64(c.Req.Count))
-			}
+		for _, c := range comps {
+			s.cache.insert(c.Req.VLBN, c.Req.VLBN+int64(c.Req.Count)) // nil-safe
 		}
 	}
 	s.account([]*serviceOp{op}, []opResult{res}, int64(len(reqs)), res.elapsed)
@@ -474,9 +547,7 @@ func (s *Service) serveMerged(items []*serviceOp) {
 		}
 		for k, r := range reqs {
 			c := compAt[r.VLBN]
-			if s.cache != nil {
-				s.cache.insert(r.VLBN, r.VLBN+int64(r.Count))
-			}
+			s.cache.insert(r.VLBN, r.VLBN+int64(r.Count)) // nil-safe
 			if len(members[k]) == 1 {
 				e := entries[members[k][0]]
 				results[e.item].comps = append(results[e.item].comps, c)

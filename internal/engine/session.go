@@ -15,6 +15,19 @@ type Runner interface {
 	RunPlan(p Plan, opts Options) (Stats, error)
 }
 
+// QuerySession is the full session surface a query layer needs from
+// one volume's service: plan execution, write submission, and lifetime
+// totals. It is the interchange point between the single-volume
+// *Session and the shard layer — a scatter-gather session hands out one
+// QuerySession per shard, so code written against the interface (the
+// update path, cell fetches) runs unchanged whether the dataset lives
+// on one volume or on many.
+type QuerySession interface {
+	Runner
+	Write(reqs []lvm.Request, policy disk.SchedPolicy) (Stats, error)
+	Totals() Stats
+}
+
 // volumeRunner adapts the synchronous Run to the Runner interface.
 type volumeRunner struct{ vol *lvm.Volume }
 
@@ -100,16 +113,23 @@ func (s *Session) RunPlan(p Plan, opts Options) (Stats, error) {
 
 	var st Stats
 	var pending []*serviceOp
-	fold := func(op *serviceOp) error {
-		r := <-op.reply
-		if r.err != nil {
-			return r.err
-		}
+	// credit folds one served chunk's attributed results into the
+	// query's Stats — the single copy both the success path and the
+	// failure drain use, so the attribution-sum property cannot drift
+	// between them.
+	credit := func(op *serviceOp, r opResult) {
 		st.AddCompletions(r.comps, r.elapsed)
 		st.Padding += op.chunk.Padding
 		st.Cells += r.hitCells
 		st.CacheHits += r.hits
 		st.CacheMisses += r.misses
+	}
+	fold := func(op *serviceOp) error {
+		r := <-op.reply
+		if r.err != nil {
+			return r.err
+		}
+		credit(op, r)
 		return nil
 	}
 	// finish folds (or, after a failure, waits out) every outstanding
@@ -123,11 +143,7 @@ func (s *Session) RunPlan(p Plan, opts Options) (Stats, error) {
 		for _, op := range pending {
 			if failed != nil || err != nil {
 				if r := <-op.reply; r.err == nil {
-					st.AddCompletions(r.comps, r.elapsed)
-					st.Padding += op.chunk.Padding
-					st.Cells += r.hitCells
-					st.CacheHits += r.hits
-					st.CacheMisses += r.misses
+					credit(op, r)
 				}
 				continue
 			}
@@ -212,6 +228,8 @@ func (s *Session) Write(reqs []lvm.Request, policy disk.SchedPolicy) (Stats, err
 	}
 	return st, nil
 }
+
+var _ QuerySession = (*Session)(nil)
 
 // Accumulate folds another query's stats into s — lifetime session
 // totals, experiment aggregation.

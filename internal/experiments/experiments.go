@@ -8,6 +8,7 @@ package experiments
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"repro/internal/disk"
 	"repro/internal/query"
@@ -43,6 +44,14 @@ type Config struct {
 	// that are update bursts (point inserts submitted as service write
 	// ops) in the service-throughput experiment. 0 = read-only.
 	WriteFraction float64
+	// Shards is the maximum shard count for the service-throughput
+	// experiment's scaling ladder: the run repeats at 1, 2, 4, ...
+	// shards up to this value (0 or 1 = single shard only).
+	Shards int
+	// BatchWindow is the time-based admission window of each shard
+	// service in the service-throughput experiment (0 = admit
+	// immediately).
+	BatchWindow time.Duration
 }
 
 // Defaults fills unset fields: both paper drives, full scale, 15 runs.
@@ -74,6 +83,12 @@ func (c Config) validate() error {
 	}
 	if c.WriteFraction < 0 || c.WriteFraction >= 1 {
 		return fmt.Errorf("experiments: write fraction %v outside [0,1)", c.WriteFraction)
+	}
+	if c.Shards < 0 {
+		return fmt.Errorf("experiments: shard count must be non-negative")
+	}
+	if c.BatchWindow < 0 {
+		return fmt.Errorf("experiments: batch window must be non-negative")
 	}
 	if _, err := c.execOptions(); err != nil {
 		return err

@@ -3,14 +3,19 @@ package experiments
 // Service-throughput experiment: the concurrent serving mode beyond the
 // paper. N client sessions issue mixed beam/range queries — and, with
 // cfg.WriteFraction > 0, §4.6 point inserts submitted as service write
-// ops — against one MultiMap store at once; the per-volume service loop
-// merges their in-flight chunks into shared SPTF batches, the optional
-// extent cache absorbs overlapping reads, and every write invalidates
-// the cached extents it dirties. The table reports aggregate throughput
-// (queries/sec), cache hit rate, and per-query ms/cell alongside the
-// service's own batching and invalidation evidence — run it with rising
-// -writes fractions to watch the hit rate fall as writes churn the
-// cache.
+// ops — against one MultiMap dataset at once; each per-volume service
+// loop merges its in-flight chunks into shared SPTF batches, the
+// optional extent cache absorbs overlapping reads, and every write
+// invalidates the cached extents it dirties. With cfg.Shards > 1 the
+// dataset is split along Dim0 across several shard volumes, each with
+// its own service loop, and every client runs a scatter-gather session
+// over them — the shard-scaling rows show queries/sec at 1, 2, 4, ...
+// shards, the first workload where the simulator's speedup comes from
+// true CPU parallelism rather than batching. The table reports
+// aggregate throughput (queries/sec), cache hit rate, and per-query
+// ms/cell alongside the services' batching and invalidation evidence —
+// run it with rising -writes fractions to watch the hit rate fall as
+// writes churn the cache.
 
 import (
 	"fmt"
@@ -24,15 +29,17 @@ import (
 	"repro/internal/engine"
 	"repro/internal/lvm"
 	"repro/internal/mapping"
-	"repro/internal/query"
+	"repro/internal/shard"
 )
 
-// ServeResult holds one throughput run per configured disk, keyed by
-// drive name.
-type ServeResult map[string]ServeRun
+// ServeResult holds the throughput runs per configured disk, keyed by
+// drive name, one entry per shard count.
+type ServeResult map[string][]ServeRun
 
-// ServeRun summarizes the service-throughput run on one drive.
+// ServeRun summarizes one service-throughput run (one drive model, one
+// shard count).
 type ServeRun struct {
+	Shards         int
 	Clients        int
 	Queries        int     // total completed queries (writes included)
 	WallSeconds    float64 // host wall-clock time
@@ -40,23 +47,38 @@ type ServeRun struct {
 	MsPerCell      float64 // aggregate simulated ms per cell
 	MeanQueryMs    float64 // mean simulated TotalMs per query
 	HitRate        float64 // cache hits / (hits + misses); 0 with cache off
-	MaxBatchChunks int     // largest admission batch: queries in flight together
+	MaxBatchChunks int     // largest admission batch on any shard
 	MergedBatches  int64
 	IssuedRequests int64
-	WriteOps       int64 // write ops served by the service loop
+	WriteOps       int64 // write ops served by the service loops
 	BlocksWritten  int64
-	Invalidated    int64          // cached blocks dropped by write invalidation
-	PerSession     []engine.Stats // lifetime stats of each client session
-	Totals         engine.ServiceTotals
+	Invalidated    int64                  // cached blocks dropped by write invalidation
+	PerSession     []engine.Stats         // lifetime stats of each client session
+	PerShard       []engine.ServiceTotals // each shard service's own totals
+}
+
+// shardCounts returns the scaling ladder 1, 2, 4, ... capped at max,
+// always ending on max itself.
+func shardCounts(max int) []int {
+	if max <= 1 {
+		return []int{1}
+	}
+	var out []int
+	for n := 1; n < max; n *= 2 {
+		out = append(out, n)
+	}
+	return append(out, max)
 }
 
 // ServiceThroughput drives cfg.Clients concurrent sessions per
 // configured drive, each issuing cfg.Queries mixed beam/range queries
-// over the synthetic 3-D dataset, through one volume service with
-// cfg.CacheBlocks of extent cache; a cfg.WriteFraction share of each
-// client's operations are update bursts on the hot region. Queries are
-// seeded per client, so a run is reproducible in workload (though not
-// in interleaving).
+// over the synthetic 3-D dataset, through one scatter-gather session
+// per client with cfg.CacheBlocks of extent cache per shard; a
+// cfg.WriteFraction share of each client's operations are update
+// bursts on the hot region. With cfg.Shards > 1 the run repeats at
+// 1, 2, 4, ... shards so the scaling is visible side by side. Queries
+// are seeded per client, so a run is reproducible in workload (though
+// not in interleaving).
 func ServiceThroughput(cfg Config) (*Table, ServeResult, error) {
 	cfg = cfg.Defaults()
 	if cfg.Clients == 0 {
@@ -78,71 +100,85 @@ func ServiceThroughput(cfg Config) (*Table, ServeResult, error) {
 		ID: "serve",
 		Title: fmt.Sprintf("Concurrent query service, %v cells, cache %d blocks, write fraction %.2f",
 			dims, cfg.CacheBlocks, cfg.WriteFraction),
-		Header: []string{"disk", "clients", "queries", "q/s", "ms/cell", "ms/query",
+		Header: []string{"disk", "shards", "clients", "queries", "q/s", "ms/cell", "ms/query",
 			"hit rate", "max batch", "merged", "issued reqs", "writes", "inval blk"},
 	}
 	for _, g := range cfg.Disks {
-		run, err := serveOneDisk(cfg, g, grid, dims)
-		if err != nil {
-			return nil, nil, err
+		for _, shards := range shardCounts(cfg.Shards) {
+			run, err := serveOneDisk(cfg, g, grid, dims, shards)
+			if err != nil {
+				return nil, nil, err
+			}
+			res[g.Name] = append(res[g.Name], run)
+			t.Rows = append(t.Rows, []string{
+				g.Name, fmt.Sprint(run.Shards), fmt.Sprint(run.Clients), fmt.Sprint(run.Queries),
+				fmt.Sprintf("%.1f", run.QueriesPerSec), f3(run.MsPerCell),
+				fmt.Sprintf("%.1f", run.MeanQueryMs), fmt.Sprintf("%.2f", run.HitRate),
+				fmt.Sprint(run.MaxBatchChunks), fmt.Sprint(run.MergedBatches),
+				fmt.Sprint(run.IssuedRequests), fmt.Sprint(run.BlocksWritten),
+				fmt.Sprint(run.Invalidated),
+			})
 		}
-		res[g.Name] = run
-		t.Rows = append(t.Rows, []string{
-			g.Name, fmt.Sprint(run.Clients), fmt.Sprint(run.Queries),
-			fmt.Sprintf("%.1f", run.QueriesPerSec), f3(run.MsPerCell),
-			fmt.Sprintf("%.1f", run.MeanQueryMs), fmt.Sprintf("%.2f", run.HitRate),
-			fmt.Sprint(run.MaxBatchChunks), fmt.Sprint(run.MergedBatches),
-			fmt.Sprint(run.IssuedRequests), fmt.Sprint(run.BlocksWritten),
-			fmt.Sprint(run.Invalidated),
-		})
 	}
 	return t, res, nil
 }
 
-// serveOneDisk runs the concurrent workload against one drive.
-func serveOneDisk(cfg Config, g *disk.Geometry, grid *dataset.Grid, dims []int) (ServeRun, error) {
-	v, err := lvm.New(0, g)
-	if err != nil {
-		return ServeRun{}, err
-	}
-	m, err := mapping.New(mapping.MultiMap, v, dims, mapping.Options{DiskIdx: 0})
-	if err != nil {
-		return ServeRun{}, err
-	}
+// serveOneDisk runs the concurrent workload against one drive model at
+// one shard count: every shard is an independent volume over that
+// model with its own service loop.
+func serveOneDisk(cfg Config, g *disk.Geometry, grid *dataset.Grid, dims []int, shards int) (ServeRun, error) {
 	eo, err := cfg.execOptions()
 	if err != nil {
 		return ServeRun{}, err
 	}
-	exec := query.NewExecutorOptions(v, m, eo)
-
-	// The update layer for the write share: overflow pages live past the
-	// mapped span, clear of every cell (the same invariant the public
-	// UpdatableStore validates).
-	var cells *core.CellStore
-	if cfg.WriteFraction > 0 {
-		_, hi := m.(mapping.Spanned).SpanVLBN()
-		overflow := v.TotalBlocks() - hi
-		if overflow <= 0 {
-			return ServeRun{}, fmt.Errorf("experiments: no room for an overflow extent past VLBN %d", hi)
-		}
-		if overflow > 1<<16 {
-			overflow = 1 << 16
-		}
-		cells, err = core.NewCellStore(m.CellVLBN, 64, 0.75, 0.25, v.TotalBlocks()-overflow, overflow)
+	vols := make([]*lvm.Volume, shards)
+	svcs := make([]*engine.Service, shards)
+	for i := range vols {
+		v, err := lvm.New(0, g)
 		if err != nil {
 			return ServeRun{}, err
 		}
+		vols[i] = v
+		svcs[i] = engine.NewService(v, engine.ServiceOptions{
+			CacheBlocks: cfg.CacheBlocks, BatchWindow: cfg.BatchWindow,
+		})
+		defer svcs[i].Close()
+	}
+	grp, err := shard.Build(vols, svcs, mapping.MultiMap, dims, mapping.Options{DiskIdx: 0}, eo)
+	if err != nil {
+		return ServeRun{}, err
 	}
 
-	svc := engine.NewService(v, engine.ServiceOptions{CacheBlocks: cfg.CacheBlocks})
-	defer svc.Close()
+	// The update layer for the write share: per shard, overflow pages
+	// live past the mapped span, clear of every cell (the same invariant
+	// the public UpdatableStore validates per disk).
+	var cells []*core.CellStore
+	if cfg.WriteFraction > 0 {
+		cells = make([]*core.CellStore, shards)
+		for i := range cells {
+			member := grp.Member(i)
+			_, hi := member.Map.(mapping.Spanned).SpanVLBN()
+			overflow := member.Vol.TotalBlocks() - hi
+			if overflow <= 0 {
+				return ServeRun{}, fmt.Errorf("experiments: no room for an overflow extent past VLBN %d", hi)
+			}
+			if overflow > 1<<16 {
+				overflow = 1 << 16
+			}
+			cells[i], err = core.NewCellStore(member.Map.CellVLBN, 64, 0.75, 0.25,
+				[]lvm.Request{{VLBN: member.Vol.TotalBlocks() - overflow, Count: int(overflow)}})
+			if err != nil {
+				return ServeRun{}, err
+			}
+		}
+	}
 
 	// MaxInflight 2 keeps each session one chunk ahead of the disks, so
 	// with a chunked planner (cfg.ChunkCells) admission batches merge
 	// even when the host serializes the client goroutines.
-	sessions := make([]*engine.Session, cfg.Clients)
+	sessions := make([]*shard.Session, cfg.Clients)
 	for i := range sessions {
-		sessions[i] = svc.NewSession(engine.SessionOptions{MaxInflight: 2})
+		sessions[i] = grp.Begin(engine.SessionOptions{MaxInflight: 2})
 	}
 	errs := make([]error, cfg.Clients)
 	var wg sync.WaitGroup
@@ -155,9 +191,9 @@ func serveOneDisk(cfg Config, g *disk.Geometry, grid *dataset.Grid, dims []int) 
 			for q := 0; q < cfg.Queries; q++ {
 				var err error
 				if cells != nil && rng.Float64() < cfg.WriteFraction {
-					err = runInsertBurst(cells, sessions[i], dims, rng)
+					err = runInsertBurst(grp, cells, sessions[i], dims, rng)
 				} else {
-					err = runMixedQuery(exec, sessions[i], grid, dims, rng)
+					err = runMixedQuery(sessions[i], grid, dims, rng)
 				}
 				if err != nil {
 					errs[i] = fmt.Errorf("client %d query %d: %w", i, q, err)
@@ -175,10 +211,11 @@ func serveOneDisk(cfg Config, g *disk.Geometry, grid *dataset.Grid, dims []int) 
 	}
 
 	run := ServeRun{
+		Shards:      shards,
 		Clients:     cfg.Clients,
 		Queries:     cfg.Clients * cfg.Queries,
 		WallSeconds: wall,
-		Totals:      svc.Totals(),
+		PerShard:    grp.ServiceTotals(),
 	}
 	var sum engine.Stats
 	for _, s := range sessions {
@@ -196,44 +233,63 @@ func serveOneDisk(cfg Config, g *disk.Geometry, grid *dataset.Grid, dims []int) 
 	if lookups := sum.CacheHits + sum.CacheMisses; lookups > 0 {
 		run.HitRate = float64(sum.CacheHits) / float64(lookups)
 	}
-	run.MaxBatchChunks = run.Totals.MaxBatchChunks
-	run.MergedBatches = run.Totals.MergedBatches
-	run.IssuedRequests = run.Totals.IssuedRequests
-	run.WriteOps = run.Totals.WriteOps
+	for _, tot := range run.PerShard {
+		if tot.MaxBatchChunks > run.MaxBatchChunks {
+			run.MaxBatchChunks = tot.MaxBatchChunks
+		}
+		run.MergedBatches += tot.MergedBatches
+		run.IssuedRequests += tot.IssuedRequests
+		run.WriteOps += tot.WriteOps
+		run.Invalidated += tot.InvalidatedBlocks
+	}
 	run.BlocksWritten = sum.Writes
-	run.Invalidated = run.Totals.InvalidatedBlocks
 	return run, nil
 }
 
 // runInsertBurst performs one update operation: a burst of point
-// inserts into a cell on the hot-region alignment grid (the same
-// region the hot range queries keep re-reading), each submitted as a
-// service write op so the loop invalidates any cached extents over the
-// dirtied blocks before charging the write.
-func runInsertBurst(cells *core.CellStore, sess *engine.Session, dims []int, rng *rand.Rand) error {
+// inserts into a cell on a hot-region alignment grid, each routed to
+// the owning shard and submitted as a service write op there, so that
+// shard's loop invalidates any cached extents over the dirtied blocks
+// before charging the write. The Dim0 hot slots are laid out per shard
+// slab — every shard gets write traffic, so the scaling ladder's write
+// and invalidation columns measure all of them; with one shard the
+// slab is the whole dimension and the workload reduces exactly to the
+// unsharded hot region (the same region the hot range queries keep
+// re-reading).
+func runInsertBurst(grp *shard.Group, cells []*core.CellStore, sess *shard.Session, dims []int, rng *rand.Rand) error {
 	cell := make([]int, len(dims))
 	for i, d := range dims {
 		side := max(1, d/16)
 		slots := max(1, d/8/side)
 		cell[i] = rng.Intn(slots) * side
 	}
+	si := 0
+	if n := grp.NumShards(); n > 1 {
+		si = rng.Intn(n)
+		lo, hi := grp.Router().Slab(si)
+		side := max(1, (hi-lo)/16)
+		slots := max(1, (hi-lo)/8/side)
+		cell[0] = lo + rng.Intn(slots)*side
+	}
+	local := grp.Router().Localize(si, cell)
 	for k := 0; k < 8; k++ {
-		reqs, err := cells.Insert(cell)
+		reqs, err := cells[si].Insert(local)
 		if err != nil {
 			return err
 		}
-		if _, err := sess.Write(reqs, disk.SchedSPTF); err != nil {
+		if _, err := sess.Member(si).Write(reqs, disk.SchedSPTF); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-// runMixedQuery issues one query through the client's session: half
-// uniform beams, a quarter uniform small range boxes, and a quarter
-// hot-region range boxes on a quantized grid — the overlapping share of
-// a real workload, which is what the extent cache absorbs.
-func runMixedQuery(exec *query.Executor, sess *engine.Session, grid *dataset.Grid, dims []int, rng *rand.Rand) error {
+// runMixedQuery issues one query through the client's scatter-gather
+// session: half uniform beams, a quarter uniform small range boxes, and
+// a quarter hot-region range boxes on a quantized grid — the
+// overlapping share of a real workload, which is what the extent cache
+// absorbs.
+func runMixedQuery(sess *shard.Session, grid *dataset.Grid, dims []int, rng *rand.Rand) error {
 	switch roll := rng.Intn(4); {
 	case roll < 2:
 		dim := rng.Intn(len(dims))
@@ -241,7 +297,7 @@ func runMixedQuery(exec *query.Executor, sess *engine.Session, grid *dataset.Gri
 		if err != nil {
 			return err
 		}
-		_, err = exec.BeamOn(sess, dim, fixed)
+		_, err = sess.Beam(dim, fixed)
 		return err
 	case roll == 2:
 		lo := make([]int, len(dims))
@@ -251,7 +307,7 @@ func runMixedQuery(exec *query.Executor, sess *engine.Session, grid *dataset.Gri
 			lo[i] = rng.Intn(d - side + 1)
 			hi[i] = lo[i] + side
 		}
-		_, err := exec.RangeOn(sess, lo, hi)
+		_, err := sess.Box(lo, hi)
 		return err
 	default:
 		// Hot region: boxes of a fixed side on a coarse alignment grid
@@ -265,7 +321,7 @@ func runMixedQuery(exec *query.Executor, sess *engine.Session, grid *dataset.Gri
 			lo[i] = rng.Intn(slots) * side
 			hi[i] = min(lo[i]+side, d)
 		}
-		_, err := exec.RangeOn(sess, lo, hi)
+		_, err := sess.Box(lo, hi)
 		return err
 	}
 }

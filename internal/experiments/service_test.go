@@ -22,9 +22,13 @@ func TestServiceThroughput(t *testing.T) {
 	if len(byDisk) != len(cfg.Disks) {
 		t.Fatalf("want one run per disk, got %d for %d disks", len(byDisk), len(cfg.Disks))
 	}
-	res, ok := byDisk[cfg.Disks[0].Name]
-	if !ok {
-		t.Fatalf("no run for %s: %v", cfg.Disks[0].Name, byDisk)
+	runs, ok := byDisk[cfg.Disks[0].Name]
+	if !ok || len(runs) != 1 {
+		t.Fatalf("want one single-shard run for %s: %v", cfg.Disks[0].Name, byDisk)
+	}
+	res := runs[0]
+	if res.Shards != 1 {
+		t.Fatalf("default run sharded: %+v", res)
 	}
 	if res.Queries != 32 || res.QueriesPerSec <= 0 || res.MsPerCell <= 0 {
 		t.Fatalf("cold result wrong: %+v", res)
@@ -39,8 +43,8 @@ func TestServiceThroughput(t *testing.T) {
 	for _, st := range res.PerSession {
 		cells += st.Cells
 	}
-	if cells != res.Totals.Attributed.Cells {
-		t.Fatalf("session cells %d != attributed %d", cells, res.Totals.Attributed.Cells)
+	if cells != attributedCells(res) {
+		t.Fatalf("session cells %d != attributed %d", cells, attributedCells(res))
 	}
 	if !strings.Contains(tb.String(), "q/s") {
 		t.Fatalf("table missing throughput column:\n%s", tb)
@@ -51,7 +55,7 @@ func TestServiceThroughput(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	warm := warmByDisk[cfg.Disks[0].Name]
+	warm := warmByDisk[cfg.Disks[0].Name][0]
 	if warm.HitRate <= 0 || warm.HitRate > 1 {
 		t.Fatalf("hot-region workload should hit the cache: %+v", warm)
 	}
@@ -86,14 +90,14 @@ func TestServiceThroughputWithWrites(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ro := readOnly[cfg.Disks[0].Name]
+	ro := readOnly[cfg.Disks[0].Name][0]
 
 	cfg.WriteFraction = 0.3
 	tb, mixedByDisk, err := ServiceThroughput(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	mixed := mixedByDisk[cfg.Disks[0].Name]
+	mixed := mixedByDisk[cfg.Disks[0].Name][0]
 	if mixed.WriteOps == 0 || mixed.BlocksWritten == 0 {
 		t.Fatalf("write fraction 0.3 produced no write ops: %+v", mixed)
 	}
@@ -104,14 +108,93 @@ func TestServiceThroughputWithWrites(t *testing.T) {
 		t.Fatalf("hit rate did not fall under writes: %.3f (mixed) vs %.3f (read-only)",
 			mixed.HitRate, ro.HitRate)
 	}
-	var writes int64
+	var writes, attrWrites int64
 	for _, st := range mixed.PerSession {
 		writes += st.Writes
 	}
-	if writes != mixed.Totals.Attributed.Writes {
-		t.Fatalf("session writes %d != attributed %d", writes, mixed.Totals.Attributed.Writes)
+	for _, tot := range mixed.PerShard {
+		attrWrites += tot.Attributed.Writes
+	}
+	if writes != attrWrites {
+		t.Fatalf("session writes %d != attributed %d", writes, attrWrites)
 	}
 	if !strings.Contains(tb.String(), "inval blk") {
 		t.Fatalf("table missing invalidation column:\n%s", tb)
+	}
+}
+
+// attributedCells sums the attributed cell counts over a run's shards.
+func attributedCells(r ServeRun) int64 {
+	var n int64
+	for _, tot := range r.PerShard {
+		n += tot.Attributed.Cells
+	}
+	return n
+}
+
+// TestServiceThroughputSharded runs the scaling ladder at up to 4
+// shards with mixed reads and writes: the ladder rows must appear, the
+// queries must complete on every rung, and on each rung the per-session
+// stats must still sum to the per-shard attributed totals.
+func TestServiceThroughputSharded(t *testing.T) {
+	cfg := fastCfg()
+	cfg.Clients = 4
+	cfg.Queries = 6
+	cfg.ChunkCells = 512
+	cfg.CacheBlocks = 1 << 22
+	cfg.WriteFraction = 0.25
+	cfg.Shards = 4
+
+	tb, byDisk, err := ServiceThroughput(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runs := byDisk[cfg.Disks[0].Name]
+	if len(runs) != 3 {
+		t.Fatalf("want rungs at 1/2/4 shards, got %d runs", len(runs))
+	}
+	for i, want := range []int{1, 2, 4} {
+		r := runs[i]
+		if r.Shards != want {
+			t.Fatalf("rung %d at %d shards, want %d", i, r.Shards, want)
+		}
+		if len(r.PerShard) != want {
+			t.Fatalf("rung %d has %d shard totals, want %d", i, len(r.PerShard), want)
+		}
+		if r.Queries != cfg.Clients*cfg.Queries || r.QueriesPerSec <= 0 {
+			t.Fatalf("rung %d incomplete: %+v", i, r)
+		}
+		var cells, attr int64
+		for _, st := range r.PerSession {
+			cells += st.Cells
+		}
+		for _, tot := range r.PerShard {
+			attr += tot.Attributed.Cells
+		}
+		if cells != attr {
+			t.Fatalf("rung %d: session cells %d != attributed %d", i, cells, attr)
+		}
+		if want > 1 {
+			served, wrote := 0, 0
+			for _, tot := range r.PerShard {
+				if tot.Batches > 0 {
+					served++
+				}
+				if tot.WriteOps > 0 {
+					wrote++
+				}
+			}
+			if served < 2 {
+				t.Fatalf("rung %d: only %d shards served work", i, served)
+			}
+			// Write bursts are laid out per shard slab, so the write
+			// columns measure more than shard 0.
+			if wrote < 2 {
+				t.Fatalf("rung %d: only %d shards served write ops", i, wrote)
+			}
+		}
+	}
+	if !strings.Contains(tb.String(), "shards") {
+		t.Fatalf("table missing shards column:\n%s", tb)
 	}
 }

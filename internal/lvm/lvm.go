@@ -95,6 +95,25 @@ func New(adjDepth int, geoms ...*disk.Geometry) (*Volume, error) {
 	return v, nil
 }
 
+// NewLike builds a fresh volume mirroring v's hardware: the same
+// member-disk geometries in the same order, the same adjacency depth,
+// and pristine head state. Sharded stores use it to spawn per-shard
+// volumes identical to the primary. Geometries are immutable and safely
+// shared between the volumes.
+func NewLike(v *Volume) *Volume {
+	geoms := make([]*disk.Geometry, len(v.disks))
+	for i, d := range v.disks {
+		geoms[i] = d.Geometry()
+	}
+	// New validated these exact inputs when v was built, so it cannot
+	// fail here.
+	nv, err := New(v.adjDepth, geoms...)
+	if err != nil {
+		panic(fmt.Sprintf("lvm: NewLike on a valid volume failed: %v", err))
+	}
+	return nv
+}
+
 // AdjacencyDepth returns the exported D: how many adjacent blocks each
 // VLBN has (fewer only near the end of a disk).
 func (v *Volume) AdjacencyDepth() int { return v.adjDepth }

@@ -16,10 +16,11 @@ type curveMapper struct {
 	ranked     *sfc.Ranked
 	base       int64
 	cellBlocks int
+	diskIdx    int // the one disk holding the extent
 }
 
 func newCurveMapper(kind Kind, vol *lvm.Volume, dims []int, curve sfc.Curve, opts Options) (Mapper, error) {
-	base, _, err := checkExtent(vol, dims, opts)
+	base, diskIdx, err := checkExtent(vol, dims, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -29,7 +30,7 @@ func newCurveMapper(kind Kind, vol *lvm.Volume, dims []int, curve sfc.Curve, opt
 	}
 	return &curveMapper{
 		kind: kind, dims: append([]int(nil), dims...),
-		ranked: r, base: base, cellBlocks: opts.CellBlocks,
+		ranked: r, base: base, cellBlocks: opts.CellBlocks, diskIdx: diskIdx,
 	}, nil
 }
 
@@ -123,9 +124,18 @@ func (c *curveMapper) SpanVLBN() (int64, int64) {
 	return c.base, c.base + sfc.NumCells(c.dims)*int64(c.cellBlocks)
 }
 
+// SpanOnDisk: the extent lives wholly on one disk.
+func (c *curveMapper) SpanOnDisk(di int) (int64, int64) {
+	if di != c.diskIdx {
+		return 0, 0
+	}
+	return c.SpanVLBN()
+}
+
 var (
-	_ Mapper     = (*curveMapper)(nil)
-	_ CellSized  = (*curveMapper)(nil)
-	_ BoxPlanner = (*curveMapper)(nil)
-	_ Spanned    = (*curveMapper)(nil)
+	_ Mapper      = (*curveMapper)(nil)
+	_ CellSized   = (*curveMapper)(nil)
+	_ BoxPlanner  = (*curveMapper)(nil)
+	_ Spanned     = (*curveMapper)(nil)
+	_ DiskSpanned = (*curveMapper)(nil)
 )

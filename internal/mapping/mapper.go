@@ -133,6 +133,17 @@ type Spanned interface {
 	SpanVLBN() (start, end int64)
 }
 
+// DiskSpanned refines Spanned per member disk: SpanOnDisk reports the
+// conservative VLBN interval the dataset occupies within disk di's
+// segment (start == end when the dataset does not touch that disk).
+// The update layer uses it to validate one overflow extent per disk
+// against only the cells actually placed there — under a declustered
+// MultiMap dataset the global span straddles every disk and would
+// falsely collide with any per-disk tail extent.
+type DiskSpanned interface {
+	SpanOnDisk(di int) (start, end int64)
+}
+
 // CellSized is implemented by every mapper; it reports the cell size in
 // blocks and the full extent list of one cell (two extents only when a
 // MultiMap cell wraps its circular track).
@@ -173,6 +184,30 @@ func New(kind Kind, vol *lvm.Volume, dims []int, opts Options) (Mapper, error) {
 	default:
 		return nil, fmt.Errorf("mapping: unknown kind %d", int(kind))
 	}
+}
+
+// Dim0Align returns the Dim0 slab-alignment quantum for sharding a
+// dataset of the given shape under the given placement: MultiMap's
+// basic-cube side K0 — so shard slab boundaries coincide with cube
+// boundaries and no cube's sequential Dim0 run is split across shards
+// — and 1 for the linear mappings, whose locality has no Dim0 grain.
+// The volume stands in for any shard member (all shards mirror its
+// geometry), and nothing is allocated.
+func Dim0Align(kind Kind, vol *lvm.Volume, dims []int, opts Options) (int, error) {
+	if kind != MultiMap {
+		return 1, nil
+	}
+	opts, err := opts.normalize()
+	if err != nil {
+		return 0, err
+	}
+	spec, err := core.ChooseCube(vol, dims, core.MapOptions{
+		DiskIdx: opts.DiskIdx, CellBlocks: opts.CellBlocks,
+	})
+	if err != nil {
+		return 0, err
+	}
+	return spec.K[0], nil
 }
 
 // checkExtent validates that a linear extent of n cells fits on the
@@ -232,9 +267,12 @@ func (mm *multiMapper) Core() *core.Mapping { return mm.m }
 
 func (mm *multiMapper) SpanVLBN() (int64, int64) { return mm.m.SpanVLBN() }
 
+func (mm *multiMapper) SpanOnDisk(di int) (int64, int64) { return mm.m.SpanOnDisk(di) }
+
 var (
 	_ Dim0Runner     = (*multiMapper)(nil)
 	_ SemiSequential = (*multiMapper)(nil)
 	_ CellSized      = (*multiMapper)(nil)
 	_ Spanned        = (*multiMapper)(nil)
+	_ DiskSpanned    = (*multiMapper)(nil)
 )

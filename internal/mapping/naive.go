@@ -16,6 +16,7 @@ type naiveMapper struct {
 	base       int64
 	cells      int64
 	cellBlocks int
+	diskIdx    int // the one disk holding the extent
 }
 
 func newNaive(vol *lvm.Volume, dims []int, opts Options) (Mapper, error) {
@@ -27,11 +28,12 @@ func newNaive(vol *lvm.Volume, dims []int, opts Options) (Mapper, error) {
 			return nil, fmt.Errorf("mapping: dimension %d has non-positive length %d", i, d)
 		}
 	}
-	base, _, err := checkExtent(vol, dims, opts)
+	base, diskIdx, err := checkExtent(vol, dims, opts)
 	if err != nil {
 		return nil, err
 	}
-	n := &naiveMapper{dims: append([]int(nil), dims...), base: base, cellBlocks: opts.CellBlocks}
+	n := &naiveMapper{dims: append([]int(nil), dims...), base: base,
+		cellBlocks: opts.CellBlocks, diskIdx: diskIdx}
 	n.strides = make([]int64, len(dims))
 	stride := int64(opts.CellBlocks)
 	for i := range dims {
@@ -89,8 +91,17 @@ func (n *naiveMapper) SpanVLBN() (int64, int64) {
 	return n.base, n.base + n.cells*int64(n.cellBlocks)
 }
 
+// SpanOnDisk: the extent lives wholly on one disk.
+func (n *naiveMapper) SpanOnDisk(di int) (int64, int64) {
+	if di != n.diskIdx {
+		return 0, 0
+	}
+	return n.SpanVLBN()
+}
+
 var (
-	_ Dim0Runner = (*naiveMapper)(nil)
-	_ CellSized  = (*naiveMapper)(nil)
-	_ Spanned    = (*naiveMapper)(nil)
+	_ Dim0Runner  = (*naiveMapper)(nil)
+	_ CellSized   = (*naiveMapper)(nil)
+	_ Spanned     = (*naiveMapper)(nil)
+	_ DiskSpanned = (*naiveMapper)(nil)
 )

@@ -109,25 +109,37 @@ func (e *Executor) Beam(dim int, fixed []int) (Stats, error) {
 	return e.BeamOn(engine.OnVolume(e.vol), dim, fixed)
 }
 
-// BeamOn runs a beam query through an explicit engine runner — a
-// concurrent-service Session, or engine.OnVolume for the synchronous
-// single-caller path Beam uses.
-func (e *Executor) BeamOn(r engine.Runner, dim int, fixed []int) (Stats, error) {
-	dims := e.m.Dims()
+// BeamBox translates the paper's beam query — all cells along dim with
+// the remaining coordinates fixed — into the equivalent box [lo, hi)
+// over a dataset of the given side lengths. The scatter-gather shard
+// session shares it with BeamOn, so beams route identically on one
+// volume and on many.
+func BeamBox(dims []int, dim int, fixed []int) (lo, hi []int, err error) {
 	if dim < 0 || dim >= len(dims) {
-		return Stats{}, fmt.Errorf("query: beam dimension %d out of range", dim)
+		return nil, nil, fmt.Errorf("query: beam dimension %d out of range", dim)
 	}
 	if len(fixed) != len(dims) {
-		return Stats{}, fmt.Errorf("query: fixed has %d dims, want %d", len(fixed), len(dims))
+		return nil, nil, fmt.Errorf("query: fixed has %d dims, want %d", len(fixed), len(dims))
 	}
-	lo := append([]int(nil), fixed...)
-	hi := append([]int(nil), fixed...)
+	lo = append([]int(nil), fixed...)
+	hi = append([]int(nil), fixed...)
 	lo[dim] = 0
 	hi[dim] = dims[dim]
 	for i := range hi {
 		if i != dim {
 			hi[i] = fixed[i] + 1
 		}
+	}
+	return lo, hi, nil
+}
+
+// BeamOn runs a beam query through an explicit engine runner — a
+// concurrent-service Session, or engine.OnVolume for the synchronous
+// single-caller path Beam uses.
+func (e *Executor) BeamOn(r engine.Runner, dim int, fixed []int) (Stats, error) {
+	lo, hi, err := BeamBox(e.m.Dims(), dim, fixed)
+	if err != nil {
+		return Stats{}, err
 	}
 	return e.RangeOn(r, lo, hi)
 }
@@ -164,9 +176,12 @@ func (e *Executor) RangeOn(r engine.Runner, lo, hi []int) (Stats, error) {
 	return st, nil
 }
 
-// checkBox validates the box and returns its cell count.
-func (e *Executor) checkBox(lo, hi []int) (int64, error) {
-	dims := e.m.Dims()
+// CheckBox validates a box [lo, hi) against a dataset shape and
+// returns its cell count — the storage manager's own validation,
+// exported so the scatter-gather shard layer rejects exactly the boxes
+// the single-volume path would (instead of the router silently
+// clamping an out-of-range Dim0 bound).
+func CheckBox(dims, lo, hi []int) (int64, error) {
 	if len(lo) != len(dims) || len(hi) != len(dims) {
 		return 0, fmt.Errorf("query: bounds arity mismatch")
 	}
@@ -179,6 +194,11 @@ func (e *Executor) checkBox(lo, hi []int) (int64, error) {
 		cells *= int64(hi[i] - lo[i])
 	}
 	return cells, nil
+}
+
+// checkBox validates the box and returns its cell count.
+func (e *Executor) checkBox(lo, hi []int) (int64, error) {
+	return CheckBox(e.m.Dims(), lo, hi)
 }
 
 // Plan returns the streaming request plan for the box [lo, hi): the

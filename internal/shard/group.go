@@ -1,0 +1,215 @@
+package shard
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/engine"
+	"repro/internal/lvm"
+	"repro/internal/mapping"
+	"repro/internal/query"
+)
+
+// Member is one shard's full execution stack: an independent volume,
+// the engine.Service loop that owns its head state and extent cache,
+// the shard-local mapping of the slab's grid, and the storage-manager
+// planner over it.
+type Member struct {
+	Vol  *lvm.Volume
+	Svc  *engine.Service
+	Map  mapping.Mapper
+	Exec *query.Executor
+}
+
+// Group is a sharded dataset: a Router plus one Member per slab. Build
+// it once, then open scatter-gather Sessions for each client.
+type Group struct {
+	r       *Router
+	members []Member
+}
+
+// Build maps a dataset of the given shape across one volume per shard
+// (each with its running service), choosing the Dim0 slab alignment
+// from the placement (MultiMap's basic-cube side K0; 1 for the linear
+// mappings) and mapping each shard's slab grid onto its own volume with
+// the same placement options and executor options throughout. With one
+// volume the group degenerates to exactly the single-volume stack —
+// same mapping, same planner, same service — which is what makes
+// single-shard scatter-gather execution bit-identical to the unsharded
+// path.
+func Build(vols []*lvm.Volume, svcs []*engine.Service, kind mapping.Kind, dims []int,
+	mo mapping.Options, eo query.ExecOptions) (*Group, error) {
+	if len(vols) == 0 {
+		return nil, fmt.Errorf("shard: at least one volume required")
+	}
+	if len(vols) != len(svcs) {
+		return nil, fmt.Errorf("shard: %d volumes but %d services", len(vols), len(svcs))
+	}
+	align, err := mapping.Dim0Align(kind, vols[0], dims, mo)
+	if err != nil {
+		return nil, err
+	}
+	// Slabs align to the global basic-cube grid when it has at least one
+	// cube row per shard. A short Dim0 (or a cube side chosen near the
+	// whole dimension) can leave fewer cube rows than shards; then the
+	// alignment relaxes by halving until every shard owns a slab — each
+	// shard maps its slab with its own basic cube anyway, so the
+	// per-shard sequential and semi-sequential locality is unaffected,
+	// only the slab cuts stop coinciding with the unsharded layout's
+	// cube boundaries.
+	for align > 1 && (dims[0]+align-1)/align < len(vols) {
+		align = (align + 1) / 2
+	}
+	r, err := NewRouter(dims, len(vols), align)
+	if err != nil {
+		return nil, err
+	}
+	g := &Group{r: r, members: make([]Member, len(vols))}
+	for i := range vols {
+		m, err := mapping.New(kind, vols[i], r.LocalDims(i), mo)
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+		g.members[i] = Member{
+			Vol:  vols[i],
+			Svc:  svcs[i],
+			Map:  m,
+			Exec: query.NewExecutorOptions(vols[i], m, eo),
+		}
+	}
+	return g, nil
+}
+
+// Router returns the group's partition.
+func (g *Group) Router() *Router { return g.r }
+
+// NumShards returns the number of members.
+func (g *Group) NumShards() int { return len(g.members) }
+
+// Member returns shard i's execution stack.
+func (g *Group) Member(i int) *Member { return &g.members[i] }
+
+// CellVLBN routes a global cell to its owning shard and returns that
+// shard's index with the shard-local volume LBN storing the cell.
+func (g *Group) CellVLBN(cell []int) (shard int, vlbn int64, err error) {
+	si, err := g.r.ShardOf(cell)
+	if err != nil {
+		return 0, 0, err
+	}
+	vlbn, err = g.members[si].Map.CellVLBN(g.r.Localize(si, cell))
+	return si, vlbn, err
+}
+
+// ServiceTotals snapshots every shard service's bookkeeping, in shard
+// order. Summing each session's Totals over all of a group's sessions
+// reproduces the sum of these entries' Attributed fields — the
+// attribution-sum property, now group-wide.
+func (g *Group) ServiceTotals() []engine.ServiceTotals {
+	out := make([]engine.ServiceTotals, len(g.members))
+	for i := range g.members {
+		out[i] = g.members[i].Svc.Totals()
+	}
+	return out
+}
+
+// Begin opens a scatter-gather session: one engine session per shard
+// service, driven concurrently by each query that spans shards.
+func (g *Group) Begin(opts engine.SessionOptions) *Session {
+	s := &Session{g: g, es: make([]*engine.Session, len(g.members))}
+	for i := range g.members {
+		s.es[i] = g.members[i].Svc.NewSession(opts)
+	}
+	return s
+}
+
+// Session is one client's scatter-gather handle on a sharded dataset.
+// Each query box is split by the router into per-shard sub-boxes; every
+// sub-box is planned by its shard's own streaming planner and submitted
+// through that shard's engine session, all shards in flight at once
+// (shards scale across CPUs, not just across a batch); the per-shard
+// Stats are then merged by summation in shard order.
+//
+// Merge contract: every merged field — costs, cells, padding, cache
+// hits and misses, writes, invalidations, and ElapsedMs — is the sum of
+// the per-shard parts, so session totals keep satisfying the
+// attribution-sum property against the per-shard ServiceTotals.
+// Summed ElapsedMs is therefore per-shard simulated wall-clock time
+// stacked up, not the host wall-clock of the scatter (which is roughly
+// the maximum over the shards).
+//
+// A Session is safe for concurrent use; queries from many goroutines
+// interleave exactly as they would on the member engine sessions.
+type Session struct {
+	g  *Group
+	es []*engine.Session
+}
+
+// Member returns the engine-level session bound to shard i, for
+// operations that target one shard directly: the update layer routes a
+// cell mutation's write ops and chain fetches through the owning
+// shard's member session.
+func (s *Session) Member(i int) engine.QuerySession { return s.es[i] }
+
+// Totals returns the session's accumulated statistics across all its
+// queries on every shard, summed in shard order.
+func (s *Session) Totals() engine.Stats {
+	var sum engine.Stats
+	for _, es := range s.es {
+		sum.Accumulate(es.Totals())
+	}
+	return sum
+}
+
+// Beam runs the paper's beam query — all cells along dim, the other
+// coordinates fixed — across the shards it touches. A beam along Dim0
+// spans every shard; beams along other dimensions land on exactly one.
+func (s *Session) Beam(dim int, fixed []int) (engine.Stats, error) {
+	lo, hi, err := query.BeamBox(s.g.r.dims, dim, fixed)
+	if err != nil {
+		return engine.Stats{}, err
+	}
+	return s.Box(lo, hi)
+}
+
+// Box fetches the global box [lo, hi) (hi exclusive per dimension)
+// scatter-gather: sub-boxes run on their shards concurrently and the
+// per-shard Stats merge by summation. A single-shard box runs inline on
+// the owning member — the path that stays bit-identical to the
+// unsharded executor.
+func (s *Session) Box(lo, hi []int) (engine.Stats, error) {
+	// The same validation the single-volume storage manager applies —
+	// the router would otherwise silently clamp an out-of-range Dim0
+	// bound. Each part's executor re-validates its sub-box; that double
+	// check is accepted, costing O(#dims) next to the query itself.
+	if _, err := query.CheckBox(s.g.r.dims, lo, hi); err != nil {
+		return engine.Stats{}, err
+	}
+	parts := s.g.r.SplitBox(lo, hi)
+	if len(parts) == 1 {
+		p := parts[0]
+		return s.g.members[p.Shard].Exec.RangeOn(s.es[p.Shard], p.Lo, p.Hi)
+	}
+	stats := make([]engine.Stats, len(parts))
+	errs := make([]error, len(parts))
+	var wg sync.WaitGroup
+	for k := range parts {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			p := parts[k]
+			stats[k], errs[k] = s.g.members[p.Shard].Exec.RangeOn(s.es[p.Shard], p.Lo, p.Hi)
+		}(k)
+	}
+	wg.Wait()
+	var merged engine.Stats
+	for k := range parts {
+		// Every part ran to completion (its member session folded any
+		// partial work into its lifetime totals), so reporting the first
+		// error after the barrier loses nothing.
+		if errs[k] != nil {
+			return engine.Stats{}, errs[k]
+		}
+		merged.Accumulate(stats[k])
+	}
+	return merged, nil
+}

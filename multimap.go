@@ -3,6 +3,7 @@ package multimap
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/analytic"
 	"repro/internal/core"
@@ -11,6 +12,7 @@ import (
 	"repro/internal/lvm"
 	"repro/internal/mapping"
 	"repro/internal/query"
+	"repro/internal/shard"
 )
 
 // DiskModel names a simulated drive.
@@ -246,23 +248,50 @@ type StoreOptions struct {
 	// on the disks; higher values also let one query's chunks share
 	// admission batches.
 	MaxInflight int
+	// Shards spreads the dataset across this many independent shard
+	// volumes, each with its own query-service loop, head state, and
+	// extent cache. The grid is partitioned along Dim0 into slabs
+	// aligned to MultiMap's basic-cube boundaries; shard 0 lives on the
+	// volume passed to NewStore and shards 1..N-1 on internally created
+	// volumes mirroring its hardware (release them with Store.Close).
+	// Queries scatter-gather: each box is split by owning shard, served
+	// by all shard services concurrently, and the per-shard Stats merge
+	// by summation. 0 and 1 both mean a single shard on the caller's
+	// volume — today's behavior, bit for bit.
+	Shards int
+	// BatchWindow is the time-based admission window of every shard
+	// service this store uses: when positive, the service loop waits
+	// the window out after noticing queued work before admitting it as
+	// one batch, so bursty concurrent clients coalesce better. Like
+	// CacheBlocks it reconfigures the (possibly shared) volume service;
+	// 0 leaves the service's current window unchanged (default: admit
+	// immediately).
+	BatchWindow time.Duration
 }
 
 // Store is a mapped multidimensional dataset ready for queries. Its
-// query methods submit to the volume's concurrent service through a
-// default session and are safe to call from multiple goroutines; use
-// Begin for per-client sessions with their own Stats attribution.
+// query methods submit to the shard services through a default session
+// and are safe to call from multiple goroutines; use Begin for
+// per-client sessions with their own Stats attribution.
+//
+// A store always executes through a shard group. The default single
+// shard lives on the volume the store was built on, so nothing changes
+// for unsharded use; with StoreOptions.Shards > 1 the dataset spans
+// that volume plus internally created ones, every query fanning out to
+// the shards it touches (see StoreOptions.Shards).
 type Store struct {
-	vol         *Volume
-	m           mapping.Mapper
-	exec        *query.Executor
-	svc         *engine.Service // the volume service this store was built on
-	def         *engine.Session
+	vol         *Volume   // primary volume (shard 0)
+	extra       []*Volume // internally created shard volumes 1..N-1
+	grp         *shard.Group
+	dims        []int
+	def         *Session
 	maxInflight int
 }
 
 // NewStore maps an N-dimensional grid dataset (one block per cell)
-// onto the volume using the given placement.
+// onto the volume using the given placement. With StoreOptions.Shards
+// > 1, the dataset is split along Dim0 across that many shard volumes
+// (the given volume plus internally created clones of its hardware).
 func NewStore(vol *Volume, kind Mapping, dims []int, opts ...StoreOptions) (*Store, error) {
 	o := StoreOptions{DiskIdx: 0}
 	if len(opts) > 1 {
@@ -271,12 +300,6 @@ func NewStore(vol *Volume, kind Mapping, dims []int, opts ...StoreOptions) (*Sto
 	if len(opts) == 1 {
 		o = opts[0]
 	}
-	m, err := mapping.New(kind, vol.v, dims, mapping.Options{
-		DiskIdx: o.DiskIdx, CellBlocks: o.CellBlocks,
-	})
-	if err != nil {
-		return nil, err
-	}
 	eo, err := query.ExecOptionsFor(o.Policy, o.PlanChunkCells)
 	if err != nil {
 		return nil, err
@@ -284,82 +307,158 @@ func NewStore(vol *Volume, kind Mapping, dims []int, opts ...StoreOptions) (*Sto
 	if o.CacheBlocks < 0 {
 		return nil, fmt.Errorf("multimap: CacheBlocks must be non-negative")
 	}
-	svc := vol.service()
-	if o.CacheBlocks > 0 {
-		if err := svc.ConfigureCache(o.CacheBlocks); err != nil {
-			return nil, err
+	if o.Shards < 0 {
+		return nil, fmt.Errorf("multimap: Shards must be non-negative")
+	}
+	if o.BatchWindow < 0 {
+		return nil, fmt.Errorf("multimap: BatchWindow must be non-negative")
+	}
+	shards := o.Shards
+	if shards < 1 {
+		shards = 1
+	}
+	s := &Store{vol: vol, dims: append([]int(nil), dims...)}
+	shardVols := []*Volume{vol}
+	for i := 1; i < shards; i++ {
+		sv := &Volume{v: lvm.NewLike(vol.v)}
+		s.extra = append(s.extra, sv)
+		shardVols = append(shardVols, sv)
+	}
+	vols := make([]*lvm.Volume, shards)
+	svcs := make([]*engine.Service, shards)
+	for i, sv := range shardVols {
+		vols[i] = sv.v
+		svcs[i] = sv.service()
+	}
+	s.grp, err = shard.Build(vols, svcs, kind, dims, mapping.Options{
+		DiskIdx: o.DiskIdx, CellBlocks: o.CellBlocks,
+	}, eo)
+	if err != nil {
+		return nil, err
+	}
+	for _, svc := range svcs {
+		if o.CacheBlocks > 0 {
+			if err := svc.ConfigureCache(o.CacheBlocks); err != nil {
+				return nil, err
+			}
+		}
+		if o.BatchWindow > 0 {
+			svc.SetBatchWindow(o.BatchWindow)
 		}
 	}
 	if o.MaxInflight < 1 {
 		o.MaxInflight = 1
 	}
-	return &Store{
-		vol:         vol,
-		m:           m,
-		exec:        query.NewExecutorOptions(vol.v, m, eo),
-		svc:         svc,
-		def:         svc.NewSession(engine.SessionOptions{MaxInflight: o.MaxInflight}),
-		maxInflight: o.MaxInflight,
-	}, nil
+	s.maxInflight = o.MaxInflight
+	s.def = s.Begin()
+	return s, nil
 }
 
 // Session is one client's handle for issuing queries concurrently with
-// other sessions on the same volume. The service loop merges in-flight
-// sessions' requests into shared disk batches and attributes costs
-// back, so each query's Stats remain its own.
+// other sessions on the same shard volumes. Each service loop merges
+// in-flight sessions' requests into shared disk batches and attributes
+// costs back, so each query's Stats remain its own; on a sharded store
+// a query's Stats are the sum of its per-shard parts.
 type Session struct {
 	s  *Store
-	es *engine.Session
+	ss *shard.Session
 }
 
-// Begin opens a new query session on the store. Sessions are bound to
-// the service the store was built on: after Volume.Close they fail like
-// the store's own queries, rather than resurrecting a service.
+// Begin opens a new query session on the store: one engine session per
+// shard service, driven scatter-gather. Sessions are bound to the
+// services the store was built on: after Volume.Close (or Store.Close
+// for internally created shard volumes) they fail like the store's own
+// queries, rather than resurrecting a service.
 func (s *Store) Begin() *Session {
 	return &Session{
 		s:  s,
-		es: s.svc.NewSession(engine.SessionOptions{MaxInflight: s.maxInflight}),
+		ss: s.grp.Begin(engine.SessionOptions{MaxInflight: s.maxInflight}),
 	}
 }
 
-// Beam runs the paper's beam query through this session.
+// Beam runs the paper's beam query through this session. On a sharded
+// store a Dim0 beam fans out to every shard; beams along the other
+// dimensions land on exactly one.
 func (q *Session) Beam(dim int, fixed []int) (Stats, error) {
-	return q.s.exec.BeamOn(q.es, dim, fixed)
+	return q.ss.Beam(dim, fixed)
 }
 
-// RangeQuery fetches the box [lo, hi) through this session.
+// RangeQuery fetches the box [lo, hi) through this session,
+// scatter-gather across the shards the box touches.
 func (q *Session) RangeQuery(lo, hi []int) (Stats, error) {
-	return q.s.exec.RangeOn(q.es, lo, hi)
+	return q.ss.Box(lo, hi)
 }
 
 // Stats returns the session's accumulated statistics across all its
-// completed queries.
-func (q *Session) Stats() Stats { return q.es.Totals() }
+// completed queries (summed over the shards it touched).
+func (q *Session) Stats() Stats { return q.ss.Totals() }
 
 // CellBlocks returns the store's cell size in blocks.
 func (s *Store) CellBlocks() int {
-	if cs, ok := s.m.(mapping.CellSized); ok {
+	if cs, ok := s.grp.Member(0).Map.(mapping.CellSized); ok {
 		return cs.CellBlocks()
 	}
 	return 1
 }
 
 // Mapping returns the store's placement algorithm.
-func (s *Store) Mapping() Mapping { return s.m.Kind() }
+func (s *Store) Mapping() Mapping { return s.grp.Member(0).Map.Kind() }
 
 // Dims returns the dataset side lengths.
-func (s *Store) Dims() []int { return s.m.Dims() }
+func (s *Store) Dims() []int { return s.dims }
+
+// NumShards returns how many shard volumes the dataset spans (1 unless
+// StoreOptions.Shards asked for more).
+func (s *Store) NumShards() int { return s.grp.NumShards() }
+
+// ShardOf returns the index of the shard owning a cell — the Dim0 slab
+// its first coordinate falls in.
+func (s *Store) ShardOf(cell []int) (int, error) { return s.grp.Router().ShardOf(cell) }
 
 // CellLBN returns the volume LBN storing a cell — useful for building
-// external indexes over the placement.
-func (s *Store) CellLBN(cell []int) (int64, error) { return s.m.CellVLBN(cell) }
+// external indexes over the placement. On a sharded store the address
+// is local to the owning shard's volume (see ShardOf); addresses from
+// different shards live in different address spaces.
+func (s *Store) CellLBN(cell []int) (int64, error) {
+	_, vlbn, err := s.grp.CellVLBN(cell)
+	return vlbn, err
+}
+
+// ShardServiceTotals snapshots every shard service's bookkeeping in
+// shard order. Summing all sessions' Stats reproduces the sum of the
+// entries' Attributed fields — the attribution-sum property, group
+// wide. On the default single shard this is the one-volume
+// ServiceTotals in a one-element slice.
+func (s *Store) ShardServiceTotals() []ServiceTotals { return s.grp.ServiceTotals() }
+
+// Close releases the shard volumes the store created internally
+// (Shards > 1): their services are drained and shut down, after which
+// the store's sessions fail. The caller's own volume — shard 0 — is
+// untouched; close it separately via Volume.Close when desired. Close
+// is a no-op on an unsharded store and is idempotent.
+func (s *Store) Close() {
+	for _, sv := range s.extra {
+		sv.Close()
+	}
+}
+
+// Reset restores every shard volume of the store — the caller's and
+// the internal ones — to pristine head state, clearing their caches
+// and service totals. Like Volume.Reset it is safe under live traffic,
+// serializing after in-flight batches on each shard.
+func (s *Store) Reset() {
+	s.vol.Reset()
+	for _, sv := range s.extra {
+		sv.Reset()
+	}
+}
 
 // Beam fetches all cells along dimension dim with the remaining
 // coordinates fixed, and returns the simulated I/O statistics (§5.1).
-func (s *Store) Beam(dim int, fixed []int) (Stats, error) { return s.exec.BeamOn(s.def, dim, fixed) }
+func (s *Store) Beam(dim int, fixed []int) (Stats, error) { return s.def.Beam(dim, fixed) }
 
 // RangeQuery fetches the box [lo, hi) (hi exclusive per dimension).
-func (s *Store) RangeQuery(lo, hi []int) (Stats, error) { return s.exec.RangeOn(s.def, lo, hi) }
+func (s *Store) RangeQuery(lo, hi []int) (Stats, error) { return s.def.RangeQuery(lo, hi) }
 
 // Model is the closed-form analytical cost model (§5) for one drive.
 type Model struct {

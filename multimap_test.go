@@ -94,6 +94,9 @@ func TestStoreQueries(t *testing.T) {
 	if _, err := NewStore(v, MultiMap, []int{40, 12, 8}, StoreOptions{PlanChunkCells: -1}); err == nil {
 		t.Error("negative PlanChunkCells accepted")
 	}
+	if _, err := NewStore(v, MultiMap, []int{40, 12, 8}, StoreOptions{BatchWindow: -1}); err == nil {
+		t.Error("negative BatchWindow accepted")
+	}
 }
 
 // TestStoreMatchesDirectExecutor: the store's service path (one
@@ -333,6 +336,230 @@ func TestRunExperimentFacade(t *testing.T) {
 	}
 	if len(ExperimentIDs()) != 10 {
 		t.Errorf("want 10 experiment ids, got %v", ExperimentIDs())
+	}
+}
+
+// TestShardedStoreEquivalenceAndScatter covers the public sharding
+// knob: Shards=1 must reproduce the unsharded store bit for bit on the
+// same workload, and Shards>1 must still credit every query its cells,
+// fan queries out to the right shards, and keep the attribution-sum
+// property across the per-shard service totals.
+func TestShardedStoreEquivalenceAndScatter(t *testing.T) {
+	dims := []int{40, 12, 8}
+	queries := func(s *Store) []Stats {
+		t.Helper()
+		var out []Stats
+		st, err := s.Beam(0, []int{0, 5, 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, st)
+		st, err = s.Beam(2, []int{33, 3, 0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, st)
+		st, err = s.RangeQuery([]int{1, 1, 1}, []int{39, 9, 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return append(out, st)
+	}
+
+	// Shards=1 vs unsharded on fresh identical volumes: bit-identical.
+	vPlain, err := OpenVolumeDepth(32, MediumTestDisk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := NewStore(vPlain, MultiMap, dims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vOne, err := OpenVolumeDepth(32, MediumTestDisk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	one, err := NewStore(vOne, MultiMap, dims, StoreOptions{Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one.NumShards() != 1 {
+		t.Fatalf("Shards=1 store has %d shards", one.NumShards())
+	}
+	wantStats := queries(plain)
+	gotStats := queries(one)
+	for i := range wantStats {
+		if gotStats[i] != wantStats[i] {
+			t.Fatalf("query %d: Shards=1 stats %+v != unsharded %+v", i, gotStats[i], wantStats[i])
+		}
+	}
+
+	// Shards=4: correct cells, scatter across shards, per-shard totals.
+	v4, err := OpenVolumeDepth(32, MediumTestDisk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s4, err := NewStore(v4, MultiMap, dims, StoreOptions{Shards: 4, CacheBlocks: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s4.Close()
+	if s4.NumShards() != 4 {
+		t.Fatalf("Shards=4 store has %d shards", s4.NumShards())
+	}
+	got := queries(s4)
+	for i, st := range got {
+		if st.Cells == 0 {
+			t.Fatalf("sharded query %d credited no cells", i)
+		}
+	}
+	if got[0].Cells != int64(dims[0]) || got[1].Cells != int64(dims[2]) {
+		t.Fatalf("sharded beams fetched %d/%d cells, want %d/%d",
+			got[0].Cells, got[1].Cells, dims[0], dims[2])
+	}
+	// Cell routing is consistent between ShardOf and CellLBN.
+	for _, cell := range [][]int{{0, 0, 0}, {13, 5, 2}, {39, 11, 7}} {
+		si, err := s4.ShardOf(cell)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if si < 0 || si >= 4 {
+			t.Fatalf("ShardOf(%v)=%d", cell, si)
+		}
+		if _, err := s4.CellLBN(cell); err != nil {
+			t.Fatalf("CellLBN(%v): %v", cell, err)
+		}
+	}
+	// The Dim0 queries put work on every shard; session sums must equal
+	// the per-shard attributed sums.
+	totals := s4.ShardServiceTotals()
+	if len(totals) != 4 {
+		t.Fatalf("ShardServiceTotals returned %d entries", len(totals))
+	}
+	var attr Stats
+	for i, tot := range totals {
+		if tot.Batches == 0 {
+			t.Fatalf("shard %d served nothing", i)
+		}
+		attr.Accumulate(tot.Attributed)
+	}
+	sum := s4.def.Stats()
+	if sum.Cells != attr.Cells || sum.Requests != attr.Requests ||
+		sum.CacheHits != attr.CacheHits || sum.CacheMisses != attr.CacheMisses {
+		t.Fatalf("session sums %+v != per-shard attributed %+v", sum, attr)
+	}
+	if diff := math.Abs(sum.TotalMs - attr.TotalMs); diff > 1e-6*(1+sum.TotalMs) {
+		t.Fatalf("attributed time drift %g", diff)
+	}
+
+	// Store.Reset clears every shard; Store.Close kills the internal
+	// shard services (queries fail), while the caller's volume survives.
+	s4.Reset()
+	for i, tot := range s4.ShardServiceTotals() {
+		if tot.Batches != 0 {
+			t.Fatalf("shard %d totals survived Reset: %+v", i, tot)
+		}
+	}
+	if st, err := s4.Beam(0, []int{0, 0, 0}); err != nil || st.Cells != int64(dims[0]) {
+		t.Fatalf("post-Reset query wrong: %+v %v", st, err)
+	}
+	s4.Close()
+	if _, err := s4.Beam(0, []int{0, 0, 0}); err == nil {
+		t.Fatal("Dim0 beam succeeded after Store.Close shut the shard services")
+	}
+	// The caller's volume is still usable by a fresh store.
+	fresh, err := NewStore(v4, MultiMap, dims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st, err := fresh.Beam(1, []int{5, 0, 3}); err != nil || st.Cells != int64(dims[1]) {
+		t.Fatalf("caller volume unusable after Store.Close: %+v %v", st, err)
+	}
+
+	// Validation: negative shard counts and oversharding tiny grids.
+	if _, err := NewStore(v4, MultiMap, dims, StoreOptions{Shards: -1}); err == nil {
+		t.Error("negative Shards accepted")
+	}
+	if _, err := NewStore(v4, MultiMap, []int{2, 12, 8}, StoreOptions{Shards: 4}); err == nil {
+		t.Error("more shards than Dim0 cells accepted")
+	}
+}
+
+// TestShardedConcurrentSessions is the -race exercise for the public
+// scatter-gather path: concurrent sessions over a 2-shard store, mixed
+// beams and ranges, then the attribution-sum check against the
+// per-shard totals.
+func TestShardedConcurrentSessions(t *testing.T) {
+	v, err := OpenVolumeDepth(32, MediumTestDisk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dims := []int{40, 12, 8}
+	s, err := NewStore(v, MultiMap, dims, StoreOptions{Shards: 2, CacheBlocks: 4096, MaxInflight: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	const clients = 4
+	sessions := make([]*Session, clients)
+	errs := make([]error, clients)
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		sessions[i] = s.Begin()
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(77 + i)))
+			for q := 0; q < 8; q++ {
+				if rng.Intn(2) == 0 {
+					dim := rng.Intn(3)
+					fixed := []int{rng.Intn(40), rng.Intn(12), rng.Intn(8)}
+					st, err := sessions[i].Beam(dim, fixed)
+					if err != nil {
+						errs[i] = err
+						return
+					}
+					if st.Cells != int64(dims[dim]) {
+						errs[i] = errWrongCells(st.Cells, int64(dims[dim]))
+						return
+					}
+				} else {
+					lo := []int{rng.Intn(20), rng.Intn(6), rng.Intn(4)}
+					hi := []int{lo[0] + 1 + rng.Intn(20), lo[1] + 1 + rng.Intn(4), lo[2] + 1 + rng.Intn(3)}
+					want := int64(hi[0]-lo[0]) * int64(hi[1]-lo[1]) * int64(hi[2]-lo[2])
+					st, err := sessions[i].RangeQuery(lo, hi)
+					if err != nil {
+						errs[i] = err
+						return
+					}
+					if st.Cells != want {
+						errs[i] = errWrongCells(st.Cells, want)
+						return
+					}
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("client %d: %v", i, err)
+		}
+	}
+	var sum, attr Stats
+	for _, sess := range sessions {
+		sum.Accumulate(sess.Stats())
+	}
+	for _, tot := range s.ShardServiceTotals() {
+		attr.Accumulate(tot.Attributed)
+	}
+	if sum.Cells != attr.Cells || sum.Requests != attr.Requests ||
+		sum.CacheHits != attr.CacheHits || sum.CacheMisses != attr.CacheMisses {
+		t.Fatalf("session sums %+v != per-shard attributed %+v", sum, attr)
+	}
+	if diff := math.Abs(sum.TotalMs - attr.TotalMs); diff > 1e-6*(1+sum.TotalMs) {
+		t.Fatalf("attributed time drift %g", diff)
 	}
 }
 

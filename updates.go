@@ -15,18 +15,22 @@ import (
 // inserts that overflow a cell go to overflow pages, and underflowing
 // chains are reorganized.
 //
-// Updates are first-class write operations on the volume's query
-// service: every Insert/Delete/LoadCell submits the blocks it dirties
-// as a write op through a session, and the service loop invalidates
-// any cached extents over those blocks before the write's simulated
-// I/O cost is charged. A later FetchCell therefore always pays the
-// real (post-update) disk cost, with or without the extent cache, and
-// the store is safe for concurrent sessions mixing updates with
-// queries.
+// Updates are first-class write operations on the owning shard's query
+// service: every Insert/Delete/LoadCell routes its cell to the shard
+// holding it, submits the blocks it dirties as a write op through that
+// shard's member session, and the shard's service loop invalidates any
+// cached extents over those blocks before the write's simulated I/O
+// cost is charged. A later FetchCell therefore always pays the real
+// (post-update) disk cost, with or without the extent cache, and the
+// store is safe for concurrent sessions mixing updates with queries.
+//
+// Each shard keeps its own overflow page pool, carved round-robin from
+// the tails of its volume's member disks, so overflow chains spread
+// across every disk instead of piling onto disk 0.
 type UpdatableStore struct {
 	*Store
-	cells *core.CellStore
-	upd   *UpdateSession // default update session behind the method-set API (distinct from the embedded Store's def read session)
+	cells []*core.CellStore // one chain tracker per shard
+	upd   *UpdateSession    // default update session behind the method-set API (distinct from the embedded Store's def read session)
 }
 
 // UpdateOptions tunes §4.6 behaviour. The fractional fields use
@@ -43,10 +47,11 @@ type UpdateOptions struct {
 	// drops under it. nil selects the default 0.25; Frac(0) disables
 	// reclamation entirely; explicit values must lie in [0,1).
 	ReclaimBelow *float64
-	// OverflowBlocks reserves this many blocks for overflow pages at
-	// the end of the dataset's disk. 0 selects the default 1/8 of the
-	// dataset size. The extent must not collide with the mapped cells;
-	// NewUpdatableStore validates this.
+	// OverflowBlocks reserves this many blocks for overflow pages per
+	// shard, spread round-robin across the tails of the shard volume's
+	// member disks. 0 selects the default 1/8 of the shard's dataset
+	// size. No per-disk extent may collide with the cells mapped onto
+	// that disk; NewUpdatableStore validates this.
 	OverflowBlocks int64
 }
 
@@ -80,43 +85,87 @@ func (o UpdateOptions) withDefaults(datasetBlocks int64) (UpdateOptions, error) 
 	return o, nil
 }
 
+// overflowExtents carves one tail extent per member disk of a shard's
+// volume, splitting total as evenly as possible, and validates each
+// extent against the cells the mapping placed on that disk (the
+// per-disk refinement of the SpanVLBN collision check — under a
+// declustered dataset the global span straddles every disk and would
+// falsely reject any tail extent).
+func overflowExtents(vol *lvm.Volume, m mapping.Mapper, total int64) ([]lvm.Request, error) {
+	nd := int64(vol.NumDisks())
+	per, rem := total/nd, total%nd
+	var out []lvm.Request
+	for d := 0; d < int(nd); d++ {
+		q := per
+		if int64(d) < rem {
+			q++
+		}
+		if q == 0 {
+			continue
+		}
+		end := vol.DiskStart(d) + vol.DiskBlocks(d)
+		start := end - q
+		if start < vol.DiskStart(d) {
+			return nil, fmt.Errorf("multimap: overflow extent [%d,+%d) larger than disk %d", start, q, d)
+		}
+		lo, hi := int64(0), int64(0)
+		if ds, ok := m.(mapping.DiskSpanned); ok {
+			lo, hi = ds.SpanOnDisk(d)
+		} else if sp, ok := m.(mapping.Spanned); ok {
+			// Conservative fallback: clip the global span to the disk.
+			lo, hi = sp.SpanVLBN()
+			if lo < vol.DiskStart(d) {
+				lo = vol.DiskStart(d)
+			}
+			if hi > end {
+				hi = end
+			}
+		}
+		if lo < hi && lo < end && hi > start {
+			return nil, fmt.Errorf(
+				"multimap: overflow extent [%d,%d) collides with dataset cells [%d,%d) on disk %d; shrink OverflowBlocks (%d)",
+				start, end, lo, hi, d, total)
+		}
+		out = append(out, lvm.Request{VLBN: start, Count: int(q)})
+	}
+	return out, nil
+}
+
 // NewUpdatableStore maps the dataset and attaches update bookkeeping.
-// The overflow extent is carved from the tail of disk 0's segment; the
-// constructor fails if it would overlap the dataset's own cells there.
-// The optional StoreOptions tune the underlying Store exactly as
-// NewStore does (cache, policy, chunking, inflight).
+// Every shard gets its own overflow pool carved from the tails of its
+// volume's member disks; the constructor fails if any per-disk extent
+// would overlap the cells mapped onto that disk. The optional
+// StoreOptions tune the underlying Store exactly as NewStore does
+// (cache, policy, chunking, inflight, shards).
 func NewUpdatableStore(vol *Volume, kind Mapping, dims []int, opts UpdateOptions, sopts ...StoreOptions) (*UpdatableStore, error) {
 	s, err := NewStore(vol, kind, dims, sopts...)
 	if err != nil {
 		return nil, err
 	}
-	blocks := int64(1)
-	for _, d := range dims {
-		blocks *= int64(d)
-	}
-	opts, err = opts.withDefaults(blocks)
-	if err != nil {
-		return nil, err
-	}
-	// Overflow extent at the tail of disk 0's segment.
-	disk0End := vol.v.DiskStart(0) + vol.v.DiskBlocks(0)
-	overflowStart := disk0End - opts.OverflowBlocks
-	if overflowStart < vol.v.DiskStart(0) {
-		return nil, fmt.Errorf("multimap: overflow extent larger than the disk")
-	}
-	if sp, ok := s.m.(mapping.Spanned); ok {
-		if lo, hi := sp.SpanVLBN(); lo < disk0End && hi > overflowStart {
-			return nil, fmt.Errorf(
-				"multimap: overflow extent [%d,%d) collides with dataset cells [%d,%d) on disk 0; shrink OverflowBlocks (%d)",
-				overflowStart, disk0End, lo, hi, opts.OverflowBlocks)
+	u := &UpdatableStore{Store: s, cells: make([]*core.CellStore, s.NumShards())}
+	for si := 0; si < s.NumShards(); si++ {
+		member := s.grp.Member(si)
+		blocks := int64(1)
+		for _, d := range s.grp.Router().LocalDims(si) {
+			blocks *= int64(d)
+		}
+		o, err := opts.withDefaults(blocks)
+		if err != nil {
+			return nil, err
+		}
+		extents, err := overflowExtents(member.Vol, member.Map, o.OverflowBlocks)
+		if err != nil {
+			if si > 0 {
+				err = fmt.Errorf("shard %d: %w", si, err)
+			}
+			return nil, err
+		}
+		u.cells[si], err = core.NewCellStore(member.Map.CellVLBN, o.PointsPerBlock,
+			*o.FillFactor, *o.ReclaimBelow, extents)
+		if err != nil {
+			return nil, err
 		}
 	}
-	cells, err := core.NewCellStore(s.m.CellVLBN, opts.PointsPerBlock,
-		*opts.FillFactor, *opts.ReclaimBelow, overflowStart, opts.OverflowBlocks)
-	if err != nil {
-		return nil, err
-	}
-	u := &UpdatableStore{Store: s, cells: cells}
 	u.upd = u.Begin()
 	return u, nil
 }
@@ -149,15 +198,43 @@ func (u *UpdatableStore) Delete(cell []int) error {
 	return err
 }
 
+// route resolves a global cell to its owning shard: the shard index,
+// the shard-local coordinates, and the shard's chain tracker.
+func (u *UpdatableStore) route(cell []int) (si int, local []int, cs *core.CellStore, err error) {
+	si, err = u.grp.Router().ShardOf(cell)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	return si, u.grp.Router().Localize(si, cell), u.cells[si], nil
+}
+
 // Points returns a cell's live point count.
-func (u *UpdatableStore) Points(cell []int) (int, error) { return u.cells.Points(cell) }
+func (u *UpdatableStore) Points(cell []int) (int, error) {
+	_, local, cs, err := u.route(cell)
+	if err != nil {
+		return 0, err
+	}
+	return cs.Points(local)
+}
 
 // ChainLen returns the number of blocks backing a cell (1 = no
 // overflow).
-func (u *UpdatableStore) ChainLen(cell []int) (int, error) { return u.cells.ChainLen(cell) }
+func (u *UpdatableStore) ChainLen(cell []int) (int, error) {
+	_, local, cs, err := u.route(cell)
+	if err != nil {
+		return 0, err
+	}
+	return cs.ChainLen(local)
+}
 
-// Reorganizations counts chain compactions so far.
-func (u *UpdatableStore) Reorganizations() int { return u.cells.Reorganizations() }
+// Reorganizations counts chain compactions so far, across all shards.
+func (u *UpdatableStore) Reorganizations() int {
+	n := 0
+	for _, cs := range u.cells {
+		n += cs.Reorganizations()
+	}
+	return n
+}
 
 // FetchCell reads a cell including its overflow chain through the
 // default session and returns the simulated I/O statistics — the §4.6
@@ -165,10 +242,10 @@ func (u *UpdatableStore) Reorganizations() int { return u.cells.Reorganizations(
 func (u *UpdatableStore) FetchCell(cell []int) (Stats, error) { return u.upd.FetchCell(cell) }
 
 // UpdateSession is one client's handle for mixing queries and updates
-// concurrently with other sessions on the same volume. Reads ride the
-// embedded query Session; updates go through the same engine session
-// as write ops, so the service loop serializes them against all
-// in-flight reads and keeps the extent cache coherent.
+// concurrently with other sessions on the same shard volumes. Reads
+// ride the embedded query Session; updates go to the owning shard's
+// member session as write ops, so that shard's service loop serializes
+// them against all in-flight reads and keeps its extent cache coherent.
 type UpdateSession struct {
 	u *UpdatableStore
 	*Session
@@ -176,13 +253,17 @@ type UpdateSession struct {
 
 // LoadCell bulk-loads n points into a cell and returns the write-path
 // Stats (blocks written in Stats.Writes). Even when the load fails
-// partway (overflow extent exhausted), the blocks it already dirtied
+// partway (overflow pool exhausted), the blocks it already dirtied
 // are still submitted as a write op, so their cached extents are
 // invalidated before the error is reported.
 func (q *UpdateSession) LoadCell(cell []int, n int) (Stats, error) {
-	reqs, err := q.u.cells.LoadCell(cell, n)
+	si, local, cs, err := q.u.route(cell)
+	if err != nil {
+		return Stats{}, err
+	}
+	reqs, err := cs.LoadCell(local, n)
 	if len(reqs) > 0 {
-		st, werr := q.write(reqs)
+		st, werr := q.write(si, reqs)
 		if err == nil && werr == nil {
 			return st, nil
 		}
@@ -196,35 +277,53 @@ func (q *UpdateSession) LoadCell(cell []int, n int) (Stats, error) {
 // Insert adds one point to a cell, overflowing if the home block is
 // full, and returns the write-path Stats.
 func (q *UpdateSession) Insert(cell []int) (Stats, error) {
-	reqs, err := q.u.cells.Insert(cell)
+	si, local, cs, err := q.u.route(cell)
 	if err != nil {
 		return Stats{}, err
 	}
-	return q.write(reqs)
+	reqs, err := cs.Insert(local)
+	if err != nil {
+		return Stats{}, err
+	}
+	return q.write(si, reqs)
 }
 
 // Delete removes one point from a cell, reorganizing underflowing
 // chains, and returns the write-path Stats (a reorganization rewrites
 // the whole chain, which shows in Stats.Writes).
 func (q *UpdateSession) Delete(cell []int) (Stats, error) {
-	reqs, err := q.u.cells.Delete(cell)
+	si, local, cs, err := q.u.route(cell)
 	if err != nil {
 		return Stats{}, err
 	}
-	return q.write(reqs)
+	reqs, err := cs.Delete(local)
+	if err != nil {
+		return Stats{}, err
+	}
+	return q.write(si, reqs)
 }
 
-// FetchCell reads a cell including its overflow chain and returns the
-// simulated I/O statistics.
+// FetchCell reads a cell including its overflow chain from the owning
+// shard and returns the simulated I/O statistics.
 func (q *UpdateSession) FetchCell(cell []int) (Stats, error) {
-	reqs, err := q.u.cells.ReadRequests(cell)
+	si, local, cs, err := q.u.route(cell)
 	if err != nil {
 		return Stats{}, err
 	}
-	return q.es.RunPlan(engine.Static(reqs, query.PolicyFor(q.u.Mapping() == MultiMap)), engine.Options{})
+	reqs, err := cs.ReadRequests(local)
+	if err != nil {
+		return Stats{}, err
+	}
+	return q.ss.Member(si).RunPlan(
+		engine.Static(reqs, query.PolicyFor(q.u.Mapping() == MultiMap)), engine.Options{})
 }
 
-// write submits one mutation's dirtied extents as a service write op.
-func (q *UpdateSession) write(reqs []lvm.Request) (Stats, error) {
-	return q.es.Write(reqs, query.PolicyFor(q.u.Mapping() == MultiMap))
+// write submits one mutation's dirtied extents as a write op on the
+// owning shard's member session. The cell store coalesces dirty blocks
+// by plain VLBN adjacency; the service's write path splits any extent
+// that crosses a disk-segment boundary (possible when an overflow
+// extent ends exactly at one disk's tail), so nothing more is needed
+// here.
+func (q *UpdateSession) write(si int, reqs []lvm.Request) (Stats, error) {
+	return q.ss.Member(si).Write(reqs, query.PolicyFor(q.u.Mapping() == MultiMap))
 }

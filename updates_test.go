@@ -4,6 +4,8 @@ import (
 	"math/rand"
 	"sync"
 	"testing"
+
+	"repro/internal/mapping"
 )
 
 func newUpdatable(t *testing.T, opts UpdateOptions, sopts ...StoreOptions) *UpdatableStore {
@@ -206,6 +208,141 @@ func TestOverflowExtentCollision(t *testing.T) {
 	if _, err := NewUpdatableStore(v, MultiMap, []int{30, 8, 5},
 		UpdateOptions{OverflowBlocks: 1000}); err != nil {
 		t.Fatalf("non-colliding overflow extent rejected: %v", err)
+	}
+}
+
+// TestOverflowSpreadAcrossDisks: on a multi-disk volume the overflow
+// pool is carved from the tail of every member disk, so a pool too big
+// for disk 0's free tail alone still fits — and the collision check
+// runs per disk, only rejecting the disks whose extents would reach
+// into cells actually mapped there.
+func TestOverflowSpreadAcrossDisks(t *testing.T) {
+	v, err := OpenVolumeDepth(32, MediumTestDisk, MediumTestDisk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dims := []int{30, 8, 5}
+	// Probe the dataset's span on disk 0 (the default pinned placement).
+	probe, err := NewStore(v, MultiMap, dims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, hi := probe.grp.Member(0).Map.(mapping.Spanned).SpanVLBN()
+	free0 := v.v.DiskStart(0) + v.v.DiskBlocks(0) - hi
+	if free0 <= 0 {
+		t.Fatalf("dataset fills disk 0 (span end %d)", hi)
+	}
+	// 1.5x disk 0's free tail: impossible on disk 0 alone, fine when
+	// split across both disks (disk 1 holds no cells at all).
+	u, err := NewUpdatableStore(v, MultiMap, dims, UpdateOptions{OverflowBlocks: free0 * 3 / 2})
+	if err != nil {
+		t.Fatalf("overflow pool spanning both disk tails rejected: %v", err)
+	}
+	// Successive overflow pages alternate disks: force a long chain and
+	// check both disks' tails received pages.
+	if err := u.LoadCell([]int{0, 0, 0}, 64*6); err != nil {
+		t.Fatal(err)
+	}
+	si, _, cs, err := u.route([]int{0, 0, 0})
+	if err != nil || si != 0 {
+		t.Fatalf("route: shard %d err %v", si, err)
+	}
+	reqs, err := cs.ReadRequests([]int{0, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	onDisk := map[int]int{}
+	for _, r := range reqs[1:] {
+		di, _, err := v.v.Locate(r.VLBN)
+		if err != nil {
+			t.Fatal(err)
+		}
+		onDisk[di]++
+	}
+	if onDisk[0] == 0 || onDisk[1] == 0 {
+		t.Fatalf("overflow pages not spread across disks: %v", onDisk)
+	}
+	// 3x disk 0's free tail: the per-disk share alone reaches back into
+	// disk 0's mapped cells, so the per-disk collision check fires.
+	if _, err := NewUpdatableStore(v, MultiMap, dims, UpdateOptions{OverflowBlocks: free0 * 3}); err == nil {
+		t.Fatal("per-disk extent overlapping disk 0's cells accepted")
+	}
+}
+
+// TestUpdatableShardedRouting: on a sharded updatable store every
+// update routes to the shard owning its cell — chains grow in the
+// right shard's tracker, fetches pay that shard's disks, and write ops
+// land on the owning shard's service.
+func TestUpdatableShardedRouting(t *testing.T) {
+	v, err := OpenVolumeDepth(32, MediumTestDisk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dims := []int{30, 8, 5}
+	u, err := NewUpdatableStore(v, MultiMap, dims,
+		UpdateOptions{PointsPerBlock: 4, FillFactor: Frac(1)},
+		StoreOptions{Shards: 2, CacheBlocks: 1 << 18})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer u.Close()
+	if u.NumShards() != 2 {
+		t.Fatalf("NumShards=%d", u.NumShards())
+	}
+	loCell := []int{0, 0, 0}  // shard 0
+	hiCell := []int{29, 7, 4} // shard 1
+	if si, _ := u.ShardOf(loCell); si != 0 {
+		t.Fatalf("ShardOf(%v)=%d", loCell, si)
+	}
+	if si, _ := u.ShardOf(hiCell); si != 1 {
+		t.Fatalf("ShardOf(%v)=%d", hiCell, si)
+	}
+	for _, cell := range [][]int{loCell, hiCell} {
+		for i := 0; i < 10; i++ { // overflow past the 4-point home block
+			if err := u.Insert(cell); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if n, err := u.Points(cell); err != nil || n != 10 {
+			t.Fatalf("Points(%v)=%d err=%v", cell, n, err)
+		}
+		if cl, err := u.ChainLen(cell); err != nil || cl != 3 {
+			t.Fatalf("ChainLen(%v)=%d err=%v, want 3", cell, cl, err)
+		}
+		st, err := u.FetchCell(cell)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Cells != 3 || st.TotalMs <= 0 {
+			t.Fatalf("FetchCell(%v) stats wrong: %+v", cell, st)
+		}
+	}
+	// Both shards must have served write ops for their own cells.
+	for i, tot := range u.ShardServiceTotals() {
+		if tot.WriteOps == 0 {
+			t.Fatalf("shard %d served no write ops", i)
+		}
+	}
+	// Cache coherence across the shard boundary: a cached chain fetch
+	// must be invalidated by that shard's next insert.
+	warm, err := u.FetchCell(hiCell)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.CacheHits == 0 || warm.TotalMs != 0 {
+		t.Fatalf("repeat fetch did not hit the shard's cache: %+v", warm)
+	}
+	if err := u.Insert(hiCell); err != nil {
+		t.Fatal(err)
+	}
+	cold, err := u.FetchCell(hiCell)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The insert dirtied (at least) the block that received the point;
+	// its cached extent must be gone, so the fetch pays disk I/O again.
+	if cold.CacheMisses == 0 || cold.TotalMs <= 0 {
+		t.Fatalf("fetch after insert replayed stale cached extents: %+v", cold)
 	}
 }
 
