@@ -1,0 +1,163 @@
+package multimap
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestUseAfterStoreClose is the regression test for the use-after-Close
+// hazard: operations on a closed store — through the store itself or
+// through sessions opened before the close — must fail cleanly with
+// ErrClosed instead of panicking or hanging on a retired service loop.
+func TestUseAfterStoreClose(t *testing.T) {
+	v, err := OpenVolumeDepth(32, MediumTestDisk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer v.Close()
+	s, err := Open(v, MultiMap, []int{30, 8, 5}, Updatable(UpdateOptions{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := s.Begin()
+	if _, err := sess.Beam(context.Background(), 1, []int{5, 0, 3}); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	s.Close() // idempotent
+
+	ctx := context.Background()
+	if _, err := sess.Beam(ctx, 1, []int{5, 0, 3}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Session.Beam after Store.Close: %v, want ErrClosed", err)
+	}
+	if _, err := sess.RangeQuery(ctx, []int{0, 0, 0}, []int{2, 2, 2}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Session.RangeQuery after Store.Close: %v, want ErrClosed", err)
+	}
+	if _, err := sess.Insert(ctx, []int{1, 1, 1}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Session.Insert after Store.Close: %v, want ErrClosed", err)
+	}
+	if _, err := sess.FetchCell(ctx, []int{1, 1, 1}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Session.FetchCell after Store.Close: %v, want ErrClosed", err)
+	}
+	if _, err := s.Beam(ctx, 1, []int{5, 0, 3}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Store.Beam after Store.Close: %v, want ErrClosed", err)
+	}
+	if _, err := s.LoadCell(ctx, []int{1, 1, 1}, 4); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Store.LoadCell after Store.Close: %v, want ErrClosed", err)
+	}
+
+	// The caller's volume is untouched: a fresh store works.
+	fresh, err := Open(v, MultiMap, []int{30, 8, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st, err := fresh.Beam(ctx, 1, []int{5, 0, 3}); err != nil || st.Cells != 8 {
+		t.Fatalf("fresh store after old Store.Close: %+v %v", st, err)
+	}
+}
+
+// TestUseAfterVolumeClose: closing the caller's own volume retires the
+// service under live stores; their operations must also surface
+// ErrClosed (through the engine layer), not a panic or hang.
+func TestUseAfterVolumeClose(t *testing.T) {
+	v, err := OpenVolumeDepth(32, MediumTestDisk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(v, MultiMap, []int{30, 8, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := s.Begin()
+	v.Close()
+	if _, err := sess.Beam(context.Background(), 1, []int{5, 0, 3}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Session.Beam after Volume.Close: %v, want ErrClosed", err)
+	}
+	if _, err := s.RangeQuery(context.Background(), []int{0, 0, 0}, []int{2, 2, 2}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Store.RangeQuery after Volume.Close: %v, want ErrClosed", err)
+	}
+}
+
+// TestErrNotUpdatable: update operations are capability-gated by the
+// Updatable open option; queries and plain cell fetches still work.
+func TestErrNotUpdatable(t *testing.T) {
+	v, err := OpenVolumeDepth(32, MediumTestDisk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer v.Close()
+	s, err := Open(v, MultiMap, []int{30, 8, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Updatable() {
+		t.Fatal("store without Updatable reports updatable")
+	}
+	ctx := context.Background()
+	if _, err := s.Insert(ctx, []int{1, 1, 1}); !errors.Is(err, ErrNotUpdatable) {
+		t.Fatalf("Insert: %v, want ErrNotUpdatable", err)
+	}
+	if _, err := s.Delete(ctx, []int{1, 1, 1}); !errors.Is(err, ErrNotUpdatable) {
+		t.Fatalf("Delete: %v, want ErrNotUpdatable", err)
+	}
+	if _, err := s.LoadCell(ctx, []int{1, 1, 1}, 4); !errors.Is(err, ErrNotUpdatable) {
+		t.Fatalf("LoadCell: %v, want ErrNotUpdatable", err)
+	}
+	if _, err := s.Points([]int{1, 1, 1}); !errors.Is(err, ErrNotUpdatable) {
+		t.Fatalf("Points: %v, want ErrNotUpdatable", err)
+	}
+	// FetchCell is a read: on a read-only store it fetches the home
+	// extent.
+	st, err := s.FetchCell(ctx, []int{1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Cells != 1 {
+		t.Fatalf("FetchCell on read-only store fetched %d blocks, want 1", st.Cells)
+	}
+
+	u, err := Open(v, MultiMap, []int{30, 8, 5}, Updatable(UpdateOptions{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !u.Updatable() {
+		t.Fatal("Updatable store reports not updatable")
+	}
+	if _, err := u.Insert(ctx, []int{1, 1, 1}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStoreDeadlinePartialStats: the public contract of a query that
+// cannot finish in time — partial Stats, the context's error, and the
+// DeadlineExceeded counter.
+func TestStoreDeadlinePartialStats(t *testing.T) {
+	v, err := OpenVolumeDepth(32, MediumTestDisk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer v.Close()
+	s, err := Open(v, MultiMap, []int{40, 12, 8}, WithChunkCells(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	st, err := s.RangeQuery(ctx, []int{0, 0, 0}, []int{40, 12, 8})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if st.Cells != 0 || st.TotalMs != 0 {
+		t.Fatalf("expired query charged I/O: %+v", st)
+	}
+	if st.DeadlineExceeded == 0 {
+		t.Fatal("DeadlineExceeded counter missing from partial stats")
+	}
+	// And with a live context the same query completes normally.
+	st, err = s.RangeQuery(context.Background(), []int{0, 0, 0}, []int{40, 12, 8})
+	if err != nil || st.Cells != 40*12*8 {
+		t.Fatalf("full query after expired one: %+v %v", st, err)
+	}
+}

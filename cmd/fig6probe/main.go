@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"os"
@@ -63,7 +64,12 @@ func main() {
 				panic(err)
 			}
 			ss := grp.Begin(engine.SessionOptions{})
-			beam, rangeQ = ss.Beam, ss.Box
+			beam = func(dim int, fixed []int) (engine.Stats, error) {
+				return ss.Beam(context.Background(), dim, fixed)
+			}
+			rangeQ = func(lo, hi []int) (engine.Stats, error) {
+				return ss.Box(context.Background(), lo, hi)
+			}
 		default:
 			m, err := mapping.New(kind, v, dims, mapping.Options{DiskIdx: 0})
 			if err != nil {
@@ -76,8 +82,12 @@ func main() {
 				defer svc.Close()
 				runner = svc.NewSession(engine.SessionOptions{})
 			}
-			beam = func(dim int, fixed []int) (engine.Stats, error) { return e.BeamOn(runner, dim, fixed) }
-			rangeQ = func(lo, hi []int) (engine.Stats, error) { return e.RangeOn(runner, lo, hi) }
+			beam = func(dim int, fixed []int) (engine.Stats, error) {
+				return e.BeamOn(context.Background(), runner, dim, fixed)
+			}
+			rangeQ = func(lo, hi []int) (engine.Stats, error) {
+				return e.RangeOn(context.Background(), runner, lo, hi)
+			}
 		}
 		// Fig 6(a): beams along each dimension.
 		for dim := 0; dim < 3; dim++ {

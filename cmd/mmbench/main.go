@@ -21,19 +21,21 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment id ("+strings.Join(multimap.ExperimentIDs(), ", ")+") or 'all'")
-		scale   = flag.Float64("scale", 1, "dataset scale in (0,1]; 1 = paper size")
-		runs    = flag.Int("runs", 0, "randomized repetitions (0 = paper's 15)")
-		seed    = flag.Int64("seed", 1, "workload random seed")
-		disks   = flag.String("disks", "", "comma-separated disk models (default: the paper's two drives); available: "+strings.Join(multimap.DiskModels(), ", "))
-		policy  = flag.String("policy", "", "force the drive scheduler for every query: fifo, sptf, or elevator (default: each mapping's preferred policy)")
-		chunk   = flag.Int64("chunk", 0, "streaming-planner chunk size in cells for grid box queries (0 = plan each query as one chunk; fig7's octree leaf planner is never chunked)")
-		clients = flag.Int("clients", 0, "concurrent query sessions for -exp serve (0 = default 4); the table reports queries/sec, cache hit rate, and per-query ms/cell")
-		queries = flag.Int("queries", 0, "queries each -exp serve client issues (0 = default 32)")
-		cache   = flag.Int64("cache", 0, "shared extent-cache capacity in blocks for -exp serve (0 = cache off)")
-		writes  = flag.Float64("writes", 0, "fraction in [0,1) of each -exp serve client's operations that are update bursts through the write path (0 = read-only)")
-		shards  = flag.Int("shards", 0, "max shard count for -exp serve: the dataset is split along Dim0 across N volumes/services and the table gains scaling rows at 1, 2, 4, ... N shards (0 or 1 = single shard)")
-		window  = flag.Duration("window", 0, "time-based admission window per shard service for -exp serve, e.g. 200us (0 = admit immediately)")
+		exp      = flag.String("exp", "all", "experiment id ("+strings.Join(multimap.ExperimentIDs(), ", ")+") or 'all'")
+		scale    = flag.Float64("scale", 1, "dataset scale in (0,1]; 1 = paper size")
+		runs     = flag.Int("runs", 0, "randomized repetitions (0 = paper's 15)")
+		seed     = flag.Int64("seed", 1, "workload random seed")
+		disks    = flag.String("disks", "", "comma-separated disk models (default: the paper's two drives); available: "+strings.Join(multimap.DiskModels(), ", "))
+		policy   = flag.String("policy", "", "force the drive scheduler for every query: fifo, sptf, or elevator (default: each mapping's preferred policy)")
+		chunk    = flag.Int64("chunk", 0, "streaming-planner chunk size in cells for grid box queries (0 = plan each query as one chunk; fig7's octree leaf planner is never chunked)")
+		clients  = flag.Int("clients", 0, "concurrent query sessions for -exp serve (0 = default 4); the table reports queries/sec, cache hit rate, and per-query ms/cell")
+		queries  = flag.Int("queries", 0, "queries each -exp serve client issues (0 = default 32)")
+		cache    = flag.Int64("cache", 0, "shared extent-cache capacity in blocks for -exp serve (0 = cache off)")
+		writes   = flag.Float64("writes", 0, "fraction in [0,1) of each -exp serve client's operations that are update bursts through the write path (0 = read-only)")
+		shards   = flag.Int("shards", 0, "max shard count for -exp serve: the dataset is split along Dim0 across N volumes/services and the table gains scaling rows at 1, 2, 4, ... N shards (0 or 1 = single shard)")
+		window   = flag.Duration("window", 0, "time-based admission window per shard service for -exp serve, e.g. 200us (0 = admit immediately)")
+		deadline = flag.Duration("deadline", 0, "per-query context deadline for -exp serve's client 0, e.g. 5ms (0 = none); the table reports that session's ms/query plus cancelled and deadline-expired drop counts")
+		aging    = flag.Duration("aging", 0, "deadline/QoS-aware admission aging for -exp serve, e.g. 1ms: urgent requests (explicit deadline, or queued at least this long) are served ahead of bulk work (0 = off); compare -deadline runs with and without it")
 	)
 	flag.Parse()
 
@@ -43,6 +45,7 @@ func main() {
 		Clients: *clients, Queries: *queries, CacheBlocks: *cache,
 		WriteFraction: *writes,
 		Shards:        *shards, BatchWindow: *window,
+		Deadline: *deadline, DeadlineAging: *aging,
 	}
 	if *disks != "" {
 		for _, d := range strings.Split(*disks, ",") {

@@ -34,7 +34,7 @@
 // aggregates completions into Stats. The storage manager's planner
 // streams: a query box is sliced along its slowest dimension into
 // bounded sub-boxes, so huge ranges never materialize every block at
-// once. StoreOptions.Policy and StoreOptions.PlanChunkCells expose the
+// once. The WithPolicy and WithChunkCells open options expose the
 // scheduler and chunking knobs; cmd/mmbench mirrors them as -policy
 // and -chunk.
 //
@@ -55,15 +55,16 @@
 // shared extent cache — an LRU over coalesced [lbn, lbn+count) block
 // extents — lets overlapping queries skip re-simulated I/O entirely,
 // with hits and misses surfaced in Stats. Store.Begin opens sessions;
-// StoreOptions.CacheBlocks and StoreOptions.MaxInflight (chunks a
-// session keeps in flight; planning is pipelined with service either
-// way) are the knobs, mirrored by cmd/mmbench as -cache and the
-// -clients/-queries throughput mode (-exp serve). Volume.Reset is
-// serialized through the loop and safe under live traffic.
+// WithCache and WithMaxInflight (chunks a session keeps in flight;
+// planning is pipelined with service either way) are the knobs,
+// mirrored by cmd/mmbench as -cache and the -clients/-queries
+// throughput mode (-exp serve). Volume.Reset is serialized through the
+// loop and safe under live traffic.
 //
 // # Write path and cache coherence
 //
-// Updates (§4.6: UpdatableStore's Insert, Delete, LoadCell) are
+// Updates (§4.6: Insert, Delete, LoadCell on a store opened with the
+// Updatable option) are
 // first-class write operations on the same service. The cell store
 // computes which blocks a mutation dirties and emits them as a write
 // request list; the session submits that list as a write op, admitted
@@ -77,15 +78,15 @@
 // completed write guarantees that no later FetchCell — from any
 // session — can replay a stale, pre-update extent: with the cache on,
 // post-update fetch costs are identical to a cache-off run.
-// UpdatableStore.Begin opens sessions that mix queries with updates
+// Store.Begin opens sessions that mix queries with updates
 // concurrently; cmd/mmbench mirrors the mixed workload as
 // -exp serve -writes <fraction>.
 //
 // # Sharded scatter-gather execution
 //
-// One logical dataset can span several shards (StoreOptions.Shards,
-// internal/shard): shard 0 lives on the volume passed to NewStore and
-// the rest on internally created volumes mirroring its hardware, each
+// One logical dataset can span several shards (WithShards,
+// internal/shard): shard 0 lives on the volume passed to Open and the
+// rest on internally created volumes mirroring its hardware, each
 // with its own service loop, head state, and extent cache. A
 // deterministic router partitions the grid along Dim0 into slabs
 // aligned to MultiMap's basic-cube boundaries, so every shard keeps
@@ -105,14 +106,64 @@
 // Store.Close releases the internal shard volumes; Store.Reset
 // restores all of them. cmd/mmbench mirrors the knob as
 // -exp serve -shards N, printing queries/sec at 1, 2, 4, ... N shards;
-// StoreOptions.BatchWindow (mmbench -window) adds a time-based
-// admission window so bursty clients coalesce into shared batches.
+// WithBatchWindow (mmbench -window) adds a time-based admission window
+// so bursty clients coalesce into shared batches.
+//
+// # Context-first API: cancellation, deadlines, QoS admission
+//
+// The public surface is one capability-unified Store: Open maps a
+// dataset with functional options, Updatable(UpdateOptions) enables
+// the §4.6 write path, and every blocking operation — Beam,
+// RangeQuery, FetchCell, Insert, Delete, LoadCell, on the Store or on
+// its Sessions — takes a context.Context first.
+//
+// Cancellation flows through every layer. The streaming planner stops
+// between chunks; the service loop drops a cancelled operation's
+// queued chunks before admission, so work never issued is never
+// charged simulated I/O; on a sharded store the first part to fail
+// cancels its sibling shards' remaining work (errgroup-style). A
+// cancelled operation returns the partial Stats of the work that WAS
+// issued alongside the context's error, with
+// Stats.Cancelled/DeadlineExceeded counting the dropped operations —
+// and the attribution-sum property survives: session totals still sum
+// to ServiceTotals.Attributed for issued work. Closed stores and
+// volumes fail fast with ErrClosed.
+//
+// Deadlines are the QoS signal. With WithDeadlineAging(d), each
+// admission pass serves urgent requests — those whose context carries
+// a deadline, and those queued at least d — first, as their own batch
+// ordered by effective deadline, never coalesced with the pass's bulk:
+// an old or urgent request bounds how long coalescing may delay it, so
+// a hot cache or a big concurrent batch cannot starve a
+// latency-sensitive session. examples/deadline demonstrates both the
+// partial-stats contract and the fairness effect; cmd/mmbench mirrors
+// the knobs as -exp serve -deadline/-aging and reports the deadline
+// session's ms/query plus cancelled/expired drop counts. With
+// background contexts and aging off, admission stays in submission
+// order — bit-identical to the pre-QoS engine.
+//
+// Migration from the pre-context API (the old names remain one release
+// as thin deprecated wrappers):
+//
+//	NewStore(vol, kind, dims, StoreOptions{...})   -> Open(vol, kind, dims, WithPolicy(...), WithCache(...), ...)
+//	NewUpdatableStore(vol, kind, dims, uo, so)     -> Open(vol, kind, dims, ..., Updatable(uo))
+//	UpdatableStore / UpdateSession                 -> Store / Session (one type each)
+//	store.Beam(dim, fixed)                         -> store.Beam(ctx, dim, fixed)
+//	store.RangeQuery(lo, hi)                       -> store.RangeQuery(ctx, lo, hi)
+//	u.Insert(cell) / u.Delete(cell)                -> store.Insert(ctx, cell) / store.Delete(ctx, cell) (now return Stats too)
+//	u.LoadCell(cell, n)                            -> store.LoadCell(ctx, cell, n)
+//	u.FetchCell(cell)                              -> store.FetchCell(ctx, cell)
+//	StoreOptions.PlanChunkCells                    -> WithChunkCells(n)
+//	StoreOptions.CacheBlocks / MaxInflight         -> WithCache(n) / WithMaxInflight(n)
+//	StoreOptions.Shards / BatchWindow              -> WithShards(n) / WithBatchWindow(d)
+//	StoreOptions.DiskIdx / CellBlocks / Policy     -> WithDiskIdx(i) / WithCellBlocks(n) / WithPolicy(s)
+//	(new)                                          -> WithDeadlineAging(d), context.WithDeadline / WithTimeout per call
 //
 // Quick start:
 //
 //	vol, _ := multimap.OpenVolume(multimap.AtlasTenKIII)
-//	store, _ := multimap.NewStore(vol, multimap.MultiMap, []int{259, 259, 259})
-//	stats, _ := store.Beam(1, []int{10, 0, 42}) // beam along Dim1
+//	store, _ := multimap.Open(vol, multimap.MultiMap, []int{259, 259, 259})
+//	stats, _ := store.Beam(context.Background(), 1, []int{10, 0, 42}) // beam along Dim1
 //	fmt.Printf("%.3f ms/cell\n", stats.MsPerCell())
 //
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for the

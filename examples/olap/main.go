@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -48,13 +49,13 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		store, err := multimap.NewStore(vol, kind, dims)
+		store, err := multimap.Open(vol, kind, dims)
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("%-10s", kind)
 		for _, q := range queries {
-			st, err := store.RangeQuery(q.Lo, q.Hi)
+			st, err := store.RangeQuery(context.Background(), q.Lo, q.Hi)
 			if err != nil {
 				log.Fatal(err)
 			}

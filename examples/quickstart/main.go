@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -24,13 +25,13 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		store, err := multimap.NewStore(vol, kind, dims)
+		store, err := multimap.Open(vol, kind, dims)
 		if err != nil {
 			log.Fatal(err)
 		}
 		var per [3]float64
 		for dim := 0; dim < 3; dim++ {
-			stats, err := store.Beam(dim, []int{64, 64, 64})
+			stats, err := store.Beam(context.Background(), dim, []int{64, 64, 64})
 			if err != nil {
 				log.Fatal(err)
 			}

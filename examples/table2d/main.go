@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -27,18 +28,18 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		store, err := multimap.NewStore(vol, kind, dims)
+		store, err := multimap.Open(vol, kind, dims)
 		if err != nil {
 			log.Fatal(err)
 		}
 		// Row scan: all rows of one column (the table's major order).
-		rowStats, err := store.Beam(0, []int{0, 17})
+		rowStats, err := store.Beam(context.Background(), 0, []int{0, 17})
 		if err != nil {
 			log.Fatal(err)
 		}
 		// Column scan: all columns of one row — the pattern that is
 		// near-random under a linearized layout.
-		colStats, err := store.Beam(1, []int{999, 0})
+		colStats, err := store.Beam(context.Background(), 1, []int{999, 0})
 		if err != nil {
 			log.Fatal(err)
 		}

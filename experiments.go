@@ -46,6 +46,16 @@ type ExperimentConfig struct {
 	// BatchWindow is the "serve" experiment's time-based admission
 	// window per shard service (0 = admit immediately).
 	BatchWindow time.Duration
+	// Deadline, when positive, gives the "serve" experiment's client 0
+	// a context.WithTimeout deadline per query; the table reports that
+	// session's completed-query latency and the services' cancelled /
+	// deadline-expired drop counts.
+	Deadline time.Duration
+	// DeadlineAging, when positive, turns on deadline/QoS-aware
+	// admission on every shard service: urgent requests (explicit
+	// deadline, or queued at least this long) are served ahead of, and
+	// never coalesced with, bulk work.
+	DeadlineAging time.Duration
 }
 
 // ExperimentIDs lists the regenerable paper artifacts plus the two
@@ -67,6 +77,7 @@ func RunExperiment(id string, cfg ExperimentConfig) (*ExperimentTable, error) {
 		Clients: cfg.Clients, Queries: cfg.Queries, CacheBlocks: cfg.CacheBlocks,
 		WriteFraction: cfg.WriteFraction,
 		Shards:        cfg.Shards, BatchWindow: cfg.BatchWindow,
+		Deadline: cfg.Deadline, DeadlineAging: cfg.DeadlineAging,
 	}
 	for _, m := range cfg.Disks {
 		g, err := disk.ModelByName(string(m))

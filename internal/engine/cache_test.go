@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -148,11 +149,11 @@ func TestWriteSplitsAtSegmentBoundary(t *testing.T) {
 
 	// Prime the cache on both sides of the boundary.
 	reads := []lvm.Request{{VLBN: edge - 4, Count: 4}, {VLBN: edge, Count: 4}}
-	if _, err := sess.RunPlan(Static(reads, disk.SchedSPTF), Options{}); err != nil {
+	if _, err := sess.RunPlan(context.Background(), Static(reads, disk.SchedSPTF), Options{}); err != nil {
 		t.Fatal(err)
 	}
 
-	st, err := sess.Write([]lvm.Request{{VLBN: edge - 2, Count: 4}}, disk.SchedSPTF)
+	st, err := sess.Write(context.Background(), []lvm.Request{{VLBN: edge - 2, Count: 4}}, disk.SchedSPTF)
 	if err != nil {
 		t.Fatalf("boundary-crossing write rejected: %v", err)
 	}
@@ -163,7 +164,7 @@ func TestWriteSplitsAtSegmentBoundary(t *testing.T) {
 		t.Fatalf("invalidated %d blocks, want 4 (2 per side)", st.InvalidatedBlocks)
 	}
 	// Both sides of the boundary were dirtied: re-reads miss.
-	post, err := sess.RunPlan(Static(reads, disk.SchedSPTF), Options{})
+	post, err := sess.RunPlan(context.Background(), Static(reads, disk.SchedSPTF), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

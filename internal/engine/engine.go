@@ -26,6 +26,9 @@
 package engine
 
 import (
+	"context"
+	"errors"
+
 	"repro/internal/disk"
 	"repro/internal/lvm"
 )
@@ -57,6 +60,16 @@ type Stats struct {
 	// InvalidatedBlocks counts cached blocks dropped by write-aware
 	// invalidation on behalf of this query's writes.
 	InvalidatedBlocks int64
+	// Cancelled and DeadlineExceeded count this query's operations
+	// (plan chunks or write ops) dropped because their context was
+	// cancelled or had passed its deadline — either by the service
+	// before admission, or by the submitter before the op was queued
+	// (a session aborting between planner chunks). Dropped operations
+	// are never issued to the disks and charge no simulated I/O, so
+	// everything else in a partial Stats still sums to
+	// ServiceTotals.Attributed for the work that WAS issued.
+	Cancelled        int64
+	DeadlineExceeded int64
 }
 
 // MsPerCell returns the paper's headline metric: average I/O time per
@@ -145,11 +158,32 @@ type Options struct {
 
 // Run drains a plan through the volume and aggregates its statistics.
 func Run(vol *lvm.Volume, p Plan, opts Options) (Stats, error) {
+	st, err := RunContext(context.Background(), vol, p, opts)
+	if err != nil {
+		return Stats{}, err
+	}
+	return st, nil
+}
+
+// RunContext is Run observing a context: the drain loop checks ctx
+// between chunks and stops planning as soon as it is cancelled or past
+// its deadline. On a context error the Stats accumulated so far are
+// returned alongside it — the partial-stats contract — with the
+// matching Cancelled or DeadlineExceeded counter bumped once for the
+// chunk that was not issued.
+func RunContext(ctx context.Context, vol *lvm.Volume, p Plan, opts Options) (Stats, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	var st Stats
 	for {
+		if err := ctx.Err(); err != nil {
+			st.countContextErr(err)
+			return st, err
+		}
 		c, ok, err := p.Next()
 		if err != nil {
-			return Stats{}, err
+			return st, err
 		}
 		if !ok {
 			return st, nil
@@ -160,13 +194,23 @@ func Run(vol *lvm.Volume, p Plan, opts Options) (Stats, error) {
 		}
 		comps, elapsed, err := vol.ServeBatch(c.Reqs, policy)
 		if err != nil {
-			return Stats{}, err
+			return st, err
 		}
 		st.AddCompletions(comps, elapsed)
 		st.Padding += c.Padding
 		if opts.Trace != nil {
 			opts.Trace(comps)
 		}
+	}
+}
+
+// countContextErr folds one dropped (never-issued) operation into the
+// cancellation counters, classifying by the context error.
+func (s *Stats) countContextErr(err error) {
+	if errors.Is(err, context.DeadlineExceeded) {
+		s.DeadlineExceeded++
+	} else if errors.Is(err, context.Canceled) {
+		s.Cancelled++
 	}
 }
 

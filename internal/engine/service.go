@@ -1,6 +1,8 @@
 package engine
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"slices"
 	"sync"
@@ -70,8 +72,22 @@ type ServiceOptions struct {
 	// coalesce against (pipelined sessions overlap the wait with
 	// planning), so enable it only for genuinely concurrent workloads.
 	// A pass whose queue holds a control op (Reset, Close drain, cache
-	// reconfiguration) skips the window, keeping those prompt.
+	// reconfiguration) skips the window, keeping those prompt; a queued
+	// request deadline or age cap (DeadlineAging) shortens the wait so
+	// the window never delays an urgent request past its deadline.
 	BatchWindow time.Duration
+	// DeadlineAging enables deadline/QoS-aware admission. When positive,
+	// every admission pass classifies its work ops: ops whose context
+	// carries a deadline, and ops that have already been queued for at
+	// least the aging duration, are urgent — they are served first, as
+	// their own admission batch ordered by effective deadline (explicit
+	// deadline, or enqueue time + aging for aged ops), ahead of — and
+	// never coalesced with — the pass's non-urgent bulk. An old or
+	// urgent request therefore bounds how long cross-query coalescing
+	// may delay it: at most one batch of similarly urgent peers. 0 (the
+	// default) disables classification — every pass admits in submission
+	// order, bit-for-bit the pre-QoS behavior.
+	DeadlineAging time.Duration
 }
 
 // ServiceTotals is the service loop's own bookkeeping, the ground truth
@@ -92,6 +108,16 @@ type ServiceTotals struct {
 	// Attributed.InvalidatedBlocks).
 	WriteOps          int64
 	InvalidatedBlocks int64
+	// Cancelled and DeadlineExceeded count queued operations dropped
+	// before admission because their context was cancelled or past its
+	// deadline. Dropped ops charge no simulated I/O and contribute
+	// nothing to Attributed. Each drop is also counted by its
+	// submitting session's Stats — but session counters additionally
+	// include drops that never reached the queue (a session aborting
+	// between planner chunks), so summed session counters are an upper
+	// bound on these fields, not an equality.
+	Cancelled        int64
+	DeadlineExceeded int64
 	// Attributed aggregates exactly what was handed back to sessions:
 	// summing every session's per-query Stats reproduces these fields
 	// (ElapsedMs aside — each chunk of a merged batch observes the full
@@ -111,6 +137,14 @@ const (
 // serviceOp is one message to the service loop.
 type serviceOp struct {
 	kind opKind
+
+	// ctx is the submitting request's context (nil means background):
+	// the loop drops a work op whose ctx is done before admission.
+	// enqueued and deadline feed the QoS batcher — deadline is ctx's
+	// deadline resolved once at submission (zero when none).
+	ctx      context.Context
+	enqueued time.Time
+	deadline time.Time
 
 	// opChunk and opWrite fields; a write op carries its mutated block
 	// extents in chunk.Reqs.
@@ -156,15 +190,27 @@ func NewService(vol *lvm.Volume, opts ServiceOptions) *Service {
 
 // SetBatchWindow reconfigures the admission window (see
 // ServiceOptions.BatchWindow); it applies from the loop's next
-// admission pass. Negative durations are treated as 0. The window is
-// the one mutable service option: it lives in s.opts under mu, so
-// there is exactly one copy to read.
+// admission pass. Negative durations are treated as 0. The mutable
+// service options (the window and the aging knob) live in s.opts under
+// mu, so there is exactly one copy to read.
 func (s *Service) SetBatchWindow(d time.Duration) {
 	if d < 0 {
 		d = 0
 	}
 	s.mu.Lock()
 	s.opts.BatchWindow = d
+	s.mu.Unlock()
+}
+
+// SetDeadlineAging reconfigures the deadline/QoS-aware admission knob
+// (see ServiceOptions.DeadlineAging); it applies from the loop's next
+// admission pass. Negative durations are treated as 0 (QoS off).
+func (s *Service) SetDeadlineAging(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	s.mu.Lock()
+	s.opts.DeadlineAging = d
 	s.mu.Unlock()
 }
 
@@ -218,10 +264,16 @@ func (s *Service) control(op *serviceOp) error {
 // The op's reply channel (buffer >= 1) receives exactly one result
 // unless submit returns an error.
 func (s *Service) submit(op *serviceOp) error {
+	op.enqueued = time.Now()
+	if op.ctx != nil {
+		if d, ok := op.ctx.Deadline(); ok {
+			op.deadline = d
+		}
+	}
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
-		return fmt.Errorf("engine: service is closed")
+		return ErrClosed
 	}
 	s.queue = append(s.queue, op)
 	if !s.running {
@@ -243,12 +295,23 @@ func (s *Service) loop() {
 	for {
 		s.mu.Lock()
 		if w := s.opts.BatchWindow; w > 0 && len(s.queue) > 0 && !s.queuedControl() {
+			// An urgent queued request bounds the wait: never sleep past
+			// an explicit context deadline, nor past the point where a
+			// queued op's age reaches the QoS aging cap.
+			if wake, ok := s.earliestWake(s.opts.DeadlineAging); ok {
+				if until := time.Until(wake); until < w {
+					w = until
+				}
+			}
 			s.mu.Unlock()
-			time.Sleep(w)
+			if w > 0 {
+				time.Sleep(w)
+			}
 			s.mu.Lock()
 		}
 		batch := s.queue
 		s.queue = nil
+		aging := s.opts.DeadlineAging
 		if len(batch) == 0 {
 			s.running = false
 			s.idle.Broadcast()
@@ -256,7 +319,7 @@ func (s *Service) loop() {
 			return
 		}
 		s.mu.Unlock()
-		s.process(batch)
+		s.process(batch, aging)
 	}
 }
 
@@ -271,9 +334,32 @@ func (s *Service) queuedControl() bool {
 	return false
 }
 
+// earliestWake returns the soonest instant by which the admission
+// window should end on behalf of a queued urgent request: the earliest
+// explicit context deadline, or the earliest enqueue time plus the
+// aging cap when QoS admission is on (caller must hold mu).
+func (s *Service) earliestWake(aging time.Duration) (time.Time, bool) {
+	var wake time.Time
+	ok := false
+	consider := func(t time.Time) {
+		if !ok || t.Before(wake) {
+			wake, ok = t, true
+		}
+	}
+	for _, op := range s.queue {
+		if !op.deadline.IsZero() {
+			consider(op.deadline)
+		}
+		if aging > 0 {
+			consider(op.enqueued.Add(aging))
+		}
+	}
+	return wake, ok
+}
+
 // process serves one admitted batch in submission order: consecutive
 // chunk and write ops form admission batches; control ops are barriers.
-func (s *Service) process(batch []*serviceOp) {
+func (s *Service) process(batch []*serviceOp, aging time.Duration) {
 	isWork := func(k opKind) bool { return k == opChunk || k == opWrite }
 	for i := 0; i < len(batch); {
 		if !isWork(batch[i].kind) {
@@ -285,15 +371,111 @@ func (s *Service) process(batch []*serviceOp) {
 		for j < len(batch) && isWork(batch[j].kind) {
 			j++
 		}
-		for i < j {
-			k := j
-			if m := s.opts.MaxBatch; m > 0 && k-i > m {
-				k = i + m
+		s.serveWork(batch[i:j], aging)
+		i = j
+	}
+}
+
+// serveWork admits one run of work ops: ops whose context is already
+// cancelled or past its deadline are dropped first — before admission,
+// so they are never issued and charge no simulated I/O — then the QoS
+// classifier (when DeadlineAging is on) carves urgent work into its own
+// front batch, and MaxBatch caps each served batch's size.
+func (s *Service) serveWork(ops []*serviceOp, aging time.Duration) {
+	live := s.dropCancelled(ops)
+	for _, group := range qosGroups(live, aging, time.Now()) {
+		for len(group) > 0 {
+			k := len(group)
+			if m := s.opts.MaxBatch; m > 0 && k > m {
+				k = m
 			}
-			s.serveChunks(batch[i:k])
-			i = k
+			s.serveChunks(group[:k])
+			group = group[k:]
 		}
 	}
+}
+
+// dropCancelled replies to — and filters out — every op whose context
+// is done, counting the drops in the service totals. The reply carries
+// the context error and no completions; the submitting session folds
+// the drop into its own Cancelled/DeadlineExceeded counters, so the
+// two sides agree event for event. A dropped write op still performs
+// its cache invalidation: the submitter's cell state already mutated
+// by the time the write was queued, so skipping the invalidation would
+// leave stale extents readable — the coherence contract survives
+// cancellation, only the simulated I/O is never issued or charged.
+func (s *Service) dropCancelled(ops []*serviceOp) []*serviceOp {
+	var cancelled, expired, invalidated int64
+	live := ops[:0]
+	for _, op := range ops {
+		if op.ctx != nil {
+			if err := op.ctx.Err(); err != nil {
+				if errors.Is(err, context.DeadlineExceeded) {
+					expired++
+				} else {
+					cancelled++
+				}
+				var inv int64
+				if op.kind == opWrite {
+					for _, r := range s.splitAtSegmentEnds(op.chunk.Reqs) {
+						inv += s.cache.invalidate(r.VLBN, r.VLBN+int64(r.Count)) // nil-safe
+					}
+					invalidated += inv
+				}
+				op.reply <- opResult{err: err, invalidated: inv}
+				continue
+			}
+		}
+		live = append(live, op)
+	}
+	if cancelled+expired > 0 {
+		s.mu.Lock()
+		s.totals.Cancelled += cancelled
+		s.totals.DeadlineExceeded += expired
+		s.totals.InvalidatedBlocks += invalidated
+		s.totals.Attributed.InvalidatedBlocks += invalidated
+		s.mu.Unlock()
+	}
+	return live
+}
+
+// qosGroups splits one admission pass's live work ops into served
+// batches (see ServiceOptions.DeadlineAging). With aging off the whole
+// pass is one batch in submission order — the pre-QoS behavior, bit
+// for bit. With aging on, urgent ops (explicit context deadline, or
+// queued at least the aging duration) form their own front batch,
+// ordered by effective deadline, and are never coalesced with the
+// remaining bulk.
+func qosGroups(ops []*serviceOp, aging time.Duration, now time.Time) [][]*serviceOp {
+	if len(ops) == 0 {
+		return nil
+	}
+	if aging <= 0 {
+		return [][]*serviceOp{ops}
+	}
+	var urgent, bulk []*serviceOp
+	for _, op := range ops {
+		if !op.deadline.IsZero() || now.Sub(op.enqueued) >= aging {
+			urgent = append(urgent, op)
+		} else {
+			bulk = append(bulk, op)
+		}
+	}
+	eff := func(op *serviceOp) time.Time {
+		if !op.deadline.IsZero() {
+			return op.deadline
+		}
+		return op.enqueued.Add(aging)
+	}
+	slices.SortStableFunc(urgent, func(a, b *serviceOp) int { return eff(a).Compare(eff(b)) })
+	var groups [][]*serviceOp
+	if len(urgent) > 0 {
+		groups = append(groups, urgent)
+	}
+	if len(bulk) > 0 {
+		groups = append(groups, bulk)
+	}
+	return groups
 }
 
 func (s *Service) handleControl(op *serviceOp) {

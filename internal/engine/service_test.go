@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -55,7 +56,7 @@ func TestSessionSingleMatchesRun(t *testing.T) {
 	svc := NewService(vSvc, ServiceOptions{})
 	defer svc.Close()
 	sess := svc.NewSession(SessionOptions{})
-	got, err := sess.RunPlan(chunkPlan(chunks), Options{})
+	got, err := sess.RunPlan(context.Background(), chunkPlan(chunks), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,7 +79,7 @@ func TestSessionSingleMatchesRun(t *testing.T) {
 	}
 	svc2 := NewService(vSvc2, ServiceOptions{})
 	defer svc2.Close()
-	got2, err := svc2.NewSession(SessionOptions{}).RunPlan(chunkPlan(chunks), Options{Policy: &fifo})
+	got2, err := svc2.NewSession(SessionOptions{}).RunPlan(context.Background(), chunkPlan(chunks), Options{Policy: &fifo})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -132,7 +133,7 @@ func TestServiceConcurrentSessions(t *testing.T) {
 						wantCells[i] += int64(r.Count)
 					}
 				}
-				st, err := sessions[i].RunPlan(chunkPlan(chunks), Options{})
+				st, err := sessions[i].RunPlan(context.Background(), chunkPlan(chunks), Options{})
 				if err != nil {
 					errs[i] = err
 					return
@@ -288,14 +289,14 @@ func TestServiceExtentCache(t *testing.T) {
 	sess := svc.NewSession(SessionOptions{})
 	reqs := []lvm.Request{{VLBN: 100, Count: 8}, {VLBN: 400, Count: 16}, {VLBN: 900, Count: 4}}
 
-	first, err := sess.RunPlan(Static(reqs, disk.SchedSPTF), Options{})
+	first, err := sess.RunPlan(context.Background(), Static(reqs, disk.SchedSPTF), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if first.CacheHits != 0 || first.CacheMisses != 3 || first.Requests != 3 {
 		t.Fatalf("cold run accounting wrong: %+v", first)
 	}
-	second, err := sess.RunPlan(Static(reqs, disk.SchedSPTF), Options{})
+	second, err := sess.RunPlan(context.Background(), Static(reqs, disk.SchedSPTF), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -306,7 +307,7 @@ func TestServiceExtentCache(t *testing.T) {
 		t.Fatalf("warm run should cost nothing and credit %d cells: %+v", first.Cells, second)
 	}
 	// A sub-extent of a cached extent hits too.
-	sub, err := sess.RunPlan(Static([]lvm.Request{{VLBN: 404, Count: 4}}, disk.SchedSPTF), Options{})
+	sub, err := sess.RunPlan(context.Background(), Static([]lvm.Request{{VLBN: 404, Count: 4}}, disk.SchedSPTF), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -317,7 +318,7 @@ func TestServiceExtentCache(t *testing.T) {
 	if err := svc.Reset(); err != nil {
 		t.Fatal(err)
 	}
-	cold, err := sess.RunPlan(Static(reqs, disk.SchedSPTF), Options{})
+	cold, err := sess.RunPlan(context.Background(), Static(reqs, disk.SchedSPTF), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -442,12 +443,12 @@ func TestServiceWriteInvalidates(t *testing.T) {
 	defer svc.Close()
 	sess := svc.NewSession(SessionOptions{})
 	reqs := []lvm.Request{{VLBN: 100, Count: 8}, {VLBN: 400, Count: 16}}
-	if _, err := sess.RunPlan(Static(reqs, disk.SchedSPTF), Options{}); err != nil {
+	if _, err := sess.RunPlan(context.Background(), Static(reqs, disk.SchedSPTF), Options{}); err != nil {
 		t.Fatal(err)
 	}
 
 	// Write over the second extent only.
-	wst, err := sess.Write([]lvm.Request{{VLBN: 404, Count: 4}}, disk.SchedSPTF)
+	wst, err := sess.Write(context.Background(), []lvm.Request{{VLBN: 404, Count: 4}}, disk.SchedSPTF)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -464,7 +465,7 @@ func TestServiceWriteInvalidates(t *testing.T) {
 	}
 
 	// First extent still hits; the written one must miss again.
-	st, err := sess.RunPlan(Static(reqs, disk.SchedSPTF), Options{})
+	st, err := sess.RunPlan(context.Background(), Static(reqs, disk.SchedSPTF), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -512,7 +513,7 @@ func TestServiceBatchReadsBeforeWrites(t *testing.T) {
 	// Write submitted BEFORE the read, same admission batch: the read
 	// must still be served first (miss — nothing cached yet), then the
 	// write invalidates what the read just cached.
-	svc.process([]*serviceOp{write, read})
+	svc.process([]*serviceOp{write, read}, 0)
 	rr, rw := <-read.reply, <-write.reply
 	if rr.err != nil || rw.err != nil {
 		t.Fatal(rr.err, rw.err)
@@ -525,7 +526,7 @@ func TestServiceBatchReadsBeforeWrites(t *testing.T) {
 	}
 	// After the batch, the blocks are uncached.
 	sess := svc.NewSession(SessionOptions{})
-	st, err := sess.RunPlan(Static([]lvm.Request{{VLBN: 100, Count: 8}}, disk.SchedSPTF), Options{})
+	st, err := sess.RunPlan(context.Background(), Static([]lvm.Request{{VLBN: 100, Count: 8}}, disk.SchedSPTF), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -554,14 +555,14 @@ func TestServiceConcurrentWrites(t *testing.T) {
 			for q := 0; q < 8; q++ {
 				if q%3 == 2 {
 					reqs := SortCoalesce(randomReqs(rng, v, 5))
-					if _, err := sessions[i].Write(reqs, disk.SchedSPTF); err != nil {
+					if _, err := sessions[i].Write(context.Background(), reqs, disk.SchedSPTF); err != nil {
 						errs[i] = err
 						return
 					}
 					continue
 				}
 				chunks := randomChunks(rng, v, 1+rng.Intn(2), 20)
-				if _, err := sessions[i].RunPlan(chunkPlan(chunks), Options{}); err != nil {
+				if _, err := sessions[i].RunPlan(context.Background(), chunkPlan(chunks), Options{}); err != nil {
 					errs[i] = err
 					return
 				}
@@ -607,7 +608,7 @@ func TestServiceMaxBatch(t *testing.T) {
 			reply:  make(chan opResult, 1),
 		}
 	}
-	svc.process(ops)
+	svc.process(ops, 0)
 	var credited int64
 	for i, op := range ops {
 		r := <-op.reply
@@ -639,12 +640,12 @@ func TestServiceClose(t *testing.T) {
 	v := testVolume(t)
 	svc := NewService(v, ServiceOptions{})
 	sess := svc.NewSession(SessionOptions{})
-	if _, err := sess.RunPlan(Static(randomReqs(rand.New(rand.NewSource(5)), v, 10), disk.SchedSPTF), Options{}); err != nil {
+	if _, err := sess.RunPlan(context.Background(), Static(randomReqs(rand.New(rand.NewSource(5)), v, 10), disk.SchedSPTF), Options{}); err != nil {
 		t.Fatal(err)
 	}
 	svc.Close()
 	svc.Close()
-	if _, err := sess.RunPlan(Static([]lvm.Request{{VLBN: 0, Count: 1}}, disk.SchedSPTF), Options{}); err == nil {
+	if _, err := sess.RunPlan(context.Background(), Static([]lvm.Request{{VLBN: 0, Count: 1}}, disk.SchedSPTF), Options{}); err == nil {
 		t.Fatal("RunPlan after Close should fail")
 	}
 	if err := svc.Reset(); err == nil {
@@ -670,7 +671,7 @@ func TestSessionPlanError(t *testing.T) {
 		return Chunk{Reqs: []lvm.Request{{VLBN: int64(i) * 100, Count: 4}}, Policy: disk.SchedSPTF}, true, nil
 	})
 	sess := svc.NewSession(SessionOptions{MaxInflight: 2})
-	if _, err := sess.RunPlan(p, Options{}); err != boom {
+	if _, err := sess.RunPlan(context.Background(), p, Options{}); err != boom {
 		t.Fatalf("got %v, want planner error", err)
 	}
 	tot := svc.Totals()
@@ -723,12 +724,12 @@ func BenchmarkService(b *testing.B) {
 							go func(i int) {
 								defer wg.Done()
 								sess := svc.NewSession(SessionOptions{})
-								if _, err := sess.RunPlan(Static(plans[i], disk.SchedSPTF), Options{}); err != nil {
+								if _, err := sess.RunPlan(context.Background(), Static(plans[i], disk.SchedSPTF), Options{}); err != nil {
 									b.Error(err)
 									return
 								}
 								for _, w := range writes[i] {
-									if _, err := sess.Write([]lvm.Request{w}, disk.SchedSPTF); err != nil {
+									if _, err := sess.Write(context.Background(), []lvm.Request{w}, disk.SchedSPTF); err != nil {
 										b.Error(err)
 										return
 									}

@@ -1,18 +1,28 @@
 package engine
 
 import (
+	"context"
+	"errors"
 	"sync"
 
 	"repro/internal/disk"
 	"repro/internal/lvm"
 )
 
+// ErrClosed is returned by sessions and services once their service has
+// been closed (Service.Close, or the volume layers' Close above it).
+// Submissions after Close fail fast with this sentinel instead of
+// panicking or hanging on the retired loop; test with errors.Is.
+var ErrClosed = errors.New("engine: service is closed")
+
 // Runner executes a plan and aggregates its statistics. Two
 // implementations exist: OnVolume (the synchronous single-caller path,
 // identical to Run) and Session (submission through a volume's
-// concurrent Service).
+// concurrent Service). The context governs cancellation: a cancelled or
+// past-deadline context stops the drain between chunks and returns the
+// partial Stats of the work already issued alongside ctx's error.
 type Runner interface {
-	RunPlan(p Plan, opts Options) (Stats, error)
+	RunPlan(ctx context.Context, p Plan, opts Options) (Stats, error)
 }
 
 // QuerySession is the full session surface a query layer needs from
@@ -24,20 +34,21 @@ type Runner interface {
 // on one volume or on many.
 type QuerySession interface {
 	Runner
-	Write(reqs []lvm.Request, policy disk.SchedPolicy) (Stats, error)
+	Write(ctx context.Context, reqs []lvm.Request, policy disk.SchedPolicy) (Stats, error)
 	Totals() Stats
 }
 
-// volumeRunner adapts the synchronous Run to the Runner interface.
+// volumeRunner adapts the synchronous RunContext to the Runner
+// interface.
 type volumeRunner struct{ vol *lvm.Volume }
 
-func (r volumeRunner) RunPlan(p Plan, opts Options) (Stats, error) {
-	return Run(r.vol, p, opts)
+func (r volumeRunner) RunPlan(ctx context.Context, p Plan, opts Options) (Stats, error) {
+	return RunContext(ctx, r.vol, p, opts)
 }
 
 // OnVolume returns the synchronous Runner for a volume: RunPlan is
-// exactly Run. Use it only when nothing else touches the volume — for
-// concurrent callers, go through a Service and its Sessions.
+// exactly RunContext. Use it only when nothing else touches the volume
+// — for concurrent callers, go through a Service and its Sessions.
 func OnVolume(vol *lvm.Volume) Runner { return volumeRunner{vol: vol} }
 
 // SessionOptions tunes one session.
@@ -87,7 +98,19 @@ func (s *Session) Totals() Stats {
 // off returns bit-identical Stats to Run. Options.Trace, when set, is
 // invoked from the service loop with this query's attributed
 // completions.
-func (s *Session) RunPlan(p Plan, opts Options) (Stats, error) {
+//
+// Cancellation: the submit loop checks ctx before every chunk, and the
+// service drops this query's already-queued chunks before admission —
+// dropped chunks free their inflight slots, charge no simulated I/O,
+// and bump Stats.Cancelled/DeadlineExceeded. On any error RunPlan
+// returns the partial Stats of the chunks that were served (the same
+// partial work is folded into the session's lifetime totals, so
+// summing session totals still reproduces ServiceTotals.Attributed for
+// issued work).
+func (s *Session) RunPlan(ctx context.Context, p Plan, opts Options) (Stats, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	type planned struct {
 		c   Chunk
 		ok  bool
@@ -116,8 +139,13 @@ func (s *Session) RunPlan(p Plan, opts Options) (Stats, error) {
 	// credit folds one served chunk's attributed results into the
 	// query's Stats — the single copy both the success path and the
 	// failure drain use, so the attribution-sum property cannot drift
-	// between them.
+	// between them. A dropped chunk contributes only its cancellation
+	// counter.
 	credit := func(op *serviceOp, r opResult) {
+		if r.err != nil {
+			st.countContextErr(r.err)
+			return
+		}
 		st.AddCompletions(r.comps, r.elapsed)
 		st.Padding += op.chunk.Padding
 		st.Cells += r.hitCells
@@ -126,11 +154,8 @@ func (s *Session) RunPlan(p Plan, opts Options) (Stats, error) {
 	}
 	fold := func(op *serviceOp) error {
 		r := <-op.reply
-		if r.err != nil {
-			return r.err
-		}
 		credit(op, r)
-		return nil
+		return r.err
 	}
 	// finish folds (or, after a failure, waits out) every outstanding
 	// op. Submitted chunks are always drained to their reply: the query
@@ -142,9 +167,7 @@ func (s *Session) RunPlan(p Plan, opts Options) (Stats, error) {
 		var err error
 		for _, op := range pending {
 			if failed != nil || err != nil {
-				if r := <-op.reply; r.err == nil {
-					credit(op, r)
-				}
+				credit(op, <-op.reply)
 				continue
 			}
 			err = fold(op)
@@ -156,10 +179,7 @@ func (s *Session) RunPlan(p Plan, opts Options) (Stats, error) {
 		s.mu.Lock()
 		s.totals.Accumulate(st)
 		s.mu.Unlock()
-		if failed != nil {
-			return Stats{}, failed
-		}
-		return st, nil
+		return st, failed
 	}
 
 	for pl := range planCh {
@@ -169,12 +189,19 @@ func (s *Session) RunPlan(p Plan, opts Options) (Stats, error) {
 		if !pl.ok {
 			break
 		}
+		if err := ctx.Err(); err != nil {
+			// Stop planning: this chunk was never queued, so it counts
+			// here rather than in the service's drop bookkeeping.
+			st.countContextErr(err)
+			return finish(err)
+		}
 		policy := pl.c.Policy
 		if opts.Policy != nil {
 			policy = *opts.Policy
 		}
 		op := &serviceOp{
 			kind:   opChunk,
+			ctx:    ctx,
 			chunk:  pl.c,
 			policy: policy,
 			trace:  opts.Trace,
@@ -203,9 +230,18 @@ func (s *Session) RunPlan(p Plan, opts Options) (Stats, error) {
 // subsequent read through any session pays the full disk cost. The
 // returned Stats carry the write's I/O time with the blocks in Writes
 // (not Cells) and the invalidation count in InvalidatedBlocks.
-func (s *Session) Write(reqs []lvm.Request, policy disk.SchedPolicy) (Stats, error) {
+//
+// A write whose ctx is cancelled or past its deadline before admission
+// is dropped before any simulated I/O is issued or charged — but its
+// cache invalidation still happens (the submitter's cell state already
+// mutated, so stale extents must not stay readable): the returned
+// Stats carry the invalidation count and the matching cancellation
+// counter alongside the context error. Writes are therefore always
+// submitted, never short-circuited on a pre-cancelled ctx.
+func (s *Session) Write(ctx context.Context, reqs []lvm.Request, policy disk.SchedPolicy) (Stats, error) {
 	op := &serviceOp{
 		kind:   opWrite,
+		ctx:    ctx,
 		chunk:  Chunk{Reqs: reqs},
 		policy: policy,
 		reply:  make(chan opResult, 1),
@@ -215,6 +251,12 @@ func (s *Session) Write(reqs []lvm.Request, policy disk.SchedPolicy) (Stats, err
 	}
 	r := <-op.reply
 	var st Stats
+	if r.err != nil {
+		// A drop before admission carries a context error; a served
+		// write that failed carries a volume error, which the classifier
+		// ignores.
+		st.countContextErr(r.err)
+	}
 	st.AddWriteCompletions(r.comps, r.elapsed)
 	st.InvalidatedBlocks = r.invalidated
 	// Invalidation sticks even when the write I/O itself failed, so it
@@ -224,7 +266,7 @@ func (s *Session) Write(reqs []lvm.Request, policy disk.SchedPolicy) (Stats, err
 	s.totals.Accumulate(st)
 	s.mu.Unlock()
 	if r.err != nil {
-		return Stats{}, r.err
+		return st, r.err
 	}
 	return st, nil
 }
@@ -247,4 +289,6 @@ func (s *Stats) Accumulate(q Stats) {
 	s.CacheMisses += q.CacheMisses
 	s.Writes += q.Writes
 	s.InvalidatedBlocks += q.InvalidatedBlocks
+	s.Cancelled += q.Cancelled
+	s.DeadlineExceeded += q.DeadlineExceeded
 }

@@ -52,6 +52,18 @@ type Config struct {
 	// service in the service-throughput experiment (0 = admit
 	// immediately).
 	BatchWindow time.Duration
+	// Deadline, when positive, gives the service-throughput
+	// experiment's client 0 a context.WithTimeout deadline per query —
+	// the QoS session. Queries it cannot finish in time are dropped by
+	// the services (counted, not fatal) and the table reports the
+	// session's observed latency separately.
+	Deadline time.Duration
+	// DeadlineAging, when positive, turns on deadline/QoS-aware
+	// admission on every shard service (engine
+	// ServiceOptions.DeadlineAging): urgent requests are served ahead
+	// of — and never coalesced with — bulk work. Compare a -deadline
+	// run with and without it to see the QoS policy's effect.
+	DeadlineAging time.Duration
 }
 
 // Defaults fills unset fields: both paper drives, full scale, 15 runs.
@@ -89,6 +101,9 @@ func (c Config) validate() error {
 	}
 	if c.BatchWindow < 0 {
 		return fmt.Errorf("experiments: batch window must be non-negative")
+	}
+	if c.Deadline < 0 || c.DeadlineAging < 0 {
+		return fmt.Errorf("experiments: deadline and deadline aging must be non-negative")
 	}
 	if _, err := c.execOptions(); err != nil {
 		return err

@@ -18,6 +18,8 @@ package experiments
 // writes churn the cache.
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -53,8 +55,17 @@ type ServeRun struct {
 	WriteOps       int64 // write ops served by the service loops
 	BlocksWritten  int64
 	Invalidated    int64                  // cached blocks dropped by write invalidation
+	Cancelled      int64                  // ops dropped before admission on cancelled contexts
+	Expired        int64                  // ops dropped before admission on passed deadlines
 	PerSession     []engine.Stats         // lifetime stats of each client session
 	PerShard       []engine.ServiceTotals // each shard service's own totals
+	// The deadline (QoS) session — client 0 when cfg.Deadline > 0:
+	// how many of its queries completed inside the deadline vs.
+	// expired, and the mean simulated elapsed ms it observed per
+	// completed query (the p-latency the QoS admission improves).
+	DLCompleted int
+	DLExpired   int
+	DLMeanMs    float64
 }
 
 // shardCounts returns the scaling ladder 1, 2, 4, ... capped at max,
@@ -101,7 +112,8 @@ func ServiceThroughput(cfg Config) (*Table, ServeResult, error) {
 		Title: fmt.Sprintf("Concurrent query service, %v cells, cache %d blocks, write fraction %.2f",
 			dims, cfg.CacheBlocks, cfg.WriteFraction),
 		Header: []string{"disk", "shards", "clients", "queries", "q/s", "ms/cell", "ms/query",
-			"hit rate", "max batch", "merged", "issued reqs", "writes", "inval blk"},
+			"hit rate", "max batch", "merged", "issued reqs", "writes", "inval blk",
+			"cancel", "expired", "dl ms/q"},
 	}
 	for _, g := range cfg.Disks {
 		for _, shards := range shardCounts(cfg.Shards) {
@@ -110,6 +122,10 @@ func ServiceThroughput(cfg Config) (*Table, ServeResult, error) {
 				return nil, nil, err
 			}
 			res[g.Name] = append(res[g.Name], run)
+			dl := "-"
+			if cfg.Deadline > 0 {
+				dl = fmt.Sprintf("%.1f", run.DLMeanMs)
+			}
 			t.Rows = append(t.Rows, []string{
 				g.Name, fmt.Sprint(run.Shards), fmt.Sprint(run.Clients), fmt.Sprint(run.Queries),
 				fmt.Sprintf("%.1f", run.QueriesPerSec), f3(run.MsPerCell),
@@ -117,6 +133,7 @@ func ServiceThroughput(cfg Config) (*Table, ServeResult, error) {
 				fmt.Sprint(run.MaxBatchChunks), fmt.Sprint(run.MergedBatches),
 				fmt.Sprint(run.IssuedRequests), fmt.Sprint(run.BlocksWritten),
 				fmt.Sprint(run.Invalidated),
+				fmt.Sprint(run.Cancelled), fmt.Sprint(run.Expired), dl,
 			})
 		}
 	}
@@ -141,6 +158,7 @@ func serveOneDisk(cfg Config, g *disk.Geometry, grid *dataset.Grid, dims []int, 
 		vols[i] = v
 		svcs[i] = engine.NewService(v, engine.ServiceOptions{
 			CacheBlocks: cfg.CacheBlocks, BatchWindow: cfg.BatchWindow,
+			DeadlineAging: cfg.DeadlineAging,
 		})
 		defer svcs[i].Close()
 	}
@@ -181,6 +199,8 @@ func serveOneDisk(cfg Config, g *disk.Geometry, grid *dataset.Grid, dims []int, 
 		sessions[i] = grp.Begin(engine.SessionOptions{MaxInflight: 2})
 	}
 	errs := make([]error, cfg.Clients)
+	var dlCompleted, dlExpired int
+	var dlElapsedMs float64
 	var wg sync.WaitGroup
 	start := time.Now()
 	for i := range sessions {
@@ -188,12 +208,33 @@ func serveOneDisk(cfg Config, g *disk.Geometry, grid *dataset.Grid, dims []int, 
 		go func(i int) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(cfg.Seed + int64(i)*7919))
+			// Client 0 is the QoS session when a deadline is configured:
+			// each of its queries runs under context.WithTimeout, expiry
+			// is counted rather than fatal, and its observed per-query
+			// elapsed time is reported separately.
+			qos := i == 0 && cfg.Deadline > 0
 			for q := 0; q < cfg.Queries; q++ {
+				if qos {
+					ctx, cancel := context.WithTimeout(context.Background(), cfg.Deadline)
+					st, err := runMixedQuery(ctx, sessions[i], grid, dims, rng)
+					cancel()
+					switch {
+					case err == nil:
+						dlCompleted++
+						dlElapsedMs += st.ElapsedMs
+					case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
+						dlExpired++
+					default:
+						errs[i] = fmt.Errorf("client %d query %d: %w", i, q, err)
+						return
+					}
+					continue
+				}
 				var err error
 				if cells != nil && rng.Float64() < cfg.WriteFraction {
-					err = runInsertBurst(grp, cells, sessions[i], dims, rng)
+					err = runInsertBurst(context.Background(), grp, cells, sessions[i], dims, rng)
 				} else {
-					err = runMixedQuery(sessions[i], grid, dims, rng)
+					_, err = runMixedQuery(context.Background(), sessions[i], grid, dims, rng)
 				}
 				if err != nil {
 					errs[i] = fmt.Errorf("client %d query %d: %w", i, q, err)
@@ -216,6 +257,11 @@ func serveOneDisk(cfg Config, g *disk.Geometry, grid *dataset.Grid, dims []int, 
 		Queries:     cfg.Clients * cfg.Queries,
 		WallSeconds: wall,
 		PerShard:    grp.ServiceTotals(),
+		DLCompleted: dlCompleted,
+		DLExpired:   dlExpired,
+	}
+	if dlCompleted > 0 {
+		run.DLMeanMs = dlElapsedMs / float64(dlCompleted)
 	}
 	var sum engine.Stats
 	for _, s := range sessions {
@@ -241,6 +287,8 @@ func serveOneDisk(cfg Config, g *disk.Geometry, grid *dataset.Grid, dims []int, 
 		run.IssuedRequests += tot.IssuedRequests
 		run.WriteOps += tot.WriteOps
 		run.Invalidated += tot.InvalidatedBlocks
+		run.Cancelled += tot.Cancelled
+		run.Expired += tot.DeadlineExceeded
 	}
 	run.BlocksWritten = sum.Writes
 	return run, nil
@@ -256,7 +304,7 @@ func serveOneDisk(cfg Config, g *disk.Geometry, grid *dataset.Grid, dims []int, 
 // slab is the whole dimension and the workload reduces exactly to the
 // unsharded hot region (the same region the hot range queries keep
 // re-reading).
-func runInsertBurst(grp *shard.Group, cells []*core.CellStore, sess *shard.Session, dims []int, rng *rand.Rand) error {
+func runInsertBurst(ctx context.Context, grp *shard.Group, cells []*core.CellStore, sess *shard.Session, dims []int, rng *rand.Rand) error {
 	cell := make([]int, len(dims))
 	for i, d := range dims {
 		side := max(1, d/16)
@@ -277,7 +325,7 @@ func runInsertBurst(grp *shard.Group, cells []*core.CellStore, sess *shard.Sessi
 		if err != nil {
 			return err
 		}
-		if _, err := sess.Member(si).Write(reqs, disk.SchedSPTF); err != nil {
+		if _, err := sess.Member(si).Write(ctx, reqs, disk.SchedSPTF); err != nil {
 			return err
 		}
 	}
@@ -289,16 +337,15 @@ func runInsertBurst(grp *shard.Group, cells []*core.CellStore, sess *shard.Sessi
 // a quarter hot-region range boxes on a quantized grid — the
 // overlapping share of a real workload, which is what the extent cache
 // absorbs.
-func runMixedQuery(sess *shard.Session, grid *dataset.Grid, dims []int, rng *rand.Rand) error {
+func runMixedQuery(ctx context.Context, sess *shard.Session, grid *dataset.Grid, dims []int, rng *rand.Rand) (engine.Stats, error) {
 	switch roll := rng.Intn(4); {
 	case roll < 2:
 		dim := rng.Intn(len(dims))
 		fixed, err := grid.RandomBeam(rng, dim)
 		if err != nil {
-			return err
+			return engine.Stats{}, err
 		}
-		_, err = sess.Beam(dim, fixed)
-		return err
+		return sess.Beam(ctx, dim, fixed)
 	case roll == 2:
 		lo := make([]int, len(dims))
 		hi := make([]int, len(dims))
@@ -307,8 +354,7 @@ func runMixedQuery(sess *shard.Session, grid *dataset.Grid, dims []int, rng *ran
 			lo[i] = rng.Intn(d - side + 1)
 			hi[i] = lo[i] + side
 		}
-		_, err := sess.Box(lo, hi)
-		return err
+		return sess.Box(ctx, lo, hi)
 	default:
 		// Hot region: boxes of a fixed side on a coarse alignment grid
 		// inside the first eighth of every dimension, so concurrent
@@ -321,7 +367,6 @@ func runMixedQuery(sess *shard.Session, grid *dataset.Grid, dims []int, rng *ran
 			lo[i] = rng.Intn(slots) * side
 			hi[i] = min(lo[i]+side, d)
 		}
-		_, err := sess.Box(lo, hi)
-		return err
+		return sess.Box(ctx, lo, hi)
 	}
 }

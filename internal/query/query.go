@@ -24,6 +24,7 @@
 package query
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/disk"
@@ -106,7 +107,7 @@ func (e *Executor) Mapper() mapping.Mapper { return e.m }
 // held at fixed (fixed[dim] is ignored). This is the paper's beam
 // query: a 1-D query parallel to an axis (§5.1).
 func (e *Executor) Beam(dim int, fixed []int) (Stats, error) {
-	return e.BeamOn(engine.OnVolume(e.vol), dim, fixed)
+	return e.BeamOn(context.Background(), engine.OnVolume(e.vol), dim, fixed)
 }
 
 // BeamBox translates the paper's beam query — all cells along dim with
@@ -135,41 +136,48 @@ func BeamBox(dims []int, dim int, fixed []int) (lo, hi []int, err error) {
 
 // BeamOn runs a beam query through an explicit engine runner — a
 // concurrent-service Session, or engine.OnVolume for the synchronous
-// single-caller path Beam uses.
-func (e *Executor) BeamOn(r engine.Runner, dim int, fixed []int) (Stats, error) {
+// single-caller path Beam uses. The context carries cancellation and
+// deadline down to the engine's admission batches.
+func (e *Executor) BeamOn(ctx context.Context, r engine.Runner, dim int, fixed []int) (Stats, error) {
 	lo, hi, err := BeamBox(e.m.Dims(), dim, fixed)
 	if err != nil {
 		return Stats{}, err
 	}
-	return e.RangeOn(r, lo, hi)
+	return e.RangeOn(ctx, r, lo, hi)
 }
 
 // Range fetches the box [lo, hi) (hi exclusive in every dimension).
 func (e *Executor) Range(lo, hi []int) (Stats, error) {
-	return e.RangeOn(engine.OnVolume(e.vol), lo, hi)
+	return e.RangeOn(context.Background(), engine.OnVolume(e.vol), lo, hi)
 }
 
 // RangeOn runs a range query through an explicit engine runner. The
 // planner streams chunks to the runner; a Session runner pipelines them
 // (chunk N+1 is planned while chunk N is on the disks) and may batch
-// them with other sessions' in-flight queries.
-func (e *Executor) RangeOn(r engine.Runner, lo, hi []int) (Stats, error) {
+// them with other sessions' in-flight queries. The planner's chunk loop
+// observes ctx: cancellation stops planning between chunks, drops the
+// query's queued chunks before admission, and returns the partial
+// Stats of the work actually issued (converted to cell units, with the
+// full-fetch verification skipped) alongside ctx's error.
+func (e *Executor) RangeOn(ctx context.Context, r engine.Runner, lo, hi []int) (Stats, error) {
 	cells, err := e.checkBox(lo, hi)
 	if err != nil {
 		return Stats{}, err
 	}
 	p := e.newBoxPlan(lo, hi)
-	st, err := r.RunPlan(p, engine.Options{Policy: e.opts.PolicyOverride})
-	if err != nil {
-		return Stats{}, err
-	}
+	st, runErr := r.RunPlan(ctx, p, engine.Options{Policy: e.opts.PolicyOverride})
 	// Blocks fetched = cells * cell size + bridged padding; report in
-	// cells so MsPerCell stays the paper's metric.
+	// cells so MsPerCell stays the paper's metric. Partial results get
+	// the same conversion so a cancelled query's Stats stay in cell
+	// units.
 	b := int64(1)
 	if cs, ok := e.m.(mapping.CellSized); ok {
 		b = int64(cs.CellBlocks())
 	}
 	st.Cells = (st.Cells - st.Padding) / b
+	if runErr != nil {
+		return st, runErr
+	}
 	if st.Cells != cells {
 		return st, fmt.Errorf("query: fetched %d useful cells, want %d", st.Cells, cells)
 	}

@@ -1,6 +1,8 @@
 package shard
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 
@@ -163,12 +165,12 @@ func (s *Session) Totals() engine.Stats {
 // Beam runs the paper's beam query — all cells along dim, the other
 // coordinates fixed — across the shards it touches. A beam along Dim0
 // spans every shard; beams along other dimensions land on exactly one.
-func (s *Session) Beam(dim int, fixed []int) (engine.Stats, error) {
+func (s *Session) Beam(ctx context.Context, dim int, fixed []int) (engine.Stats, error) {
 	lo, hi, err := query.BeamBox(s.g.r.dims, dim, fixed)
 	if err != nil {
 		return engine.Stats{}, err
 	}
-	return s.Box(lo, hi)
+	return s.Box(ctx, lo, hi)
 }
 
 // Box fetches the global box [lo, hi) (hi exclusive per dimension)
@@ -176,7 +178,21 @@ func (s *Session) Beam(dim int, fixed []int) (engine.Stats, error) {
 // per-shard Stats merge by summation. A single-shard box runs inline on
 // the owning member — the path that stays bit-identical to the
 // unsharded executor.
-func (s *Session) Box(lo, hi []int) (engine.Stats, error) {
+//
+// Cancellation propagates across the scatter: the per-shard plans run
+// under a context derived from ctx, and the first part to fail —
+// including a part whose shard dropped its chunks on ctx's own
+// cancellation — cancels every sibling shard's remaining work
+// (errgroup-style), so no shard keeps issuing simulated I/O for a
+// query that cannot complete. Partial Stats merge deterministically:
+// every part's partial result accumulates in part order (the router's
+// slab order), whatever order the shards actually stopped in, and the
+// returned error prefers the first real failure over the sibling
+// cancellations it induced.
+func (s *Session) Box(ctx context.Context, lo, hi []int) (engine.Stats, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	// The same validation the single-volume storage manager applies —
 	// the router would otherwise silently clamp an out-of-range Dim0
 	// bound. Each part's executor re-validates its sub-box; that double
@@ -187,8 +203,10 @@ func (s *Session) Box(lo, hi []int) (engine.Stats, error) {
 	parts := s.g.r.SplitBox(lo, hi)
 	if len(parts) == 1 {
 		p := parts[0]
-		return s.g.members[p.Shard].Exec.RangeOn(s.es[p.Shard], p.Lo, p.Hi)
+		return s.g.members[p.Shard].Exec.RangeOn(ctx, s.es[p.Shard], p.Lo, p.Hi)
 	}
+	sctx, cancel := context.WithCancel(ctx)
+	defer cancel()
 	stats := make([]engine.Stats, len(parts))
 	errs := make([]error, len(parts))
 	var wg sync.WaitGroup
@@ -197,19 +215,38 @@ func (s *Session) Box(lo, hi []int) (engine.Stats, error) {
 		go func(k int) {
 			defer wg.Done()
 			p := parts[k]
-			stats[k], errs[k] = s.g.members[p.Shard].Exec.RangeOn(s.es[p.Shard], p.Lo, p.Hi)
+			stats[k], errs[k] = s.g.members[p.Shard].Exec.RangeOn(sctx, s.es[p.Shard], p.Lo, p.Hi)
+			if errs[k] != nil {
+				cancel() // first failure stops the sibling shards promptly
+			}
 		}(k)
 	}
 	wg.Wait()
+	// Merge in part order — deterministic whatever the shard scheduling
+	// was — and pick the reported error the same way: the first part
+	// with any error, upgraded to the first part with a non-context
+	// error when one exists (so a real failure is not masked by the
+	// Canceled it propagated to its siblings). When the caller's own
+	// ctx is done, that error wins: it is the query's true cause.
 	var merged engine.Stats
+	var first error
 	for k := range parts {
-		// Every part ran to completion (its member session folded any
-		// partial work into its lifetime totals), so reporting the first
-		// error after the barrier loses nothing.
-		if errs[k] != nil {
-			return engine.Stats{}, errs[k]
-		}
 		merged.Accumulate(stats[k])
+		if errs[k] != nil && first == nil {
+			first = errs[k]
+		}
+	}
+	for k := range parts {
+		if e := errs[k]; e != nil && !errors.Is(e, context.Canceled) && !errors.Is(e, context.DeadlineExceeded) {
+			first = e
+			break
+		}
+	}
+	if first != nil {
+		if err := ctx.Err(); err != nil {
+			first = err
+		}
+		return merged, first
 	}
 	return merged, nil
 }

@@ -1,6 +1,7 @@
 package shard
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -167,7 +168,7 @@ func TestSingleShardMatchesDirectExecutor(t *testing.T) {
 		direct := query.NewExecutor(vd, m)
 
 		ss := g.Begin(engine.SessionOptions{})
-		gotB, err := ss.Beam(2, []int{7, 3, 0})
+		gotB, err := ss.Beam(context.Background(), 2, []int{7, 3, 0})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -178,7 +179,7 @@ func TestSingleShardMatchesDirectExecutor(t *testing.T) {
 		if gotB != wantB {
 			t.Errorf("%v: shard beam %+v != direct %+v", kind, gotB, wantB)
 		}
-		gotR, err := ss.Box([]int{1, 1, 1}, []int{20, 9, 5})
+		gotR, err := ss.Box(context.Background(), []int{1, 1, 1}, []int{20, 9, 5})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -202,7 +203,7 @@ func TestScatterGatherCells(t *testing.T) {
 		g, closeAll := testGroup(t, mapping.MultiMap, dims, shards, 0)
 		ss := g.Begin(engine.SessionOptions{})
 		// Dim0 beam: spans every shard.
-		st, err := ss.Beam(0, []int{0, 5, 2})
+		st, err := ss.Beam(context.Background(), 0, []int{0, 5, 2})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -210,7 +211,7 @@ func TestScatterGatherCells(t *testing.T) {
 			t.Fatalf("%d shards: Dim0 beam fetched %d cells, want %d", shards, st.Cells, dims[0])
 		}
 		// Dim1 beam: lands on exactly one shard.
-		st, err = ss.Beam(1, []int{33, 0, 1})
+		st, err = ss.Beam(context.Background(), 1, []int{33, 0, 1})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -229,7 +230,7 @@ func TestScatterGatherCells(t *testing.T) {
 			}
 		}
 		// A box spanning all shards.
-		st, err = ss.Box([]int{0, 0, 0}, []int{40, 3, 2})
+		st, err = ss.Box(context.Background(), []int{0, 0, 0}, []int{40, 3, 2})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -237,10 +238,10 @@ func TestScatterGatherCells(t *testing.T) {
 			t.Fatalf("%d shards: box fetched %d cells, want %d", shards, st.Cells, 40*3*2)
 		}
 		// Bad boxes are rejected, not clamped.
-		if _, err := ss.Box([]int{0, 0, 0}, []int{41, 3, 2}); err == nil {
+		if _, err := ss.Box(context.Background(), []int{0, 0, 0}, []int{41, 3, 2}); err == nil {
 			t.Fatal("out-of-range Dim0 box accepted")
 		}
-		if _, err := ss.Box([]int{0, 0}, []int{10, 3}); err == nil {
+		if _, err := ss.Box(context.Background(), []int{0, 0}, []int{10, 3}); err == nil {
 			t.Fatal("arity mismatch accepted")
 		}
 		closeAll()
@@ -280,7 +281,7 @@ func TestScatterGatherAttributionSum(t *testing.T) {
 						errs[i] = err
 						return
 					}
-					if _, err := sessions[i].Member(si).Write(
+					if _, err := sessions[i].Member(si).Write(context.Background(),
 						[]lvm.Request{{VLBN: vlbn, Count: 1}}, disk.SchedSPTF); err != nil {
 						errs[i] = err
 						return
@@ -288,7 +289,7 @@ func TestScatterGatherAttributionSum(t *testing.T) {
 				case 1:
 					dim := rng.Intn(3)
 					fixed := []int{rng.Intn(dims[0]), rng.Intn(dims[1]), rng.Intn(dims[2])}
-					st, err := sessions[i].Beam(dim, fixed)
+					st, err := sessions[i].Beam(context.Background(), dim, fixed)
 					if err != nil {
 						errs[i] = err
 						return
@@ -301,7 +302,7 @@ func TestScatterGatherAttributionSum(t *testing.T) {
 					lo := []int{rng.Intn(30), rng.Intn(6), rng.Intn(4)}
 					hi := []int{lo[0] + 1 + rng.Intn(10), lo[1] + 1 + rng.Intn(4), lo[2] + 1 + rng.Intn(3)}
 					want := int64(hi[0]-lo[0]) * int64(hi[1]-lo[1]) * int64(hi[2]-lo[2])
-					st, err := sessions[i].Box(lo, hi)
+					st, err := sessions[i].Box(context.Background(), lo, hi)
 					if err != nil {
 						errs[i] = err
 						return
@@ -373,7 +374,7 @@ func BenchmarkScatterGather(b *testing.B) {
 						defer wg.Done()
 						lo := []int{0, (i * 3) % dims[1], (i * 2) % dims[2]}
 						hi := []int{dims[0], lo[1] + 3, lo[2] + 2}
-						if _, err := sessions[i].Box(lo, hi); err != nil {
+						if _, err := sessions[i].Box(context.Background(), lo, hi); err != nil {
 							b.Error(err)
 						}
 					}(i)

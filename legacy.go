@@ -1,0 +1,103 @@
+package multimap
+
+import (
+	"fmt"
+	"time"
+)
+
+// This file is the deprecated pre-context API, kept one release as
+// thin wrappers over Open and the functional options so existing code
+// migrates incrementally. Every wrapper returns the unified Store; the
+// operation methods themselves are context-first (see doc.go for the
+// old-to-new migration table).
+
+// StoreOptions tunes dataset placement and query execution.
+//
+// Deprecated: use Open with functional options (WithDiskIdx,
+// WithCellBlocks, WithPolicy, WithChunkCells, WithCache,
+// WithMaxInflight, WithShards, WithBatchWindow).
+type StoreOptions struct {
+	// DiskIdx pins the dataset to one member drive. -1 lets MultiMap
+	// decluster basic cubes across drives (§4.4); linear mappings
+	// treat -1 as drive 0.
+	DiskIdx int
+	// CellBlocks is the cell size in blocks (default 1).
+	CellBlocks int
+	// Policy forces the drive-internal scheduling policy for every
+	// query ("fifo", "sptf", "elevator"); empty keeps each mapping's
+	// preferred policy (§5.2).
+	Policy string
+	// PlanChunkCells bounds how many cells the streaming planner
+	// expands per dispatch chunk; 0 plans each query as one chunk.
+	PlanChunkCells int64
+	// CacheBlocks sizes the volume's shared extent cache in blocks
+	// (0 leaves the volume's current cache configuration unchanged).
+	CacheBlocks int64
+	// MaxInflight is how many plan chunks each of this store's sessions
+	// keeps outstanding in the service at once (default 1).
+	MaxInflight int
+	// Shards spreads the dataset across this many independent shard
+	// volumes (0 and 1 both mean a single shard).
+	Shards int
+	// BatchWindow is the time-based admission window of every shard
+	// service this store uses (0 leaves the current window unchanged).
+	BatchWindow time.Duration
+}
+
+// options translates the struct into the equivalent functional-option
+// list, preserving the old validation (negative values fail Open).
+func (o StoreOptions) options() []Option {
+	return []Option{
+		WithDiskIdx(o.DiskIdx),
+		WithCellBlocks(o.CellBlocks),
+		WithPolicy(o.Policy),
+		WithChunkCells(o.PlanChunkCells),
+		WithCache(o.CacheBlocks),
+		WithMaxInflight(o.MaxInflight),
+		WithShards(o.Shards),
+		WithBatchWindow(o.BatchWindow),
+	}
+}
+
+// NewStore maps an N-dimensional grid dataset onto the volume using
+// the given placement.
+//
+// Deprecated: use Open, which takes functional options and returns the
+// same Store.
+func NewStore(vol *Volume, kind Mapping, dims []int, opts ...StoreOptions) (*Store, error) {
+	var o StoreOptions
+	if len(opts) > 1 {
+		return nil, fmt.Errorf("multimap: at most one StoreOptions")
+	}
+	if len(opts) == 1 {
+		o = opts[0]
+	}
+	return Open(vol, kind, dims, o.options()...)
+}
+
+// UpdatableStore is the pre-unification name for a Store opened with
+// the Updatable option; the two types are now one.
+//
+// Deprecated: use Store (opened via Open(..., Updatable(opts))).
+type UpdatableStore = Store
+
+// UpdateSession is the pre-unification name for a Session of an
+// updatable store; the two types are now one.
+//
+// Deprecated: use Session.
+type UpdateSession = Session
+
+// NewUpdatableStore maps the dataset and attaches update bookkeeping.
+//
+// Deprecated: use Open with the Updatable option (plus any other
+// functional options in place of StoreOptions).
+func NewUpdatableStore(vol *Volume, kind Mapping, dims []int, opts UpdateOptions, sopts ...StoreOptions) (*UpdatableStore, error) {
+	var so StoreOptions
+	if len(sopts) > 1 {
+		return nil, fmt.Errorf("multimap: at most one StoreOptions")
+	}
+	if len(sopts) == 1 {
+		so = sopts[0]
+	}
+	return Open(vol, kind, dims, append(so.options(), Updatable(opts))...)
+}

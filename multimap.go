@@ -1,9 +1,11 @@
 package multimap
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
-	"time"
+	"sync/atomic"
 
 	"repro/internal/analytic"
 	"repro/internal/core"
@@ -218,157 +220,131 @@ func (v *Volume) ServiceTotals() ServiceTotals {
 // experiment drivers and examples use it).
 func (v *Volume) Internal() *lvm.Volume { return v.v }
 
-// StoreOptions tunes dataset placement and query execution.
-type StoreOptions struct {
-	// DiskIdx pins the dataset to one member drive. -1 lets MultiMap
-	// decluster basic cubes across drives (§4.4); linear mappings
-	// treat -1 as drive 0.
-	DiskIdx int
-	// CellBlocks is the cell size in blocks (default 1) — §4's
-	// "a single cell can occupy multiple LBNs".
-	CellBlocks int
-	// Policy forces the drive-internal scheduling policy for every
-	// query ("fifo", "sptf", "elevator"); empty keeps each mapping's
-	// preferred policy (§5.2). Use it for scheduler comparison runs.
-	Policy string
-	// PlanChunkCells bounds how many cells the streaming planner
-	// expands per dispatch chunk; 0 plans each query as one chunk.
-	// Chunking bounds planner memory on huge ranges at the cost of
-	// sorting per chunk instead of globally.
-	PlanChunkCells int64
-	// CacheBlocks sizes the volume's shared extent cache in blocks. The
-	// cache is a service-level resource: it starts off, a positive value
-	// reconfigures it for every store sharing the volume, and 0 leaves
-	// the volume's current cache configuration unchanged. Overlapping
-	// queries skip re-simulated I/O (Stats.CacheHits).
-	CacheBlocks int64
-	// MaxInflight is how many plan chunks each of this store's sessions
-	// keeps outstanding in the service at once (default 1). Even at 1
-	// the planner is pipelined — chunk N+1 is planned while chunk N is
-	// on the disks; higher values also let one query's chunks share
-	// admission batches.
-	MaxInflight int
-	// Shards spreads the dataset across this many independent shard
-	// volumes, each with its own query-service loop, head state, and
-	// extent cache. The grid is partitioned along Dim0 into slabs
-	// aligned to MultiMap's basic-cube boundaries; shard 0 lives on the
-	// volume passed to NewStore and shards 1..N-1 on internally created
-	// volumes mirroring its hardware (release them with Store.Close).
-	// Queries scatter-gather: each box is split by owning shard, served
-	// by all shard services concurrently, and the per-shard Stats merge
-	// by summation. 0 and 1 both mean a single shard on the caller's
-	// volume — today's behavior, bit for bit.
-	Shards int
-	// BatchWindow is the time-based admission window of every shard
-	// service this store uses: when positive, the service loop waits
-	// the window out after noticing queued work before admitting it as
-	// one batch, so bursty concurrent clients coalesce better. Like
-	// CacheBlocks it reconfigures the (possibly shared) volume service;
-	// 0 leaves the service's current window unchanged (default: admit
-	// immediately).
-	BatchWindow time.Duration
-}
+// ErrClosed is returned by store and session operations after the
+// backing query service has been shut down — Store.Close on the
+// store's internally created shard volumes, or Volume.Close on the
+// caller's own volume. Test with errors.Is.
+var ErrClosed = engine.ErrClosed
 
-// Store is a mapped multidimensional dataset ready for queries. Its
-// query methods submit to the shard services through a default session
-// and are safe to call from multiple goroutines; use Begin for
+// ErrNotUpdatable is returned by the update operations (Insert,
+// Delete, LoadCell and the chain inspectors) on a store that was
+// opened without the Updatable option.
+var ErrNotUpdatable = errors.New("multimap: store opened without Updatable")
+
+// Store is a mapped multidimensional dataset ready for queries — and,
+// when opened with the Updatable option, online updates (§4.6). Its
+// operation methods submit to the shard services through a default
+// session and are safe to call from multiple goroutines; use Begin for
 // per-client sessions with their own Stats attribution.
+//
+// Every blocking operation takes a context.Context first: cancel it or
+// give it a deadline and the operation's queued work is dropped before
+// admission (never charging simulated I/O for work not issued), the
+// partial Stats of the work that WAS issued are returned alongside the
+// context's error, and Stats.Cancelled/DeadlineExceeded count the
+// dropped operations. Pair context.WithDeadline with the
+// WithDeadlineAging open option to make deadlines a QoS signal the
+// admission batcher honors.
 //
 // A store always executes through a shard group. The default single
 // shard lives on the volume the store was built on, so nothing changes
-// for unsharded use; with StoreOptions.Shards > 1 the dataset spans
-// that volume plus internally created ones, every query fanning out to
-// the shards it touches (see StoreOptions.Shards).
+// for unsharded use; with WithShards(n > 1) the dataset spans that
+// volume plus internally created ones, every query fanning out to the
+// shards it touches.
 type Store struct {
 	vol         *Volume   // primary volume (shard 0)
 	extra       []*Volume // internally created shard volumes 1..N-1
 	grp         *shard.Group
 	dims        []int
-	def         *Session
 	maxInflight int
+	cells       []*core.CellStore // one chain tracker per shard; nil unless Updatable
+	def         *Session
+	closed      atomic.Bool
 }
 
-// NewStore maps an N-dimensional grid dataset (one block per cell)
-// onto the volume using the given placement. With StoreOptions.Shards
-// > 1, the dataset is split along Dim0 across that many shard volumes
-// (the given volume plus internally created clones of its hardware).
-func NewStore(vol *Volume, kind Mapping, dims []int, opts ...StoreOptions) (*Store, error) {
-	o := StoreOptions{DiskIdx: 0}
-	if len(opts) > 1 {
-		return nil, fmt.Errorf("multimap: at most one StoreOptions")
+// Open maps an N-dimensional grid dataset onto the volume using the
+// given placement and returns the store, configured by functional
+// options (WithPolicy, WithChunkCells, WithCache, WithMaxInflight,
+// WithShards, WithBatchWindow, WithDeadlineAging, WithDiskIdx,
+// WithCellBlocks, Updatable). With WithShards(n > 1) the dataset is
+// split along Dim0 across that many shard volumes (the given volume
+// plus internally created clones of its hardware); with Updatable the
+// store also serves Insert/Delete/LoadCell.
+func Open(vol *Volume, kind Mapping, dims []int, opts ...Option) (*Store, error) {
+	c := defaultConfig()
+	for _, opt := range opts {
+		if opt == nil {
+			return nil, fmt.Errorf("multimap: nil Option")
+		}
+		if err := opt(&c); err != nil {
+			return nil, err
+		}
 	}
-	if len(opts) == 1 {
-		o = opts[0]
-	}
-	eo, err := query.ExecOptionsFor(o.Policy, o.PlanChunkCells)
+	eo, err := query.ExecOptionsFor(c.policy, c.chunkCells)
 	if err != nil {
 		return nil, err
 	}
-	if o.CacheBlocks < 0 {
-		return nil, fmt.Errorf("multimap: CacheBlocks must be non-negative")
-	}
-	if o.Shards < 0 {
-		return nil, fmt.Errorf("multimap: Shards must be non-negative")
-	}
-	if o.BatchWindow < 0 {
-		return nil, fmt.Errorf("multimap: BatchWindow must be non-negative")
-	}
-	shards := o.Shards
-	if shards < 1 {
-		shards = 1
-	}
-	s := &Store{vol: vol, dims: append([]int(nil), dims...)}
+	s := &Store{vol: vol, dims: append([]int(nil), dims...), maxInflight: c.maxInflight}
 	shardVols := []*Volume{vol}
-	for i := 1; i < shards; i++ {
+	for i := 1; i < c.shards; i++ {
 		sv := &Volume{v: lvm.NewLike(vol.v)}
 		s.extra = append(s.extra, sv)
 		shardVols = append(shardVols, sv)
 	}
-	vols := make([]*lvm.Volume, shards)
-	svcs := make([]*engine.Service, shards)
+	vols := make([]*lvm.Volume, c.shards)
+	svcs := make([]*engine.Service, c.shards)
 	for i, sv := range shardVols {
 		vols[i] = sv.v
 		svcs[i] = sv.service()
 	}
 	s.grp, err = shard.Build(vols, svcs, kind, dims, mapping.Options{
-		DiskIdx: o.DiskIdx, CellBlocks: o.CellBlocks,
+		DiskIdx: c.diskIdx, CellBlocks: c.cellBlocks,
 	}, eo)
 	if err != nil {
 		return nil, err
 	}
 	for _, svc := range svcs {
-		if o.CacheBlocks > 0 {
-			if err := svc.ConfigureCache(o.CacheBlocks); err != nil {
+		if c.cacheBlocks > 0 {
+			if err := svc.ConfigureCache(c.cacheBlocks); err != nil {
 				return nil, err
 			}
 		}
-		if o.BatchWindow > 0 {
-			svc.SetBatchWindow(o.BatchWindow)
+		if c.batchWindow > 0 {
+			svc.SetBatchWindow(c.batchWindow)
+		}
+		if c.deadlineAging > 0 {
+			svc.SetDeadlineAging(c.deadlineAging)
 		}
 	}
-	if o.MaxInflight < 1 {
-		o.MaxInflight = 1
+	if c.updatable {
+		if err := s.initUpdatable(c.update); err != nil {
+			return nil, err
+		}
 	}
-	s.maxInflight = o.MaxInflight
 	s.def = s.Begin()
 	return s, nil
 }
 
-// Session is one client's handle for issuing queries concurrently with
-// other sessions on the same shard volumes. Each service loop merges
-// in-flight sessions' requests into shared disk batches and attributes
-// costs back, so each query's Stats remain its own; on a sharded store
-// a query's Stats are the sum of its per-shard parts.
+// Session is one client's handle for issuing operations concurrently
+// with other sessions on the same shard volumes: the query operations
+// (Beam, RangeQuery, FetchCell) on any store, plus the update
+// operations (Insert, Delete, LoadCell) on a store opened with
+// Updatable. Each service loop merges in-flight sessions' requests
+// into shared disk batches and attributes costs back, so each
+// operation's Stats remain its own; on a sharded store a query's Stats
+// are the sum of its per-shard parts.
+//
+// Every operation takes a context first; see Store for the
+// cancellation and partial-stats contract.
 type Session struct {
 	s  *Store
 	ss *shard.Session
 }
 
-// Begin opens a new query session on the store: one engine session per
-// shard service, driven scatter-gather. Sessions are bound to the
-// services the store was built on: after Volume.Close (or Store.Close
-// for internally created shard volumes) they fail like the store's own
-// queries, rather than resurrecting a service.
+// Begin opens a new session on the store: one engine session per shard
+// service, driven scatter-gather. Sessions are bound to the services
+// the store was built on: after Store.Close or Volume.Close they fail
+// with ErrClosed, rather than resurrecting a service.
 func (s *Store) Begin() *Session {
 	return &Session{
 		s:  s,
@@ -376,21 +352,55 @@ func (s *Store) Begin() *Session {
 	}
 }
 
+// check gates every session operation: a closed store fails fast with
+// ErrClosed (instead of racing the retired service loop), and a nil
+// context is treated as context.Background().
+func (q *Session) check(ctx context.Context) (context.Context, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if q.s.closed.Load() {
+		return ctx, ErrClosed
+	}
+	return ctx, nil
+}
+
+// checkMutate additionally refuses an already-done context before an
+// update operation mutates any in-memory cell state, so a clean abort
+// leaves nothing half-applied.
+func (q *Session) checkMutate(ctx context.Context) (context.Context, error) {
+	ctx, err := q.check(ctx)
+	if err != nil {
+		return ctx, err
+	}
+	return ctx, ctx.Err()
+}
+
 // Beam runs the paper's beam query through this session. On a sharded
 // store a Dim0 beam fans out to every shard; beams along the other
 // dimensions land on exactly one.
-func (q *Session) Beam(dim int, fixed []int) (Stats, error) {
-	return q.ss.Beam(dim, fixed)
+func (q *Session) Beam(ctx context.Context, dim int, fixed []int) (Stats, error) {
+	ctx, err := q.check(ctx)
+	if err != nil {
+		return Stats{}, err
+	}
+	return q.ss.Beam(ctx, dim, fixed)
 }
 
 // RangeQuery fetches the box [lo, hi) through this session,
-// scatter-gather across the shards the box touches.
-func (q *Session) RangeQuery(lo, hi []int) (Stats, error) {
-	return q.ss.Box(lo, hi)
+// scatter-gather across the shards the box touches. Cancelling ctx
+// mid-query cancels every shard's remaining work and returns the
+// partial Stats merged so far with ctx's error.
+func (q *Session) RangeQuery(ctx context.Context, lo, hi []int) (Stats, error) {
+	ctx, err := q.check(ctx)
+	if err != nil {
+		return Stats{}, err
+	}
+	return q.ss.Box(ctx, lo, hi)
 }
 
 // Stats returns the session's accumulated statistics across all its
-// completed queries (summed over the shards it touched).
+// completed operations (summed over the shards it touched).
 func (q *Session) Stats() Stats { return q.ss.Totals() }
 
 // CellBlocks returns the store's cell size in blocks.
@@ -431,12 +441,17 @@ func (s *Store) CellLBN(cell []int) (int64, error) {
 // ServiceTotals in a one-element slice.
 func (s *Store) ShardServiceTotals() []ServiceTotals { return s.grp.ServiceTotals() }
 
-// Close releases the shard volumes the store created internally
-// (Shards > 1): their services are drained and shut down, after which
-// the store's sessions fail. The caller's own volume — shard 0 — is
-// untouched; close it separately via Volume.Close when desired. Close
-// is a no-op on an unsharded store and is idempotent.
+// Close retires the store: subsequent operations on it and on its
+// sessions fail with ErrClosed, and the shard volumes the store
+// created internally (WithShards > 1) have their services drained and
+// shut down. The caller's own volume — shard 0 — is untouched; close
+// it separately via Volume.Close when desired (operations then fail
+// with ErrClosed through the service layer instead). Close is
+// idempotent.
 func (s *Store) Close() {
+	if s.closed.Swap(true) {
+		return
+	}
 	for _, sv := range s.extra {
 		sv.Close()
 	}
@@ -455,10 +470,17 @@ func (s *Store) Reset() {
 
 // Beam fetches all cells along dimension dim with the remaining
 // coordinates fixed, and returns the simulated I/O statistics (§5.1).
-func (s *Store) Beam(dim int, fixed []int) (Stats, error) { return s.def.Beam(dim, fixed) }
+// It runs through the store's default session; ctx carries
+// cancellation and deadline.
+func (s *Store) Beam(ctx context.Context, dim int, fixed []int) (Stats, error) {
+	return s.def.Beam(ctx, dim, fixed)
+}
 
-// RangeQuery fetches the box [lo, hi) (hi exclusive per dimension).
-func (s *Store) RangeQuery(lo, hi []int) (Stats, error) { return s.def.RangeQuery(lo, hi) }
+// RangeQuery fetches the box [lo, hi) (hi exclusive per dimension)
+// through the store's default session.
+func (s *Store) RangeQuery(ctx context.Context, lo, hi []int) (Stats, error) {
+	return s.def.RangeQuery(ctx, lo, hi)
+}
 
 // Model is the closed-form analytical cost model (§5) for one drive.
 type Model struct {

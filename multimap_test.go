@@ -1,6 +1,7 @@
 package multimap
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -63,21 +64,21 @@ func TestStoreQueries(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, kind := range Mappings() {
-		s, err := NewStore(v, kind, []int{40, 12, 8})
+		s, err := Open(v, kind, []int{40, 12, 8})
 		if err != nil {
 			t.Fatalf("%v: %v", kind, err)
 		}
 		if s.Mapping() != kind {
 			t.Errorf("Mapping()=%v, want %v", s.Mapping(), kind)
 		}
-		st, err := s.Beam(1, []int{5, 0, 3})
+		st, err := s.Beam(context.Background(), 1, []int{5, 0, 3})
 		if err != nil {
 			t.Fatalf("%v beam: %v", kind, err)
 		}
 		if st.Cells != 12 {
 			t.Errorf("%v: beam fetched %d cells, want 12", kind, st.Cells)
 		}
-		st, err = s.RangeQuery([]int{0, 0, 0}, []int{10, 4, 2})
+		st, err = s.RangeQuery(context.Background(), []int{0, 0, 0}, []int{10, 4, 2})
 		if err != nil {
 			t.Fatalf("%v range: %v", kind, err)
 		}
@@ -91,10 +92,10 @@ func TestStoreQueries(t *testing.T) {
 	if _, err := NewStore(v, MultiMap, []int{40, 12, 8}, StoreOptions{}, StoreOptions{}); err == nil {
 		t.Error("two option structs accepted")
 	}
-	if _, err := NewStore(v, MultiMap, []int{40, 12, 8}, StoreOptions{PlanChunkCells: -1}); err == nil {
+	if _, err := Open(v, MultiMap, []int{40, 12, 8}, WithChunkCells(-1)); err == nil {
 		t.Error("negative PlanChunkCells accepted")
 	}
-	if _, err := NewStore(v, MultiMap, []int{40, 12, 8}, StoreOptions{BatchWindow: -1}); err == nil {
+	if _, err := Open(v, MultiMap, []int{40, 12, 8}, WithBatchWindow(-1)); err == nil {
 		t.Error("negative BatchWindow accepted")
 	}
 }
@@ -109,7 +110,7 @@ func TestStoreMatchesDirectExecutor(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		s, err := NewStore(vs, kind, dims)
+		s, err := Open(vs, kind, dims)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -123,7 +124,7 @@ func TestStoreMatchesDirectExecutor(t *testing.T) {
 		}
 		direct := query.NewExecutor(vd, m)
 
-		gotB, err := s.Beam(2, []int{7, 3, 0})
+		gotB, err := s.Beam(context.Background(), 2, []int{7, 3, 0})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -134,7 +135,7 @@ func TestStoreMatchesDirectExecutor(t *testing.T) {
 		if gotB != wantB {
 			t.Errorf("%v: store beam %+v != direct executor %+v", kind, gotB, wantB)
 		}
-		gotR, err := s.RangeQuery([]int{1, 1, 1}, []int{20, 9, 5})
+		gotR, err := s.RangeQuery(context.Background(), []int{1, 1, 1}, []int{20, 9, 5})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -170,11 +171,11 @@ func TestConcurrentStoreSessions(t *testing.T) {
 	}
 	defer v.Close()
 	dims := []int{40, 12, 8}
-	mm, err := NewStore(v, MultiMap, dims, StoreOptions{CacheBlocks: 4096, MaxInflight: 2})
+	mm, err := Open(v, MultiMap, dims, WithCache(4096), WithMaxInflight(2))
 	if err != nil {
 		t.Fatal(err)
 	}
-	hb, err := NewStore(v, Hilbert, dims)
+	hb, err := Open(v, Hilbert, dims)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -197,7 +198,7 @@ func TestConcurrentStoreSessions(t *testing.T) {
 				if rng.Intn(2) == 0 {
 					dim := rng.Intn(3)
 					fixed := []int{rng.Intn(40), rng.Intn(12), rng.Intn(8)}
-					st, err := sessions[i].Beam(dim, fixed)
+					st, err := sessions[i].Beam(context.Background(), dim, fixed)
 					if err != nil {
 						errs[i] = err
 						return
@@ -210,7 +211,7 @@ func TestConcurrentStoreSessions(t *testing.T) {
 					lo := []int{rng.Intn(20), rng.Intn(6), rng.Intn(4)}
 					hi := []int{lo[0] + 1 + rng.Intn(10), lo[1] + 1 + rng.Intn(4), lo[2] + 1 + rng.Intn(3)}
 					want := int64(hi[0]-lo[0]) * int64(hi[1]-lo[1]) * int64(hi[2]-lo[2])
-					st, err := sessions[i].RangeQuery(lo, hi)
+					st, err := sessions[i].RangeQuery(context.Background(), lo, hi)
 					if err != nil {
 						errs[i] = err
 						return
@@ -254,7 +255,7 @@ func TestConcurrentStoreSessions(t *testing.T) {
 	if tot := v.ServiceTotals(); tot.Batches != 0 {
 		t.Fatalf("reset kept totals %+v", tot)
 	}
-	st, err := mm.Beam(1, []int{5, 0, 3})
+	st, err := mm.Beam(context.Background(), 1, []int{5, 0, 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -349,17 +350,17 @@ func TestShardedStoreEquivalenceAndScatter(t *testing.T) {
 	queries := func(s *Store) []Stats {
 		t.Helper()
 		var out []Stats
-		st, err := s.Beam(0, []int{0, 5, 2})
+		st, err := s.Beam(context.Background(), 0, []int{0, 5, 2})
 		if err != nil {
 			t.Fatal(err)
 		}
 		out = append(out, st)
-		st, err = s.Beam(2, []int{33, 3, 0})
+		st, err = s.Beam(context.Background(), 2, []int{33, 3, 0})
 		if err != nil {
 			t.Fatal(err)
 		}
 		out = append(out, st)
-		st, err = s.RangeQuery([]int{1, 1, 1}, []int{39, 9, 5})
+		st, err = s.RangeQuery(context.Background(), []int{1, 1, 1}, []int{39, 9, 5})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -371,7 +372,7 @@ func TestShardedStoreEquivalenceAndScatter(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	plain, err := NewStore(vPlain, MultiMap, dims)
+	plain, err := Open(vPlain, MultiMap, dims)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -379,7 +380,7 @@ func TestShardedStoreEquivalenceAndScatter(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	one, err := NewStore(vOne, MultiMap, dims, StoreOptions{Shards: 1})
+	one, err := Open(vOne, MultiMap, dims, WithShards(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -399,7 +400,7 @@ func TestShardedStoreEquivalenceAndScatter(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s4, err := NewStore(v4, MultiMap, dims, StoreOptions{Shards: 4, CacheBlocks: 4096})
+	s4, err := Open(v4, MultiMap, dims, WithShards(4), WithCache(4096))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -460,27 +461,27 @@ func TestShardedStoreEquivalenceAndScatter(t *testing.T) {
 			t.Fatalf("shard %d totals survived Reset: %+v", i, tot)
 		}
 	}
-	if st, err := s4.Beam(0, []int{0, 0, 0}); err != nil || st.Cells != int64(dims[0]) {
+	if st, err := s4.Beam(context.Background(), 0, []int{0, 0, 0}); err != nil || st.Cells != int64(dims[0]) {
 		t.Fatalf("post-Reset query wrong: %+v %v", st, err)
 	}
 	s4.Close()
-	if _, err := s4.Beam(0, []int{0, 0, 0}); err == nil {
+	if _, err := s4.Beam(context.Background(), 0, []int{0, 0, 0}); err == nil {
 		t.Fatal("Dim0 beam succeeded after Store.Close shut the shard services")
 	}
 	// The caller's volume is still usable by a fresh store.
-	fresh, err := NewStore(v4, MultiMap, dims)
+	fresh, err := Open(v4, MultiMap, dims)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if st, err := fresh.Beam(1, []int{5, 0, 3}); err != nil || st.Cells != int64(dims[1]) {
+	if st, err := fresh.Beam(context.Background(), 1, []int{5, 0, 3}); err != nil || st.Cells != int64(dims[1]) {
 		t.Fatalf("caller volume unusable after Store.Close: %+v %v", st, err)
 	}
 
 	// Validation: negative shard counts and oversharding tiny grids.
-	if _, err := NewStore(v4, MultiMap, dims, StoreOptions{Shards: -1}); err == nil {
+	if _, err := Open(v4, MultiMap, dims, WithShards(-1)); err == nil {
 		t.Error("negative Shards accepted")
 	}
-	if _, err := NewStore(v4, MultiMap, []int{2, 12, 8}, StoreOptions{Shards: 4}); err == nil {
+	if _, err := Open(v4, MultiMap, []int{2, 12, 8}, WithShards(4)); err == nil {
 		t.Error("more shards than Dim0 cells accepted")
 	}
 }
@@ -495,7 +496,7 @@ func TestShardedConcurrentSessions(t *testing.T) {
 		t.Fatal(err)
 	}
 	dims := []int{40, 12, 8}
-	s, err := NewStore(v, MultiMap, dims, StoreOptions{Shards: 2, CacheBlocks: 4096, MaxInflight: 2})
+	s, err := Open(v, MultiMap, dims, WithShards(2), WithCache(4096), WithMaxInflight(2))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -515,7 +516,7 @@ func TestShardedConcurrentSessions(t *testing.T) {
 				if rng.Intn(2) == 0 {
 					dim := rng.Intn(3)
 					fixed := []int{rng.Intn(40), rng.Intn(12), rng.Intn(8)}
-					st, err := sessions[i].Beam(dim, fixed)
+					st, err := sessions[i].Beam(context.Background(), dim, fixed)
 					if err != nil {
 						errs[i] = err
 						return
@@ -528,7 +529,7 @@ func TestShardedConcurrentSessions(t *testing.T) {
 					lo := []int{rng.Intn(20), rng.Intn(6), rng.Intn(4)}
 					hi := []int{lo[0] + 1 + rng.Intn(20), lo[1] + 1 + rng.Intn(4), lo[2] + 1 + rng.Intn(3)}
 					want := int64(hi[0]-lo[0]) * int64(hi[1]-lo[1]) * int64(hi[2]-lo[2])
-					st, err := sessions[i].RangeQuery(lo, hi)
+					st, err := sessions[i].RangeQuery(context.Background(), lo, hi)
 					if err != nil {
 						errs[i] = err
 						return
@@ -568,14 +569,14 @@ func TestStoreMultiBlockCells(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s, err := NewStore(v, MultiMap, []int{12, 4, 3}, StoreOptions{CellBlocks: 4})
+	s, err := Open(v, MultiMap, []int{12, 4, 3}, WithCellBlocks(4))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if s.CellBlocks() != 4 {
 		t.Fatalf("CellBlocks=%d", s.CellBlocks())
 	}
-	st, err := s.Beam(1, []int{3, 0, 1})
+	st, err := s.Beam(context.Background(), 1, []int{3, 0, 1})
 	if err != nil {
 		t.Fatal(err)
 	}

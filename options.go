@@ -1,0 +1,187 @@
+package multimap
+
+import (
+	"fmt"
+	"time"
+)
+
+// Option configures Open. Options replace the old StoreOptions /
+// UpdateOptions / ServiceOptions struct triplet with one composable
+// list; every knob validates when Open applies it, so a bad value
+// fails the open instead of being silently clamped.
+type Option func(*config) error
+
+// config is the resolved option set behind Open.
+type config struct {
+	diskIdx       int
+	cellBlocks    int
+	policy        string
+	chunkCells    int64
+	cacheBlocks   int64
+	maxInflight   int
+	shards        int
+	batchWindow   time.Duration
+	deadlineAging time.Duration
+	updatable     bool
+	update        UpdateOptions
+}
+
+func defaultConfig() config {
+	return config{diskIdx: 0, maxInflight: 1, shards: 1}
+}
+
+// WithDiskIdx pins the dataset to one member drive. -1 lets MultiMap
+// decluster basic cubes across drives (§4.4); linear mappings treat -1
+// as drive 0. The default is drive 0.
+func WithDiskIdx(idx int) Option {
+	return func(c *config) error {
+		if idx < -1 {
+			return fmt.Errorf("multimap: disk index %d must be -1 (decluster) or a drive index", idx)
+		}
+		c.diskIdx = idx
+		return nil
+	}
+}
+
+// WithCellBlocks sets the cell size in blocks (default 1) — §4's "a
+// single cell can occupy multiple LBNs".
+func WithCellBlocks(n int) Option {
+	return func(c *config) error {
+		if n < 0 {
+			return fmt.Errorf("multimap: cell blocks must be non-negative")
+		}
+		c.cellBlocks = n
+		return nil
+	}
+}
+
+// WithPolicy forces the drive-internal scheduling policy for every
+// query ("fifo", "sptf", "elevator"); the default keeps each mapping's
+// preferred policy (§5.2). Use it for scheduler comparison runs.
+func WithPolicy(name string) Option {
+	return func(c *config) error {
+		c.policy = name
+		return nil
+	}
+}
+
+// WithChunkCells bounds how many cells the streaming planner expands
+// per dispatch chunk; 0 (the default) plans each query as one chunk.
+// Chunking bounds planner memory on huge ranges at the cost of sorting
+// per chunk instead of globally.
+func WithChunkCells(n int64) Option {
+	return func(c *config) error {
+		if n < 0 {
+			return fmt.Errorf("multimap: chunk cells must be non-negative")
+		}
+		c.chunkCells = n
+		return nil
+	}
+}
+
+// WithCache sizes the volume's shared extent cache in blocks. The
+// cache is a service-level resource: it starts off, a positive value
+// reconfigures it for every store sharing the volume, and 0 leaves the
+// volume's current cache configuration unchanged. Overlapping queries
+// skip re-simulated I/O (Stats.CacheHits).
+func WithCache(blocks int64) Option {
+	return func(c *config) error {
+		if blocks < 0 {
+			return fmt.Errorf("multimap: CacheBlocks must be non-negative")
+		}
+		c.cacheBlocks = blocks
+		return nil
+	}
+}
+
+// WithMaxInflight sets how many plan chunks each of this store's
+// sessions keeps outstanding in the service at once (default 1). Even
+// at 1 the planner is pipelined — chunk N+1 is planned while chunk N
+// is on the disks; higher values also let one query's chunks share
+// admission batches. Values below 1 select the default.
+func WithMaxInflight(n int) Option {
+	return func(c *config) error {
+		if n < 1 {
+			n = 1
+		}
+		c.maxInflight = n
+		return nil
+	}
+}
+
+// WithShards spreads the dataset across this many independent shard
+// volumes, each with its own query-service loop, head state, and
+// extent cache. The grid is partitioned along Dim0 into slabs aligned
+// to MultiMap's basic-cube boundaries; shard 0 lives on the volume
+// passed to Open and shards 1..N-1 on internally created volumes
+// mirroring its hardware (release them with Store.Close). Queries
+// scatter-gather: each box is split by owning shard, served by all
+// shard services concurrently, and the per-shard Stats merge by
+// summation. 0 and 1 both mean a single shard on the caller's volume.
+func WithShards(n int) Option {
+	return func(c *config) error {
+		if n < 0 {
+			return fmt.Errorf("multimap: Shards must be non-negative")
+		}
+		if n < 1 {
+			n = 1
+		}
+		c.shards = n
+		return nil
+	}
+}
+
+// WithBatchWindow sets the time-based admission window of every shard
+// service this store uses: when positive, the service loop waits the
+// window out after noticing queued work before admitting it as one
+// batch, so bursty concurrent clients coalesce better. Like WithCache
+// it reconfigures the (possibly shared) volume service; 0 leaves the
+// service's current window unchanged (default: admit immediately). A
+// queued request's context deadline shortens the wait, so the window
+// never expires a request by itself.
+func WithBatchWindow(d time.Duration) Option {
+	return func(c *config) error {
+		if d < 0 {
+			return fmt.Errorf("multimap: BatchWindow must be non-negative")
+		}
+		c.batchWindow = d
+		return nil
+	}
+}
+
+// WithDeadlineAging turns on deadline/QoS-aware admission for every
+// shard service this store uses. When positive, each admission pass
+// serves urgent requests — those whose context carries a deadline, and
+// those queued for at least the aging duration — first, as their own
+// batch ordered by effective deadline, never coalesced with the
+// pass's bulk. An urgent or old request is therefore delayed by
+// coalescing for at most one batch of similarly urgent peers, which is
+// how a session under context.WithDeadline gets latency ahead of big
+// concurrent batch work. Like WithCache this reconfigures the
+// (possibly shared) volume service; 0 leaves the service's current
+// setting unchanged (default: off — admission stays in submission
+// order, bit-identical to the pre-QoS behavior).
+func WithDeadlineAging(d time.Duration) Option {
+	return func(c *config) error {
+		if d < 0 {
+			return fmt.Errorf("multimap: DeadlineAging must be non-negative")
+		}
+		c.deadlineAging = d
+		return nil
+	}
+}
+
+// Updatable enables the paper's online-update support (§4.6) on the
+// store: cells are loaded at a tunable fill factor, inserts that
+// overflow a cell go to overflow pages, and underflowing chains are
+// reorganized. Sessions of an updatable store serve Insert, Delete,
+// and LoadCell alongside the query operations; without this option
+// those methods fail with ErrNotUpdatable. The UpdateOptions value
+// tunes §4.6 behaviour (zero value selects every default).
+func Updatable(opts UpdateOptions) Option {
+	return func(c *config) error {
+		c.updatable = true
+		c.update = opts
+		return nil
+	}
+}

@@ -1,6 +1,7 @@
 package multimap
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -10,10 +11,10 @@ import (
 	"repro/internal/query"
 )
 
-// UpdatableStore adds the paper's online-update support (§4.6) on top
-// of a mapped dataset: cells are loaded at a tunable fill factor,
-// inserts that overflow a cell go to overflow pages, and underflowing
-// chains are reorganized.
+// This file is the update capability of the unified Store (§4.6),
+// enabled by the Updatable open option: cells are loaded at a tunable
+// fill factor, inserts that overflow a cell go to overflow pages, and
+// underflowing chains are reorganized.
 //
 // Updates are first-class write operations on the owning shard's query
 // service: every Insert/Delete/LoadCell routes its cell to the shard
@@ -27,15 +28,11 @@ import (
 // Each shard keeps its own overflow page pool, carved round-robin from
 // the tails of its volume's member disks, so overflow chains spread
 // across every disk instead of piling onto disk 0.
-type UpdatableStore struct {
-	*Store
-	cells []*core.CellStore // one chain tracker per shard
-	upd   *UpdateSession    // default update session behind the method-set API (distinct from the embedded Store's def read session)
-}
 
-// UpdateOptions tunes §4.6 behaviour. The fractional fields use
-// pointers so an explicit zero survives: nil selects the default,
-// while &0.0 (see Frac) means exactly zero.
+// UpdateOptions tunes §4.6 behaviour; pass it to the Updatable open
+// option. The fractional fields use pointers so an explicit zero
+// survives: nil selects the default, while &0.0 (see Frac) means
+// exactly zero.
 type UpdateOptions struct {
 	// PointsPerBlock is the cell capacity in points (rows). 0 selects
 	// the default 64.
@@ -51,7 +48,7 @@ type UpdateOptions struct {
 	// shard, spread round-robin across the tails of the shard volume's
 	// member disks. 0 selects the default 1/8 of the shard's dataset
 	// size. No per-disk extent may collide with the cells mapped onto
-	// that disk; NewUpdatableStore validates this.
+	// that disk; Open validates this.
 	OverflowBlocks int64
 }
 
@@ -131,18 +128,12 @@ func overflowExtents(vol *lvm.Volume, m mapping.Mapper, total int64) ([]lvm.Requ
 	return out, nil
 }
 
-// NewUpdatableStore maps the dataset and attaches update bookkeeping.
-// Every shard gets its own overflow pool carved from the tails of its
-// volume's member disks; the constructor fails if any per-disk extent
-// would overlap the cells mapped onto that disk. The optional
-// StoreOptions tune the underlying Store exactly as NewStore does
-// (cache, policy, chunking, inflight, shards).
-func NewUpdatableStore(vol *Volume, kind Mapping, dims []int, opts UpdateOptions, sopts ...StoreOptions) (*UpdatableStore, error) {
-	s, err := NewStore(vol, kind, dims, sopts...)
-	if err != nil {
-		return nil, err
-	}
-	u := &UpdatableStore{Store: s, cells: make([]*core.CellStore, s.NumShards())}
+// initUpdatable attaches update bookkeeping to a freshly built store
+// (the Updatable open option). Every shard gets its own overflow pool
+// carved from the tails of its volume's member disks; it fails if any
+// per-disk extent would overlap the cells mapped onto that disk.
+func (s *Store) initUpdatable(opts UpdateOptions) error {
+	s.cells = make([]*core.CellStore, s.NumShards())
 	for si := 0; si < s.NumShards(); si++ {
 		member := s.grp.Member(si)
 		blocks := int64(1)
@@ -151,66 +142,45 @@ func NewUpdatableStore(vol *Volume, kind Mapping, dims []int, opts UpdateOptions
 		}
 		o, err := opts.withDefaults(blocks)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		extents, err := overflowExtents(member.Vol, member.Map, o.OverflowBlocks)
 		if err != nil {
 			if si > 0 {
 				err = fmt.Errorf("shard %d: %w", si, err)
 			}
-			return nil, err
+			return err
 		}
-		u.cells[si], err = core.NewCellStore(member.Map.CellVLBN, o.PointsPerBlock,
+		s.cells[si], err = core.NewCellStore(member.Map.CellVLBN, o.PointsPerBlock,
 			*o.FillFactor, *o.ReclaimBelow, extents)
 		if err != nil {
-			return nil, err
+			return err
 		}
 	}
-	u.upd = u.Begin()
-	return u, nil
+	return nil
 }
 
-// Begin opens an update session: a query session extended with the
-// write-path operations. Sessions are safe for concurrent use with
-// each other; each operation's Stats are attributed to its session.
-func (u *UpdatableStore) Begin() *UpdateSession {
-	return &UpdateSession{u: u, Session: u.Store.Begin()}
-}
-
-// LoadCell bulk-loads n points into a cell at the configured fill
-// factor, charging the load's write I/O to the default session.
-func (u *UpdatableStore) LoadCell(cell []int, n int) error {
-	_, err := u.upd.LoadCell(cell, n)
-	return err
-}
-
-// Insert adds one point to a cell through the default session,
-// overflowing if the home block is full.
-func (u *UpdatableStore) Insert(cell []int) error {
-	_, err := u.upd.Insert(cell)
-	return err
-}
-
-// Delete removes one point from a cell through the default session,
-// reorganizing underflowing chains.
-func (u *UpdatableStore) Delete(cell []int) error {
-	_, err := u.upd.Delete(cell)
-	return err
-}
+// Updatable reports whether the store was opened with the Updatable
+// option, i.e. whether its sessions serve Insert/Delete/LoadCell.
+func (s *Store) Updatable() bool { return s.cells != nil }
 
 // route resolves a global cell to its owning shard: the shard index,
-// the shard-local coordinates, and the shard's chain tracker.
-func (u *UpdatableStore) route(cell []int) (si int, local []int, cs *core.CellStore, err error) {
-	si, err = u.grp.Router().ShardOf(cell)
+// the shard-local coordinates, and the shard's chain tracker. It fails
+// with ErrNotUpdatable on a store opened without Updatable.
+func (s *Store) route(cell []int) (si int, local []int, cs *core.CellStore, err error) {
+	if s.cells == nil {
+		return 0, nil, nil, ErrNotUpdatable
+	}
+	si, err = s.grp.Router().ShardOf(cell)
 	if err != nil {
 		return 0, nil, nil, err
 	}
-	return si, u.grp.Router().Localize(si, cell), u.cells[si], nil
+	return si, s.grp.Router().Localize(si, cell), s.cells[si], nil
 }
 
 // Points returns a cell's live point count.
-func (u *UpdatableStore) Points(cell []int) (int, error) {
-	_, local, cs, err := u.route(cell)
+func (s *Store) Points(cell []int) (int, error) {
+	_, local, cs, err := s.route(cell)
 	if err != nil {
 		return 0, err
 	}
@@ -219,51 +189,70 @@ func (u *UpdatableStore) Points(cell []int) (int, error) {
 
 // ChainLen returns the number of blocks backing a cell (1 = no
 // overflow).
-func (u *UpdatableStore) ChainLen(cell []int) (int, error) {
-	_, local, cs, err := u.route(cell)
+func (s *Store) ChainLen(cell []int) (int, error) {
+	_, local, cs, err := s.route(cell)
 	if err != nil {
 		return 0, err
 	}
 	return cs.ChainLen(local)
 }
 
-// Reorganizations counts chain compactions so far, across all shards.
-func (u *UpdatableStore) Reorganizations() int {
+// Reorganizations counts chain compactions so far, across all shards
+// (0 on a store opened without Updatable).
+func (s *Store) Reorganizations() int {
 	n := 0
-	for _, cs := range u.cells {
+	for _, cs := range s.cells {
 		n += cs.Reorganizations()
 	}
 	return n
 }
 
+// LoadCell bulk-loads n points into a cell at the configured fill
+// factor through the store's default session, returning the write-path
+// Stats (blocks written in Stats.Writes). Even when the load fails
+// partway (overflow pool exhausted), the blocks it already dirtied are
+// still submitted as a write op, so their cached extents are
+// invalidated before the error is reported.
+func (s *Store) LoadCell(ctx context.Context, cell []int, n int) (Stats, error) {
+	return s.def.LoadCell(ctx, cell, n)
+}
+
+// Insert adds one point to a cell through the default session,
+// overflowing if the home block is full.
+func (s *Store) Insert(ctx context.Context, cell []int) (Stats, error) {
+	return s.def.Insert(ctx, cell)
+}
+
+// Delete removes one point from a cell through the default session,
+// reorganizing underflowing chains.
+func (s *Store) Delete(ctx context.Context, cell []int) (Stats, error) {
+	return s.def.Delete(ctx, cell)
+}
+
 // FetchCell reads a cell including its overflow chain through the
 // default session and returns the simulated I/O statistics — the §4.6
 // cost of an overflowed cell.
-func (u *UpdatableStore) FetchCell(cell []int) (Stats, error) { return u.upd.FetchCell(cell) }
-
-// UpdateSession is one client's handle for mixing queries and updates
-// concurrently with other sessions on the same shard volumes. Reads
-// ride the embedded query Session; updates go to the owning shard's
-// member session as write ops, so that shard's service loop serializes
-// them against all in-flight reads and keeps its extent cache coherent.
-type UpdateSession struct {
-	u *UpdatableStore
-	*Session
+func (s *Store) FetchCell(ctx context.Context, cell []int) (Stats, error) {
+	return s.def.FetchCell(ctx, cell)
 }
 
-// LoadCell bulk-loads n points into a cell and returns the write-path
-// Stats (blocks written in Stats.Writes). Even when the load fails
-// partway (overflow pool exhausted), the blocks it already dirtied
-// are still submitted as a write op, so their cached extents are
-// invalidated before the error is reported.
-func (q *UpdateSession) LoadCell(cell []int, n int) (Stats, error) {
-	si, local, cs, err := q.u.route(cell)
+// LoadCell bulk-loads n points into a cell through this session and
+// returns the write-path Stats (blocks written in Stats.Writes). Even
+// when the load fails partway (overflow pool exhausted), the blocks it
+// already dirtied are still submitted as a write op, so their cached
+// extents are invalidated before the error is reported.
+func (q *Session) LoadCell(ctx context.Context, cell []int, n int) (Stats, error) {
+	ctx, err := q.checkMutate(ctx)
+	if err != nil {
+		return Stats{}, err
+	}
+	si, local, cs, err := q.s.route(cell)
 	if err != nil {
 		return Stats{}, err
 	}
 	reqs, err := cs.LoadCell(local, n)
 	if len(reqs) > 0 {
-		st, werr := q.write(si, reqs)
+		st, werr := q.write(ctx, si, reqs)
 		if err == nil && werr == nil {
 			return st, nil
 		}
@@ -276,8 +265,12 @@ func (q *UpdateSession) LoadCell(cell []int, n int) (Stats, error) {
 
 // Insert adds one point to a cell, overflowing if the home block is
 // full, and returns the write-path Stats.
-func (q *UpdateSession) Insert(cell []int) (Stats, error) {
-	si, local, cs, err := q.u.route(cell)
+func (q *Session) Insert(ctx context.Context, cell []int) (Stats, error) {
+	ctx, err := q.checkMutate(ctx)
+	if err != nil {
+		return Stats{}, err
+	}
+	si, local, cs, err := q.s.route(cell)
 	if err != nil {
 		return Stats{}, err
 	}
@@ -285,14 +278,18 @@ func (q *UpdateSession) Insert(cell []int) (Stats, error) {
 	if err != nil {
 		return Stats{}, err
 	}
-	return q.write(si, reqs)
+	return q.write(ctx, si, reqs)
 }
 
 // Delete removes one point from a cell, reorganizing underflowing
 // chains, and returns the write-path Stats (a reorganization rewrites
 // the whole chain, which shows in Stats.Writes).
-func (q *UpdateSession) Delete(cell []int) (Stats, error) {
-	si, local, cs, err := q.u.route(cell)
+func (q *Session) Delete(ctx context.Context, cell []int) (Stats, error) {
+	ctx, err := q.checkMutate(ctx)
+	if err != nil {
+		return Stats{}, err
+	}
+	si, local, cs, err := q.s.route(cell)
 	if err != nil {
 		return Stats{}, err
 	}
@@ -300,22 +297,41 @@ func (q *UpdateSession) Delete(cell []int) (Stats, error) {
 	if err != nil {
 		return Stats{}, err
 	}
-	return q.write(si, reqs)
+	return q.write(ctx, si, reqs)
 }
 
-// FetchCell reads a cell including its overflow chain from the owning
-// shard and returns the simulated I/O statistics.
-func (q *UpdateSession) FetchCell(cell []int) (Stats, error) {
-	si, local, cs, err := q.u.route(cell)
+// FetchCell reads one cell from the owning shard and returns the
+// simulated I/O statistics. On an updatable store the read covers the
+// cell's whole overflow chain (the §4.6 cost of an overflowed cell);
+// on a read-only store it is the cell's home extent.
+func (q *Session) FetchCell(ctx context.Context, cell []int) (Stats, error) {
+	ctx, err := q.check(ctx)
 	if err != nil {
 		return Stats{}, err
 	}
-	reqs, err := cs.ReadRequests(local)
-	if err != nil {
-		return Stats{}, err
+	var si int
+	var reqs []lvm.Request
+	if q.s.cells != nil {
+		var local []int
+		var cs *core.CellStore
+		si, local, cs, err = q.s.route(cell)
+		if err != nil {
+			return Stats{}, err
+		}
+		reqs, err = cs.ReadRequests(local)
+		if err != nil {
+			return Stats{}, err
+		}
+	} else {
+		var vlbn int64
+		si, vlbn, err = q.s.grp.CellVLBN(cell)
+		if err != nil {
+			return Stats{}, err
+		}
+		reqs = []lvm.Request{{VLBN: vlbn, Count: q.s.CellBlocks()}}
 	}
-	return q.ss.Member(si).RunPlan(
-		engine.Static(reqs, query.PolicyFor(q.u.Mapping() == MultiMap)), engine.Options{})
+	return q.ss.Member(si).RunPlan(ctx,
+		engine.Static(reqs, query.PolicyFor(q.s.Mapping() == MultiMap)), engine.Options{})
 }
 
 // write submits one mutation's dirtied extents as a write op on the
@@ -324,6 +340,6 @@ func (q *UpdateSession) FetchCell(cell []int) (Stats, error) {
 // that crosses a disk-segment boundary (possible when an overflow
 // extent ends exactly at one disk's tail), so nothing more is needed
 // here.
-func (q *UpdateSession) write(si int, reqs []lvm.Request) (Stats, error) {
-	return q.ss.Member(si).Write(reqs, query.PolicyFor(q.u.Mapping() == MultiMap))
+func (q *Session) write(ctx context.Context, si int, reqs []lvm.Request) (Stats, error) {
+	return q.ss.Member(si).Write(ctx, reqs, query.PolicyFor(q.s.Mapping() == MultiMap))
 }

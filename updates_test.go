@@ -1,6 +1,7 @@
 package multimap
 
 import (
+	"context"
 	"math/rand"
 	"sync"
 	"testing"
@@ -23,7 +24,7 @@ func newUpdatable(t *testing.T, opts UpdateOptions, sopts ...StoreOptions) *Upda
 
 func TestUpdatableStoreDefaults(t *testing.T) {
 	u := newUpdatable(t, UpdateOptions{})
-	if err := u.LoadCell([]int{1, 2, 3}, 100); err != nil {
+	if _, err := u.LoadCell(context.Background(), []int{1, 2, 3}, 100); err != nil {
 		t.Fatal(err)
 	}
 	n, err := u.Points([]int{1, 2, 3})
@@ -41,14 +42,14 @@ func TestUpdatableInsertOverflowDelete(t *testing.T) {
 	u := newUpdatable(t, UpdateOptions{PointsPerBlock: 4, FillFactor: Frac(1), ReclaimBelow: Frac(0.3)})
 	cell := []int{0, 0, 0}
 	for i := 0; i < 10; i++ {
-		if err := u.Insert(cell); err != nil {
+		if _, err := u.Insert(context.Background(), cell); err != nil {
 			t.Fatal(err)
 		}
 	}
 	if cl, _ := u.ChainLen(cell); cl != 3 {
 		t.Fatalf("ChainLen=%d, want 3 (10 points at 4/block)", cl)
 	}
-	st, err := u.FetchCell(cell)
+	st, err := u.FetchCell(context.Background(), cell)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -57,7 +58,7 @@ func TestUpdatableInsertOverflowDelete(t *testing.T) {
 	}
 	// Deleting down to 2 points triggers reorganization (2/12 < 0.3).
 	for i := 0; i < 8; i++ {
-		if err := u.Delete(cell); err != nil {
+		if _, err := u.Delete(context.Background(), cell); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -72,19 +73,19 @@ func TestUpdatableInsertOverflowDelete(t *testing.T) {
 func TestUpdatableFetchCostGrowsWithChain(t *testing.T) {
 	u := newUpdatable(t, UpdateOptions{PointsPerBlock: 2, FillFactor: Frac(1)})
 	a, b := []int{5, 5, 2}, []int{6, 5, 2}
-	if err := u.LoadCell(a, 2); err != nil { // one block
+	if _, err := u.LoadCell(context.Background(), a, 2); err != nil { // one block
 		t.Fatal(err)
 	}
-	if err := u.LoadCell(b, 12); err != nil { // six blocks
+	if _, err := u.LoadCell(context.Background(), b, 12); err != nil { // six blocks
 		t.Fatal(err)
 	}
 	u.vol.Reset()
-	stA, err := u.FetchCell(a)
+	stA, err := u.FetchCell(context.Background(), a)
 	if err != nil {
 		t.Fatal(err)
 	}
 	u.vol.Reset()
-	stB, err := u.FetchCell(b)
+	stB, err := u.FetchCell(context.Background(), b)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -99,7 +100,7 @@ func TestUpdatableFetchCostGrowsWithChain(t *testing.T) {
 func TestUpdatableWriteCostCharged(t *testing.T) {
 	u := newUpdatable(t, UpdateOptions{PointsPerBlock: 2, FillFactor: Frac(1)})
 	sess := u.Begin()
-	st, err := sess.Insert([]int{3, 3, 3})
+	st, err := sess.Insert(context.Background(), []int{3, 3, 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,10 +112,10 @@ func TestUpdatableWriteCostCharged(t *testing.T) {
 	}
 	// Overflowing the 2-point home block writes the old tail (chain
 	// pointer) and the fresh overflow page.
-	if _, err := sess.Insert([]int{3, 3, 3}); err != nil {
+	if _, err := sess.Insert(context.Background(), []int{3, 3, 3}); err != nil {
 		t.Fatal(err)
 	}
-	st, err = sess.Insert([]int{3, 3, 3})
+	st, err = sess.Insert(context.Background(), []int{3, 3, 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -168,11 +169,11 @@ func TestUpdatableStoreValidation(t *testing.T) {
 func TestUpdatableReclaimZeroDisablesReorganization(t *testing.T) {
 	u := newUpdatable(t, UpdateOptions{PointsPerBlock: 4, FillFactor: Frac(1), ReclaimBelow: Frac(0)})
 	cell := []int{2, 2, 2}
-	if err := u.LoadCell(cell, 12); err != nil { // 3 full blocks
+	if _, err := u.LoadCell(context.Background(), cell, 12); err != nil { // 3 full blocks
 		t.Fatal(err)
 	}
 	for i := 0; i < 11; i++ { // down to 1/12 occupancy
-		if err := u.Delete(cell); err != nil {
+		if _, err := u.Delete(context.Background(), cell); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -240,7 +241,7 @@ func TestOverflowSpreadAcrossDisks(t *testing.T) {
 	}
 	// Successive overflow pages alternate disks: force a long chain and
 	// check both disks' tails received pages.
-	if err := u.LoadCell([]int{0, 0, 0}, 64*6); err != nil {
+	if _, err := u.LoadCell(context.Background(), []int{0, 0, 0}, 64*6); err != nil {
 		t.Fatal(err)
 	}
 	si, _, cs, err := u.route([]int{0, 0, 0})
@@ -299,7 +300,7 @@ func TestUpdatableShardedRouting(t *testing.T) {
 	}
 	for _, cell := range [][]int{loCell, hiCell} {
 		for i := 0; i < 10; i++ { // overflow past the 4-point home block
-			if err := u.Insert(cell); err != nil {
+			if _, err := u.Insert(context.Background(), cell); err != nil {
 				t.Fatal(err)
 			}
 		}
@@ -309,7 +310,7 @@ func TestUpdatableShardedRouting(t *testing.T) {
 		if cl, err := u.ChainLen(cell); err != nil || cl != 3 {
 			t.Fatalf("ChainLen(%v)=%d err=%v, want 3", cell, cl, err)
 		}
-		st, err := u.FetchCell(cell)
+		st, err := u.FetchCell(context.Background(), cell)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -325,17 +326,17 @@ func TestUpdatableShardedRouting(t *testing.T) {
 	}
 	// Cache coherence across the shard boundary: a cached chain fetch
 	// must be invalidated by that shard's next insert.
-	warm, err := u.FetchCell(hiCell)
+	warm, err := u.FetchCell(context.Background(), hiCell)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if warm.CacheHits == 0 || warm.TotalMs != 0 {
 		t.Fatalf("repeat fetch did not hit the shard's cache: %+v", warm)
 	}
-	if err := u.Insert(hiCell); err != nil {
+	if _, err := u.Insert(context.Background(), hiCell); err != nil {
 		t.Fatal(err)
 	}
-	cold, err := u.FetchCell(hiCell)
+	cold, err := u.FetchCell(context.Background(), hiCell)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -384,20 +385,20 @@ func TestFetchCellCacheCoherence(t *testing.T) {
 		}
 	}
 
-	if err := cached.LoadCell(cell, 4); err != nil {
+	if _, err := cached.LoadCell(context.Background(), cell, 4); err != nil {
 		t.Fatal(err)
 	}
-	if err := plain.LoadCell(cell, 4); err != nil {
+	if _, err := plain.LoadCell(context.Background(), cell, 4); err != nil {
 		t.Fatal(err)
 	}
 
 	// Cold fetch: identical by construction, and it primes the cache.
-	a, b := both("fetch-cold", func(u *UpdatableStore) (Stats, error) { return u.FetchCell(cell) })
+	a, b := both("fetch-cold", func(u *UpdatableStore) (Stats, error) { return u.FetchCell(context.Background(), cell) })
 	compare("fetch-cold", a, b)
 
 	// Prove the cache is live: a repeat fetch on the cached store hits
 	// and performs no disk I/O (so the two head states stay aligned).
-	hit, err := cached.FetchCell(cell)
+	hit, err := cached.FetchCell(context.Background(), cell)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -409,17 +410,17 @@ func TestFetchCellCacheCoherence(t *testing.T) {
 	// cached home-block extent must have been invalidated by the
 	// inserts, so the fetch pays the full 3-block cost.
 	for i := 0; i < 8; i++ {
-		if err := cached.Insert(cell); err != nil {
+		if _, err := cached.Insert(context.Background(), cell); err != nil {
 			t.Fatal(err)
 		}
-		if err := plain.Insert(cell); err != nil {
+		if _, err := plain.Insert(context.Background(), cell); err != nil {
 			t.Fatal(err)
 		}
 	}
 	if cl, _ := cached.ChainLen(cell); cl != 3 {
 		t.Fatalf("chain length %d, want 3", cl)
 	}
-	a, b = both("fetch-after-insert", func(u *UpdatableStore) (Stats, error) { return u.FetchCell(cell) })
+	a, b = both("fetch-after-insert", func(u *UpdatableStore) (Stats, error) { return u.FetchCell(context.Background(), cell) })
 	if a.CacheHits != 0 {
 		t.Fatalf("fetch after inserts replayed a stale cached extent: %+v", a)
 	}
@@ -428,17 +429,17 @@ func TestFetchCellCacheCoherence(t *testing.T) {
 	// Delete down to reorganization, then fetch: the compaction dirtied
 	// the whole chain, so every cached extent over it must be gone.
 	for i := 0; i < 9; i++ {
-		if err := cached.Delete(cell); err != nil {
+		if _, err := cached.Delete(context.Background(), cell); err != nil {
 			t.Fatal(err)
 		}
-		if err := plain.Delete(cell); err != nil {
+		if _, err := plain.Delete(context.Background(), cell); err != nil {
 			t.Fatal(err)
 		}
 	}
 	if cached.Reorganizations() == 0 {
 		t.Fatal("expected a reorganization")
 	}
-	a, b = both("fetch-after-reorg", func(u *UpdatableStore) (Stats, error) { return u.FetchCell(cell) })
+	a, b = both("fetch-after-reorg", func(u *UpdatableStore) (Stats, error) { return u.FetchCell(context.Background(), cell) })
 	if a.CacheHits != 0 {
 		t.Fatalf("fetch after reorganization replayed a stale cached extent: %+v", a)
 	}
@@ -454,7 +455,7 @@ func TestLoadCellFailureStillInvalidates(t *testing.T) {
 		UpdateOptions{PointsPerBlock: 4, FillFactor: Frac(1), OverflowBlocks: 1},
 		StoreOptions{CacheBlocks: 1 << 20})
 	cell := []int{7, 3, 1}
-	st, err := u.FetchCell(cell) // primes the cache with the home block
+	st, err := u.FetchCell(context.Background(), cell) // primes the cache with the home block
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -462,12 +463,12 @@ func TestLoadCellFailureStillInvalidates(t *testing.T) {
 		t.Fatalf("priming fetch accounting wrong: %+v", st)
 	}
 	sess := u.Begin()
-	if _, err := sess.LoadCell(cell, 12); err == nil {
+	if _, err := sess.LoadCell(context.Background(), cell, 12); err == nil {
 		t.Fatal("load past the 1-block overflow extent accepted")
 	}
 	// The failed load dirtied the home block (and the one page it got);
 	// the next fetch must go back to the disks for every chain block.
-	st, err = u.FetchCell(cell)
+	st, err = u.FetchCell(context.Background(), cell)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -486,7 +487,7 @@ func TestUpdatableConcurrentSessions(t *testing.T) {
 	dims := u.Dims()
 	// Preload so deletes have points to remove.
 	for x := 0; x < dims[0]; x++ {
-		if err := u.LoadCell([]int{x, 0, 0}, 6); err != nil {
+		if _, err := u.LoadCell(context.Background(), []int{x, 0, 0}, 6); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -505,17 +506,17 @@ func TestUpdatableConcurrentSessions(t *testing.T) {
 				var err error
 				switch rng.Intn(4) {
 				case 0:
-					_, err = sess.Insert(cell)
+					_, err = sess.Insert(context.Background(), cell)
 				case 1:
 					// Deletes race with other sessions' deletes; an
 					// emptied cell is not an error for this test.
-					if _, derr := sess.Delete(cell); derr != nil {
+					if _, derr := sess.Delete(context.Background(), cell); derr != nil {
 						continue
 					}
 				case 2:
-					_, err = sess.FetchCell(cell)
+					_, err = sess.FetchCell(context.Background(), cell)
 				default:
-					_, err = sess.RangeQuery([]int{cell[0], 0, 0}, []int{cell[0] + 1, dims[1], dims[2]})
+					_, err = sess.RangeQuery(context.Background(), []int{cell[0], 0, 0}, []int{cell[0] + 1, dims[1], dims[2]})
 				}
 				if err != nil {
 					errs[i] = err
