@@ -1,0 +1,29 @@
+package multimap
+
+import (
+	"os"
+	"testing"
+)
+
+// TestCommittedBenchTrajectory keeps the committed burst-latency
+// artifact honest: BENCH_6.json must parse under the mmbench-burst/v1
+// schema (the same check CI's bench-trajectory step runs via
+// cmd/benchtraj) and must actually be a write-back run with
+// group-commit evidence — the configuration whose p50/p99/p999
+// trajectory this artifact persists.
+func TestCommittedBenchTrajectory(t *testing.T) {
+	data, err := os.ReadFile("BENCH_6.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ValidateBurstJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.WriteBack {
+		t.Fatalf("committed trajectory is not a write-back run: %+v", res)
+	}
+	if res.Coalesced == 0 || res.FlushBatches == 0 {
+		t.Fatalf("committed trajectory shows no group commit: %+v", res)
+	}
+}

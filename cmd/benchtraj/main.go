@@ -1,0 +1,50 @@
+// Command benchtraj validates a persisted mmbench burst-latency
+// trajectory (the BENCH_*.json artifacts the repo commits) against the
+// mmbench-burst/v1 schema: every key present, all three QoS classes
+// carrying traffic, and p50 ≤ p99 ≤ p999 per class. CI's
+// bench-trajectory step runs it over a freshly generated artifact and
+// over the committed one, so a schema drift fails the build instead of
+// silently breaking trend tooling.
+//
+// Usage:
+//
+//	benchtraj -check BENCH_6.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	multimap "repro"
+)
+
+func main() {
+	check := flag.String("check", "", "path of the mmbench-burst/v1 JSON artifact to validate")
+	flag.Parse()
+	if *check == "" || flag.NArg() > 0 {
+		fmt.Fprintln(os.Stderr, "benchtraj: usage: benchtraj -check <artifact.json>")
+		flag.Usage()
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(*check)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchtraj: %v\n", err)
+		os.Exit(1)
+	}
+	res, err := multimap.ValidateBurstJSON(data)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchtraj: %s: %v\n", *check, err)
+		os.Exit(1)
+	}
+	wbMode := "off"
+	if res.WriteBack {
+		wbMode = "on"
+	}
+	fmt.Printf("%s: ok (%s, write-back %s, %d flushes, %d coalesced)\n",
+		*check, res.Schema, wbMode, res.FlushBatches, res.Coalesced)
+	for _, c := range res.Classes {
+		fmt.Printf("  %-11s  p50 %.3fms  p99 %.3fms  p999 %.3fms  sim %.3fms/op\n",
+			c.Class, c.P50Ms, c.P99Ms, c.P999Ms, c.MeanSimMs)
+	}
+}

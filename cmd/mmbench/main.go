@@ -10,6 +10,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -36,8 +37,32 @@ func main() {
 		window   = flag.Duration("window", 0, "time-based admission window per shard service for -exp serve, e.g. 200us (0 = admit immediately)")
 		deadline = flag.Duration("deadline", 0, "per-query context deadline for -exp serve's client 0, e.g. 5ms (0 = none); the table reports that session's ms/query plus cancelled and deadline-expired drop counts")
 		aging    = flag.Duration("aging", 0, "deadline/QoS-aware admission aging for -exp serve, e.g. 1ms: urgent requests (explicit deadline, or queued at least this long) are served ahead of bulk work (0 = off); compare -deadline runs with and without it")
+		wb       = flag.Bool("wb", false, "write-back caching with group commit on every -exp serve/burst service: writes are absorbed into dirty extent buffers and committed as one SPTF batch per flush; the tables gain flushes/coalesced columns")
+		wbWater  = flag.Int64("wb-watermark", 0, "write-back flush watermark in dirty blocks (0 = engine default); needs -wb")
+		wbIvl    = flag.Duration("wb-interval", 0, "write-back flush interval, e.g. 2ms: dirty data older than this is committed (0 = engine default); needs -wb")
+		jsonOut  = flag.String("json", "", "write -exp burst's structured result (schema mmbench-burst/v1: p50/p99/p999 per QoS class) to this file")
 	)
 	flag.Parse()
+
+	// Negative magnitudes are flag misuse, not workload configs: report
+	// them as usage errors before any experiment spins up.
+	usageErr := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "mmbench: "+format+"\n", args...)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *writes < 0 {
+		usageErr("-writes %v is negative; want a fraction in [0,1)", *writes)
+	}
+	if *window < 0 {
+		usageErr("-window %v is negative; want a duration like 200us", *window)
+	}
+	if *aging < 0 {
+		usageErr("-aging %v is negative; want a duration like 1ms", *aging)
+	}
+	if *wbWater < 0 || *wbIvl < 0 {
+		usageErr("-wb-watermark and -wb-interval must be non-negative")
+	}
 
 	cfg := multimap.ExperimentConfig{
 		Scale: *scale, Runs: *runs, Seed: *seed,
@@ -46,6 +71,7 @@ func main() {
 		WriteFraction: *writes,
 		Shards:        *shards, BatchWindow: *window,
 		Deadline: *deadline, DeadlineAging: *aging,
+		WriteBack: *wb, WBWatermark: *wbWater, WBInterval: *wbIvl,
 	}
 	if *disks != "" {
 		for _, d := range strings.Split(*disks, ",") {
@@ -59,7 +85,23 @@ func main() {
 	}
 	for _, id := range ids {
 		start := time.Now()
-		table, err := multimap.RunExperiment(id, cfg)
+		var (
+			table *multimap.ExperimentTable
+			err   error
+		)
+		if id == "burst" && *jsonOut != "" {
+			var res *multimap.BurstResult
+			table, res, err = multimap.RunBurst(cfg)
+			if err == nil {
+				var data []byte
+				if data, err = json.MarshalIndent(res, "", "  "); err == nil {
+					data = append(data, '\n')
+					err = os.WriteFile(*jsonOut, data, 0o644)
+				}
+			}
+		} else {
+			table, err = multimap.RunExperiment(id, cfg)
+		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "mmbench: %s: %v\n", id, err)
 			os.Exit(1)

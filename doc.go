@@ -82,6 +82,36 @@
 // concurrently; cmd/mmbench mirrors the mixed workload as
 // -exp serve -writes <fraction>.
 //
+// # Write-back caching and group commit
+//
+// WithWriteBack(watermark, interval) switches every service from
+// write-through to write-back: the loop absorbs each write op into a
+// per-extent dirty buffer and acknowledges it immediately at zero
+// simulated cost — repeated writes to the same blocks coalesce
+// (Stats.CoalescedWrites) — and the whole dirty set later commits as
+// ONE SPTF-scheduled batch (group commit, Stats.FlushBatches). Five
+// triggers flush: the dirty-block watermark, the flush interval
+// (measured from the oldest dirty write), a read overlapping dirty
+// blocks (flush-before-read, so a read never observes pre-write disk
+// state), an explicit Store/Session.Flush(ctx), and Close. Dirty
+// extents never span disk-segment boundaries, and a buffered write
+// still invalidates overlapping cached extents at absorb time, so the
+// write-path coherence contract above is unchanged: with the cache
+// on, a FetchCell after a buffered-but-unflushed Insert returns
+// exactly what a write-back-off store returns. Flush costs are split
+// among the sessions whose writes dirtied each extent, proportional
+// to blocks contributed, so session totals still sum to
+// ServiceTotals.Attributed; ServiceTotals.DirtyBlocks gauges the
+// buffer. A cancelled Flush context commits nothing (the dirty set
+// stays whole for the next trigger). With write-back off the write
+// path is bit-identical to the pre-write-back engine (fig6probe
+// diffs empty). cmd/mmbench mirrors the knobs as
+// -wb/-wb-watermark/-wb-interval, and -exp burst runs a closed-loop
+// burst workload of three QoS classes (interactive/bulk/writer)
+// reporting p50/p99/p999 host latency per class, persisted via -json
+// under the mmbench-burst/v1 schema (cmd/benchtraj validates;
+// BENCH_6.json is the committed trajectory).
+//
 // # Sharded scatter-gather execution
 //
 // One logical dataset can span several shards (WithShards,
@@ -158,6 +188,7 @@
 //	StoreOptions.Shards / BatchWindow              -> WithShards(n) / WithBatchWindow(d)
 //	StoreOptions.DiskIdx / CellBlocks / Policy     -> WithDiskIdx(i) / WithCellBlocks(n) / WithPolicy(s)
 //	(new)                                          -> WithDeadlineAging(d), context.WithDeadline / WithTimeout per call
+//	(new)                                          -> WithWriteBack(watermark, interval), Store.Flush / Session.Flush / Session.Close
 //
 // Quick start:
 //

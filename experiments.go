@@ -56,21 +56,54 @@ type ExperimentConfig struct {
 	// deadline, or queued at least this long) are served ahead of, and
 	// never coalesced with, bulk work.
 	DeadlineAging time.Duration
+	// WriteBack turns on write-back caching with group commit on every
+	// service of the "serve" and "burst" experiments: writes are
+	// absorbed into dirty extent buffers and committed as one SPTF
+	// batch per flush. Compare a -writes run with and without it.
+	WriteBack bool
+	// WBWatermark and WBInterval tune the write-back flush triggers
+	// (dirty-block watermark, oldest-dirty age); 0 keeps the engine
+	// defaults. Ignored unless WriteBack is set.
+	WBWatermark int64
+	WBInterval  time.Duration
 }
 
 // ExperimentIDs lists the regenerable paper artifacts plus the two
 // analysis tables from §4.3-§4.4 and the beyond-the-paper concurrent
-// serving benchmark ("serve").
+// serving benchmarks ("serve" and "burst").
 func ExperimentIDs() []string {
-	return []string{"fig1a", "fig1b", "fig6a", "fig6b", "fig7a", "fig7b", "fig8", "eq5", "space", "serve"}
+	return []string{"fig1a", "fig1b", "fig6a", "fig6b", "fig7a", "fig7b", "fig8", "eq5", "space", "serve", "burst"}
 }
 
 // ExperimentTable is a printable experiment result.
 type ExperimentTable = experiments.Table
 
-// RunExperiment regenerates one of the paper's figures and returns its
-// table. See ExperimentIDs for valid ids.
-func RunExperiment(id string, cfg ExperimentConfig) (*ExperimentTable, error) {
+// BurstResult is the burst benchmark's JSON-stable artifact: per-QoS-
+// class host-latency percentiles (p50/p99/p999) plus group-commit
+// evidence, under the "mmbench-burst/v1" schema.
+type BurstResult = experiments.BurstResult
+
+// RunBurst runs the closed-loop burst-traffic benchmark (experiment id
+// "burst") and returns its table together with the structured result,
+// for callers that persist the latency trajectory (mmbench -json).
+func RunBurst(cfg ExperimentConfig) (*ExperimentTable, *BurstResult, error) {
+	ic, err := cfg.internal()
+	if err != nil {
+		return nil, nil, err
+	}
+	return experiments.BurstTraffic(ic)
+}
+
+// ValidateBurstJSON checks raw JSON against the mmbench-burst/v1
+// schema: every key present, all three QoS classes with traffic, and
+// p50 ≤ p99 ≤ p999 per class. The CI bench-trajectory step runs it
+// over the committed artifact.
+func ValidateBurstJSON(data []byte) (*BurstResult, error) {
+	return experiments.ValidateBurstJSON(data)
+}
+
+// internal translates the public config for the experiments package.
+func (cfg ExperimentConfig) internal() (experiments.Config, error) {
 	ic := experiments.Config{
 		Scale: cfg.Scale, Runs: cfg.Runs, Seed: cfg.Seed,
 		Policy: cfg.Policy, ChunkCells: cfg.ChunkCells,
@@ -78,13 +111,24 @@ func RunExperiment(id string, cfg ExperimentConfig) (*ExperimentTable, error) {
 		WriteFraction: cfg.WriteFraction,
 		Shards:        cfg.Shards, BatchWindow: cfg.BatchWindow,
 		Deadline: cfg.Deadline, DeadlineAging: cfg.DeadlineAging,
+		WriteBack: cfg.WriteBack, WBWatermark: cfg.WBWatermark, WBInterval: cfg.WBInterval,
 	}
 	for _, m := range cfg.Disks {
 		g, err := disk.ModelByName(string(m))
 		if err != nil {
-			return nil, err
+			return experiments.Config{}, err
 		}
 		ic.Disks = append(ic.Disks, g)
+	}
+	return ic, nil
+}
+
+// RunExperiment regenerates one of the paper's figures and returns its
+// table. See ExperimentIDs for valid ids.
+func RunExperiment(id string, cfg ExperimentConfig) (*ExperimentTable, error) {
+	ic, err := cfg.internal()
+	if err != nil {
+		return nil, err
 	}
 	switch id {
 	case "fig1a":
@@ -112,6 +156,9 @@ func RunExperiment(id string, cfg ExperimentConfig) (*ExperimentTable, error) {
 		return experiments.SpaceEfficiency(ic)
 	case "serve":
 		t, _, err := experiments.ServiceThroughput(ic)
+		return t, err
+	case "burst":
+		t, _, err := experiments.BurstTraffic(ic)
 		return t, err
 	default:
 		return nil, fmt.Errorf("multimap: unknown experiment %q (have %v)", id, ExperimentIDs())

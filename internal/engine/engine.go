@@ -60,6 +60,17 @@ type Stats struct {
 	// InvalidatedBlocks counts cached blocks dropped by write-aware
 	// invalidation on behalf of this query's writes.
 	InvalidatedBlocks int64
+	// CoalescedWrites counts write ops of this session that the
+	// write-back buffer absorbed into an already-dirty extent
+	// (overlapping or adjacent), so they will share one group-commit
+	// I/O with the writes already buffered there. Zero with write-back
+	// off.
+	CoalescedWrites int64
+	// FlushBatches counts group-commit flushes that carried buffered
+	// writes of this session. Like ElapsedMs, a flush shared by several
+	// sessions is observed by each of them, so summed session counters
+	// can exceed the service's own ServiceTotals.FlushBatches.
+	FlushBatches int64
 	// Cancelled and DeadlineExceeded count this query's operations
 	// (plan chunks or write ops) dropped because their context was
 	// cancelled or had passed its deadline — either by the service
@@ -102,6 +113,23 @@ func (s *Stats) AddWriteCompletions(comps []lvm.Completion, elapsed float64) {
 	for _, c := range comps {
 		s.Requests++
 		s.Writes += int64(c.Req.Count)
+		s.TotalMs += c.Cost.TotalMs()
+		s.CommandMs += c.Cost.CommandMs
+		s.SeekMs += c.Cost.SeekMs
+		s.RotateMs += c.Cost.RotateMs
+		s.TransferMs += c.Cost.TransferMs
+	}
+	s.ElapsedMs += elapsed
+}
+
+// AddFlushCompletions folds one group-commit flush's attributed share
+// into the running totals: cost and request accounting like writes,
+// but no blocks land in Writes — the flushed blocks were already
+// counted there when the service absorbed the write ops that dirtied
+// them.
+func (s *Stats) AddFlushCompletions(comps []lvm.Completion, elapsed float64) {
+	for _, c := range comps {
+		s.Requests++
 		s.TotalMs += c.Cost.TotalMs()
 		s.CommandMs += c.Cost.CommandMs
 		s.SeekMs += c.Cost.SeekMs

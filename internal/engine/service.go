@@ -52,6 +52,15 @@ type Service struct {
 	closed  bool
 	cache   *extentCache // owned by the loop; guarded by mu only for reconfiguration
 	totals  ServiceTotals
+
+	// wake (buffered 1) nudges a loop that is idle-waiting on dirty
+	// write-back data: submit signals it on every enqueue and Close on
+	// shutdown, so neither waits out the whole flush interval.
+	wake chan struct{}
+	// wb is the write-back dirty buffer; nil when write-back is off.
+	// Owned by the loop goroutine (reconfigured only via the
+	// opWriteBackCfg control op, which the loop itself executes).
+	wb *dirtySet
 }
 
 // ServiceOptions tunes a service.
@@ -88,6 +97,14 @@ type ServiceOptions struct {
 	// default) disables classification — every pass admits in submission
 	// order, bit-for-bit the pre-QoS behavior.
 	DeadlineAging time.Duration
+	// WriteBack configures write-back caching with group commit: write
+	// ops are absorbed into a dirty buffer instead of being charged
+	// immediately, and the buffer is committed as one SPTF batch on
+	// watermark, flush interval, read dependency, explicit Flush, or
+	// Close. Disabled (the zero value) serves every write immediately —
+	// bit-identical to the write-through service. See writeback.go for
+	// the full contract.
+	WriteBack WriteBackOptions
 }
 
 // ServiceTotals is the service loop's own bookkeeping, the ground truth
@@ -103,11 +120,23 @@ type ServiceTotals struct {
 	// IssuedRequests counts requests actually sent to the disks after
 	// cross-query coalescing and cache hits.
 	IssuedRequests int64
-	// WriteOps counts write ops served; InvalidatedBlocks counts cached
-	// blocks their write-aware invalidation dropped (also folded into
+	// WriteOps counts write ops served (write-through) or absorbed into
+	// the write-back buffer; InvalidatedBlocks counts cached blocks
+	// their write-aware invalidation dropped (also folded into
 	// Attributed.InvalidatedBlocks).
 	WriteOps          int64
 	InvalidatedBlocks int64
+	// FlushBatches counts group commits of the write-back buffer — each
+	// flush issues the whole dirty set as one SPTF batch.
+	// CoalescedWrites counts write ops absorbed into an already-dirty
+	// extent, i.e. writes that will share a group-commit I/O with
+	// earlier buffered writes instead of paying their own positioning
+	// cost. DirtyBlocks is the current write-back buffer size in blocks
+	// — a gauge, not a counter; it returns to 0 after every flush. All
+	// three stay zero with write-back off.
+	FlushBatches    int64
+	CoalescedWrites int64
+	DirtyBlocks     int64
 	// Cancelled and DeadlineExceeded count queued operations dropped
 	// before admission because their context was cancelled or past its
 	// deadline. Dropped ops charge no simulated I/O and contribute
@@ -132,6 +161,8 @@ const (
 	opWrite
 	opReset
 	opCacheCfg
+	opFlush
+	opWriteBackCfg
 )
 
 // serviceOp is one message to the service loop.
@@ -147,13 +178,18 @@ type serviceOp struct {
 	deadline time.Time
 
 	// opChunk and opWrite fields; a write op carries its mutated block
-	// extents in chunk.Reqs.
+	// extents in chunk.Reqs. owner is the submitting session of a write
+	// op — the write-back flusher credits the group commit's cost back
+	// to it (nil for reads and for raw test submissions).
 	chunk  Chunk
 	policy disk.SchedPolicy // effective issue policy (session override applied)
 	trace  func([]lvm.Completion)
+	owner  *Session
 
 	// opCacheCfg field.
 	cacheBlocks int64
+	// opWriteBackCfg field.
+	wbCfg WriteBackOptions
 
 	reply chan opResult
 }
@@ -168,6 +204,8 @@ type opResult struct {
 	hitCells    int64 // blocks those hits covered
 	misses      int64 // requests that reached the disks (cache enabled only)
 	invalidated int64 // cached blocks dropped by a write op's invalidation
+	written     int64 // blocks absorbed into the write-back buffer
+	coalesced   int64 // 1 when the absorbed op coalesced with dirty data
 	elapsed     float64
 	err         error
 }
@@ -183,6 +221,11 @@ func NewService(vol *lvm.Volume, opts ServiceOptions) *Service {
 		vol:   vol,
 		opts:  opts,
 		cache: newExtentCache(opts.CacheBlocks),
+		wake:  make(chan struct{}, 1),
+	}
+	if opts.WriteBack.Enabled {
+		s.opts.WriteBack = opts.WriteBack.withDefaults()
+		s.wb = &dirtySet{}
 	}
 	s.idle.L = &s.mu
 	return s
@@ -215,12 +258,15 @@ func (s *Service) SetDeadlineAging(d time.Duration) {
 }
 
 // Close rejects further submissions and waits for the in-flight batches
-// to finish, so the caller regains exclusive use of the volume. Close
-// is idempotent.
+// to finish, so the caller regains exclusive use of the volume. A
+// write-back service commits its dirty buffer before the loop retires —
+// Close is the fifth flush trigger — so no acknowledged write is ever
+// lost to shutdown. Close is idempotent.
 func (s *Service) Close() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.closed = true
+	s.signalWake() // a loop idle-waiting on dirty data must notice closed
 	for s.running {
 		s.idle.Wait()
 	}
@@ -244,6 +290,30 @@ func (s *Service) Reset() error {
 // dropping its current contents. Serialized with in-flight batches.
 func (s *Service) ConfigureCache(blocks int64) error {
 	return s.control(&serviceOp{kind: opCacheCfg, cacheBlocks: blocks, reply: make(chan opResult, 1)})
+}
+
+// SetWriteBack reconfigures write-back caching, serialized with
+// in-flight batches. The dirty buffer accumulated under the old
+// configuration is flushed first, so no buffered write is stranded by
+// a reconfiguration (including turning write-back off).
+func (s *Service) SetWriteBack(cfg WriteBackOptions) error {
+	if cfg.Enabled {
+		cfg = cfg.withDefaults()
+	}
+	return s.control(&serviceOp{kind: opWriteBackCfg, wbCfg: cfg, reply: make(chan opResult, 1)})
+}
+
+// Flush commits the write-back dirty buffer as one group-commit batch
+// and returns once every previously buffered write has paid its
+// simulated I/O. Like all control ops it is a barrier: writes submitted
+// before the Flush are absorbed (and therefore committed) first. A ctx
+// already cancelled or past its deadline when the loop reaches the op
+// returns that error WITHOUT flushing — the dirty data stays buffered
+// and commits on a later trigger, never half-flushed. With write-back
+// off (or nothing dirty) Flush is a no-op. Returns ErrClosed after
+// Close.
+func (s *Service) Flush(ctx context.Context) error {
+	return s.control(&serviceOp{kind: opFlush, ctx: ctx, reply: make(chan opResult, 1)})
 }
 
 // Totals snapshots the service-loop bookkeeping.
@@ -279,9 +349,21 @@ func (s *Service) submit(op *serviceOp) error {
 	if !s.running {
 		s.running = true
 		go s.loop()
+	} else {
+		s.signalWake() // interrupt an idle-wait on dirty write-back data
 	}
 	s.mu.Unlock()
 	return nil
+}
+
+// signalWake posts a non-blocking token on the wake channel (buffer 1,
+// so a pending token is enough — the loop re-checks state after every
+// wake; a stale token at worst causes one harmless extra pass).
+func (s *Service) signalWake() {
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
 }
 
 // loop is the service goroutine: it grabs everything queued since the
@@ -312,7 +394,26 @@ func (s *Service) loop() {
 		batch := s.queue
 		s.queue = nil
 		aging := s.opts.DeadlineAging
+		wb := s.opts.WriteBack
+		closed := s.closed
 		if len(batch) == 0 {
+			if s.wb != nil && s.wb.blocks > 0 {
+				// Dirty write-back data keeps the loop alive: on Close it
+				// flushes immediately (trigger five); otherwise it sleeps
+				// until the oldest extent's flush interval elapses — or a
+				// wake signal delivers new work — and re-checks.
+				s.mu.Unlock()
+				if !closed {
+					if since, ok := s.wb.oldest(); ok {
+						if wait := time.Until(since.Add(wb.FlushInterval)); wait > 0 {
+							s.waitDirty(wait)
+							continue
+						}
+					}
+				}
+				s.flushDirty()
+				continue
+			}
 			s.running = false
 			s.idle.Broadcast()
 			s.mu.Unlock()
@@ -320,6 +421,25 @@ func (s *Service) loop() {
 		}
 		s.mu.Unlock()
 		s.process(batch, aging)
+		// A busy service still honors the interval bound: dirty data
+		// older than the flush interval commits between admission passes
+		// instead of waiting for the queue to drain.
+		if s.wb != nil && s.wb.blocks > 0 {
+			if since, ok := s.wb.oldest(); ok && !time.Now().Before(since.Add(wb.FlushInterval)) {
+				s.flushDirty()
+			}
+		}
+	}
+}
+
+// waitDirty sleeps until the next flush deadline or a wake signal (a
+// new submission, or Close).
+func (s *Service) waitDirty(d time.Duration) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-s.wake:
+	case <-t.C:
 	}
 }
 
@@ -483,6 +603,12 @@ func (s *Service) handleControl(op *serviceOp) {
 	switch op.kind {
 	case opReset:
 		s.vol.Reset()
+		if s.wb != nil {
+			// Reset rewinds the disks to their initial state; buffered
+			// writes against the pre-reset state are dropped unflushed
+			// (their gauge is zeroed with the totals below).
+			s.wb.take()
+		}
 		s.mu.Lock()
 		s.cache.clear() // nil-safe when the cache is off
 		s.totals = ServiceTotals{}
@@ -490,6 +616,29 @@ func (s *Service) handleControl(op *serviceOp) {
 	case opCacheCfg:
 		s.mu.Lock()
 		s.cache = newExtentCache(op.cacheBlocks)
+		s.mu.Unlock()
+	case opFlush:
+		if op.ctx != nil {
+			if cerr := op.ctx.Err(); cerr != nil {
+				// A dead ctx aborts the flush before it starts: nothing is
+				// committed, nothing is charged, and the dirty buffer stays
+				// intact for a later trigger — a flush is all-or-nothing.
+				err = cerr
+				break
+			}
+		}
+		err = s.flushDirty()
+	case opWriteBackCfg:
+		// Commit under the old configuration first so no buffered write
+		// is stranded, then swap the knobs.
+		err = s.flushDirty()
+		if op.wbCfg.Enabled && s.wb == nil {
+			s.wb = &dirtySet{}
+		} else if !op.wbCfg.Enabled {
+			s.wb = nil
+		}
+		s.mu.Lock()
+		s.opts.WriteBack = op.wbCfg
 		s.mu.Unlock()
 	default:
 		err = fmt.Errorf("engine: unknown service op %d", op.kind)
@@ -501,7 +650,12 @@ func (s *Service) handleControl(op *serviceOp) {
 // under the documented ordering policy: all read chunks first (merged
 // across queries when more than one), then the batch's writes in
 // submission order, each invalidating overlapping cached extents
-// before its cost is charged.
+// before its cost is charged. With write-back on, writes are absorbed
+// into the dirty buffer instead of served (invalidation still happens
+// at absorb time), a read overlapping dirty data forces a flush before
+// the reads are served (read-your-write: a read never observes a disk
+// state older than an acknowledged write), and reaching the watermark
+// flushes after the batch's writes are absorbed.
 func (s *Service) serveChunks(items []*serviceOp) {
 	var reads, writes []*serviceOp
 	for _, op := range items {
@@ -509,6 +663,19 @@ func (s *Service) serveChunks(items []*serviceOp) {
 			writes = append(writes, op)
 		} else {
 			reads = append(reads, op)
+		}
+	}
+	s.mu.Lock()
+	wb := s.opts.WriteBack
+	s.mu.Unlock()
+	wbOn := wb.Enabled && s.wb != nil
+	if wbOn && len(reads) > 0 && len(s.wb.extents) > 0 {
+		var rr []lvm.Request
+		for _, op := range reads {
+			rr = append(rr, op.chunk.Reqs...)
+		}
+		if s.wb.overlaps(s.splitAtSegmentEnds(rr)) {
+			s.flushDirty()
 		}
 	}
 	switch len(reads) {
@@ -519,7 +686,14 @@ func (s *Service) serveChunks(items []*serviceOp) {
 		s.serveMerged(reads)
 	}
 	for _, op := range writes {
-		s.serveWrite(op)
+		if wbOn {
+			s.absorbWrite(op)
+		} else {
+			s.serveWrite(op)
+		}
+	}
+	if wbOn && s.wb.blocks >= wb.WatermarkBlocks {
+		s.flushDirty()
 	}
 }
 
@@ -592,6 +766,133 @@ func (s *Service) serveWrite(op *serviceOp) {
 		op.trace(res.comps)
 	}
 	op.reply <- res
+}
+
+// absorbWrite buffers one write op in the write-back dirty set instead
+// of serving it: the submitter is acknowledged immediately with zero
+// I/O cost (its blocks in Writes, its invalidation count, and the
+// coalesced flag when the op merged into already-dirty data), and the
+// simulated I/O is deferred to the next group commit. Cache coherence
+// is NOT deferred — every cached extent overlapping the mutated blocks
+// is invalidated here, exactly as on the write-through path. Extents
+// whose addresses fall outside the volume are routed to the immediate
+// write path instead, so address errors surface to the submitter
+// synchronously rather than at some later flush.
+func (s *Service) absorbWrite(op *serviceOp) {
+	op.chunk.Reqs = s.splitAtSegmentEnds(op.chunk.Reqs)
+	for _, r := range op.chunk.Reqs {
+		if _, _, err := s.vol.Locate(r.VLBN); err != nil {
+			s.serveWrite(op)
+			return
+		}
+	}
+	var res opResult
+	now := time.Now()
+	for _, r := range op.chunk.Reqs {
+		start, end := r.VLBN, r.VLBN+int64(r.Count)
+		res.invalidated += s.cache.invalidate(start, end) // nil-safe
+		di, lbn, _ := s.vol.Locate(start)
+		boundary := start - lbn + s.vol.DiskBlocks(di)
+		if s.wb.absorb(op.owner, start, end, boundary, now) {
+			res.coalesced = 1
+		}
+		res.written += int64(r.Count)
+	}
+	s.mu.Lock()
+	t := &s.totals
+	t.WriteOps++
+	t.CoalescedWrites += res.coalesced
+	t.InvalidatedBlocks += res.invalidated
+	t.DirtyBlocks = s.wb.blocks
+	t.Attributed.Writes += res.written
+	t.Attributed.InvalidatedBlocks += res.invalidated
+	t.Attributed.CoalescedWrites += res.coalesced
+	s.mu.Unlock()
+	op.reply <- res
+}
+
+// flushDirty group-commits the entire dirty buffer as one SPTF batch —
+// the write-back payoff: every buffered write shares one head
+// trajectory instead of paying its own positioning cost. The batch's
+// per-extent costs are split among the sessions whose buffered writes
+// dirtied the extent, in proportion to the blocks each asked for (the
+// same split serveMerged applies to shared read extents), and folded
+// into both the sessions' lifetime Totals and Attributed — so summing
+// session totals still reproduces Attributed after a flush. Each
+// contributing session observes the full batch ElapsedMs and counts
+// one FlushBatches (Attributed.FlushBatches grows by the number of
+// contributors to keep the sum exact; the top-level
+// ServiceTotals.FlushBatches counts actual batches). A flush of an
+// empty buffer is free.
+func (s *Service) flushDirty() error {
+	if s.wb == nil || len(s.wb.extents) == 0 {
+		return nil
+	}
+	extents := s.wb.take()
+	reqs := make([]lvm.Request, len(extents))
+	for i, e := range extents {
+		reqs[i] = lvm.Request{VLBN: e.start, Count: int(e.end - e.start)}
+	}
+	comps, elapsed, err := s.vol.ServeBatch(reqs, disk.SchedSPTF)
+	if err != nil {
+		// Unreachable in practice: absorbWrite screens out every address
+		// ServeBatch can reject. Coherence survives regardless (the
+		// invalidation happened at absorb); only the gauge is corrected.
+		s.mu.Lock()
+		s.totals.DirtyBlocks = 0
+		s.mu.Unlock()
+		return err
+	}
+	// Extents are disjoint, so completions map back by start VLBN.
+	compAt := make(map[int64]lvm.Completion, len(comps))
+	for _, c := range comps {
+		compAt[c.Req.VLBN] = c
+	}
+	perOwner := make(map[*Session]*Stats)
+	for i, e := range extents {
+		c := compAt[reqs[i].VLBN]
+		var asked int64
+		for _, n := range e.contribs {
+			asked += n
+		}
+		for owner, n := range e.contribs {
+			f := float64(n) / float64(asked)
+			st := perOwner[owner]
+			if st == nil {
+				st = &Stats{}
+				perOwner[owner] = st
+			}
+			st.AddFlushCompletions([]lvm.Completion{{
+				Req:     lvm.Request{VLBN: e.start, Count: int(n)},
+				DiskIdx: c.DiskIdx,
+				Cost: disk.AccessCost{
+					CommandMs:  c.Cost.CommandMs * f,
+					SeekMs:     c.Cost.SeekMs * f,
+					RotateMs:   c.Cost.RotateMs * f,
+					TransferMs: c.Cost.TransferMs * f,
+				},
+				FinishMs: c.FinishMs,
+			}}, 0)
+		}
+	}
+	s.mu.Lock()
+	t := &s.totals
+	t.FlushBatches++
+	t.IssuedRequests += int64(len(reqs))
+	t.DirtyBlocks = 0
+	for _, st := range perOwner {
+		st.FlushBatches = 1
+		t.Attributed.Accumulate(*st)
+	}
+	t.Attributed.ElapsedMs += elapsed
+	s.mu.Unlock()
+	for owner, st := range perOwner {
+		st.ElapsedMs = elapsed
+		if owner != nil {
+			owner.creditFlush(*st)
+		}
+	}
+	return nil
 }
 
 // serveSingle services a lone chunk exactly as Run would: the planner's

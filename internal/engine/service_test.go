@@ -93,7 +93,8 @@ func statsClose(a, b Stats, tb testing.TB) {
 	tb.Helper()
 	if a.Cells != b.Cells || a.Padding != b.Padding || a.Requests != b.Requests ||
 		a.CacheHits != b.CacheHits || a.CacheMisses != b.CacheMisses ||
-		a.Writes != b.Writes || a.InvalidatedBlocks != b.InvalidatedBlocks {
+		a.Writes != b.Writes || a.InvalidatedBlocks != b.InvalidatedBlocks ||
+		a.CoalescedWrites != b.CoalescedWrites || a.FlushBatches != b.FlushBatches {
 		tb.Fatalf("integer stats differ: %+v vs %+v", a, b)
 	}
 	for _, p := range [][2]float64{

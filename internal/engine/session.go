@@ -35,6 +35,9 @@ type Runner interface {
 type QuerySession interface {
 	Runner
 	Write(ctx context.Context, reqs []lvm.Request, policy disk.SchedPolicy) (Stats, error)
+	// Flush commits the service's write-back dirty buffer (a no-op with
+	// write-back off); see Session.Flush.
+	Flush(ctx context.Context) error
 	Totals() Stats
 }
 
@@ -244,6 +247,7 @@ func (s *Session) Write(ctx context.Context, reqs []lvm.Request, policy disk.Sch
 		ctx:    ctx,
 		chunk:  Chunk{Reqs: reqs},
 		policy: policy,
+		owner:  s,
 		reply:  make(chan opResult, 1),
 	}
 	if err := s.svc.submit(op); err != nil {
@@ -258,6 +262,12 @@ func (s *Session) Write(ctx context.Context, reqs []lvm.Request, policy disk.Sch
 		st.countContextErr(r.err)
 	}
 	st.AddWriteCompletions(r.comps, r.elapsed)
+	// Write-back absorption acknowledges the op with zero I/O cost: the
+	// blocks land in Writes here, at absorb time, and the deferred I/O
+	// is credited to the session's lifetime totals when the group commit
+	// flushes (see Service.flushDirty).
+	st.Writes += r.written
+	st.CoalescedWrites = r.coalesced
 	st.InvalidatedBlocks = r.invalidated
 	// Invalidation sticks even when the write I/O itself failed, so it
 	// is folded into the lifetime totals either way (the sum property
@@ -269,6 +279,27 @@ func (s *Session) Write(ctx context.Context, reqs []lvm.Request, policy disk.Sch
 		return st, r.err
 	}
 	return st, nil
+}
+
+// Flush commits the service's write-back dirty buffer as one group
+// commit and returns once every previously buffered write — this
+// session's and everyone else's — has paid its simulated I/O. A no-op
+// with write-back off or nothing dirty. The committed cost lands in
+// the contributing sessions' lifetime Totals (not in this call's
+// return, which has none); a ctx already dead when the loop reaches
+// the op aborts without flushing. Returns ErrClosed after Close.
+func (s *Session) Flush(ctx context.Context) error {
+	return s.svc.Flush(ctx)
+}
+
+// creditFlush folds this session's attributed share of one group
+// commit into its lifetime totals. Called from the service loop at
+// flush time — the deferred half of a write acknowledged at absorb
+// time.
+func (s *Session) creditFlush(st Stats) {
+	s.mu.Lock()
+	s.totals.Accumulate(st)
+	s.mu.Unlock()
 }
 
 var _ QuerySession = (*Session)(nil)
@@ -289,6 +320,8 @@ func (s *Stats) Accumulate(q Stats) {
 	s.CacheMisses += q.CacheMisses
 	s.Writes += q.Writes
 	s.InvalidatedBlocks += q.InvalidatedBlocks
+	s.CoalescedWrites += q.CoalescedWrites
+	s.FlushBatches += q.FlushBatches
 	s.Cancelled += q.Cancelled
 	s.DeadlineExceeded += q.DeadlineExceeded
 }

@@ -1,0 +1,344 @@
+package experiments
+
+// Burst-traffic serving benchmark: a closed-loop mixed workload where
+// every client belongs to one of three QoS classes — "interactive"
+// (small hot-region reads, the latency-sensitive traffic), "bulk"
+// (large uniform range scans), and "writer" (update bursts through the
+// write path) — all hammering one rig at once. Each class reports the
+// host-observed per-op latency trajectory (p50/p99/p999) plus the mean
+// simulated disk time, so a write-back run shows directly where group
+// commit buys tail latency: writer ops return as soon as the buffer
+// absorbs them, and readers pay the (merged, cheaper) flushes instead
+// of queueing behind every small write. The result serializes to the
+// stable "mmbench-burst/v1" JSON schema the CI bench-trajectory step
+// diffs.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/engine"
+	"repro/internal/shard"
+)
+
+// BurstSchema versions the burst benchmark's JSON artifact. Bump it
+// whenever a field changes meaning; the trajectory checker refuses
+// anything else.
+const BurstSchema = "mmbench-burst/v1"
+
+// BurstClass is one QoS class's latency trajectory.
+type BurstClass struct {
+	Class     string  `json:"class"`
+	Clients   int     `json:"clients"`
+	Ops       int     `json:"ops"`
+	P50Ms     float64 `json:"p50_ms"`      // host-observed per-op latency percentiles
+	P99Ms     float64 `json:"p99_ms"`      // (closed loop: queueing included)
+	P999Ms    float64 `json:"p999_ms"`     //
+	MeanSimMs float64 `json:"mean_sim_ms"` // mean simulated disk ms per op
+}
+
+// BurstResult is the burst benchmark's full artifact.
+type BurstResult struct {
+	Schema        string       `json:"schema"`
+	Disk          string       `json:"disk"`
+	Scale         float64      `json:"scale"`
+	Shards        int          `json:"shards"`
+	WriteFraction float64      `json:"write_fraction"`
+	WriteBack     bool         `json:"write_back"`
+	CacheBlocks   int64        `json:"cache_blocks"`
+	WallSeconds   float64      `json:"wall_seconds"`
+	FlushBatches  int64        `json:"flush_batches"`
+	Coalesced     int64        `json:"coalesced_writes"`
+	Classes       []BurstClass `json:"classes"`
+}
+
+// burstClient is one closed-loop client: a class, a seed lane, and the
+// recorded per-op host latencies and simulated costs.
+type burstClient struct {
+	class  string
+	hostMs []float64
+	simMs  float64
+	err    error
+}
+
+// BurstTraffic runs the closed-loop burst benchmark on the first
+// configured drive. Client counts derive from cfg.Clients and
+// cfg.WriteFraction: the write share of the clients are writers, the
+// rest split two-to-one between interactive and bulk, at least one
+// client per class. Each client issues cfg.Queries ops back to back.
+func BurstTraffic(cfg Config) (*Table, *BurstResult, error) {
+	cfg = cfg.Defaults()
+	if cfg.Clients == 0 {
+		cfg.Clients = 4
+	}
+	if cfg.Queries == 0 {
+		cfg.Queries = 32
+	}
+	if cfg.WriteFraction == 0 {
+		cfg.WriteFraction = 0.25
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, nil, err
+	}
+	shards := cfg.Shards
+	if shards < 1 {
+		shards = 1
+	}
+	g := cfg.Disks[0]
+	dims := synthChunkDims(cfg.Scale)
+	grid, err := dataset.NewGrid(dims...)
+	if err != nil {
+		return nil, nil, err
+	}
+	rig, err := buildServeRig(cfg, g, dims, shards)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer rig.close()
+
+	writers := int(math.Round(float64(cfg.Clients) * cfg.WriteFraction))
+	if writers < 1 {
+		writers = 1
+	}
+	if writers > cfg.Clients-2 {
+		writers = max(1, cfg.Clients-2)
+	}
+	rest := cfg.Clients - writers
+	interactive := max(1, (rest*2+2)/3)
+	bulk := max(1, rest-interactive)
+
+	var clients []*burstClient
+	for i := 0; i < interactive; i++ {
+		clients = append(clients, &burstClient{class: "interactive"})
+	}
+	for i := 0; i < bulk; i++ {
+		clients = append(clients, &burstClient{class: "bulk"})
+	}
+	for i := 0; i < writers; i++ {
+		clients = append(clients, &burstClient{class: "writer"})
+	}
+
+	sessions := make([]*shard.Session, len(clients))
+	for i := range sessions {
+		sessions[i] = rig.grp.Begin(engine.SessionOptions{MaxInflight: 2})
+	}
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i, c := range clients {
+		wg.Add(1)
+		go func(i int, c *burstClient) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(i)*7919))
+			for q := 0; q < cfg.Queries; q++ {
+				var (
+					st  engine.Stats
+					err error
+				)
+				t0 := time.Now()
+				switch c.class {
+				case "writer":
+					st, err = runInsertBurst(context.Background(), rig.grp, rig.cells, sessions[i], dims, rng)
+				case "bulk":
+					st, err = runBulkScan(context.Background(), sessions[i], dims, rng)
+				default:
+					st, err = runMixedQuery(context.Background(), sessions[i], grid, dims, rng)
+				}
+				if err != nil {
+					c.err = fmt.Errorf("%s client %d op %d: %w", c.class, i, q, err)
+					return
+				}
+				c.hostMs = append(c.hostMs, float64(time.Since(t0))/float64(time.Millisecond))
+				c.simMs += st.TotalMs
+			}
+		}(i, c)
+	}
+	wg.Wait()
+	for _, c := range clients {
+		if c.err != nil {
+			return nil, nil, c.err
+		}
+	}
+	// Drain the write-back buffers so deferred group-commit work is in
+	// the books (free when nothing is dirty).
+	if err := sessions[0].Flush(context.Background()); err != nil {
+		return nil, nil, err
+	}
+	wall := time.Since(start).Seconds()
+
+	res := &BurstResult{
+		Schema: BurstSchema,
+		Disk:   g.Name, Scale: cfg.Scale, Shards: shards,
+		WriteFraction: cfg.WriteFraction, WriteBack: cfg.WriteBack,
+		CacheBlocks: cfg.CacheBlocks, WallSeconds: wall,
+	}
+	for _, tot := range rig.grp.ServiceTotals() {
+		res.FlushBatches += tot.FlushBatches
+		res.Coalesced += tot.CoalescedWrites
+	}
+	for _, class := range []string{"interactive", "bulk", "writer"} {
+		var lat []float64
+		var sim float64
+		n := 0
+		for _, c := range clients {
+			if c.class != class {
+				continue
+			}
+			n++
+			lat = append(lat, c.hostMs...)
+			sim += c.simMs
+		}
+		sort.Float64s(lat)
+		bc := BurstClass{
+			Class: class, Clients: n, Ops: len(lat),
+			P50Ms:  pctl(lat, 0.50),
+			P99Ms:  pctl(lat, 0.99),
+			P999Ms: pctl(lat, 0.999),
+		}
+		if len(lat) > 0 {
+			bc.MeanSimMs = sim / float64(len(lat))
+		}
+		res.Classes = append(res.Classes, bc)
+	}
+
+	wbMode := "off"
+	if cfg.WriteBack {
+		wbMode = "on"
+	}
+	t := &Table{
+		ID: "burst",
+		Title: fmt.Sprintf("Closed-loop burst traffic on %s, %v cells, write-back %s, %d flushes, %d coalesced",
+			g.Name, dims, wbMode, res.FlushBatches, res.Coalesced),
+		Header: []string{"class", "clients", "ops", "p50 ms", "p99 ms", "p999 ms", "sim ms/op"},
+	}
+	for _, bc := range res.Classes {
+		t.Rows = append(t.Rows, []string{
+			bc.Class, fmt.Sprint(bc.Clients), fmt.Sprint(bc.Ops),
+			f3(bc.P50Ms), f3(bc.P99Ms), f3(bc.P999Ms), f3(bc.MeanSimMs),
+		})
+	}
+	return t, res, nil
+}
+
+// runBulkScan issues one large uniform range box — the bulk class's
+// scan-heavy op shape, sized well above the interactive class's
+// hot-region boxes.
+func runBulkScan(ctx context.Context, sess *shard.Session, dims []int, rng *rand.Rand) (engine.Stats, error) {
+	lo := make([]int, len(dims))
+	hi := make([]int, len(dims))
+	for i, d := range dims {
+		side := max(2, d/4)
+		if side > d {
+			side = d
+		}
+		lo[i] = rng.Intn(d - side + 1)
+		hi[i] = lo[i] + side
+	}
+	return sess.Box(ctx, lo, hi)
+}
+
+// pctl returns the p-quantile of an ascending-sorted sample using the
+// nearest-rank method (p999 of a small sample is its maximum).
+func pctl(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(math.Ceil(p*float64(len(sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+// ValidateBurst checks a burst artifact's invariants: the exact schema
+// version, all three QoS classes present with traffic, and a sane
+// latency trajectory (0 ≤ p50 ≤ p99 ≤ p999) per class.
+func ValidateBurst(res *BurstResult) error {
+	if res.Schema != BurstSchema {
+		return fmt.Errorf("burst: schema %q, want %q", res.Schema, BurstSchema)
+	}
+	if res.Disk == "" {
+		return fmt.Errorf("burst: missing disk name")
+	}
+	if res.WallSeconds <= 0 {
+		return fmt.Errorf("burst: non-positive wall_seconds %v", res.WallSeconds)
+	}
+	want := map[string]bool{"interactive": false, "bulk": false, "writer": false}
+	for _, bc := range res.Classes {
+		seen, known := want[bc.Class]
+		if !known {
+			return fmt.Errorf("burst: unknown class %q", bc.Class)
+		}
+		if seen {
+			return fmt.Errorf("burst: duplicate class %q", bc.Class)
+		}
+		want[bc.Class] = true
+		if bc.Clients < 1 || bc.Ops < 1 {
+			return fmt.Errorf("burst: class %q has no traffic: %+v", bc.Class, bc)
+		}
+		if bc.P50Ms < 0 || bc.P50Ms > bc.P99Ms || bc.P99Ms > bc.P999Ms {
+			return fmt.Errorf("burst: class %q latency trajectory out of order: p50=%v p99=%v p999=%v",
+				bc.Class, bc.P50Ms, bc.P99Ms, bc.P999Ms)
+		}
+		if bc.MeanSimMs < 0 {
+			return fmt.Errorf("burst: class %q negative simulated ms %v", bc.Class, bc.MeanSimMs)
+		}
+	}
+	for class, seen := range want {
+		if !seen {
+			return fmt.Errorf("burst: class %q missing", class)
+		}
+	}
+	return nil
+}
+
+// burstRequiredKeys are the top-level and per-class JSON keys the
+// trajectory checker demands — a schema diff, not just a decode.
+var burstRequiredKeys = struct{ top, class []string }{
+	top: []string{"schema", "disk", "scale", "shards", "write_fraction", "write_back",
+		"cache_blocks", "wall_seconds", "flush_batches", "coalesced_writes", "classes"},
+	class: []string{"class", "clients", "ops", "p50_ms", "p99_ms", "p999_ms", "mean_sim_ms"},
+}
+
+// ValidateBurstJSON checks raw JSON against the mmbench-burst/v1
+// schema: every key present (missing keys decode silently, so this is
+// an explicit diff) and the decoded result's invariants hold.
+func ValidateBurstJSON(data []byte) (*BurstResult, error) {
+	var top map[string]json.RawMessage
+	if err := json.Unmarshal(data, &top); err != nil {
+		return nil, fmt.Errorf("burst: not a JSON object: %w", err)
+	}
+	for _, k := range burstRequiredKeys.top {
+		if _, ok := top[k]; !ok {
+			return nil, fmt.Errorf("burst: missing key %q", k)
+		}
+	}
+	var classes []map[string]json.RawMessage
+	if err := json.Unmarshal(top["classes"], &classes); err != nil {
+		return nil, fmt.Errorf("burst: classes not a JSON array: %w", err)
+	}
+	for i, c := range classes {
+		for _, k := range burstRequiredKeys.class {
+			if _, ok := c[k]; !ok {
+				return nil, fmt.Errorf("burst: classes[%d] missing key %q", i, k)
+			}
+		}
+	}
+	var res BurstResult
+	if err := json.Unmarshal(data, &res); err != nil {
+		return nil, fmt.Errorf("burst: %w", err)
+	}
+	if err := ValidateBurst(&res); err != nil {
+		return nil, err
+	}
+	return &res, nil
+}

@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestBurstTraffic runs the closed-loop burst benchmark small, with and
+// without write-back, and checks the artifact: all three QoS classes
+// carry traffic, the trajectory is ordered, group commit shows up in
+// the write-back run, and the JSON round-trips through the schema
+// checker.
+func TestBurstTraffic(t *testing.T) {
+	cfg := fastCfg()
+	cfg.Clients = 4
+	cfg.Queries = 6
+	cfg.ChunkCells = 512
+	cfg.CacheBlocks = 1 << 22
+	cfg.WriteFraction = 0.3
+
+	tb, plain, err := BurstTraffic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateBurst(plain); err != nil {
+		t.Fatalf("write-through artifact invalid: %v", err)
+	}
+	if plain.WriteBack || plain.FlushBatches != 0 || plain.Coalesced != 0 {
+		t.Fatalf("write-back evidence in a write-through run: %+v", plain)
+	}
+	if !strings.Contains(tb.String(), "p999 ms") {
+		t.Fatalf("table missing trajectory columns:\n%s", tb)
+	}
+
+	cfg.WriteBack = true
+	_, wb, err := BurstTraffic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateBurst(wb); err != nil {
+		t.Fatalf("write-back artifact invalid: %v", err)
+	}
+	if !wb.WriteBack || wb.Coalesced == 0 || wb.FlushBatches == 0 {
+		t.Fatalf("write-back run shows no group commit: %+v", wb)
+	}
+
+	data, err := json.Marshal(wb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ValidateBurstJSON(data)
+	if err != nil {
+		t.Fatalf("round-trip rejected: %v", err)
+	}
+	if back.Coalesced != wb.Coalesced || len(back.Classes) != len(wb.Classes) {
+		t.Fatalf("round-trip drifted: %+v vs %+v", back, wb)
+	}
+}
+
+// TestValidateBurstJSON exercises the schema checker's rejections: the
+// CI trajectory diff must catch a wrong schema tag, a missing key, a
+// missing class, and an out-of-order trajectory.
+func TestValidateBurstJSON(t *testing.T) {
+	good := `{
+		"schema": "mmbench-burst/v1", "disk": "d", "scale": 1, "shards": 1,
+		"write_fraction": 0.3, "write_back": true, "cache_blocks": 0,
+		"wall_seconds": 0.5, "flush_batches": 1, "coalesced_writes": 2,
+		"classes": [
+			{"class": "interactive", "clients": 2, "ops": 12, "p50_ms": 1, "p99_ms": 2, "p999_ms": 3, "mean_sim_ms": 4},
+			{"class": "bulk", "clients": 1, "ops": 6, "p50_ms": 1, "p99_ms": 1, "p999_ms": 1, "mean_sim_ms": 0},
+			{"class": "writer", "clients": 1, "ops": 6, "p50_ms": 0, "p99_ms": 0, "p999_ms": 0, "mean_sim_ms": 0}
+		]
+	}`
+	if _, err := ValidateBurstJSON([]byte(good)); err != nil {
+		t.Fatalf("valid artifact rejected: %v", err)
+	}
+	for name, mangle := range map[string]func(string) string{
+		"wrong schema": func(s string) string {
+			return strings.Replace(s, "mmbench-burst/v1", "mmbench-burst/v2", 1)
+		},
+		"missing key": func(s string) string {
+			return strings.Replace(s, `"wall_seconds": 0.5,`, "", 1)
+		},
+		"missing class key": func(s string) string {
+			return strings.Replace(s, `"p999_ms": 3,`, "", 1)
+		},
+		"missing class": func(s string) string {
+			return strings.Replace(s, `"class": "writer"`, `"class": "bulk"`, 1)
+		},
+		"out-of-order trajectory": func(s string) string {
+			return strings.Replace(s, `"p99_ms": 2`, `"p99_ms": 9`, 1)
+		},
+		"no traffic": func(s string) string {
+			return strings.Replace(s, `"ops": 12`, `"ops": 0`, 1)
+		},
+		"not json": func(string) string { return "{" },
+	} {
+		if _, err := ValidateBurstJSON([]byte(mangle(good))); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}

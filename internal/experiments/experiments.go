@@ -64,6 +64,16 @@ type Config struct {
 	// of — and never coalesced with — bulk work. Compare a -deadline
 	// run with and without it to see the QoS policy's effect.
 	DeadlineAging time.Duration
+	// WriteBack turns on write-back caching with group commit on every
+	// shard service: writes are absorbed into per-extent dirty buffers
+	// and committed as one SPTF batch per flush trigger. Compare a
+	// -writes run with and without it to see the group-commit win.
+	WriteBack bool
+	// WBWatermark and WBInterval tune the write-back flush triggers
+	// (dirty-block watermark and oldest-dirty age); 0 keeps the engine
+	// defaults. Ignored unless WriteBack is set.
+	WBWatermark int64
+	WBInterval  time.Duration
 }
 
 // Defaults fills unset fields: both paper drives, full scale, 15 runs.
@@ -104,6 +114,9 @@ func (c Config) validate() error {
 	}
 	if c.Deadline < 0 || c.DeadlineAging < 0 {
 		return fmt.Errorf("experiments: deadline and deadline aging must be non-negative")
+	}
+	if c.WBWatermark < 0 || c.WBInterval < 0 {
+		return fmt.Errorf("experiments: write-back watermark and interval must be non-negative")
 	}
 	if _, err := c.execOptions(); err != nil {
 		return err

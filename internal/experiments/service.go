@@ -55,6 +55,8 @@ type ServeRun struct {
 	WriteOps       int64 // write ops served by the service loops
 	BlocksWritten  int64
 	Invalidated    int64                  // cached blocks dropped by write invalidation
+	Flushes        int64                  // write-back group commits across the shards
+	Coalesced      int64                  // write ops absorbed into already-dirty extents
 	Cancelled      int64                  // ops dropped before admission on cancelled contexts
 	Expired        int64                  // ops dropped before admission on passed deadlines
 	PerSession     []engine.Stats         // lifetime stats of each client session
@@ -107,13 +109,17 @@ func ServiceThroughput(cfg Config) (*Table, ServeResult, error) {
 		return nil, nil, err
 	}
 	res := ServeResult{}
+	wbMode := "off"
+	if cfg.WriteBack {
+		wbMode = "on"
+	}
 	t := &Table{
 		ID: "serve",
-		Title: fmt.Sprintf("Concurrent query service, %v cells, cache %d blocks, write fraction %.2f",
-			dims, cfg.CacheBlocks, cfg.WriteFraction),
+		Title: fmt.Sprintf("Concurrent query service, %v cells, cache %d blocks, write fraction %.2f, write-back %s",
+			dims, cfg.CacheBlocks, cfg.WriteFraction, wbMode),
 		Header: []string{"disk", "shards", "clients", "queries", "q/s", "ms/cell", "ms/query",
 			"hit rate", "max batch", "merged", "issued reqs", "writes", "inval blk",
-			"cancel", "expired", "dl ms/q"},
+			"flushes", "coalesced", "cancel", "expired", "dl ms/q"},
 	}
 	for _, g := range cfg.Disks {
 		for _, shards := range shardCounts(cfg.Shards) {
@@ -133,6 +139,7 @@ func ServiceThroughput(cfg Config) (*Table, ServeResult, error) {
 				fmt.Sprint(run.MaxBatchChunks), fmt.Sprint(run.MergedBatches),
 				fmt.Sprint(run.IssuedRequests), fmt.Sprint(run.BlocksWritten),
 				fmt.Sprint(run.Invalidated),
+				fmt.Sprint(run.Flushes), fmt.Sprint(run.Coalesced),
 				fmt.Sprint(run.Cancelled), fmt.Sprint(run.Expired), dl,
 			})
 		}
@@ -140,56 +147,93 @@ func ServiceThroughput(cfg Config) (*Table, ServeResult, error) {
 	return t, res, nil
 }
 
-// serveOneDisk runs the concurrent workload against one drive model at
-// one shard count: every shard is an independent volume over that
-// model with its own service loop.
-func serveOneDisk(cfg Config, g *disk.Geometry, grid *dataset.Grid, dims []int, shards int) (ServeRun, error) {
+// serveRig is the shared concurrent-service testbed: per-shard volumes
+// and service loops over one drive model, the scatter-gather group, and
+// (when the workload writes) a per-shard update layer. Both the serve
+// scaling ladder and the burst-traffic harness run on it.
+type serveRig struct {
+	grp   *shard.Group
+	cells []*core.CellStore // nil when the workload is read-only
+	svcs  []*engine.Service
+}
+
+func (r *serveRig) close() {
+	for _, svc := range r.svcs {
+		svc.Close()
+	}
+}
+
+// buildServeRig assembles the rig for one drive model at one shard
+// count: every shard is an independent volume over that model with its
+// own service loop, write-back enabled when the config asks for it.
+func buildServeRig(cfg Config, g *disk.Geometry, dims []int, shards int) (*serveRig, error) {
 	eo, err := cfg.execOptions()
 	if err != nil {
-		return ServeRun{}, err
+		return nil, err
+	}
+	rig := &serveRig{
+		svcs: make([]*engine.Service, shards),
 	}
 	vols := make([]*lvm.Volume, shards)
-	svcs := make([]*engine.Service, shards)
 	for i := range vols {
 		v, err := lvm.New(0, g)
 		if err != nil {
-			return ServeRun{}, err
+			rig.close()
+			return nil, err
 		}
 		vols[i] = v
-		svcs[i] = engine.NewService(v, engine.ServiceOptions{
+		rig.svcs[i] = engine.NewService(v, engine.ServiceOptions{
 			CacheBlocks: cfg.CacheBlocks, BatchWindow: cfg.BatchWindow,
 			DeadlineAging: cfg.DeadlineAging,
+			WriteBack: engine.WriteBackOptions{
+				Enabled:         cfg.WriteBack,
+				WatermarkBlocks: cfg.WBWatermark,
+				FlushInterval:   cfg.WBInterval,
+			},
 		})
-		defer svcs[i].Close()
 	}
-	grp, err := shard.Build(vols, svcs, mapping.MultiMap, dims, mapping.Options{DiskIdx: 0}, eo)
+	rig.grp, err = shard.Build(vols, rig.svcs, mapping.MultiMap, dims, mapping.Options{DiskIdx: 0}, eo)
 	if err != nil {
-		return ServeRun{}, err
+		rig.close()
+		return nil, err
 	}
 
 	// The update layer for the write share: per shard, overflow pages
 	// live past the mapped span, clear of every cell (the same invariant
 	// the public UpdatableStore validates per disk).
-	var cells []*core.CellStore
 	if cfg.WriteFraction > 0 {
-		cells = make([]*core.CellStore, shards)
-		for i := range cells {
-			member := grp.Member(i)
+		rig.cells = make([]*core.CellStore, shards)
+		for i := range rig.cells {
+			member := rig.grp.Member(i)
 			_, hi := member.Map.(mapping.Spanned).SpanVLBN()
 			overflow := member.Vol.TotalBlocks() - hi
 			if overflow <= 0 {
-				return ServeRun{}, fmt.Errorf("experiments: no room for an overflow extent past VLBN %d", hi)
+				rig.close()
+				return nil, fmt.Errorf("experiments: no room for an overflow extent past VLBN %d", hi)
 			}
 			if overflow > 1<<16 {
 				overflow = 1 << 16
 			}
-			cells[i], err = core.NewCellStore(member.Map.CellVLBN, 64, 0.75, 0.25,
+			rig.cells[i], err = core.NewCellStore(member.Map.CellVLBN, 64, 0.75, 0.25,
 				[]lvm.Request{{VLBN: member.Vol.TotalBlocks() - overflow, Count: int(overflow)}})
 			if err != nil {
-				return ServeRun{}, err
+				rig.close()
+				return nil, err
 			}
 		}
 	}
+	return rig, nil
+}
+
+// serveOneDisk runs the concurrent workload against one drive model at
+// one shard count on a fresh rig.
+func serveOneDisk(cfg Config, g *disk.Geometry, grid *dataset.Grid, dims []int, shards int) (ServeRun, error) {
+	rig, err := buildServeRig(cfg, g, dims, shards)
+	if err != nil {
+		return ServeRun{}, err
+	}
+	defer rig.close()
+	grp, cells := rig.grp, rig.cells
 
 	// MaxInflight 2 keeps each session one chunk ahead of the disks, so
 	// with a chunked planner (cfg.ChunkCells) admission batches merge
@@ -232,7 +276,7 @@ func serveOneDisk(cfg Config, g *disk.Geometry, grid *dataset.Grid, dims []int, 
 				}
 				var err error
 				if cells != nil && rng.Float64() < cfg.WriteFraction {
-					err = runInsertBurst(context.Background(), grp, cells, sessions[i], dims, rng)
+					_, err = runInsertBurst(context.Background(), grp, cells, sessions[i], dims, rng)
 				} else {
 					_, err = runMixedQuery(context.Background(), sessions[i], grid, dims, rng)
 				}
@@ -244,12 +288,18 @@ func serveOneDisk(cfg Config, g *disk.Geometry, grid *dataset.Grid, dims []int, 
 		}(i)
 	}
 	wg.Wait()
-	wall := time.Since(start).Seconds()
 	for _, err := range errs {
 		if err != nil {
 			return ServeRun{}, err
 		}
 	}
+	// Drain the write-back buffers before the books close, so deferred
+	// group-commit costs land in the session totals the table reports
+	// (the flush is free with write-back off or nothing dirty).
+	if err := sessions[0].Flush(context.Background()); err != nil {
+		return ServeRun{}, err
+	}
+	wall := time.Since(start).Seconds()
 
 	run := ServeRun{
 		Shards:      shards,
@@ -287,6 +337,8 @@ func serveOneDisk(cfg Config, g *disk.Geometry, grid *dataset.Grid, dims []int, 
 		run.IssuedRequests += tot.IssuedRequests
 		run.WriteOps += tot.WriteOps
 		run.Invalidated += tot.InvalidatedBlocks
+		run.Flushes += tot.FlushBatches
+		run.Coalesced += tot.CoalescedWrites
 		run.Cancelled += tot.Cancelled
 		run.Expired += tot.DeadlineExceeded
 	}
@@ -304,7 +356,7 @@ func serveOneDisk(cfg Config, g *disk.Geometry, grid *dataset.Grid, dims []int, 
 // slab is the whole dimension and the workload reduces exactly to the
 // unsharded hot region (the same region the hot range queries keep
 // re-reading).
-func runInsertBurst(ctx context.Context, grp *shard.Group, cells []*core.CellStore, sess *shard.Session, dims []int, rng *rand.Rand) error {
+func runInsertBurst(ctx context.Context, grp *shard.Group, cells []*core.CellStore, sess *shard.Session, dims []int, rng *rand.Rand) (engine.Stats, error) {
 	cell := make([]int, len(dims))
 	for i, d := range dims {
 		side := max(1, d/16)
@@ -320,16 +372,19 @@ func runInsertBurst(ctx context.Context, grp *shard.Group, cells []*core.CellSto
 		cell[0] = lo + rng.Intn(slots)*side
 	}
 	local := grp.Router().Localize(si, cell)
+	var sum engine.Stats
 	for k := 0; k < 8; k++ {
 		reqs, err := cells[si].Insert(local)
 		if err != nil {
-			return err
+			return sum, err
 		}
-		if _, err := sess.Member(si).Write(ctx, reqs, disk.SchedSPTF); err != nil {
-			return err
+		st, err := sess.Member(si).Write(ctx, reqs, disk.SchedSPTF)
+		if err != nil {
+			return sum, err
 		}
+		sum.Accumulate(st)
 	}
-	return nil
+	return sum, nil
 }
 
 // runMixedQuery issues one query through the client's scatter-gather

@@ -152,6 +152,30 @@ type Session struct {
 // shard's member session.
 func (s *Session) Member(i int) engine.QuerySession { return s.es[i] }
 
+// Flush commits every member service's write-back dirty buffer, in
+// shard order. A shard whose flush fails does not strand the others:
+// the remaining shards are still flushed, and the first error is
+// returned. A no-op on services without write-back. Returns
+// engine.ErrClosed (test with errors.Is) for shards whose service has
+// been closed.
+func (s *Session) Flush(ctx context.Context) error {
+	var first error
+	for _, es := range s.es {
+		if err := es.Flush(ctx); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Close retires the scatter-gather session: every shard's write-back
+// buffer is flushed so no write acknowledged through this session is
+// left uncommitted. The member services themselves stay open — they
+// are owned by the Group and shared with other sessions.
+func (s *Session) Close(ctx context.Context) error {
+	return s.Flush(ctx)
+}
+
 // Totals returns the session's accumulated statistics across all its
 // queries on every shard, summed in shard order.
 func (s *Session) Totals() engine.Stats {

@@ -315,6 +315,15 @@ func Open(vol *Volume, kind Mapping, dims []int, opts ...Option) (*Store, error)
 		if c.deadlineAging > 0 {
 			svc.SetDeadlineAging(c.deadlineAging)
 		}
+		if c.writeBack {
+			if err := svc.SetWriteBack(engine.WriteBackOptions{
+				Enabled:         true,
+				WatermarkBlocks: c.wbWatermark,
+				FlushInterval:   c.wbInterval,
+			}); err != nil {
+				return nil, err
+			}
+		}
 	}
 	if c.updatable {
 		if err := s.initUpdatable(c.update); err != nil {
@@ -399,6 +408,31 @@ func (q *Session) RangeQuery(ctx context.Context, lo, hi []int) (Stats, error) {
 	return q.ss.Box(ctx, lo, hi)
 }
 
+// Flush commits the write-back dirty buffers of every shard service
+// this session's store uses (see WithWriteBack) and returns once every
+// previously buffered write has paid its simulated I/O. A no-op
+// without write-back or with nothing dirty. A ctx already cancelled or
+// past its deadline aborts without flushing — the dirty data stays
+// buffered and commits on a later trigger.
+func (q *Session) Flush(ctx context.Context) error {
+	ctx, err := q.check(ctx)
+	if err != nil {
+		return err
+	}
+	return q.ss.Flush(ctx)
+}
+
+// Close retires the session, flushing every shard's write-back buffer
+// so no write acknowledged through this session is left uncommitted.
+// The store and its services stay open for other sessions.
+func (q *Session) Close(ctx context.Context) error {
+	ctx, err := q.check(ctx)
+	if err != nil {
+		return err
+	}
+	return q.ss.Close(ctx)
+}
+
 // Stats returns the session's accumulated statistics across all its
 // completed operations (summed over the shards it touched).
 func (q *Session) Stats() Stats { return q.ss.Totals() }
@@ -452,9 +486,21 @@ func (s *Store) Close() {
 	if s.closed.Swap(true) {
 		return
 	}
+	// Commit any write-back dirty data on shard 0 before retiring: the
+	// caller's volume outlives the store, and its service should not be
+	// left holding this store's buffered writes. The internal shard
+	// volumes flush on their own Close (the engine's fifth trigger).
+	s.def.ss.Flush(context.Background())
 	for _, sv := range s.extra {
 		sv.Close()
 	}
+}
+
+// Flush commits the write-back dirty buffers of every shard service
+// (see WithWriteBack) through the store's default session; a no-op
+// without write-back. See Session.Flush for the ctx contract.
+func (s *Store) Flush(ctx context.Context) error {
+	return s.def.Flush(ctx)
 }
 
 // Reset restores every shard volume of the store — the caller's and

@@ -335,8 +335,8 @@ func TestRunExperimentFacade(t *testing.T) {
 	if _, err := RunExperiment("fig99", cfg); err == nil {
 		t.Error("unknown experiment accepted")
 	}
-	if len(ExperimentIDs()) != 10 {
-		t.Errorf("want 10 experiment ids, got %v", ExperimentIDs())
+	if len(ExperimentIDs()) != 11 {
+		t.Errorf("want 11 experiment ids, got %v", ExperimentIDs())
 	}
 }
 

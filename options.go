@@ -22,6 +22,9 @@ type config struct {
 	shards        int
 	batchWindow   time.Duration
 	deadlineAging time.Duration
+	writeBack     bool
+	wbWatermark   int64
+	wbInterval    time.Duration
 	updatable     bool
 	update        UpdateOptions
 }
@@ -167,6 +170,37 @@ func WithDeadlineAging(d time.Duration) Option {
 			return fmt.Errorf("multimap: DeadlineAging must be non-negative")
 		}
 		c.deadlineAging = d
+		return nil
+	}
+}
+
+// WithWriteBack turns on write-back caching with group commit for
+// every shard service this store uses: Insert/Delete write ops are
+// absorbed into a per-service dirty buffer (repeated writes to the
+// same extent coalesce) and committed later as ONE SPTF-scheduled
+// batch — amortizing disk positioning across adjacent writes the way
+// the paper's batching amortizes it across reads. A flush happens when
+// the buffer reaches watermarkBlocks, when the oldest dirty extent has
+// been buffered for flushInterval, when a read overlaps dirty data
+// (reads never observe pre-write disk state), on Store.Flush /
+// Session.Flush, and on close. Zero values select the engine defaults;
+// negative values fail the open. Cache coherence is unchanged —
+// buffered writes still invalidate overlapping cached extents
+// immediately. Like WithCache this reconfigures the (possibly shared)
+// volume service; omitting the option leaves the service's current
+// write-back setting unchanged (default: off, bit-identical to the
+// write-through path).
+func WithWriteBack(watermarkBlocks int64, flushInterval time.Duration) Option {
+	return func(c *config) error {
+		if watermarkBlocks < 0 {
+			return fmt.Errorf("multimap: write-back watermark must be non-negative")
+		}
+		if flushInterval < 0 {
+			return fmt.Errorf("multimap: write-back flush interval must be non-negative")
+		}
+		c.writeBack = true
+		c.wbWatermark = watermarkBlocks
+		c.wbInterval = flushInterval
 		return nil
 	}
 }
