@@ -6,24 +6,40 @@ import (
 )
 
 // TestCommittedBenchTrajectory keeps the committed burst-latency
-// artifact honest: BENCH_6.json must parse under the mmbench-burst/v1
-// schema (the same check CI's bench-trajectory step runs via
-// cmd/benchtraj) and must actually be a write-back run with
-// group-commit evidence — the configuration whose p50/p99/p999
-// trajectory this artifact persists.
+// artifacts honest: every BENCH_*.json must parse under its declared
+// mmbench-burst schema version (the same check CI's bench-trajectory
+// step runs via cmd/benchtraj) and must actually be a write-back run
+// with group-commit evidence — the configuration whose latency
+// trajectory the artifacts persist. BENCH_7.json additionally pins the
+// QoS-on point: weighted-fair admission recorded via fair_quantum and
+// the 1:4 interactive:bulk weights.
 func TestCommittedBenchTrajectory(t *testing.T) {
-	data, err := os.ReadFile("BENCH_6.json")
-	if err != nil {
-		t.Fatal(err)
-	}
-	res, err := ValidateBurstJSON(data)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !res.WriteBack {
-		t.Fatalf("committed trajectory is not a write-back run: %+v", res)
-	}
-	if res.Coalesced == 0 || res.FlushBatches == 0 {
-		t.Fatalf("committed trajectory shows no group commit: %+v", res)
+	for _, name := range []string{"BENCH_6.json", "BENCH_7.json"} {
+		data, err := os.ReadFile(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := ValidateBurstJSON(data)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !res.WriteBack {
+			t.Fatalf("%s is not a write-back run: %+v", name, res)
+		}
+		if res.Coalesced == 0 || res.FlushBatches == 0 {
+			t.Fatalf("%s shows no group commit: %+v", name, res)
+		}
+		if name != "BENCH_7.json" {
+			continue
+		}
+		if res.FairQuantum <= 0 {
+			t.Fatalf("%s is not a QoS-on run: %+v", name, res)
+		}
+		want := map[string]int{"interactive": 1, "bulk": 4, "writer": 1}
+		for _, bc := range res.Classes {
+			if bc.Weight != want[bc.Class] {
+				t.Fatalf("%s class %q weight %d, want %d", name, bc.Class, bc.Weight, want[bc.Class])
+			}
+		}
 	}
 }

@@ -1,14 +1,19 @@
 // Command benchtraj validates a persisted mmbench burst-latency
-// trajectory (the BENCH_*.json artifacts the repo commits) against the
-// mmbench-burst/v1 schema: every key present, all three QoS classes
-// carrying traffic, and p50 ≤ p99 ≤ p999 per class. CI's
-// bench-trajectory step runs it over a freshly generated artifact and
-// over the committed one, so a schema drift fails the build instead of
+// trajectory (the BENCH_*.json artifacts the repo commits) against its
+// declared mmbench-burst schema version: every required key present,
+// all three QoS classes carrying traffic, and p50 ≤ p99 ≤ p999 (where
+// present) per class. Given a sequence of artifacts — the committed
+// trajectory in PR order — it additionally flags schema drift between
+// consecutive points and prints a per-class p50/p99 delta table, so
+// the latency trend across PRs is auditable at a glance. CI's
+// bench-trajectory step runs it over every committed artifact plus a
+// freshly generated one, so a schema break fails the build instead of
 // silently breaking trend tooling.
 //
 // Usage:
 //
-//	benchtraj -check BENCH_6.json
+//	benchtraj -check BENCH_6.json                # validate one artifact
+//	benchtraj -check BENCH_6.json BENCH_7.json   # validate a sequence + delta table
 package main
 
 import (
@@ -19,32 +24,103 @@ import (
 	multimap "repro"
 )
 
+// point is one validated artifact of the trajectory.
+type point struct {
+	path string
+	res  *multimap.BurstResult
+}
+
+func fmtP999(p *float64) string {
+	if p == nil {
+		return "-"
+	}
+	return fmt.Sprintf("%.3fms", *p)
+}
+
+// classOf finds the named class in an artifact, nil when absent.
+func classOf(res *multimap.BurstResult, name string) *multimap.BurstClass {
+	for i := range res.Classes {
+		if res.Classes[i].Class == name {
+			return &res.Classes[i]
+		}
+	}
+	return nil
+}
+
 func main() {
-	check := flag.String("check", "", "path of the mmbench-burst/v1 JSON artifact to validate")
+	check := flag.String("check", "", "path of the first mmbench-burst JSON artifact to validate; further paths are positional, in trajectory order")
 	flag.Parse()
-	if *check == "" || flag.NArg() > 0 {
-		fmt.Fprintln(os.Stderr, "benchtraj: usage: benchtraj -check <artifact.json>")
+	if *check == "" {
+		fmt.Fprintln(os.Stderr, "benchtraj: usage: benchtraj -check <artifact.json> [more.json ...]")
 		flag.Usage()
 		os.Exit(2)
 	}
-	data, err := os.ReadFile(*check)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "benchtraj: %v\n", err)
-		os.Exit(1)
+	paths := append([]string{*check}, flag.Args()...)
+
+	var traj []point
+	for _, path := range paths {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchtraj: %v\n", err)
+			os.Exit(1)
+		}
+		res, err := multimap.ValidateBurstJSON(data)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchtraj: %s: %v\n", path, err)
+			os.Exit(1)
+		}
+		traj = append(traj, point{path: path, res: res})
+
+		wbMode := "off"
+		if res.WriteBack {
+			wbMode = "on"
+		}
+		qosMode := "off"
+		if res.FairQuantum > 0 {
+			qosMode = fmt.Sprintf("quantum %d", res.FairQuantum)
+		}
+		fmt.Printf("%s: ok (%s, write-back %s, QoS %s, %d flushes, %d coalesced)\n",
+			path, res.Schema, wbMode, qosMode, res.FlushBatches, res.Coalesced)
+		for _, c := range res.Classes {
+			fmt.Printf("  %-11s  %5d ops  p50 %.3fms  p99 %.3fms  p999 %s  sim %.3fms/op\n",
+				c.Class, c.Ops, c.P50Ms, c.P99Ms, fmtP999(c.P999Ms), c.MeanSimMs)
+		}
 	}
-	res, err := multimap.ValidateBurstJSON(data)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "benchtraj: %s: %v\n", *check, err)
-		os.Exit(1)
+
+	if len(traj) < 2 {
+		return
 	}
-	wbMode := "off"
-	if res.WriteBack {
-		wbMode = "on"
+
+	// Trajectory view: schema drift between consecutive points is
+	// expected exactly when the schema version was bumped — flag it so
+	// an accidental drift (or a missing migration note) is visible; and
+	// the per-class p50/p99 deltas tell whether a PR moved the tail.
+	fmt.Printf("\ntrajectory (%d points):\n", len(traj))
+	for i := 1; i < len(traj); i++ {
+		prev, cur := traj[i-1], traj[i]
+		if prev.res.Schema != cur.res.Schema {
+			fmt.Printf("  schema drift: %s (%s) -> %s (%s)\n",
+				prev.path, prev.res.Schema, cur.path, cur.res.Schema)
+		}
 	}
-	fmt.Printf("%s: ok (%s, write-back %s, %d flushes, %d coalesced)\n",
-		*check, res.Schema, wbMode, res.FlushBatches, res.Coalesced)
-	for _, c := range res.Classes {
-		fmt.Printf("  %-11s  p50 %.3fms  p99 %.3fms  p999 %.3fms  sim %.3fms/op\n",
-			c.Class, c.P50Ms, c.P99Ms, c.P999Ms, c.MeanSimMs)
+	fmt.Printf("  %-30s %-11s %12s %12s %12s %12s\n",
+		"step", "class", "p50", "Δp50", "p99", "Δp99")
+	for i := 1; i < len(traj); i++ {
+		prev, cur := traj[i-1], traj[i]
+		step := fmt.Sprintf("%s -> %s", prev.path, cur.path)
+		for _, c := range cur.res.Classes {
+			pc := classOf(prev.res, c.Class)
+			if pc == nil {
+				fmt.Printf("  %-30s %-11s %12s %12s %12s %12s\n",
+					step, c.Class, fmt.Sprintf("%.3fms", c.P50Ms), "new",
+					fmt.Sprintf("%.3fms", c.P99Ms), "new")
+				continue
+			}
+			fmt.Printf("  %-30s %-11s %12s %+11.3fms %12s %+11.3fms\n",
+				step, c.Class,
+				fmt.Sprintf("%.3fms", c.P50Ms), c.P50Ms-pc.P50Ms,
+				fmt.Sprintf("%.3fms", c.P99Ms), c.P99Ms-pc.P99Ms)
+			step = ""
+		}
 	}
 }

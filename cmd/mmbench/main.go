@@ -14,6 +14,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -40,7 +42,10 @@ func main() {
 		wb       = flag.Bool("wb", false, "write-back caching with group commit on every -exp serve/burst service: writes are absorbed into dirty extent buffers and committed as one SPTF batch per flush; the tables gain flushes/coalesced columns")
 		wbWater  = flag.Int64("wb-watermark", 0, "write-back flush watermark in dirty blocks (0 = engine default); needs -wb")
 		wbIvl    = flag.Duration("wb-interval", 0, "write-back flush interval, e.g. 2ms: dirty data older than this is committed (0 = engine default); needs -wb")
-		jsonOut  = flag.String("json", "", "write -exp burst's structured result (schema mmbench-burst/v1: p50/p99/p999 per QoS class) to this file")
+		fair     = flag.Int64("fair", 0, "weighted-fair (deficit-round-robin) admission quantum in blocks for -exp burst, e.g. 1024: each admission pass grants every backlogged QoS class quantum*weight blocks of credit (0 = fair sharing off)")
+		jsonOut  = flag.String("json", "", "write -exp burst's structured result (schema mmbench-burst/v2: p50/p99 per QoS class, p999 on large samples) to this file")
+		cpuProf  = flag.String("cpuprofile", "", "write a pprof CPU profile of the experiment run to this file (inspect with 'go tool pprof')")
+		memProf  = flag.String("memprofile", "", "write a pprof heap profile taken after the experiment run to this file (inspect with 'go tool pprof')")
 	)
 	flag.Parse()
 
@@ -63,6 +68,23 @@ func main() {
 	if *wbWater < 0 || *wbIvl < 0 {
 		usageErr("-wb-watermark and -wb-interval must be non-negative")
 	}
+	if *fair < 0 {
+		usageErr("-fair %d is negative; want a quantum in blocks", *fair)
+	}
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mmbench: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "mmbench: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+		defer f.Close()
+	}
 
 	cfg := multimap.ExperimentConfig{
 		Scale: *scale, Runs: *runs, Seed: *seed,
@@ -72,6 +94,7 @@ func main() {
 		Shards:        *shards, BatchWindow: *window,
 		Deadline: *deadline, DeadlineAging: *aging,
 		WriteBack: *wb, WBWatermark: *wbWater, WBInterval: *wbIvl,
+		FairQuantum: *fair,
 	}
 	if *disks != "" {
 		for _, d := range strings.Split(*disks, ",") {
@@ -83,6 +106,9 @@ func main() {
 	if *exp == "all" {
 		ids = multimap.ExperimentIDs()
 	}
+	// Experiment failures funnel through this instead of os.Exit so the
+	// profile defers above still flush their files.
+	exitCode := 0
 	for _, id := range ids {
 		start := time.Now()
 		var (
@@ -104,9 +130,31 @@ func main() {
 		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "mmbench: %s: %v\n", id, err)
-			os.Exit(1)
+			exitCode = 1
+			break
 		}
 		fmt.Print(table.String())
 		fmt.Printf("(%s in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+
+	if *memProf != "" {
+		f, err := os.Create(*memProf)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mmbench: -memprofile: %v\n", err)
+			exitCode = 1
+		} else {
+			runtime.GC() // settle the heap so the profile shows live data
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "mmbench: -memprofile: %v\n", err)
+				exitCode = 1
+			}
+			f.Close()
+		}
+	}
+	if exitCode != 0 {
+		if *cpuProf != "" {
+			pprof.StopCPUProfile()
+		}
+		os.Exit(exitCode)
 	}
 }

@@ -109,8 +109,8 @@
 // -wb/-wb-watermark/-wb-interval, and -exp burst runs a closed-loop
 // burst workload of three QoS classes (interactive/bulk/writer)
 // reporting p50/p99/p999 host latency per class, persisted via -json
-// under the mmbench-burst/v1 schema (cmd/benchtraj validates;
-// BENCH_6.json is the committed trajectory).
+// under the mmbench-burst/v2 schema (cmd/benchtraj validates;
+// BENCH_6.json and BENCH_7.json are the committed trajectory).
 //
 // # Sharded scatter-gather execution
 //
@@ -171,6 +171,43 @@
 // session's ms/query plus cancelled/expired drop counts. With
 // background contexts and aging off, admission stays in submission
 // order — bit-identical to the pre-QoS engine.
+//
+// # Weighted-fair QoS classes and the partitioned cache
+//
+// WithFairShare(quantum) generalizes urgent-first into full
+// weighted-fair admission. Sessions declare a QoS class
+// (Store.BeginQoS, or WithQoS for the store's default session);
+// WithQoSClass(name, weight, urgent) registers each class's share.
+// Every admission pass runs deficit round-robin over the queued ops'
+// SIMULATED block cost: each backlogged class earns quantum × weight
+// blocks of credit, admits its ops FIFO while the credit covers them,
+// and carries the unused deficit into the next pass (reset when the
+// class drains, so an idle class cannot hoard credit); admitted
+// classes are served cheapest group first, and a class whose op
+// exceeds its credit still admits one op per pass (no livelock), the
+// rest counted in ClassTotals.Deferred. Urgent work — an explicit
+// deadline, an op aged past WithDeadlineAging, or a class registered
+// urgent — keeps strict priority ahead of all weighted sharing. The
+// same weights partition the shared extent cache into per-class
+// reserve floors (capacity × weight / Σweights): any class may borrow
+// idle capacity, but over-capacity eviction reclaims over-reserve
+// extents (LRU-most first), so a bulk scan can no longer evict an
+// interactive session's hot extents below its floor. Expired range
+// queries return speculative partial results: the merged Stats of the
+// work already issued come back with Stats.Partial set alongside the
+// context's error, so a caller can use a partial aggregate instead of
+// discarding it. Per-class bookkeeping (ops, urgent ops, deferrals,
+// attributed Stats — summing to ServiceTotals.Attributed per class,
+// group-wide on a sharded store) is surfaced by Store.ClassTotals.
+// With WithFairShare omitted, admission, cache, and Stats are
+// bit-identical to the pre-QoS engine (fig6probe diffs empty).
+// cmd/mmbench mirrors the knob as -fair <quantum> (the burst
+// workload registers interactive/bulk/writer at weights 1/4/1), and
+// its -cpuprofile/-memprofile flags write pprof profiles for hunting
+// scheduler hot spots: run e.g.
+//
+//	mmbench -exp burst -clients 6 -wb -fair 4096 -cpuprofile cpu.pb.gz
+//	go tool pprof cpu.pb.gz
 //
 // Migration from the pre-context API (the old names remain one release
 // as thin deprecated wrappers):

@@ -66,6 +66,12 @@ type ExperimentConfig struct {
 	// defaults. Ignored unless WriteBack is set.
 	WBWatermark int64
 	WBInterval  time.Duration
+	// FairQuantum, when positive, turns on weighted-fair
+	// (deficit-round-robin) admission on every service of the "burst"
+	// experiment, with the benchmark's built-in 1:4:1
+	// interactive:bulk:writer weights. 0 keeps fair sharing off —
+	// admission bit-identical to the pre-QoS behavior.
+	FairQuantum int64
 }
 
 // ExperimentIDs lists the regenerable paper artifacts plus the two
@@ -79,9 +85,17 @@ func ExperimentIDs() []string {
 type ExperimentTable = experiments.Table
 
 // BurstResult is the burst benchmark's JSON-stable artifact: per-QoS-
-// class host-latency percentiles (p50/p99/p999) plus group-commit
-// evidence, under the "mmbench-burst/v1" schema.
+// class host-latency percentiles (p50/p99, and p999 when the sample is
+// large enough to support it) plus fair-share and group-commit
+// evidence, under the "mmbench-burst/v2" schema (v1 artifacts still
+// decode and validate).
 type BurstResult = experiments.BurstResult
+
+// BurstClass is one QoS class's row in a BurstResult: its registered
+// fair-share weight, traffic volume, host-latency percentiles, and how
+// many of its ops the weighted-fair scheduler deferred to a later
+// admission pass.
+type BurstClass = experiments.BurstClass
 
 // RunBurst runs the closed-loop burst-traffic benchmark (experiment id
 // "burst") and returns its table together with the structured result,
@@ -94,10 +108,11 @@ func RunBurst(cfg ExperimentConfig) (*ExperimentTable, *BurstResult, error) {
 	return experiments.BurstTraffic(ic)
 }
 
-// ValidateBurstJSON checks raw JSON against the mmbench-burst/v1
-// schema: every key present, all three QoS classes with traffic, and
-// p50 ≤ p99 ≤ p999 per class. The CI bench-trajectory step runs it
-// over the committed artifact.
+// ValidateBurstJSON checks raw JSON against its declared mmbench-burst
+// schema version (v1 or v2): every required key present, all three QoS
+// classes with traffic, and p50 ≤ p99 ≤ p999 (where present) per
+// class. The CI bench-trajectory step runs it over every committed
+// artifact.
 func ValidateBurstJSON(data []byte) (*BurstResult, error) {
 	return experiments.ValidateBurstJSON(data)
 }
@@ -112,6 +127,7 @@ func (cfg ExperimentConfig) internal() (experiments.Config, error) {
 		Shards:        cfg.Shards, BatchWindow: cfg.BatchWindow,
 		Deadline: cfg.Deadline, DeadlineAging: cfg.DeadlineAging,
 		WriteBack: cfg.WriteBack, WBWatermark: cfg.WBWatermark, WBInterval: cfg.WBInterval,
+		FairQuantum: cfg.FairQuantum,
 	}
 	for _, m := range cfg.Disks {
 		g, err := disk.ModelByName(string(m))

@@ -17,15 +17,38 @@ import (
 //
 // The cache is owned by the service loop and needs no locking of its
 // own.
+//
+// # QoS partitioning
+//
+// With fair sharing on, setShares installs per-class reserve floors
+// (capacity × weight / Σweights) and the cache becomes class-aware:
+// every extent is tagged with the QoS class that inserted it (a merge
+// re-tags the union to the inserting class), per-class usage is
+// tracked, and eviction turns borrower-first — a class may grow past
+// its reserve into idle capacity, but when the cache overflows the
+// victim is the least-recently-used extent belonging to a class that
+// is OVER its reserve. A class at or under its reserve keeps its
+// extents no matter who is inserting: a bulk scan can fill idle cache
+// yet can never push an interactive class's working set below its
+// floor. With shares nil (fair sharing off) eviction is the plain
+// LRU-back rule, bit-identical to the unpartitioned cache.
 type extentCache struct {
 	capBlocks int64
 	used      int64
 	lru       *list.List      // front = most recently used; values are *cachedExtent
 	byStart   []*cachedExtent // ascending by start; extents are disjoint
+
+	// shares is the per-class reserve floor in blocks (nil = plain
+	// unpartitioned LRU); usedBy tracks each class's cached blocks
+	// (maintained even with shares nil, so a later setShares partitions
+	// the already-cached population correctly).
+	shares map[string]int64
+	usedBy map[string]int64
 }
 
 type cachedExtent struct {
 	start, end int64
+	class      string // QoS class that inserted (or last re-merged) it
 	elem       *list.Element
 }
 
@@ -33,7 +56,26 @@ func newExtentCache(capBlocks int64) *extentCache {
 	if capBlocks <= 0 {
 		return nil
 	}
-	return &extentCache{capBlocks: capBlocks, lru: list.New()}
+	return &extentCache{capBlocks: capBlocks, lru: list.New(), usedBy: make(map[string]int64)}
+}
+
+// capacity returns the cache capacity in blocks (0 for the nil cache a
+// zero capacity yields).
+func (c *extentCache) capacity() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.capBlocks
+}
+
+// setShares installs the per-class reserve floors; nil reverts to the
+// plain unpartitioned LRU. Cached contents survive a reconfiguration —
+// only future evictions change policy.
+func (c *extentCache) setShares(shares map[string]int64) {
+	if c == nil {
+		return
+	}
+	c.shares = shares
 }
 
 // blocks returns the extent's size.
@@ -62,13 +104,20 @@ func (c *extentCache) covered(start, end int64) bool {
 	return false
 }
 
-// insert adds [start, end) as most-recently-used, merging it with every
-// overlapping or adjacent cached extent, then evicts least-recently-used
-// extents until the capacity holds. Extents larger than the whole cache
+// insert adds [start, end) as most-recently-used under the default
+// class, merging it with every overlapping or adjacent cached extent,
+// then evicts until the capacity holds (see insertFor).
+func (c *extentCache) insert(start, end int64) { c.insertFor(start, end, "") }
+
+// insertFor adds [start, end) as most-recently-used, tagged with the
+// inserting QoS class, merging it with every overlapping or adjacent
+// cached extent (the union is re-tagged to the inserting class), then
+// evicts extents until the capacity holds — LRU-back with shares nil,
+// borrower-first with shares set. Extents larger than the whole cache
 // are not cached at all — and when merging would produce such an
 // extent, the insert is skipped entirely so the existing cached
 // neighbours survive instead of being evicted through.
-func (c *extentCache) insert(start, end int64) {
+func (c *extentCache) insertFor(start, end int64, class string) {
 	if c == nil || end-start > c.capBlocks || end <= start {
 		return
 	}
@@ -93,9 +142,10 @@ func (c *extentCache) insert(start, end int64) {
 	}
 	for _, e := range c.byStart[lo:hi] {
 		c.used -= e.blocks()
+		c.usedBy[e.class] -= e.blocks()
 		c.lru.Remove(e.elem)
 	}
-	merged := &cachedExtent{start: start, end: end}
+	merged := &cachedExtent{start: start, end: end, class: class}
 	merged.elem = c.lru.PushFront(merged)
 	if hi > lo {
 		c.byStart[lo] = merged
@@ -104,13 +154,43 @@ func (c *extentCache) insert(start, end int64) {
 		c.byStart = slices.Insert(c.byStart, lo, merged)
 	}
 	c.used += merged.blocks()
+	c.usedBy[class] += merged.blocks()
 	for c.used > c.capBlocks {
-		victim := c.lru.Back().Value.(*cachedExtent)
+		victim := c.evictVictim()
+		if victim == nil {
+			break
+		}
 		c.lru.Remove(victim.elem)
 		i := c.search(victim.start) - 1
 		c.byStart = append(c.byStart[:i], c.byStart[i+1:]...)
 		c.used -= victim.blocks()
+		c.usedBy[victim.class] -= victim.blocks()
 	}
+}
+
+// evictVictim picks the next extent to evict. With shares nil it is the
+// plain LRU back. With shares set it is the least-recently-used extent
+// whose class is over its reserve floor — the borrower-first rule: a
+// class at or under its reserve is immune, so over-capacity pressure
+// always reclaims borrowed blocks before anyone's guaranteed share.
+// Since Σ reserves ≤ capacity, an over-capacity cache always holds at
+// least one over-reserve extent; the LRU-back fallback only guards the
+// impossible empty walk.
+func (c *extentCache) evictVictim() *cachedExtent {
+	back := c.lru.Back()
+	if back == nil {
+		return nil
+	}
+	if c.shares == nil {
+		return back.Value.(*cachedExtent)
+	}
+	for el := back; el != nil; el = el.Prev() {
+		e := el.Value.(*cachedExtent)
+		if c.usedBy[e.class] > c.shares[e.class] {
+			return e
+		}
+	}
+	return back.Value.(*cachedExtent)
 }
 
 // invalidate removes [start, end) from the cache: fully covered extents
@@ -134,13 +214,14 @@ func (c *extentCache) invalidate(start, end int64) int64 {
 		e := c.byStart[hi]
 		cutLo, cutHi := max(e.start, start), min(e.end, end)
 		dropped += cutHi - cutLo
+		c.usedBy[e.class] -= cutHi - cutLo
 		if e.start < start {
-			left := &cachedExtent{start: e.start, end: start}
+			left := &cachedExtent{start: e.start, end: start, class: e.class}
 			left.elem = c.lru.InsertBefore(left, e.elem)
 			remnants = append(remnants, left)
 		}
 		if e.end > end {
-			right := &cachedExtent{start: end, end: e.end}
+			right := &cachedExtent{start: end, end: e.end, class: e.class}
 			right.elem = c.lru.InsertBefore(right, e.elem)
 			remnants = append(remnants, right)
 		}
@@ -162,4 +243,11 @@ func (c *extentCache) clear() {
 	c.lru.Init()
 	c.byStart = c.byStart[:0]
 	c.used = 0
+	clearMap(c.usedBy)
+}
+
+func clearMap(m map[string]int64) {
+	for k := range m {
+		delete(m, k)
+	}
 }

@@ -81,6 +81,13 @@ type Stats struct {
 	// ServiceTotals.Attributed for the work that WAS issued.
 	Cancelled        int64
 	DeadlineExceeded int64
+	// Partial marks a speculative partial result: the query's context
+	// expired (or was cancelled) mid-plan, and these Stats carry the
+	// cells already aggregated rather than the full box — returned
+	// alongside the context error instead of discarding the work. Folded
+	// with OR by Accumulate, so a session's lifetime totals record
+	// whether any query returned partial data.
+	Partial bool
 }
 
 // MsPerCell returns the paper's headline metric: average I/O time per

@@ -1,0 +1,258 @@
+package engine
+
+import (
+	"slices"
+	"sort"
+	"time"
+)
+
+// Weighted fair QoS admission. Sessions declare a QoS class
+// (SessionOptions.Class); the service registers classes with weights
+// (ServiceOptions.Classes / SetFairShare). When FairQuantum is
+// positive the admission batcher runs deficit round-robin over
+// simulated block cost: each admission pass grants every class with
+// pending work quantum × weight blocks of credit (deficits carry
+// across passes while the class stays backlogged, and reset when its
+// backlog drains, the classic DRR anti-hoarding rule), admits each
+// class's ops FIFO while its credit covers their block cost, and
+// serves every class's grant as its own admission batch — ops of
+// different classes are never coalesced into one disk batch, so one
+// class's bulk scan cannot ride ahead inside another's batch. Ops a
+// pass could not afford stay queued for the next pass; the loop keeps
+// making passes (each granting fresh credit, and always admitting at
+// least one op when anything is pending, so a single op costlier than
+// its class's whole grant still goes) until the backlog drains.
+//
+// PR 5's urgent-front behavior is the strict-priority edge of the same
+// scheduler: ops with an explicit context deadline, ops of a class
+// registered Urgent, and ops queued at least the DeadlineAging
+// duration bypass DRR entirely and are served first, as their own
+// batch ordered by effective deadline — aging therefore promotes a
+// starving bulk op into the urgent class, which bounds how long
+// weighted sharing may defer anyone. Urgent service is not charged
+// against the class's deficit.
+//
+// With FairQuantum 0 the DRR machinery is never engaged: admission
+// degenerates to exactly the PR 5 behavior (DeadlineAging on) or the
+// pre-QoS submission order (aging off), bit for bit.
+
+// QoSClass declares one admission class.
+type QoSClass struct {
+	// Name is the class label sessions reference via
+	// SessionOptions.Class. The empty name is the default class every
+	// unlabelled session belongs to.
+	Name string
+	// Weight is the class's share of each admission pass: a pass
+	// grants the class FairQuantum × Weight blocks of credit. Values
+	// below 1 are treated as 1.
+	Weight int
+	// Urgent marks a strict-priority class: its ops always join the
+	// urgent front batch (ahead of all weighted sharing), exactly as
+	// if each carried an explicit context deadline.
+	Urgent bool
+}
+
+// DefaultFairQuantum is the DRR quantum applied when fair-share
+// admission is enabled with a zero quantum: blocks of admission credit
+// per weight unit per pass.
+const DefaultFairQuantum = int64(1024)
+
+// weight returns the registered weight of a class (1 for unregistered
+// classes, and at least 1 always).
+func classWeight(classes map[string]QoSClass, name string) int64 {
+	if c, ok := classes[name]; ok && c.Weight > 1 {
+		return int64(c.Weight)
+	}
+	return 1
+}
+
+// opCost is the DRR measure of one work op: the simulated blocks it
+// asks for. A zero-block op costs 1 so admission always drains it.
+func opCost(op *serviceOp) int64 {
+	var n int64
+	for _, r := range op.chunk.Reqs {
+		n += int64(r.Count)
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// drrSched is the loop-owned deficit-round-robin state: per-class FIFO
+// backlogs and credit counters. Only the service loop touches it.
+type drrSched struct {
+	pending map[string][]*serviceOp
+	deficit map[string]int64
+	count   int
+}
+
+func newDRRSched() *drrSched {
+	return &drrSched{
+		pending: make(map[string][]*serviceOp),
+		deficit: make(map[string]int64),
+	}
+}
+
+// push appends ops to their classes' backlogs in submission order.
+func (d *drrSched) push(ops []*serviceOp) {
+	for _, op := range ops {
+		d.pending[op.class] = append(d.pending[op.class], op)
+		d.count++
+	}
+}
+
+// activeClasses returns the backlogged class names in sorted order —
+// the deterministic round-robin sequence.
+func (d *drrSched) activeClasses() []string {
+	names := make([]string, 0, len(d.pending))
+	for name, q := range d.pending {
+		if len(q) > 0 {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// takeUrgent pulls every backlogged op that has become urgent — aged
+// past the aging cap, holding an explicit deadline, or in an Urgent
+// class — out of the class backlogs, preserving order within each
+// class. This is how aging promotes a DRR-deferred op into the urgent
+// class.
+func (d *drrSched) takeUrgent(classes map[string]QoSClass, aging time.Duration, now time.Time) []*serviceOp {
+	var urgent []*serviceOp
+	for name, q := range d.pending {
+		kept := q[:0]
+		for _, op := range q {
+			if isUrgent(op, classes, aging, now) {
+				urgent = append(urgent, op)
+				d.count--
+			} else {
+				kept = append(kept, op)
+			}
+		}
+		d.pending[name] = kept
+	}
+	return urgent
+}
+
+// grant runs one DRR round: every backlogged class earns quantum ×
+// weight credit, then admits ops FIFO while the credit covers their
+// block cost. A class whose backlog drains forfeits its leftover
+// credit. When a full round admits nothing (every class's head op
+// costs more than its accumulated credit), rounds repeat until one op
+// is admitted — progress per pass is guaranteed. Returns the admitted
+// ops grouped per class, cheapest group first: groups are served
+// sequentially within the pass, so a light latency-sensitive group
+// (an interactive class's point reads) completes ahead of a heavy
+// scan group's simulation instead of waiting it out, at the cost of
+// delaying the heavy group by only the light groups' small service
+// time. Ties break on class name, keeping the order deterministic.
+func (d *drrSched) grant(classes map[string]QoSClass, quantum int64) [][]*serviceOp {
+	if d.count == 0 {
+		return nil
+	}
+	var groups [][]*serviceOp
+	for len(groups) == 0 {
+		for _, name := range d.activeClasses() {
+			d.deficit[name] += quantum * classWeight(classes, name)
+			q := d.pending[name]
+			n := 0
+			for n < len(q) && opCost(q[n]) <= d.deficit[name] {
+				d.deficit[name] -= opCost(q[n])
+				n++
+			}
+			if n > 0 {
+				groups = append(groups, q[:n:n])
+				d.pending[name] = q[n:]
+				d.count -= n
+			}
+			if len(d.pending[name]) == 0 {
+				d.deficit[name] = 0
+			}
+		}
+	}
+	sort.SliceStable(groups, func(i, j int) bool {
+		ci, cj := groupCost(groups[i]), groupCost(groups[j])
+		if ci != cj {
+			return ci < cj
+		}
+		return groups[i][0].class < groups[j][0].class
+	})
+	return groups
+}
+
+// groupCost is one admitted group's total simulated block cost.
+func groupCost(group []*serviceOp) int64 {
+	var sum int64
+	for _, op := range group {
+		sum += opCost(op)
+	}
+	return sum
+}
+
+// drain empties every backlog — ops grouped per class in sorted class
+// order, FIFO within each class — forfeiting all credit. Used before
+// control-op barriers and on close, where deferral would reorder ops
+// across a barrier or strand submitters.
+func (d *drrSched) drain() [][]*serviceOp {
+	if d.count == 0 {
+		return nil
+	}
+	var groups [][]*serviceOp
+	for _, name := range d.activeClasses() {
+		groups = append(groups, d.pending[name])
+		d.pending[name] = nil
+		d.deficit[name] = 0
+	}
+	d.count = 0
+	return groups
+}
+
+// isUrgent classifies one op for the strict-priority front: explicit
+// context deadline, Urgent class, or queued at least the aging cap.
+func isUrgent(op *serviceOp, classes map[string]QoSClass, aging time.Duration, now time.Time) bool {
+	if !op.deadline.IsZero() {
+		return true
+	}
+	if c, ok := classes[op.class]; ok && c.Urgent {
+		return true
+	}
+	return aging > 0 && now.Sub(op.enqueued) >= aging
+}
+
+// sortUrgent orders the urgent front batch by effective deadline: the
+// explicit context deadline when present, otherwise enqueue time plus
+// the aging cap (plain enqueue time when aging is off) — PR 5's
+// ordering, extended to Urgent-class ops.
+func sortUrgent(ops []*serviceOp, aging time.Duration) {
+	eff := func(op *serviceOp) time.Time {
+		if !op.deadline.IsZero() {
+			return op.deadline
+		}
+		return op.enqueued.Add(aging)
+	}
+	slices.SortStableFunc(ops, func(a, b *serviceOp) int { return eff(a).Compare(eff(b)) })
+}
+
+// ClassTotals is one QoS class's slice of the service bookkeeping.
+// Summing every class's Attributed reproduces ServiceTotals.Attributed
+// field for field — the attribution-sum property, now per class —
+// except ElapsedMs: a batch's elapsed time is observed once per
+// contributing class (like sessions observe it), so summed class
+// ElapsedMs can exceed the service's.
+type ClassTotals struct {
+	// Class is the class name ("" is the default class).
+	Class string
+	// Ops counts work ops (read chunks and writes) served or absorbed
+	// for the class; UrgentOps counts the subset that went through the
+	// strict-priority front; Deferred counts deferral events — an op
+	// held back by DRR for at least one admission pass.
+	Ops       int64
+	UrgentOps int64
+	Deferred  int64
+	// Attributed is the class's share of ServiceTotals.Attributed:
+	// exactly what was handed back to the class's sessions.
+	Attributed Stats
+}

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"cmp"
 	"context"
 	"errors"
 	"fmt"
@@ -52,6 +53,16 @@ type Service struct {
 	closed  bool
 	cache   *extentCache // owned by the loop; guarded by mu only for reconfiguration
 	totals  ServiceTotals
+	// perClass is the per-QoS-class slice of totals, keyed by class
+	// name; guarded by mu like totals.
+	perClass map[string]*ClassTotals
+
+	// classes is the QoS class registry and drr the deficit-round-robin
+	// backlog of the weighted-fair admission batcher. Both are owned by
+	// the loop goroutine: reconfiguration goes through the opQoSCfg
+	// control op, which the loop itself executes.
+	classes map[string]QoSClass
+	drr     *drrSched
 
 	// wake (buffered 1) nudges a loop that is idle-waiting on dirty
 	// write-back data: submit signals it on every enqueue and Close on
@@ -97,6 +108,22 @@ type ServiceOptions struct {
 	// default) disables classification — every pass admits in submission
 	// order, bit-for-bit the pre-QoS behavior.
 	DeadlineAging time.Duration
+	// FairQuantum enables weighted-fair (deficit-round-robin) admission
+	// when positive: each admission pass grants every backlogged QoS
+	// class FairQuantum × weight blocks of credit, admits each class's
+	// ops FIFO while the credit covers their simulated block cost, and
+	// defers the rest to later passes — so one class's burst can no
+	// longer monopolize an admission pass. Urgent work (explicit
+	// context deadline, Urgent class, or op aged past DeadlineAging)
+	// keeps strict priority ahead of the weighted shares. 0 (the
+	// default) disables DRR — admission is bit-identical to the
+	// FairQuantum-less service. See qos.go for the full contract.
+	FairQuantum int64
+	// Classes registers the QoS classes (weights, urgency) the fair
+	// scheduler and the class-partitioned extent cache use. Sessions
+	// reference classes by SessionOptions.Class; unregistered classes
+	// get weight 1 and no cache reserve.
+	Classes []QoSClass
 	// WriteBack configures write-back caching with group commit: write
 	// ops are absorbed into a dirty buffer instead of being charged
 	// immediately, and the buffer is committed as one SPTF batch on
@@ -163,6 +190,7 @@ const (
 	opCacheCfg
 	opFlush
 	opWriteBackCfg
+	opQoSCfg
 )
 
 // serviceOp is one message to the service loop.
@@ -180,16 +208,25 @@ type serviceOp struct {
 	// opChunk and opWrite fields; a write op carries its mutated block
 	// extents in chunk.Reqs. owner is the submitting session of a write
 	// op — the write-back flusher credits the group commit's cost back
-	// to it (nil for reads and for raw test submissions).
-	chunk  Chunk
-	policy disk.SchedPolicy // effective issue policy (session override applied)
-	trace  func([]lvm.Completion)
-	owner  *Session
+	// to it (nil for reads and for raw test submissions). class is the
+	// submitting session's QoS class ("" for the default class); the
+	// fair scheduler queues and charges the op against it. deferred
+	// marks an op DRR has already held back at least one pass, so the
+	// Deferred counter counts each op once.
+	chunk    Chunk
+	policy   disk.SchedPolicy // effective issue policy (session override applied)
+	trace    func([]lvm.Completion)
+	owner    *Session
+	class    string
+	deferred bool
 
 	// opCacheCfg field.
 	cacheBlocks int64
 	// opWriteBackCfg field.
 	wbCfg WriteBackOptions
+	// opQoSCfg fields.
+	qosQuantum int64
+	qosClasses []QoSClass
 
 	reply chan opResult
 }
@@ -218,17 +255,97 @@ type opResult struct {
 // no goroutine.
 func NewService(vol *lvm.Volume, opts ServiceOptions) *Service {
 	s := &Service{
-		vol:   vol,
-		opts:  opts,
-		cache: newExtentCache(opts.CacheBlocks),
-		wake:  make(chan struct{}, 1),
+		vol:      vol,
+		opts:     opts,
+		cache:    newExtentCache(opts.CacheBlocks),
+		wake:     make(chan struct{}, 1),
+		perClass: make(map[string]*ClassTotals),
+		classes:  make(map[string]QoSClass),
+		drr:      newDRRSched(),
 	}
 	if opts.WriteBack.Enabled {
 		s.opts.WriteBack = opts.WriteBack.withDefaults()
 		s.wb = &dirtySet{}
 	}
+	s.applyQoS(opts.FairQuantum, opts.Classes)
 	s.idle.L = &s.mu
 	return s
+}
+
+// applyQoS installs a fair-share configuration: the quantum (clamped
+// to DefaultFairQuantum when enabled with 0), the class registry, and
+// the extent cache's per-class reserve shares. Called from NewService
+// before the loop exists and from the loop itself (opQoSCfg), so the
+// loop-owned registry needs no extra synchronization.
+func (s *Service) applyQoS(quantum int64, classes []QoSClass) {
+	if quantum < 0 {
+		quantum = 0
+	}
+	if quantum > 0 && len(classes) > 0 {
+		// The default class exists whenever fair sharing is on, so
+		// unlabelled sessions are a schedulable class of their own.
+		if _, ok := hasClass(classes, ""); !ok {
+			classes = append(slices.Clone(classes), QoSClass{Name: "", Weight: 1})
+		}
+	}
+	reg := make(map[string]QoSClass, len(classes))
+	for _, c := range classes {
+		if c.Weight < 1 {
+			c.Weight = 1
+		}
+		reg[c.Name] = c
+	}
+	s.classes = reg
+	s.mu.Lock()
+	s.opts.FairQuantum = quantum
+	cache := s.cache
+	s.mu.Unlock()
+	cache.setShares(cacheShares(cache.capacity(), quantum, reg))
+}
+
+// hasClass reports whether a class list names a class.
+func hasClass(classes []QoSClass, name string) (QoSClass, bool) {
+	for _, c := range classes {
+		if c.Name == name {
+			return c, true
+		}
+	}
+	return QoSClass{}, false
+}
+
+// cacheShares computes the extent cache's per-class reserve floors:
+// capacity × weight / Σweights over the registered classes. Nil — a
+// plain unpartitioned LRU — when fair sharing is off or no classes are
+// registered.
+func cacheShares(capBlocks, quantum int64, classes map[string]QoSClass) map[string]int64 {
+	if quantum <= 0 || len(classes) == 0 || capBlocks <= 0 {
+		return nil
+	}
+	var sum int64
+	for _, c := range classes {
+		sum += int64(c.Weight)
+	}
+	shares := make(map[string]int64, len(classes))
+	for name, c := range classes {
+		shares[name] = capBlocks * int64(c.Weight) / sum
+	}
+	return shares
+}
+
+// SetFairShare reconfigures weighted-fair admission, serialized with
+// in-flight batches: quantum is the DRR credit in blocks per weight
+// unit per admission pass (0 turns fair sharing off, negative is
+// treated as 0; an enabled zero-ish quantum below 1 uses
+// DefaultFairQuantum via the caller passing it explicitly), and
+// classes replaces the QoS class registry. The extent cache's
+// per-class reserves are recomputed from the same registry. Ops
+// already deferred by the old configuration are drained first —
+// reconfiguration is a scheduling barrier like every control op.
+func (s *Service) SetFairShare(quantum int64, classes []QoSClass) error {
+	return s.control(&serviceOp{
+		kind: opQoSCfg, qosQuantum: quantum, qosClasses: classes,
+		reply: make(chan opResult, 1),
+	})
 }
 
 // SetBatchWindow reconfigures the admission window (see
@@ -397,6 +514,20 @@ func (s *Service) loop() {
 		wb := s.opts.WriteBack
 		closed := s.closed
 		if len(batch) == 0 {
+			if s.drr.count > 0 {
+				// A DRR backlog keeps the loop alive: each extra pass
+				// grants fresh per-class credit and admits at least one
+				// deferred op, so the backlog drains in bounded passes.
+				// After Close nothing new can arrive to share passes
+				// with, so the backlog is served out in one drain.
+				s.mu.Unlock()
+				if closed {
+					s.drainDeferred(aging)
+				} else {
+					s.serveWork(nil, aging)
+				}
+				continue
+			}
 			if s.wb != nil && s.wb.blocks > 0 {
 				// Dirty write-back data keeps the loop alive: on Close it
 				// flushes immediately (trigger five); otherwise it sleeps
@@ -478,11 +609,15 @@ func (s *Service) earliestWake(aging time.Duration) (time.Time, bool) {
 }
 
 // process serves one admitted batch in submission order: consecutive
-// chunk and write ops form admission batches; control ops are barriers.
+// chunk and write ops form admission batches; control ops are
+// barriers. A control op also drains the DRR backlog first — ops the
+// fair scheduler deferred were submitted before the control op, so
+// deferring them past it would reorder work across the barrier.
 func (s *Service) process(batch []*serviceOp, aging time.Duration) {
 	isWork := func(k opKind) bool { return k == opChunk || k == opWrite }
 	for i := 0; i < len(batch); {
 		if !isWork(batch[i].kind) {
+			s.drainDeferred(aging)
 			s.handleControl(batch[i])
 			i++
 			continue
@@ -499,20 +634,131 @@ func (s *Service) process(batch []*serviceOp, aging time.Duration) {
 // serveWork admits one run of work ops: ops whose context is already
 // cancelled or past its deadline are dropped first — before admission,
 // so they are never issued and charge no simulated I/O — then the QoS
-// classifier (when DeadlineAging is on) carves urgent work into its own
-// front batch, and MaxBatch caps each served batch's size.
+// scheduler takes over. With fair sharing off (FairQuantum 0) the
+// classifier (when DeadlineAging is on) carves urgent work into its
+// own front batch exactly as before; with fair sharing on the ops join
+// the per-class DRR backlog and one weighted admission pass runs:
+// urgent work first (strict priority, ordered by effective deadline),
+// then each backlogged class's granted ops as their own batch, never
+// coalescing across classes. MaxBatch caps each served batch's size.
+// A nil ops slice runs a pure backlog pass — how the loop drains
+// deferred work when the queue is empty.
 func (s *Service) serveWork(ops []*serviceOp, aging time.Duration) {
 	live := s.dropCancelled(ops)
-	for _, group := range qosGroups(live, aging, time.Now()) {
-		for len(group) > 0 {
-			k := len(group)
-			if m := s.opts.MaxBatch; m > 0 && k > m {
-				k = m
+	s.mu.Lock()
+	quantum := s.opts.FairQuantum
+	s.mu.Unlock()
+	if quantum <= 0 {
+		for _, group := range qosGroups(live, aging, time.Now()) {
+			s.serveGroup(group)
+		}
+		return
+	}
+	s.drr.push(live)
+	s.sweepDeferred()
+	now := time.Now()
+	if urgent := s.drr.takeUrgent(s.classes, aging, now); len(urgent) > 0 {
+		sortUrgent(urgent, aging)
+		s.countUrgent(urgent)
+		s.serveGroup(urgent)
+	}
+	for _, group := range s.drr.grant(s.classes, quantum) {
+		s.serveGroup(group)
+	}
+	s.markDeferred()
+}
+
+// serveGroup serves one scheduler-admitted group in MaxBatch slices.
+func (s *Service) serveGroup(group []*serviceOp) {
+	for len(group) > 0 {
+		k := len(group)
+		if m := s.opts.MaxBatch; m > 0 && k > m {
+			k = m
+		}
+		s.serveChunks(group[:k])
+		group = group[k:]
+	}
+}
+
+// drainDeferred serves the entire DRR backlog immediately — per class
+// in sorted class order — forfeiting all credit. Runs ahead of control
+// barriers and on close.
+func (s *Service) drainDeferred(aging time.Duration) {
+	for _, group := range s.drr.drain() {
+		s.serveGroup(s.dropCancelled(group))
+	}
+}
+
+// sweepDeferred re-drops backlogged ops whose context died while they
+// were deferred, so a deferral never turns into simulated I/O for a
+// caller that already gave up.
+func (s *Service) sweepDeferred() {
+	if s.drr.count == 0 {
+		return
+	}
+	for name, q := range s.drr.pending {
+		if len(q) == 0 {
+			continue
+		}
+		kept := s.dropCancelled(q)
+		s.drr.count -= len(q) - len(kept)
+		s.drr.pending[name] = kept
+	}
+}
+
+// countUrgent tallies strict-priority service per class.
+func (s *Service) countUrgent(ops []*serviceOp) {
+	s.mu.Lock()
+	for _, op := range ops {
+		s.classTot(op.class).UrgentOps++
+	}
+	s.mu.Unlock()
+}
+
+// markDeferred counts ops DRR held back this pass — once per op.
+func (s *Service) markDeferred() {
+	if s.drr.count == 0 {
+		return
+	}
+	s.mu.Lock()
+	for _, q := range s.drr.pending {
+		for _, op := range q {
+			if !op.deferred {
+				op.deferred = true
+				s.classTot(op.class).Deferred++
 			}
-			s.serveChunks(group[:k])
-			group = group[k:]
 		}
 	}
+	s.mu.Unlock()
+}
+
+// classTot returns the per-class totals bucket, creating it on first
+// use. Caller must hold mu.
+func (s *Service) classTot(name string) *ClassTotals {
+	ct := s.perClass[name]
+	if ct == nil {
+		ct = &ClassTotals{Class: name}
+		s.perClass[name] = ct
+	}
+	return ct
+}
+
+// ClassTotals snapshots the per-QoS-class slice of the service
+// bookkeeping, sorted by class name. Each entry's Attributed is the
+// class's share of Totals().Attributed: summing the entries
+// reproduces it field for field, ElapsedMs aside (a shared batch's
+// elapsed time is observed once per contributing class).
+func (s *Service) ClassTotals() []ClassTotals {
+	s.mu.Lock()
+	out := make([]ClassTotals, 0, len(s.perClass))
+	for _, ct := range s.perClass {
+		out = append(out, *ct)
+	}
+	s.mu.Unlock()
+	slices.SortFunc(out, func(a, b ClassTotals) int {
+		return cmp.Compare(a.Class, b.Class)
+	})
+	return out
 }
 
 // dropCancelled replies to — and filters out — every op whose context
@@ -526,6 +772,7 @@ func (s *Service) serveWork(ops []*serviceOp, aging time.Duration) {
 // cancellation, only the simulated I/O is never issued or charged.
 func (s *Service) dropCancelled(ops []*serviceOp) []*serviceOp {
 	var cancelled, expired, invalidated int64
+	perClass := map[string]int64{}
 	live := ops[:0]
 	for _, op := range ops {
 		if op.ctx != nil {
@@ -541,6 +788,7 @@ func (s *Service) dropCancelled(ops []*serviceOp) []*serviceOp {
 						inv += s.cache.invalidate(r.VLBN, r.VLBN+int64(r.Count)) // nil-safe
 					}
 					invalidated += inv
+					perClass[op.class] += inv
 				}
 				op.reply <- opResult{err: err, invalidated: inv}
 				continue
@@ -554,6 +802,9 @@ func (s *Service) dropCancelled(ops []*serviceOp) []*serviceOp {
 		s.totals.DeadlineExceeded += expired
 		s.totals.InvalidatedBlocks += invalidated
 		s.totals.Attributed.InvalidatedBlocks += invalidated
+		for class, inv := range perClass {
+			s.classTot(class).Attributed.InvalidatedBlocks += inv
+		}
 		s.mu.Unlock()
 	}
 	return live
@@ -612,11 +863,19 @@ func (s *Service) handleControl(op *serviceOp) {
 		s.mu.Lock()
 		s.cache.clear() // nil-safe when the cache is off
 		s.totals = ServiceTotals{}
+		s.perClass = make(map[string]*ClassTotals)
 		s.mu.Unlock()
 	case opCacheCfg:
 		s.mu.Lock()
 		s.cache = newExtentCache(op.cacheBlocks)
+		cache := s.cache
+		quantum := s.opts.FairQuantum
 		s.mu.Unlock()
+		// A resized cache keeps the QoS partition: reapply the class
+		// reserve shares at the new capacity.
+		cache.setShares(cacheShares(op.cacheBlocks, quantum, s.classes))
+	case opQoSCfg:
+		s.applyQoS(op.qosQuantum, op.qosClasses)
 	case opFlush:
 		if op.ctx != nil {
 			if cerr := op.ctx.Err(); cerr != nil {
@@ -748,6 +1007,9 @@ func (s *Service) serveWrite(op *serviceOp) {
 			s.totals.WriteOps++
 			s.totals.InvalidatedBlocks += res.invalidated
 			s.totals.Attributed.InvalidatedBlocks += res.invalidated
+			ct := s.classTot(op.class)
+			ct.Ops++
+			ct.Attributed.InvalidatedBlocks += res.invalidated
 			s.mu.Unlock()
 			op.reply <- opResult{err: err, invalidated: res.invalidated}
 			return
@@ -761,6 +1023,10 @@ func (s *Service) serveWrite(op *serviceOp) {
 	t.IssuedRequests += int64(len(op.chunk.Reqs))
 	t.Attributed.AddWriteCompletions(res.comps, res.elapsed)
 	t.Attributed.InvalidatedBlocks += res.invalidated
+	ct := s.classTot(op.class)
+	ct.Ops++
+	ct.Attributed.AddWriteCompletions(res.comps, res.elapsed)
+	ct.Attributed.InvalidatedBlocks += res.invalidated
 	s.mu.Unlock()
 	if op.trace != nil && len(res.comps) > 0 {
 		op.trace(res.comps)
@@ -807,6 +1073,11 @@ func (s *Service) absorbWrite(op *serviceOp) {
 	t.Attributed.Writes += res.written
 	t.Attributed.InvalidatedBlocks += res.invalidated
 	t.Attributed.CoalescedWrites += res.coalesced
+	ct := s.classTot(op.class)
+	ct.Ops++
+	ct.Attributed.Writes += res.written
+	ct.Attributed.InvalidatedBlocks += res.invalidated
+	ct.Attributed.CoalescedWrites += res.coalesced
 	s.mu.Unlock()
 	op.reply <- res
 }
@@ -880,11 +1151,21 @@ func (s *Service) flushDirty() error {
 	t.FlushBatches++
 	t.IssuedRequests += int64(len(reqs))
 	t.DirtyBlocks = 0
-	for _, st := range perOwner {
+	touched := map[string]bool{}
+	for owner, st := range perOwner {
 		st.FlushBatches = 1
 		t.Attributed.Accumulate(*st)
+		class := ""
+		if owner != nil {
+			class = owner.class
+		}
+		s.classTot(class).Attributed.Accumulate(*st)
+		touched[class] = true
 	}
 	t.Attributed.ElapsedMs += elapsed
+	for class := range touched {
+		s.classTot(class).Attributed.ElapsedMs += elapsed
+	}
 	s.mu.Unlock()
 	for owner, st := range perOwner {
 		st.ElapsedMs = elapsed
@@ -922,7 +1203,7 @@ func (s *Service) serveSingle(op *serviceOp) {
 		}
 		res.comps, res.elapsed = comps, elapsed
 		for _, c := range comps {
-			s.cache.insert(c.Req.VLBN, c.Req.VLBN+int64(c.Req.Count)) // nil-safe
+			s.cache.insertFor(c.Req.VLBN, c.Req.VLBN+int64(c.Req.Count), op.class) // nil-safe
 		}
 	}
 	s.account([]*serviceOp{op}, []opResult{res}, int64(len(reqs)), res.elapsed)
@@ -1030,7 +1311,8 @@ func (s *Service) serveMerged(items []*serviceOp) {
 		}
 		for k, r := range reqs {
 			c := compAt[r.VLBN]
-			s.cache.insert(r.VLBN, r.VLBN+int64(r.Count)) // nil-safe
+			// A shared extent is tagged with its first contributor's class.
+			s.cache.insertFor(r.VLBN, r.VLBN+int64(r.Count), items[entries[members[k][0]].item].class) // nil-safe
 			if len(members[k]) == 1 {
 				e := entries[members[k][0]]
 				results[e.item].comps = append(results[e.item].comps, c)
@@ -1083,6 +1365,7 @@ func (s *Service) account(items []*serviceOp, results []opResult, issued int64, 
 		t.MaxBatchChunks = len(items)
 	}
 	t.IssuedRequests += issued
+	touched := map[string]bool{}
 	for i, it := range items {
 		r := &results[i]
 		t.Attributed.AddCompletions(r.comps, 0)
@@ -1090,6 +1373,19 @@ func (s *Service) account(items []*serviceOp, results []opResult, issued int64, 
 		t.Attributed.Cells += r.hitCells
 		t.Attributed.CacheHits += r.hits
 		t.Attributed.CacheMisses += r.misses
+		ct := s.classTot(it.class)
+		ct.Ops++
+		ct.Attributed.AddCompletions(r.comps, 0)
+		ct.Attributed.Padding += it.chunk.Padding
+		ct.Attributed.Cells += r.hitCells
+		ct.Attributed.CacheHits += r.hits
+		ct.Attributed.CacheMisses += r.misses
+		touched[it.class] = true
 	}
 	t.Attributed.ElapsedMs += elapsed
+	// A shared batch's elapsed time is observed once per contributing
+	// class — like sessions, summed class ElapsedMs is not additive.
+	for class := range touched {
+		s.classTot(class).Attributed.ElapsedMs += elapsed
+	}
 }

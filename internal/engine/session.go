@@ -63,6 +63,13 @@ type SessionOptions struct {
 	// batches, trading exact single-stream schedule reproduction for
 	// more cross-chunk coalescing.
 	MaxInflight int
+	// Class is the session's QoS class name (see QoSClass). Every op the
+	// session submits is queued, scheduled, cached, and accounted under
+	// it. "" is the default class; class names of sessions on one
+	// service should be registered via ServiceOptions.Classes /
+	// SetFairShare when fair sharing is on (unregistered names get
+	// weight 1 and no cache reserve).
+	Class string
 }
 
 // Session is one client's handle on a Service. Sessions are cheap and
@@ -71,6 +78,7 @@ type SessionOptions struct {
 type Session struct {
 	svc         *Service
 	maxInflight int
+	class       string
 
 	mu     sync.Mutex
 	totals Stats
@@ -82,8 +90,12 @@ func (s *Service) NewSession(opts SessionOptions) *Session {
 	if mi < 1 {
 		mi = 1
 	}
-	return &Session{svc: s, maxInflight: mi}
+	return &Session{svc: s, maxInflight: mi, class: opts.Class}
 }
+
+// Class returns the session's QoS class name ("" for the default
+// class).
+func (s *Session) Class() string { return s.class }
 
 // Totals returns the session's accumulated statistics across every
 // completed RunPlan.
@@ -208,6 +220,7 @@ func (s *Session) RunPlan(ctx context.Context, p Plan, opts Options) (Stats, err
 			chunk:  pl.c,
 			policy: policy,
 			trace:  opts.Trace,
+			class:  s.class,
 			reply:  make(chan opResult, 1),
 		}
 		if err := s.svc.submit(op); err != nil {
@@ -248,6 +261,7 @@ func (s *Session) Write(ctx context.Context, reqs []lvm.Request, policy disk.Sch
 		chunk:  Chunk{Reqs: reqs},
 		policy: policy,
 		owner:  s,
+		class:  s.class,
 		reply:  make(chan opResult, 1),
 	}
 	if err := s.svc.submit(op); err != nil {
@@ -324,4 +338,5 @@ func (s *Stats) Accumulate(q Stats) {
 	s.FlushBatches += q.FlushBatches
 	s.Cancelled += q.Cancelled
 	s.DeadlineExceeded += q.DeadlineExceeded
+	s.Partial = s.Partial || q.Partial
 }

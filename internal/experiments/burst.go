@@ -29,34 +29,87 @@ import (
 )
 
 // BurstSchema versions the burst benchmark's JSON artifact. Bump it
-// whenever a field changes meaning; the trajectory checker refuses
-// anything else.
-const BurstSchema = "mmbench-burst/v1"
+// whenever a field changes meaning; the trajectory checker accepts
+// every version it knows (v1, v2) and refuses anything else, so a
+// committed trajectory may span schema bumps without rewriting
+// history.
+//
+// v2 over v1: adds the top-level "fair_quantum" (the weighted-fair
+// admission quantum the run used; 0 = QoS off) and the per-class
+// "weight" and "deferred_ops"; percentiles move from nearest-rank to
+// linear rank interpolation; "p999_ms" becomes optional — omitted
+// when the class's sample is too small (< 1000 ops) for the 99.9th
+// percentile to be distinguishable from the maximum.
+const (
+	BurstSchema   = "mmbench-burst/v2"
+	BurstSchemaV1 = "mmbench-burst/v1"
+)
+
+// burstP999MinOps is the smallest per-class sample for which p999 is
+// reported: below 1000 ops the 99.9th percentile is just the sample
+// maximum, which BENCH_6.json demonstrated (p99 == p999 at 96 ops).
+const burstP999MinOps = 1000
 
 // BurstClass is one QoS class's latency trajectory.
 type BurstClass struct {
-	Class     string  `json:"class"`
-	Clients   int     `json:"clients"`
-	Ops       int     `json:"ops"`
-	P50Ms     float64 `json:"p50_ms"`      // host-observed per-op latency percentiles
-	P99Ms     float64 `json:"p99_ms"`      // (closed loop: queueing included)
-	P999Ms    float64 `json:"p999_ms"`     //
-	MeanSimMs float64 `json:"mean_sim_ms"` // mean simulated disk ms per op
+	Class   string `json:"class"`
+	Weight  int    `json:"weight"` // DRR weight the run used (1 when QoS off)
+	Clients int    `json:"clients"`
+	// Ops is the class's sample size — read it before trusting the tail
+	// percentiles.
+	Ops   int     `json:"ops"`
+	P50Ms float64 `json:"p50_ms"` // host-observed per-op latency percentiles
+	P99Ms float64 `json:"p99_ms"` // (closed loop: queueing included)
+	// P999Ms is omitted (nil) when Ops < burstP999MinOps.
+	P999Ms    *float64 `json:"p999_ms,omitempty"`
+	MeanSimMs float64  `json:"mean_sim_ms"` // mean simulated disk ms per op
+	// DeferredOps counts ops the weighted-fair scheduler held back for
+	// at least one admission pass — direct evidence DRR engaged (0 when
+	// QoS off).
+	DeferredOps int64 `json:"deferred_ops"`
 }
 
 // BurstResult is the burst benchmark's full artifact.
 type BurstResult struct {
-	Schema        string       `json:"schema"`
-	Disk          string       `json:"disk"`
-	Scale         float64      `json:"scale"`
-	Shards        int          `json:"shards"`
-	WriteFraction float64      `json:"write_fraction"`
-	WriteBack     bool         `json:"write_back"`
-	CacheBlocks   int64        `json:"cache_blocks"`
-	WallSeconds   float64      `json:"wall_seconds"`
-	FlushBatches  int64        `json:"flush_batches"`
-	Coalesced     int64        `json:"coalesced_writes"`
-	Classes       []BurstClass `json:"classes"`
+	Schema        string  `json:"schema"`
+	Disk          string  `json:"disk"`
+	Scale         float64 `json:"scale"`
+	Shards        int     `json:"shards"`
+	WriteFraction float64 `json:"write_fraction"`
+	WriteBack     bool    `json:"write_back"`
+	CacheBlocks   int64   `json:"cache_blocks"`
+	// FairQuantum is the weighted-fair admission quantum in blocks per
+	// weight unit per pass; 0 = QoS off (v1 artifacts decode as 0).
+	FairQuantum  int64        `json:"fair_quantum"`
+	WallSeconds  float64      `json:"wall_seconds"`
+	FlushBatches int64        `json:"flush_batches"`
+	Coalesced    int64        `json:"coalesced_writes"`
+	Classes      []BurstClass `json:"classes"`
+}
+
+// burstQoSClasses is the class registry a QoS-on burst run uses: the
+// acceptance mix weights interactive:bulk 1:4 — bulk holds most of the
+// weighted share, and interactive's tail still collapses because its
+// small ops are admitted every pass in their own batches instead of
+// coalescing into (and waiting out) bulk's mega-batches.
+var burstQoSClasses = []engine.QoSClass{
+	{Name: "interactive", Weight: 1},
+	{Name: "bulk", Weight: 4},
+	{Name: "writer", Weight: 1},
+}
+
+// burstWeight returns the registered DRR weight of a class in this
+// run's registry (1 when QoS is off or the class is unregistered).
+func burstWeight(classes []engine.QoSClass, quantum int64, name string) int {
+	if quantum <= 0 {
+		return 1
+	}
+	for _, c := range classes {
+		if c.Name == name && c.Weight > 1 {
+			return c.Weight
+		}
+	}
+	return 1
 }
 
 // burstClient is one closed-loop client: a class, a seed lane, and the
@@ -73,16 +126,25 @@ type burstClient struct {
 // cfg.WriteFraction: the write share of the clients are writers, the
 // rest split two-to-one between interactive and bulk, at least one
 // client per class. Each client issues cfg.Queries ops back to back.
+// With cfg.FairQuantum > 0 every session declares its class and the
+// services run weighted-fair admission under the 1:4
+// interactive:bulk registry (burstQoSClasses) with class-partitioned
+// extent caches.
 func BurstTraffic(cfg Config) (*Table, *BurstResult, error) {
 	cfg = cfg.Defaults()
 	if cfg.Clients == 0 {
 		cfg.Clients = 4
 	}
 	if cfg.Queries == 0 {
-		cfg.Queries = 32
+		// 64 ops per client: enough sample for an interpolated p99 to
+		// separate from the maximum even on the smallest default class.
+		cfg.Queries = 64
 	}
 	if cfg.WriteFraction == 0 {
 		cfg.WriteFraction = 0.25
+	}
+	if cfg.FairQuantum > 0 && len(cfg.QoSClasses) == 0 {
+		cfg.QoSClasses = burstQoSClasses
 	}
 	if err := cfg.validate(); err != nil {
 		return nil, nil, err
@@ -127,7 +189,7 @@ func BurstTraffic(cfg Config) (*Table, *BurstResult, error) {
 
 	sessions := make([]*shard.Session, len(clients))
 	for i := range sessions {
-		sessions[i] = rig.grp.Begin(engine.SessionOptions{MaxInflight: 2})
+		sessions[i] = rig.grp.Begin(engine.SessionOptions{MaxInflight: 2, Class: clients[i].class})
 	}
 	var wg sync.WaitGroup
 	start := time.Now()
@@ -176,11 +238,16 @@ func BurstTraffic(cfg Config) (*Table, *BurstResult, error) {
 		Schema: BurstSchema,
 		Disk:   g.Name, Scale: cfg.Scale, Shards: shards,
 		WriteFraction: cfg.WriteFraction, WriteBack: cfg.WriteBack,
-		CacheBlocks: cfg.CacheBlocks, WallSeconds: wall,
+		CacheBlocks: cfg.CacheBlocks, FairQuantum: cfg.FairQuantum,
+		WallSeconds: wall,
 	}
 	for _, tot := range rig.grp.ServiceTotals() {
 		res.FlushBatches += tot.FlushBatches
 		res.Coalesced += tot.CoalescedWrites
+	}
+	deferredBy := map[string]int64{}
+	for _, ct := range rig.grp.ClassTotals() {
+		deferredBy[ct.Class] = ct.Deferred
 	}
 	for _, class := range []string{"interactive", "bulk", "writer"} {
 		var lat []float64
@@ -196,10 +263,16 @@ func BurstTraffic(cfg Config) (*Table, *BurstResult, error) {
 		}
 		sort.Float64s(lat)
 		bc := BurstClass{
-			Class: class, Clients: n, Ops: len(lat),
-			P50Ms:  pctl(lat, 0.50),
-			P99Ms:  pctl(lat, 0.99),
-			P999Ms: pctl(lat, 0.999),
+			Class:   class,
+			Weight:  burstWeight(cfg.QoSClasses, cfg.FairQuantum, class),
+			Clients: n, Ops: len(lat),
+			P50Ms:       pctl(lat, 0.50),
+			P99Ms:       pctl(lat, 0.99),
+			DeferredOps: deferredBy[class],
+		}
+		if len(lat) >= burstP999MinOps {
+			p := pctl(lat, 0.999)
+			bc.P999Ms = &p
 		}
 		if len(lat) > 0 {
 			bc.MeanSimMs = sim / float64(len(lat))
@@ -211,16 +284,24 @@ func BurstTraffic(cfg Config) (*Table, *BurstResult, error) {
 	if cfg.WriteBack {
 		wbMode = "on"
 	}
+	qosMode := "off"
+	if cfg.FairQuantum > 0 {
+		qosMode = fmt.Sprintf("quantum %d", cfg.FairQuantum)
+	}
 	t := &Table{
 		ID: "burst",
-		Title: fmt.Sprintf("Closed-loop burst traffic on %s, %v cells, write-back %s, %d flushes, %d coalesced",
-			g.Name, dims, wbMode, res.FlushBatches, res.Coalesced),
-		Header: []string{"class", "clients", "ops", "p50 ms", "p99 ms", "p999 ms", "sim ms/op"},
+		Title: fmt.Sprintf("Closed-loop burst traffic on %s, %v cells, write-back %s, QoS %s, %d flushes, %d coalesced",
+			g.Name, dims, wbMode, qosMode, res.FlushBatches, res.Coalesced),
+		Header: []string{"class", "weight", "clients", "ops", "p50 ms", "p99 ms", "p999 ms", "sim ms/op", "deferred"},
 	}
 	for _, bc := range res.Classes {
+		p999 := "-"
+		if bc.P999Ms != nil {
+			p999 = f3(*bc.P999Ms)
+		}
 		t.Rows = append(t.Rows, []string{
-			bc.Class, fmt.Sprint(bc.Clients), fmt.Sprint(bc.Ops),
-			f3(bc.P50Ms), f3(bc.P99Ms), f3(bc.P999Ms), f3(bc.MeanSimMs),
+			bc.Class, fmt.Sprint(bc.Weight), fmt.Sprint(bc.Clients), fmt.Sprint(bc.Ops),
+			f3(bc.P50Ms), f3(bc.P99Ms), p999, f3(bc.MeanSimMs), fmt.Sprint(bc.DeferredOps),
 		})
 	}
 	return t, res, nil
@@ -243,34 +324,46 @@ func runBulkScan(ctx context.Context, sess *shard.Session, dims []int, rng *rand
 	return sess.Box(ctx, lo, hi)
 }
 
-// pctl returns the p-quantile of an ascending-sorted sample using the
-// nearest-rank method (p999 of a small sample is its maximum).
+// pctl returns the p-quantile of an ascending-sorted sample by linear
+// rank interpolation (the R-7 / NumPy "linear" method): rank p×(n-1)
+// interpolated between its two closest order statistics. Unlike the
+// nearest-rank method this never collapses distinct percentiles of a
+// small sample onto the same order statistic unless the sample truly
+// cannot distinguish them.
 func pctl(sorted []float64, p float64) float64 {
-	if len(sorted) == 0 {
+	n := len(sorted)
+	if n == 0 {
 		return 0
 	}
-	i := int(math.Ceil(p*float64(len(sorted)))) - 1
-	if i < 0 {
-		i = 0
+	rank := p * float64(n-1)
+	lo := int(math.Floor(rank))
+	if lo < 0 {
+		lo = 0
 	}
-	if i >= len(sorted) {
-		i = len(sorted) - 1
+	if lo >= n-1 {
+		return sorted[n-1]
 	}
-	return sorted[i]
+	frac := rank - float64(lo)
+	return sorted[lo] + frac*(sorted[lo+1]-sorted[lo])
 }
 
-// ValidateBurst checks a burst artifact's invariants: the exact schema
+// ValidateBurst checks a burst artifact's invariants: a known schema
 // version, all three QoS classes present with traffic, and a sane
-// latency trajectory (0 ≤ p50 ≤ p99 ≤ p999) per class.
+// latency trajectory (0 ≤ p50 ≤ p99 ≤ p999 where present) per class.
 func ValidateBurst(res *BurstResult) error {
-	if res.Schema != BurstSchema {
-		return fmt.Errorf("burst: schema %q, want %q", res.Schema, BurstSchema)
+	switch res.Schema {
+	case BurstSchema, BurstSchemaV1:
+	default:
+		return fmt.Errorf("burst: schema %q, want %q or %q", res.Schema, BurstSchema, BurstSchemaV1)
 	}
 	if res.Disk == "" {
 		return fmt.Errorf("burst: missing disk name")
 	}
 	if res.WallSeconds <= 0 {
 		return fmt.Errorf("burst: non-positive wall_seconds %v", res.WallSeconds)
+	}
+	if res.FairQuantum < 0 {
+		return fmt.Errorf("burst: negative fair_quantum %d", res.FairQuantum)
 	}
 	want := map[string]bool{"interactive": false, "bulk": false, "writer": false}
 	for _, bc := range res.Classes {
@@ -285,12 +378,22 @@ func ValidateBurst(res *BurstResult) error {
 		if bc.Clients < 1 || bc.Ops < 1 {
 			return fmt.Errorf("burst: class %q has no traffic: %+v", bc.Class, bc)
 		}
-		if bc.P50Ms < 0 || bc.P50Ms > bc.P99Ms || bc.P99Ms > bc.P999Ms {
-			return fmt.Errorf("burst: class %q latency trajectory out of order: p50=%v p99=%v p999=%v",
-				bc.Class, bc.P50Ms, bc.P99Ms, bc.P999Ms)
+		if bc.P50Ms < 0 || bc.P50Ms > bc.P99Ms {
+			return fmt.Errorf("burst: class %q latency trajectory out of order: p50=%v p99=%v",
+				bc.Class, bc.P50Ms, bc.P99Ms)
+		}
+		if bc.P999Ms != nil && bc.P99Ms > *bc.P999Ms {
+			return fmt.Errorf("burst: class %q latency trajectory out of order: p99=%v p999=%v",
+				bc.Class, bc.P99Ms, *bc.P999Ms)
+		}
+		if res.Schema != BurstSchemaV1 && bc.Weight < 1 {
+			return fmt.Errorf("burst: class %q weight %d below 1", bc.Class, bc.Weight)
 		}
 		if bc.MeanSimMs < 0 {
 			return fmt.Errorf("burst: class %q negative simulated ms %v", bc.Class, bc.MeanSimMs)
+		}
+		if bc.DeferredOps < 0 {
+			return fmt.Errorf("burst: class %q negative deferred_ops %d", bc.Class, bc.DeferredOps)
 		}
 	}
 	for class, seen := range want {
@@ -301,23 +404,43 @@ func ValidateBurst(res *BurstResult) error {
 	return nil
 }
 
-// burstRequiredKeys are the top-level and per-class JSON keys the
-// trajectory checker demands — a schema diff, not just a decode.
-var burstRequiredKeys = struct{ top, class []string }{
-	top: []string{"schema", "disk", "scale", "shards", "write_fraction", "write_back",
-		"cache_blocks", "wall_seconds", "flush_batches", "coalesced_writes", "classes"},
-	class: []string{"class", "clients", "ops", "p50_ms", "p99_ms", "p999_ms", "mean_sim_ms"},
+// burstRequiredKeys are the per-schema top-level and per-class JSON
+// keys the trajectory checker demands — a schema diff, not just a
+// decode. p999_ms is required in v1 (always emitted there) and
+// optional in v2 (omitted on small samples).
+var burstRequiredKeys = map[string]struct{ top, class []string }{
+	BurstSchemaV1: {
+		top: []string{"schema", "disk", "scale", "shards", "write_fraction", "write_back",
+			"cache_blocks", "wall_seconds", "flush_batches", "coalesced_writes", "classes"},
+		class: []string{"class", "clients", "ops", "p50_ms", "p99_ms", "p999_ms", "mean_sim_ms"},
+	},
+	BurstSchema: {
+		top: []string{"schema", "disk", "scale", "shards", "write_fraction", "write_back",
+			"cache_blocks", "fair_quantum", "wall_seconds", "flush_batches", "coalesced_writes", "classes"},
+		class: []string{"class", "weight", "clients", "ops", "p50_ms", "p99_ms", "mean_sim_ms", "deferred_ops"},
+	},
 }
 
-// ValidateBurstJSON checks raw JSON against the mmbench-burst/v1
-// schema: every key present (missing keys decode silently, so this is
-// an explicit diff) and the decoded result's invariants hold.
+// ValidateBurstJSON checks raw JSON against its declared mmbench-burst
+// schema version: every required key present (missing keys decode
+// silently, so this is an explicit diff) and the decoded result's
+// invariants hold.
 func ValidateBurstJSON(data []byte) (*BurstResult, error) {
 	var top map[string]json.RawMessage
 	if err := json.Unmarshal(data, &top); err != nil {
 		return nil, fmt.Errorf("burst: not a JSON object: %w", err)
 	}
-	for _, k := range burstRequiredKeys.top {
+	var schema string
+	if raw, ok := top["schema"]; ok {
+		if err := json.Unmarshal(raw, &schema); err != nil {
+			return nil, fmt.Errorf("burst: schema key: %w", err)
+		}
+	}
+	required, ok := burstRequiredKeys[schema]
+	if !ok {
+		return nil, fmt.Errorf("burst: schema %q, want %q or %q", schema, BurstSchema, BurstSchemaV1)
+	}
+	for _, k := range required.top {
 		if _, ok := top[k]; !ok {
 			return nil, fmt.Errorf("burst: missing key %q", k)
 		}
@@ -327,7 +450,7 @@ func ValidateBurstJSON(data []byte) (*BurstResult, error) {
 		return nil, fmt.Errorf("burst: classes not a JSON array: %w", err)
 	}
 	for i, c := range classes {
-		for _, k := range burstRequiredKeys.class {
+		for _, k := range required.class {
 			if _, ok := c[k]; !ok {
 				return nil, fmt.Errorf("burst: classes[%d] missing key %q", i, k)
 			}

@@ -56,6 +56,35 @@ func TestBurstTraffic(t *testing.T) {
 	if back.Coalesced != wb.Coalesced || len(back.Classes) != len(wb.Classes) {
 		t.Fatalf("round-trip drifted: %+v vs %+v", back, wb)
 	}
+
+	// QoS on: the artifact records the quantum and the registered 1:4
+	// interactive:bulk weights, and the table says so.
+	cfg.FairQuantum = 4096
+	tq, qos, err := BurstTraffic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateBurst(qos); err != nil {
+		t.Fatalf("QoS artifact invalid: %v", err)
+	}
+	if qos.FairQuantum != 4096 {
+		t.Fatalf("fair quantum not recorded: %+v", qos)
+	}
+	wantWeight := map[string]int{"interactive": 1, "bulk": 4, "writer": 1}
+	for _, bc := range qos.Classes {
+		if bc.Weight != wantWeight[bc.Class] {
+			t.Fatalf("class %q weight %d, want %d", bc.Class, bc.Weight, wantWeight[bc.Class])
+		}
+		if bc.Ops < burstP999MinOps && bc.P999Ms != nil {
+			t.Fatalf("class %q reports p999 on %d ops", bc.Class, bc.Ops)
+		}
+	}
+	if !strings.Contains(tq.Title, "QoS quantum 4096") {
+		t.Fatalf("table title missing QoS mode: %s", tq.Title)
+	}
+	if !strings.Contains(tb.Title, "QoS off") {
+		t.Fatalf("QoS-off table title missing mode: %s", tb.Title)
+	}
 }
 
 // TestValidateBurstJSON exercises the schema checker's rejections: the
@@ -76,7 +105,12 @@ func TestValidateBurstJSON(t *testing.T) {
 		t.Fatalf("valid artifact rejected: %v", err)
 	}
 	for name, mangle := range map[string]func(string) string{
-		"wrong schema": func(s string) string {
+		"unknown schema": func(s string) string {
+			return strings.Replace(s, "mmbench-burst/v1", "mmbench-burst/v9", 1)
+		},
+		"v2 tag on v1 body": func(s string) string {
+			// A v1 body relabeled v2 lacks fair_quantum / weight /
+			// deferred_ops — the checker must demand the v2 keys.
 			return strings.Replace(s, "mmbench-burst/v1", "mmbench-burst/v2", 1)
 		},
 		"missing key": func(s string) string {
@@ -95,6 +129,61 @@ func TestValidateBurstJSON(t *testing.T) {
 			return strings.Replace(s, `"ops": 12`, `"ops": 0`, 1)
 		},
 		"not json": func(string) string { return "{" },
+	} {
+		if _, err := ValidateBurstJSON([]byte(mangle(good))); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+// TestValidateBurstJSONV2 pins the v2 schema contract: fair_quantum,
+// per-class weight and deferred_ops are required, p999_ms is optional
+// (small samples omit it), and the v2-only invariants reject bad
+// weights and negative deferrals.
+func TestValidateBurstJSONV2(t *testing.T) {
+	good := `{
+		"schema": "mmbench-burst/v2", "disk": "d", "scale": 1, "shards": 1,
+		"write_fraction": 0.3, "write_back": true, "cache_blocks": 0,
+		"fair_quantum": 4096, "wall_seconds": 0.5, "flush_batches": 1,
+		"coalesced_writes": 2,
+		"classes": [
+			{"class": "interactive", "weight": 1, "clients": 2, "ops": 12, "p50_ms": 1, "p99_ms": 2, "mean_sim_ms": 4, "deferred_ops": 0},
+			{"class": "bulk", "weight": 4, "clients": 1, "ops": 6, "p50_ms": 1, "p99_ms": 1, "p999_ms": 1, "mean_sim_ms": 0, "deferred_ops": 3},
+			{"class": "writer", "weight": 1, "clients": 1, "ops": 6, "p50_ms": 0, "p99_ms": 0, "mean_sim_ms": 0, "deferred_ops": 0}
+		]
+	}`
+	res, err := ValidateBurstJSON([]byte(good))
+	if err != nil {
+		t.Fatalf("valid v2 artifact rejected: %v", err)
+	}
+	if res.FairQuantum != 4096 {
+		t.Fatalf("fair_quantum lost in decode: %+v", res)
+	}
+	if res.Classes[0].P999Ms != nil || res.Classes[1].P999Ms == nil {
+		t.Fatalf("optional p999 decoded wrong: %+v", res.Classes)
+	}
+	for name, mangle := range map[string]func(string) string{
+		"missing fair_quantum": func(s string) string {
+			return strings.Replace(s, `"fair_quantum": 4096,`, "", 1)
+		},
+		"missing weight": func(s string) string {
+			return strings.Replace(s, `"weight": 4, `, "", 1)
+		},
+		"zero weight": func(s string) string {
+			return strings.Replace(s, `"weight": 4`, `"weight": 0`, 1)
+		},
+		"missing deferred_ops": func(s string) string {
+			return strings.Replace(s, `, "deferred_ops": 3`, "", 1)
+		},
+		"negative deferred_ops": func(s string) string {
+			return strings.Replace(s, `"deferred_ops": 3`, `"deferred_ops": -1`, 1)
+		},
+		"p999 below p99": func(s string) string {
+			return strings.Replace(s, `"p999_ms": 1,`, `"p999_ms": 0.5,`, 1)
+		},
+		"negative fair_quantum": func(s string) string {
+			return strings.Replace(s, `"fair_quantum": 4096`, `"fair_quantum": -1`, 1)
+		},
 	} {
 		if _, err := ValidateBurstJSON([]byte(mangle(good))); err == nil {
 			t.Errorf("%s accepted", name)

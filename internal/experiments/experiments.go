@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/disk"
+	"repro/internal/engine"
 	"repro/internal/query"
 )
 
@@ -74,6 +75,17 @@ type Config struct {
 	// defaults. Ignored unless WriteBack is set.
 	WBWatermark int64
 	WBInterval  time.Duration
+	// FairQuantum, when positive, turns on weighted-fair
+	// (deficit-round-robin) admission on every shard service in the
+	// service-throughput experiment: each admission pass grants every
+	// backlogged QoS class quantum × weight blocks of simulated-cost
+	// credit. 0 keeps fair sharing off — admission bit-identical to the
+	// pre-QoS behavior.
+	FairQuantum int64
+	// QoSClasses registers the class weights used with FairQuantum.
+	// Empty selects the burst experiment's built-in mix when
+	// FairQuantum is positive.
+	QoSClasses []engine.QoSClass
 }
 
 // Defaults fills unset fields: both paper drives, full scale, 15 runs.
@@ -117,6 +129,9 @@ func (c Config) validate() error {
 	}
 	if c.WBWatermark < 0 || c.WBInterval < 0 {
 		return fmt.Errorf("experiments: write-back watermark and interval must be non-negative")
+	}
+	if c.FairQuantum < 0 {
+		return fmt.Errorf("experiments: fair-share quantum must be non-negative")
 	}
 	if _, err := c.execOptions(); err != nil {
 		return err

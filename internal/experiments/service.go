@@ -185,6 +185,8 @@ func buildServeRig(cfg Config, g *disk.Geometry, dims []int, shards int) (*serve
 		rig.svcs[i] = engine.NewService(v, engine.ServiceOptions{
 			CacheBlocks: cfg.CacheBlocks, BatchWindow: cfg.BatchWindow,
 			DeadlineAging: cfg.DeadlineAging,
+			FairQuantum:   cfg.FairQuantum,
+			Classes:       cfg.QoSClasses,
 			WriteBack: engine.WriteBackOptions{
 				Enabled:         cfg.WriteBack,
 				WatermarkBlocks: cfg.WBWatermark,

@@ -25,6 +25,7 @@ package query
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
 	"repro/internal/disk"
@@ -176,6 +177,13 @@ func (e *Executor) RangeOn(ctx context.Context, r engine.Runner, lo, hi []int) (
 	}
 	st.Cells = (st.Cells - st.Padding) / b
 	if runErr != nil {
+		// Speculative partial result: when the context died mid-plan but
+		// some cells were already aggregated, hand them back flagged
+		// Partial instead of discarding them with the error — the caller
+		// decides whether a partial aggregate is usable.
+		if st.Cells > 0 && (errors.Is(runErr, context.Canceled) || errors.Is(runErr, context.DeadlineExceeded)) {
+			st.Partial = true
+		}
 		return st, runErr
 	}
 	if st.Cells != cells {

@@ -1,10 +1,13 @@
 package query
 
 import (
+	"context"
+	"errors"
 	"math"
 	"testing"
 
 	"repro/internal/disk"
+	"repro/internal/engine"
 	"repro/internal/lvm"
 	"repro/internal/mapping"
 )
@@ -338,5 +341,62 @@ func TestMultiBlockCellsAcrossMappings(t *testing.T) {
 		if total != b {
 			t.Errorf("%v: cell extents cover %d blocks, want %d", k, total, b)
 		}
+	}
+}
+
+// fakeRunner returns canned Stats and a canned error from RunPlan,
+// standing in for a Session whose context died mid-plan.
+type fakeRunner struct {
+	st  engine.Stats
+	err error
+}
+
+func (f fakeRunner) RunPlan(context.Context, engine.Plan, engine.Options) (engine.Stats, error) {
+	return f.st, f.err
+}
+
+// TestRangeOnPartialResults pins the speculative-partial contract: a
+// context-death error with cells already aggregated comes back flagged
+// Partial (alongside the error), while an empty cancelled run and a
+// non-context failure stay unflagged.
+func TestRangeOnPartialResults(t *testing.T) {
+	dims := []int{12, 6, 5}
+	v := testVolume(t)
+	m, err := mapping.New(mapping.MultiMap, v, dims, mapping.Options{DiskIdx: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewExecutor(v, m)
+	lo, hi := []int{0, 0, 0}, []int{4, 4, 4}
+
+	cases := []struct {
+		name    string
+		cells   int64
+		err     error
+		partial bool
+	}{
+		{"cancelled with cells", 30, context.Canceled, true},
+		{"deadline with cells", 30, context.DeadlineExceeded, true},
+		{"cancelled empty", 0, context.Canceled, false},
+		{"non-context error", 30, errors.New("disk on fire"), false},
+	}
+	for _, tc := range cases {
+		r := fakeRunner{st: engine.Stats{Cells: tc.cells}, err: tc.err}
+		st, err := e.RangeOn(context.Background(), r, lo, hi)
+		if !errors.Is(err, tc.err) {
+			t.Fatalf("%s: error %v, want %v", tc.name, err, tc.err)
+		}
+		if st.Partial != tc.partial {
+			t.Fatalf("%s: Partial=%v, want %v (stats %+v)", tc.name, st.Partial, tc.partial, st)
+		}
+	}
+
+	// A clean run over the full box must not be flagged.
+	st, err := e.Range(lo, hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Partial {
+		t.Fatalf("complete query flagged Partial: %+v", st)
 	}
 }

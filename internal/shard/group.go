@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 
 	"repro/internal/engine"
@@ -112,6 +113,52 @@ func (g *Group) ServiceTotals() []engine.ServiceTotals {
 		out[i] = g.members[i].Svc.Totals()
 	}
 	return out
+}
+
+// ClassTotals merges every shard service's per-QoS-class bookkeeping
+// deterministically: classes are summed by name across shards (in
+// shard order) and returned sorted by class name, exactly the order
+// engine.Service.ClassTotals uses — so the group-wide view is
+// reproducible whatever order the shards served their batches in.
+// Each class's Attributed sums the shards' per-class shares; the
+// attribution-sum property therefore holds group-wide per class, with
+// the same ElapsedMs caveat as the engine-level ClassTotals.
+func (g *Group) ClassTotals() []engine.ClassTotals {
+	byName := make(map[string]*engine.ClassTotals)
+	var names []string
+	for i := range g.members {
+		for _, ct := range g.members[i].Svc.ClassTotals() {
+			agg := byName[ct.Class]
+			if agg == nil {
+				agg = &engine.ClassTotals{Class: ct.Class}
+				byName[ct.Class] = agg
+				names = append(names, ct.Class)
+			}
+			agg.Ops += ct.Ops
+			agg.UrgentOps += ct.UrgentOps
+			agg.Deferred += ct.Deferred
+			agg.Attributed.Accumulate(ct.Attributed)
+		}
+	}
+	sort.Strings(names)
+	out := make([]engine.ClassTotals, len(names))
+	for i, name := range names {
+		out[i] = *byName[name]
+	}
+	return out
+}
+
+// SetFairShare reconfigures weighted-fair admission on every member
+// service (see engine.Service.SetFairShare), in shard order; the first
+// error is returned after all shards were attempted.
+func (g *Group) SetFairShare(quantum int64, classes []engine.QoSClass) error {
+	var first error
+	for i := range g.members {
+		if err := g.members[i].Svc.SetFairShare(quantum, classes); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
 }
 
 // Begin opens a scatter-gather session: one engine session per shard

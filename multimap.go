@@ -62,6 +62,15 @@ type Stats = query.Stats
 // sum to.
 type ServiceTotals = engine.ServiceTotals
 
+// QoSClass declares one admission class for the weighted-fair
+// scheduler (see WithQoSClass / WithFairShare).
+type QoSClass = engine.QoSClass
+
+// ClassTotals is one QoS class's slice of the service bookkeeping —
+// ops served, urgent-front promotions, deferral events, and the
+// class's share of the attributed Stats (see Store.ClassTotals).
+type ClassTotals = engine.ClassTotals
+
 // Volume is a logical volume over one or more simulated drives,
 // exporting the paper's adjacency interface.
 //
@@ -257,6 +266,7 @@ type Store struct {
 	grp         *shard.Group
 	dims        []int
 	maxInflight int
+	qosClass    string            // default session's QoS class (WithQoS)
 	cells       []*core.CellStore // one chain tracker per shard; nil unless Updatable
 	def         *Session
 	closed      atomic.Bool
@@ -265,8 +275,9 @@ type Store struct {
 // Open maps an N-dimensional grid dataset onto the volume using the
 // given placement and returns the store, configured by functional
 // options (WithPolicy, WithChunkCells, WithCache, WithMaxInflight,
-// WithShards, WithBatchWindow, WithDeadlineAging, WithDiskIdx,
-// WithCellBlocks, Updatable). With WithShards(n > 1) the dataset is
+// WithShards, WithBatchWindow, WithDeadlineAging, WithFairShare,
+// WithQoSClass, WithQoS, WithWriteBack, WithDiskIdx, WithCellBlocks,
+// Updatable). With WithShards(n > 1) the dataset is
 // split along Dim0 across that many shard volumes (the given volume
 // plus internally created clones of its hardware); with Updatable the
 // store also serves Insert/Delete/LoadCell.
@@ -284,7 +295,7 @@ func Open(vol *Volume, kind Mapping, dims []int, opts ...Option) (*Store, error)
 	if err != nil {
 		return nil, err
 	}
-	s := &Store{vol: vol, dims: append([]int(nil), dims...), maxInflight: c.maxInflight}
+	s := &Store{vol: vol, dims: append([]int(nil), dims...), maxInflight: c.maxInflight, qosClass: c.qosClass}
 	shardVols := []*Volume{vol}
 	for i := 1; i < c.shards; i++ {
 		sv := &Volume{v: lvm.NewLike(vol.v)}
@@ -324,6 +335,11 @@ func Open(vol *Volume, kind Mapping, dims []int, opts ...Option) (*Store, error)
 				return nil, err
 			}
 		}
+		if c.fairQuantum > 0 {
+			if err := svc.SetFairShare(c.fairQuantum, c.classes); err != nil {
+				return nil, err
+			}
+		}
 	}
 	if c.updatable {
 		if err := s.initUpdatable(c.update); err != nil {
@@ -353,11 +369,22 @@ type Session struct {
 // Begin opens a new session on the store: one engine session per shard
 // service, driven scatter-gather. Sessions are bound to the services
 // the store was built on: after Store.Close or Volume.Close they fail
-// with ErrClosed, rather than resurrecting a service.
+// with ErrClosed, rather than resurrecting a service. The session
+// inherits the store's default QoS class (WithQoS); use BeginQoS for
+// an explicit class.
 func (s *Store) Begin() *Session {
+	return s.BeginQoS(s.qosClass)
+}
+
+// BeginQoS opens a new session declared in the given QoS class: every
+// operation the session submits is queued, scheduled, cached, and
+// accounted under it by the weighted-fair admission batcher (see
+// WithFairShare / WithQoSClass). "" is the default class; with fair
+// sharing off the class only labels the per-class accounting.
+func (s *Store) BeginQoS(class string) *Session {
 	return &Session{
 		s:  s,
-		ss: s.grp.Begin(engine.SessionOptions{MaxInflight: s.maxInflight}),
+		ss: s.grp.Begin(engine.SessionOptions{MaxInflight: s.maxInflight, Class: class}),
 	}
 }
 
@@ -474,6 +501,14 @@ func (s *Store) CellLBN(cell []int) (int64, error) {
 // wide. On the default single shard this is the one-volume
 // ServiceTotals in a one-element slice.
 func (s *Store) ShardServiceTotals() []ServiceTotals { return s.grp.ServiceTotals() }
+
+// ClassTotals snapshots the per-QoS-class slice of the service
+// bookkeeping, merged across every shard service and sorted by class
+// name. Each class's Attributed is that class's share of the summed
+// ShardServiceTotals Attributed: the attribution-sum property per
+// class, group wide (ElapsedMs aside — a shared batch's elapsed time
+// is observed once per contributing class).
+func (s *Store) ClassTotals() []ClassTotals { return s.grp.ClassTotals() }
 
 // Close retires the store: subsequent operations on it and on its
 // sessions fail with ErrClosed, and the shard volumes the store

@@ -3,6 +3,8 @@ package multimap
 import (
 	"fmt"
 	"time"
+
+	"repro/internal/engine"
 )
 
 // Option configures Open. Options replace the old StoreOptions /
@@ -25,6 +27,9 @@ type config struct {
 	writeBack     bool
 	wbWatermark   int64
 	wbInterval    time.Duration
+	fairQuantum   int64
+	classes       []engine.QoSClass
+	qosClass      string
 	updatable     bool
 	update        UpdateOptions
 }
@@ -201,6 +206,69 @@ func WithWriteBack(watermarkBlocks int64, flushInterval time.Duration) Option {
 		c.writeBack = true
 		c.wbWatermark = watermarkBlocks
 		c.wbInterval = flushInterval
+		return nil
+	}
+}
+
+// WithQoSClass registers a QoS class on every shard service this store
+// uses: name is the label sessions declare (see WithQoS / BeginQoS),
+// weight is the class's share of each weighted-fair admission pass
+// (values below 1 are treated as 1), and urgent marks a
+// strict-priority class whose ops always join the urgent front batch,
+// ahead of all weighted sharing, exactly as if each carried an
+// explicit context deadline. Registered weights also set the extent
+// cache's per-class reserve floors (capacity × weight / Σweights).
+// The registration only takes effect together with WithFairShare;
+// sessions of unregistered classes get weight 1 and no cache reserve.
+func WithQoSClass(name string, weight int, urgent bool) Option {
+	return func(c *config) error {
+		if weight < 1 {
+			return fmt.Errorf("multimap: QoS class %q weight must be at least 1", name)
+		}
+		for _, cl := range c.classes {
+			if cl.Name == name {
+				return fmt.Errorf("multimap: QoS class %q registered twice", name)
+			}
+		}
+		c.classes = append(c.classes, engine.QoSClass{Name: name, Weight: weight, Urgent: urgent})
+		return nil
+	}
+}
+
+// WithFairShare turns on weighted-fair (deficit-round-robin) admission
+// for every shard service this store uses. Each admission pass grants
+// every backlogged QoS class quantum × weight blocks of credit,
+// admits each class's ops FIFO while the credit covers their
+// simulated block cost, and defers the rest to later passes — so one
+// class's bulk burst can no longer monopolize an admission pass, while
+// urgent work (an explicit context deadline, a WithQoSClass urgent
+// class, or an op aged past WithDeadlineAging) keeps strict priority.
+// The same class weights partition the extent cache into per-class
+// reserve floors with borrow-but-evict-borrowers-first semantics.
+// quantum 0 selects the engine default (engine.DefaultFairQuantum);
+// negative fails the open. Like WithCache this reconfigures the
+// (possibly shared) volume service; omitting the option leaves fair
+// sharing off — admission bit-identical to the pre-QoS behavior.
+func WithFairShare(quantum int64) Option {
+	return func(c *config) error {
+		if quantum < 0 {
+			return fmt.Errorf("multimap: fair-share quantum must be non-negative")
+		}
+		if quantum == 0 {
+			quantum = engine.DefaultFairQuantum
+		}
+		c.fairQuantum = quantum
+		return nil
+	}
+}
+
+// WithQoS sets the QoS class of the store's default session — the one
+// behind the Store-level operations and plain Begin. Use BeginQoS for
+// per-session classes. The class should be registered with
+// WithQoSClass when fair sharing is on.
+func WithQoS(class string) Option {
+	return func(c *config) error {
+		c.qosClass = class
 		return nil
 	}
 }
