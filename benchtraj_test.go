@@ -1,6 +1,7 @@
 package multimap
 
 import (
+	"encoding/json"
 	"os"
 	"testing"
 )
@@ -40,6 +41,56 @@ func TestCommittedBenchTrajectory(t *testing.T) {
 			if bc.Weight != want[bc.Class] {
 				t.Fatalf("%s class %q weight %d, want %d", name, bc.Class, bc.Weight, want[bc.Class])
 			}
+		}
+	}
+}
+
+// TestCommittedTenantsTrajectory pins the committed multi-tenant churn
+// artifact: BENCH_8.json must parse under the mmbench-tenants schema
+// (the same check CI runs via cmd/benchtraj) and must carry the
+// lifecycle evidence the PR introduced — online growth past the
+// initial overflow capacity, copy-on-write faults from post-snapshot
+// writes, and live burst traffic served throughout.
+func TestCommittedTenantsTrajectory(t *testing.T) {
+	data, err := os.ReadFile("BENCH_8.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ValidateTenantsJSON(data)
+	if err != nil {
+		t.Fatalf("BENCH_8.json: %v", err)
+	}
+	if res.FairQuantum <= 0 {
+		t.Fatalf("BENCH_8.json is not a QoS-on run: %+v", res)
+	}
+}
+
+// TestValidateTenantsJSON exercises the schema checker's rejections so
+// a drifted artifact fails loudly instead of decoding to zero values.
+func TestValidateTenantsJSON(t *testing.T) {
+	if _, err := ValidateTenantsJSON([]byte(`{"schema":"mmbench-tenants/v9"}`)); err == nil {
+		t.Error("unknown schema accepted")
+	}
+	if _, err := ValidateTenantsJSON([]byte(`not json`)); err == nil {
+		t.Error("non-JSON accepted")
+	}
+	// A structurally complete artifact with a missing key must name it.
+	data, err := os.ReadFile("BENCH_8.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, strip := range []string{"grown_blocks", "cow_fault_blocks", "phases"} {
+		var m map[string]any
+		if err := json.Unmarshal(data, &m); err != nil {
+			t.Fatal(err)
+		}
+		delete(m, strip)
+		mutated, err := json.Marshal(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ValidateTenantsJSON(mutated); err == nil {
+			t.Errorf("artifact without %q accepted", strip)
 		}
 	}
 }

@@ -1,33 +1,40 @@
-// Command benchtraj validates a persisted mmbench burst-latency
-// trajectory (the BENCH_*.json artifacts the repo commits) against its
-// declared mmbench-burst schema version: every required key present,
-// all three QoS classes carrying traffic, and p50 ≤ p99 ≤ p999 (where
-// present) per class. Given a sequence of artifacts — the committed
+// Command benchtraj validates a persisted mmbench trajectory artifact
+// (the BENCH_*.json files the repo commits) against its declared
+// schema, dispatching on the artifact's top-level "schema" key:
+// mmbench-burst/v1 and /v2 artifacts get the burst checks (every
+// required key present, all three QoS classes carrying traffic, and
+// p50 ≤ p99 ≤ p999 where present per class), and mmbench-tenants/v1
+// artifacts get the tenant-lifecycle checks (every phase present in
+// order with traffic, online growth and copy-on-write evidence, live
+// burst latency sane). Given a sequence of artifacts — the committed
 // trajectory in PR order — it additionally flags schema drift between
-// consecutive points and prints a per-class p50/p99 delta table, so
-// the latency trend across PRs is auditable at a glance. CI's
-// bench-trajectory step runs it over every committed artifact plus a
-// freshly generated one, so a schema break fails the build instead of
-// silently breaking trend tooling.
+// consecutive points of the same kind and prints per-class p50/p99
+// delta tables, so the latency trend across PRs is auditable at a
+// glance. CI's bench-trajectory step runs it over every committed
+// artifact plus a freshly generated one, so a schema break fails the
+// build instead of silently breaking trend tooling.
 //
 // Usage:
 //
 //	benchtraj -check BENCH_6.json                # validate one artifact
-//	benchtraj -check BENCH_6.json BENCH_7.json   # validate a sequence + delta table
+//	benchtraj -check BENCH_6.json BENCH_8.json   # validate a sequence + delta tables
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	multimap "repro"
 )
 
 // point is one validated artifact of the trajectory.
 type point struct {
-	path string
-	res  *multimap.BurstResult
+	path    string
+	res     *multimap.BurstResult   // nil for tenants artifacts
+	tenants *multimap.TenantsResult // nil for burst artifacts
 }
 
 func fmtP999(p *float64) string {
@@ -47,8 +54,20 @@ func classOf(res *multimap.BurstResult, name string) *multimap.BurstClass {
 	return nil
 }
 
+// schemaOf peeks at the artifact's declared schema so validation can
+// dispatch without trial-decoding every known shape.
+func schemaOf(data []byte) (string, error) {
+	var top struct {
+		Schema string `json:"schema"`
+	}
+	if err := json.Unmarshal(data, &top); err != nil {
+		return "", fmt.Errorf("not a JSON object: %w", err)
+	}
+	return top.Schema, nil
+}
+
 func main() {
-	check := flag.String("check", "", "path of the first mmbench-burst JSON artifact to validate; further paths are positional, in trajectory order")
+	check := flag.String("check", "", "path of the first mmbench JSON artifact (burst or tenants schema) to validate; further paths are positional, in trajectory order")
 	flag.Parse()
 	if *check == "" {
 		fmt.Fprintln(os.Stderr, "benchtraj: usage: benchtraj -check <artifact.json> [more.json ...]")
@@ -63,6 +82,31 @@ func main() {
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "benchtraj: %v\n", err)
 			os.Exit(1)
+		}
+		schema, err := schemaOf(data)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchtraj: %s: %v\n", path, err)
+			os.Exit(1)
+		}
+		if strings.HasPrefix(schema, "mmbench-tenants/") {
+			res, err := multimap.ValidateTenantsJSON(data)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchtraj: %s: %v\n", path, err)
+				os.Exit(1)
+			}
+			traj = append(traj, point{path: path, tenants: res})
+			qosMode := "off"
+			if res.FairQuantum > 0 {
+				qosMode = fmt.Sprintf("quantum %d", res.FairQuantum)
+			}
+			fmt.Printf("%s: ok (%s, %d rounds on %d drives, QoS %s, %d blocks grown, %d COW fault blocks)\n",
+				path, res.Schema, res.Rounds, res.Drives, qosMode, res.GrownBlocks, res.CowFaultBlocks)
+			fmt.Printf("  live burst   %5d ops  p50 %.3fms  p99 %.3fms\n",
+				res.BurstOps, res.BurstP50Ms, res.BurstP99Ms)
+			for _, ph := range res.Phases {
+				fmt.Printf("  %-11s  %5d ops  %.3fms total\n", ph.Phase, ph.Ops, ph.Ms)
+			}
+			continue
 		}
 		res, err := multimap.ValidateBurstJSON(data)
 		if err != nil {
@@ -87,40 +131,69 @@ func main() {
 		}
 	}
 
-	if len(traj) < 2 {
-		return
-	}
-
-	// Trajectory view: schema drift between consecutive points is
-	// expected exactly when the schema version was bumped — flag it so
-	// an accidental drift (or a missing migration note) is visible; and
-	// the per-class p50/p99 deltas tell whether a PR moved the tail.
-	fmt.Printf("\ntrajectory (%d points):\n", len(traj))
-	for i := 1; i < len(traj); i++ {
-		prev, cur := traj[i-1], traj[i]
-		if prev.res.Schema != cur.res.Schema {
-			fmt.Printf("  schema drift: %s (%s) -> %s (%s)\n",
-				prev.path, prev.res.Schema, cur.path, cur.res.Schema)
+	// The delta tables compare like with like: burst points against the
+	// previous burst point, tenants points against the previous tenants
+	// point, regardless of how the kinds interleave in the sequence.
+	var bursts, tens []point
+	for _, pt := range traj {
+		if pt.tenants != nil {
+			tens = append(tens, pt)
+		} else {
+			bursts = append(bursts, pt)
 		}
 	}
-	fmt.Printf("  %-30s %-11s %12s %12s %12s %12s\n",
-		"step", "class", "p50", "Δp50", "p99", "Δp99")
-	for i := 1; i < len(traj); i++ {
-		prev, cur := traj[i-1], traj[i]
-		step := fmt.Sprintf("%s -> %s", prev.path, cur.path)
-		for _, c := range cur.res.Classes {
-			pc := classOf(prev.res, c.Class)
-			if pc == nil {
-				fmt.Printf("  %-30s %-11s %12s %12s %12s %12s\n",
-					step, c.Class, fmt.Sprintf("%.3fms", c.P50Ms), "new",
-					fmt.Sprintf("%.3fms", c.P99Ms), "new")
-				continue
+
+	if len(bursts) >= 2 {
+		// Trajectory view: schema drift between consecutive points is
+		// expected exactly when the schema version was bumped — flag it so
+		// an accidental drift (or a missing migration note) is visible; and
+		// the per-class p50/p99 deltas tell whether a PR moved the tail.
+		fmt.Printf("\nburst trajectory (%d points):\n", len(bursts))
+		for i := 1; i < len(bursts); i++ {
+			prev, cur := bursts[i-1], bursts[i]
+			if prev.res.Schema != cur.res.Schema {
+				fmt.Printf("  schema drift: %s (%s) -> %s (%s)\n",
+					prev.path, prev.res.Schema, cur.path, cur.res.Schema)
 			}
-			fmt.Printf("  %-30s %-11s %12s %+11.3fms %12s %+11.3fms\n",
-				step, c.Class,
-				fmt.Sprintf("%.3fms", c.P50Ms), c.P50Ms-pc.P50Ms,
-				fmt.Sprintf("%.3fms", c.P99Ms), c.P99Ms-pc.P99Ms)
-			step = ""
+		}
+		fmt.Printf("  %-30s %-11s %12s %12s %12s %12s\n",
+			"step", "class", "p50", "Δp50", "p99", "Δp99")
+		for i := 1; i < len(bursts); i++ {
+			prev, cur := bursts[i-1], bursts[i]
+			step := fmt.Sprintf("%s -> %s", prev.path, cur.path)
+			for _, c := range cur.res.Classes {
+				pc := classOf(prev.res, c.Class)
+				if pc == nil {
+					fmt.Printf("  %-30s %-11s %12s %12s %12s %12s\n",
+						step, c.Class, fmt.Sprintf("%.3fms", c.P50Ms), "new",
+						fmt.Sprintf("%.3fms", c.P99Ms), "new")
+					continue
+				}
+				fmt.Printf("  %-30s %-11s %12s %+11.3fms %12s %+11.3fms\n",
+					step, c.Class,
+					fmt.Sprintf("%.3fms", c.P50Ms), c.P50Ms-pc.P50Ms,
+					fmt.Sprintf("%.3fms", c.P99Ms), c.P99Ms-pc.P99Ms)
+				step = ""
+			}
+		}
+	}
+
+	if len(tens) >= 2 {
+		fmt.Printf("\ntenants trajectory (%d points):\n", len(tens))
+		for i := 1; i < len(tens); i++ {
+			prev, cur := tens[i-1], tens[i]
+			if prev.tenants.Schema != cur.tenants.Schema {
+				fmt.Printf("  schema drift: %s (%s) -> %s (%s)\n",
+					prev.path, prev.tenants.Schema, cur.path, cur.tenants.Schema)
+			}
+		}
+		fmt.Printf("  %-30s %12s %12s %12s %12s\n", "step", "p50", "Δp50", "p99", "Δp99")
+		for i := 1; i < len(tens); i++ {
+			prev, cur := tens[i-1].tenants, tens[i].tenants
+			fmt.Printf("  %-30s %12s %+11.3fms %12s %+11.3fms\n",
+				fmt.Sprintf("%s -> %s", tens[i-1].path, tens[i].path),
+				fmt.Sprintf("%.3fms", cur.BurstP50Ms), cur.BurstP50Ms-prev.BurstP50Ms,
+				fmt.Sprintf("%.3fms", cur.BurstP99Ms), cur.BurstP99Ms-prev.BurstP99Ms)
 		}
 	}
 }

@@ -16,11 +16,50 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
 	"strings"
 	"time"
 
 	multimap "repro"
 )
+
+// parseQoSSpecs turns the -qos value — comma-separated
+// name:weight[:urgent] specs — into a class registry. An empty value
+// means "use the experiment's built-in mix".
+func parseQoSSpecs(specs string) ([]multimap.QoSClass, error) {
+	if specs == "" {
+		return nil, nil
+	}
+	var classes []multimap.QoSClass
+	for _, spec := range strings.Split(specs, ",") {
+		parts := strings.Split(strings.TrimSpace(spec), ":")
+		if len(parts) < 2 || len(parts) > 3 {
+			return nil, fmt.Errorf("-qos spec %q is malformed; want name:weight[:urgent]", spec)
+		}
+		name := strings.TrimSpace(parts[0])
+		if name == "" {
+			return nil, fmt.Errorf("-qos spec %q has an empty class name", spec)
+		}
+		weight, err := strconv.Atoi(strings.TrimSpace(parts[1]))
+		if err != nil || weight < 1 {
+			return nil, fmt.Errorf("-qos spec %q: weight %q must be a positive integer", spec, parts[1])
+		}
+		urgent := false
+		if len(parts) == 3 {
+			if strings.TrimSpace(parts[2]) != "urgent" {
+				return nil, fmt.Errorf("-qos spec %q: third field must be the literal \"urgent\"", spec)
+			}
+			urgent = true
+		}
+		for _, c := range classes {
+			if c.Name == name {
+				return nil, fmt.Errorf("-qos class %q registered twice", name)
+			}
+		}
+		classes = append(classes, multimap.QoSClass{Name: name, Weight: weight, Urgent: urgent})
+	}
+	return classes, nil
+}
 
 func main() {
 	var (
@@ -42,8 +81,9 @@ func main() {
 		wb       = flag.Bool("wb", false, "write-back caching with group commit on every -exp serve/burst service: writes are absorbed into dirty extent buffers and committed as one SPTF batch per flush; the tables gain flushes/coalesced columns")
 		wbWater  = flag.Int64("wb-watermark", 0, "write-back flush watermark in dirty blocks (0 = engine default); needs -wb")
 		wbIvl    = flag.Duration("wb-interval", 0, "write-back flush interval, e.g. 2ms: dirty data older than this is committed (0 = engine default); needs -wb")
-		fair     = flag.Int64("fair", 0, "weighted-fair (deficit-round-robin) admission quantum in blocks for -exp burst, e.g. 1024: each admission pass grants every backlogged QoS class quantum*weight blocks of credit (0 = fair sharing off)")
-		jsonOut  = flag.String("json", "", "write -exp burst's structured result (schema mmbench-burst/v2: p50/p99 per QoS class, p999 on large samples) to this file")
+		fair     = flag.Int64("fair", 0, "weighted-fair (deficit-round-robin) admission quantum in blocks for -exp burst/tenants, e.g. 1024: each admission pass grants every backlogged QoS class quantum*weight blocks of credit (omit = fair sharing off)")
+		qos      = flag.String("qos", "", "comma-separated QoS class specs name:weight[:urgent] registered for -fair runs, e.g. 'interactive:1,bulk:4,ops:2:urgent' (default: the burst benchmark's built-in interactive:1,bulk:4,writer:1 mix); needs -fair")
+		jsonOut  = flag.String("json", "", "write -exp burst's structured result (schema mmbench-burst/v2: p50/p99 per QoS class, p999 on large samples) or -exp tenants' (schema mmbench-tenants/v1: lifecycle phases + live-burst latency) to this file")
 		cpuProf  = flag.String("cpuprofile", "", "write a pprof CPU profile of the experiment run to this file (inspect with 'go tool pprof')")
 		memProf  = flag.String("memprofile", "", "write a pprof heap profile taken after the experiment run to this file (inspect with 'go tool pprof')")
 	)
@@ -68,8 +108,21 @@ func main() {
 	if *wbWater < 0 || *wbIvl < 0 {
 		usageErr("-wb-watermark and -wb-interval must be non-negative")
 	}
-	if *fair < 0 {
-		usageErr("-fair %d is negative; want a quantum in blocks", *fair)
+	// -fair 0 is indistinguishable from the off default by value, so
+	// catch an explicit zero (or negative) quantum by flag presence: a
+	// stated quantum must be positive, and omitting the flag is the only
+	// way to mean "fair sharing off".
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "fair" && *fair <= 0 {
+			usageErr("-fair %d is not a usable quantum; want a positive number of blocks (omit the flag to keep fair sharing off)", *fair)
+		}
+	})
+	qosClasses, err := parseQoSSpecs(*qos)
+	if err != nil {
+		usageErr("%v", err)
+	}
+	if len(qosClasses) > 0 && *fair <= 0 {
+		usageErr("-qos needs -fair: class weights only apply under weighted-fair admission")
 	}
 
 	if *cpuProf != "" {
@@ -94,7 +147,7 @@ func main() {
 		Shards:        *shards, BatchWindow: *window,
 		Deadline: *deadline, DeadlineAging: *aging,
 		WriteBack: *wb, WBWatermark: *wbWater, WBInterval: *wbIvl,
-		FairQuantum: *fair,
+		FairQuantum: *fair, QoSClasses: qosClasses,
 	}
 	if *disks != "" {
 		for _, d := range strings.Split(*disks, ",") {
@@ -115,17 +168,28 @@ func main() {
 			table *multimap.ExperimentTable
 			err   error
 		)
-		if id == "burst" && *jsonOut != "" {
+		writeJSON := func(res any) error {
+			data, err := json.MarshalIndent(res, "", "  ")
+			if err != nil {
+				return err
+			}
+			data = append(data, '\n')
+			return os.WriteFile(*jsonOut, data, 0o644)
+		}
+		switch {
+		case id == "burst" && *jsonOut != "":
 			var res *multimap.BurstResult
 			table, res, err = multimap.RunBurst(cfg)
 			if err == nil {
-				var data []byte
-				if data, err = json.MarshalIndent(res, "", "  "); err == nil {
-					data = append(data, '\n')
-					err = os.WriteFile(*jsonOut, data, 0o644)
-				}
+				err = writeJSON(res)
 			}
-		} else {
+		case id == "tenants" && *jsonOut != "":
+			var res *multimap.TenantsResult
+			table, res, err = multimap.RunTenants(cfg)
+			if err == nil {
+				err = writeJSON(res)
+			}
+		default:
 			table, err = multimap.RunExperiment(id, cfg)
 		}
 		if err != nil {

@@ -209,23 +209,40 @@
 //	mmbench -exp burst -clients 6 -wb -fair 4096 -cpuprofile cpu.pb.gz
 //	go tool pprof cpu.pb.gz
 //
-// Migration from the pre-context API (the old names remain one release
-// as thin deprecated wrappers):
+// # Multi-tenant volume pool: thin provisioning, growth, snapshots
 //
-//	NewStore(vol, kind, dims, StoreOptions{...})   -> Open(vol, kind, dims, WithPolicy(...), WithCache(...), ...)
-//	NewUpdatableStore(vol, kind, dims, uo, so)     -> Open(vol, kind, dims, ..., Updatable(uo))
-//	UpdatableStore / UpdateSession                 -> Store / Session (one type each)
-//	store.Beam(dim, fixed)                         -> store.Beam(ctx, dim, fixed)
-//	store.RangeQuery(lo, hi)                       -> store.RangeQuery(ctx, lo, hi)
-//	u.Insert(cell) / u.Delete(cell)                -> store.Insert(ctx, cell) / store.Delete(ctx, cell) (now return Stats too)
-//	u.LoadCell(cell, n)                            -> store.LoadCell(ctx, cell, n)
-//	u.FetchCell(cell)                              -> store.FetchCell(ctx, cell)
-//	StoreOptions.PlanChunkCells                    -> WithChunkCells(n)
-//	StoreOptions.CacheBlocks / MaxInflight         -> WithCache(n) / WithMaxInflight(n)
-//	StoreOptions.Shards / BatchWindow              -> WithShards(n) / WithBatchWindow(d)
-//	StoreOptions.DiskIdx / CellBlocks / Policy     -> WithDiskIdx(i) / WithCellBlocks(n) / WithPolicy(s)
-//	(new)                                          -> WithDeadlineAging(d), context.WithDeadline / WithTimeout per call
-//	(new)                                          -> WithWriteBack(watermark, interval), Store.Flush / Session.Flush / Session.Close
+// OpenPool builds a placement layer above everything else: a pool of
+// simulated drives hosting many tenant datasets at once (internal/pool
+// over the segment-mapped LVM). Pool.Create carves thin-provisioned
+// volumes from the pooled drives — track-aligned extents, possibly
+// non-contiguous and spread across drives — and opens an ordinary
+// Store over them under live traffic from other tenants; WithCapacity
+// sets the initial size (default auto-sizes from the dataset shape)
+// and WithDrives restricts placement. Pool.Grow extends a tenant
+// online, lvextend-style: the new extents publish atomically to the
+// running services (in-flight batches finish on the old extent table),
+// and on an updatable store they immediately join the §4.6 overflow
+// pools, so chains grow past the initial capacity without re-opening
+// anything. Pool.Snapshot freezes a tenant copy-on-write and
+// Pool.Clone materializes new tenants from the frozen image: clone
+// reads fall through to the shared extents at zero extra pool space,
+// and the first write to a frozen track — by parent or clone — pays a
+// copy-out fault (read the shared track, remap it onto a private
+// extent), charged to the writing session like any write and counted
+// in Stats.CowFaultBlocks. Pool.Destroy flushes, drains, and returns
+// the tenant's extents to the pool; Pool.Tenants and Pool.Usage
+// surface per-tenant and per-drive accounting.
+//
+// The COW-versus-write-back coherence contract: Snapshot flushes the
+// tenant's write-back dirty buffers before freezing, so acknowledged
+// writes are always in the frozen image and dirty data never straddles
+// a freeze; after the snapshot, the write path resolves a write's COW
+// faults before absorbing it into the dirty buffer, so buffered dirty
+// extents only ever cover private (never shared) storage and group
+// commit needs no COW awareness. A tenant whose volumes fully own
+// their drives behaves bit-identically to the classic single-tenant
+// path — the pool layer costs nothing when unused (fig6probe diffs
+// empty).
 //
 // Quick start:
 //

@@ -72,13 +72,18 @@ type ExperimentConfig struct {
 	// interactive:bulk:writer weights. 0 keeps fair sharing off —
 	// admission bit-identical to the pre-QoS behavior.
 	FairQuantum int64
+	// QoSClasses overrides the class registry used with FairQuantum
+	// (mmbench -qos). Empty keeps the burst experiment's built-in
+	// interactive:1, bulk:4, writer:1 mix.
+	QoSClasses []QoSClass
 }
 
 // ExperimentIDs lists the regenerable paper artifacts plus the two
 // analysis tables from §4.3-§4.4 and the beyond-the-paper concurrent
-// serving benchmarks ("serve" and "burst").
+// serving benchmarks ("serve", "burst", and the multi-tenant pool
+// churn benchmark "tenants").
 func ExperimentIDs() []string {
-	return []string{"fig1a", "fig1b", "fig6a", "fig6b", "fig7a", "fig7b", "fig8", "eq5", "space", "serve", "burst"}
+	return []string{"fig1a", "fig1b", "fig6a", "fig6b", "fig7a", "fig7b", "fig8", "eq5", "space", "serve", "burst", "tenants"}
 }
 
 // ExperimentTable is a printable experiment result.
@@ -128,6 +133,7 @@ func (cfg ExperimentConfig) internal() (experiments.Config, error) {
 		Deadline: cfg.Deadline, DeadlineAging: cfg.DeadlineAging,
 		WriteBack: cfg.WriteBack, WBWatermark: cfg.WBWatermark, WBInterval: cfg.WBInterval,
 		FairQuantum: cfg.FairQuantum,
+		QoSClasses:  cfg.QoSClasses,
 	}
 	for _, m := range cfg.Disks {
 		g, err := disk.ModelByName(string(m))
@@ -175,6 +181,9 @@ func RunExperiment(id string, cfg ExperimentConfig) (*ExperimentTable, error) {
 		return t, err
 	case "burst":
 		t, _, err := experiments.BurstTraffic(ic)
+		return t, err
+	case "tenants":
+		t, _, err := RunTenants(cfg)
 		return t, err
 	default:
 		return nil, fmt.Errorf("multimap: unknown experiment %q (have %v)", id, ExperimentIDs())

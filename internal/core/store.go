@@ -80,6 +80,61 @@ func NewCellStore(locate CellLocator, capacity int, fillFactor, reclaim float64,
 	return s, nil
 }
 
+// AddOverflow appends fresh free extents to the store's overflow pool —
+// the online-growth hook: when the volume underneath grows (a
+// thin-provisioned pool volume extended past its initial capacity), the
+// new blocks become overflow pages without re-opening the store, so
+// §4.6 chain growth continues across the capacity boundary. The
+// round-robin cursor is untouched; existing chains and counts are
+// unaffected.
+func (s *CellStore) AddOverflow(extents []lvm.Request) error {
+	for _, e := range extents {
+		if e.Count < 0 {
+			return fmt.Errorf("core: negative overflow extent [%d,+%d)", e.VLBN, e.Count)
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, e := range extents {
+		if e.Count == 0 {
+			continue
+		}
+		s.overflow.ext = append(s.overflow.ext, e)
+		s.overflow.next = append(s.overflow.next, e.VLBN)
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the store's chain state bound to the
+// given locator — the snapshot/clone hook: a cloned volume shares the
+// parent's block contents (copy-on-write underneath), so the clone's
+// chain bookkeeping starts as an exact copy and then diverges
+// independently. The copy is atomic with respect to concurrent
+// mutations of the parent.
+func (s *CellStore) Clone(locate CellLocator) *CellStore {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c := &CellStore{
+		locate:   locate,
+		capacity: s.capacity,
+		fill:     s.fill,
+		reclaim:  s.reclaim,
+		counts:   make(map[int64]int, len(s.counts)),
+		chains:   make(map[int64]int64, len(s.chains)),
+		reorgs:   s.reorgs,
+	}
+	for b, n := range s.counts {
+		c.counts[b] = n
+	}
+	for b, nxt := range s.chains {
+		c.chains[b] = nxt
+	}
+	c.overflow.ext = append([]lvm.Request(nil), s.overflow.ext...)
+	c.overflow.next = append([]int64(nil), s.overflow.next...)
+	c.overflow.rr = s.overflow.rr
+	return c
+}
+
 // writeSet accumulates the blocks one mutation dirties and emits them
 // as sorted, coalesced single-extent requests.
 type writeSet struct {

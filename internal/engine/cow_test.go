@@ -1,0 +1,186 @@
+package engine
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/disk"
+	"repro/internal/lvm"
+	"repro/internal/pool"
+)
+
+// cowVolume builds a snapshotted pool volume: every segment frozen
+// copy-on-write with the pool's fault allocator installed, so service
+// writes must break sharing before their I/O lands.
+func cowVolume(t *testing.T) (*lvm.Volume, func()) {
+	t.Helper()
+	p, err := pool.New(16, disk.SmallTestDisk(), disk.SmallTestDisk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := p.NewVolume(1000, []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sn, err := v.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v.Volume(), func() { sn.Free(); v.Free() }
+}
+
+// TestServiceWriteCowFault pins the write-through COW path: the first
+// write to a frozen track faults exactly that track into private
+// storage — charged to the writing session as CowFaultBlocks plus the
+// fault read's I/O — and a second write to the same track pays no
+// fault, while the service's attributed totals reproduce the session's.
+func TestServiceWriteCowFault(t *testing.T) {
+	lv, cleanup := cowVolume(t)
+	defer cleanup()
+	svc := NewService(lv, ServiceOptions{})
+	defer svc.Close()
+	sess := svc.NewSession(SessionOptions{})
+	ctx := context.Background()
+
+	start, next, err := lv.GetTrackBoundaries(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	track := next - start
+	wst, err := sess.Write(ctx, []lvm.Request{{VLBN: 10, Count: 2}}, disk.SchedSPTF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wst.CowFaultBlocks != track {
+		t.Fatalf("first write faulted %d blocks, want the whole track (%d)", wst.CowFaultBlocks, track)
+	}
+	// The fault read's completions are folded into the write's own cost.
+	if wst.Writes != 2+track || wst.Requests < 2 || wst.TotalMs <= 0 {
+		t.Fatalf("fault cost not attributed to the write: %+v", wst)
+	}
+	if lv.CowSpans([]lvm.Request{{VLBN: 10, Count: 2}}) != nil {
+		t.Fatal("written track still copy-on-write after the fault")
+	}
+
+	// Same track again: private now, no further fault.
+	wst, err = sess.Write(ctx, []lvm.Request{{VLBN: start, Count: 1}}, disk.SchedSPTF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wst.CowFaultBlocks != 0 {
+		t.Fatalf("second write to a private track faulted %d blocks", wst.CowFaultBlocks)
+	}
+
+	// A different frozen track faults independently.
+	start2, next2, err := lv.GetTrackBoundaries(next + 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wst, err = sess.Write(ctx, []lvm.Request{{VLBN: next + 1, Count: 1}}, disk.SchedSPTF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wst.CowFaultBlocks != next2-start2 {
+		t.Fatalf("second track faulted %d blocks, want %d", wst.CowFaultBlocks, next2-start2)
+	}
+
+	// Reads through the resolved mapping still serve (the resolve split
+	// segments under the service's feet, by design between batches).
+	if _, err := sess.RunPlan(ctx, Static([]lvm.Request{{VLBN: 10, Count: 2}}, disk.SchedSPTF), Options{}); err != nil {
+		t.Fatal(err)
+	}
+
+	tot := svc.Totals()
+	if tot.Attributed.CowFaultBlocks != track+(next2-start2) {
+		t.Fatalf("service attributed %d fault blocks, want %d",
+			tot.Attributed.CowFaultBlocks, track+(next2-start2))
+	}
+	if st := sess.Totals(); st.CowFaultBlocks != tot.Attributed.CowFaultBlocks {
+		t.Fatalf("session faulted %d blocks, service attributed %d",
+			st.CowFaultBlocks, tot.Attributed.CowFaultBlocks)
+	}
+}
+
+// TestWriteBackCowFaultAtAbsorb pins the absorb-path contract: COW
+// coherence is not deferred to the group commit — the fault happens at
+// absorb time, before the write is acknowledged, and the flush commits
+// only into private extents with no second fault.
+func TestWriteBackCowFaultAtAbsorb(t *testing.T) {
+	lv, cleanup := cowVolume(t)
+	defer cleanup()
+	svc := NewService(lv, ServiceOptions{WriteBack: WriteBackOptions{
+		Enabled:         true,
+		WatermarkBlocks: 1 << 30,
+		FlushInterval:   time.Hour,
+	}})
+	defer svc.Close()
+	sess := svc.NewSession(SessionOptions{})
+	ctx := context.Background()
+
+	start, next, err := lv.GetTrackBoundaries(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wst, err := sess.Write(ctx, []lvm.Request{{VLBN: 0, Count: 4}}, disk.SchedSPTF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wst.CowFaultBlocks != next-start {
+		t.Fatalf("absorbed write faulted %d blocks, want %d", wst.CowFaultBlocks, next-start)
+	}
+	if lv.CowSpans([]lvm.Request{{VLBN: 0, Count: 4}}) != nil {
+		t.Fatal("absorbed track still copy-on-write before the flush")
+	}
+	if err := sess.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+	tot := svc.Totals()
+	if tot.Attributed.CowFaultBlocks != next-start {
+		t.Fatalf("flush double-charged the fault: attributed %d blocks, want %d",
+			tot.Attributed.CowFaultBlocks, next-start)
+	}
+	if st := sess.Totals(); st.CowFaultBlocks != next-start {
+		t.Fatalf("session faulted %d blocks, want %d", st.CowFaultBlocks, next-start)
+	}
+}
+
+// TestFailedWriteKeepsCowCharge: when the write I/O fails AFTER its COW
+// fault resolved (here: a second, out-of-range request in the same op),
+// the fault already moved blocks and must stay visible in both the
+// reply and the service totals — the session/attributed sum property
+// holds for failed writes too.
+func TestFailedWriteKeepsCowCharge(t *testing.T) {
+	lv, cleanup := cowVolume(t)
+	defer cleanup()
+	svc := NewService(lv, ServiceOptions{})
+	defer svc.Close()
+	sess := svc.NewSession(SessionOptions{})
+
+	start, next, err := lv.GetTrackBoundaries(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wst, err := sess.Write(context.Background(), []lvm.Request{
+		{VLBN: 0, Count: 1},
+		{VLBN: lv.TotalBlocks(), Count: 1}, // out of range: the write I/O fails
+	}, disk.SchedSPTF)
+	if err == nil {
+		t.Fatal("out-of-range write accepted")
+	}
+	if wst.CowFaultBlocks != next-start {
+		t.Fatalf("failed write reply carries %d fault blocks, want %d", wst.CowFaultBlocks, next-start)
+	}
+	tot := svc.Totals()
+	if tot.WriteOps != 1 || tot.Attributed.CowFaultBlocks != next-start {
+		t.Fatalf("failed write bookkeeping wrong: %+v", tot)
+	}
+	if st := sess.Totals(); st.CowFaultBlocks != tot.Attributed.CowFaultBlocks {
+		t.Fatalf("session faulted %d blocks, service attributed %d",
+			st.CowFaultBlocks, tot.Attributed.CowFaultBlocks)
+	}
+	// The fault resolved: the track is private despite the failed write.
+	if lv.CowSpans([]lvm.Request{{VLBN: 0, Count: 1}}) != nil {
+		t.Fatal("faulted track still copy-on-write")
+	}
+}

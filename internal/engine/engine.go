@@ -81,6 +81,14 @@ type Stats struct {
 	// ServiceTotals.Attributed for the work that WAS issued.
 	Cancelled        int64
 	DeadlineExceeded int64
+	// CowFaultBlocks counts blocks this query's writes faulted out of
+	// shared copy-on-write extents: each first write to a frozen track
+	// (snapshotted parent, or clone) reads the track at its shared
+	// location and remaps it onto a private extent before the write's
+	// own I/O. The fault copy's blocks also land in Writes and its I/O
+	// time in the usual cost fields, attributed to the writing session.
+	// Zero on volumes never snapshotted or cloned.
+	CowFaultBlocks int64
 	// Partial marks a speculative partial result: the query's context
 	// expired (or was cancelled) mid-plan, and these Stats carry the
 	// cells already aggregated rather than the full box — returned

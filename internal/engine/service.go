@@ -243,6 +243,7 @@ type opResult struct {
 	invalidated int64 // cached blocks dropped by a write op's invalidation
 	written     int64 // blocks absorbed into the write-back buffer
 	coalesced   int64 // 1 when the absorbed op coalesced with dirty data
+	cowFaults   int64 // blocks faulted out of shared COW extents for this write
 	elapsed     float64
 	err         error
 }
@@ -985,13 +986,78 @@ func (s *Service) splitAtSegmentEnds(reqs []lvm.Request) []lvm.Request {
 	return out
 }
 
-// serveWrite applies one write op: invalidate every cached extent
+// cowFault serves the copy-on-write fault set of one write op: the
+// track-granule spans of its target blocks still mapped to shared
+// frozen extents (a snapshotted parent's, or the parent extents under a
+// clone) are read at their current shared location — the simulated
+// copy-out — and then remapped onto privately allocated extents, so the
+// write I/O that follows lands in storage this volume owns. The fault
+// read's completions and elapsed time are folded into the op's result,
+// so its cost is attributed to the writing session exactly like the
+// write itself; the faulted block count lands in CowFaultBlocks.
+// Returns the number of fault requests issued. A volume with no COW
+// segments detects the no-op with one atomic load.
+//
+// Ordering matters: callers must re-derive segment boundaries
+// (splitAtSegmentEnds) AFTER a successful fault, because resolving
+// splits segments and renumbers their indices.
+func (s *Service) cowFault(op *serviceOp, res *opResult) (int, error) {
+	spans := s.vol.CowSpans(op.chunk.Reqs)
+	if len(spans) == 0 {
+		return 0, nil
+	}
+	comps, elapsed, err := s.vol.ServeBatch(spans, op.policy)
+	if err != nil {
+		return 0, err
+	}
+	if err := s.vol.ResolveCOW(spans); err != nil {
+		return 0, err
+	}
+	res.comps = append(res.comps, comps...)
+	res.elapsed += elapsed
+	for _, sp := range spans {
+		res.cowFaults += int64(sp.Count)
+	}
+	return len(spans), nil
+}
+
+// failWrite replies to a write op that failed before any I/O beyond its
+// COW fault could be charged, keeping the already-performed fault and
+// invalidation visible in the bookkeeping and the reply so the
+// session's totals still sum to Attributed.
+func (s *Service) failWrite(op *serviceOp, res opResult, faultReqs int, err error) {
+	s.mu.Lock()
+	t := &s.totals
+	t.WriteOps++
+	t.InvalidatedBlocks += res.invalidated
+	t.IssuedRequests += int64(faultReqs)
+	t.Attributed.AddWriteCompletions(res.comps, res.elapsed)
+	t.Attributed.InvalidatedBlocks += res.invalidated
+	t.Attributed.CowFaultBlocks += res.cowFaults
+	ct := s.classTot(op.class)
+	ct.Ops++
+	ct.Attributed.AddWriteCompletions(res.comps, res.elapsed)
+	ct.Attributed.InvalidatedBlocks += res.invalidated
+	ct.Attributed.CowFaultBlocks += res.cowFaults
+	s.mu.Unlock()
+	res.err = err
+	op.reply <- res
+}
+
+// serveWrite applies one write op: fault any copy-on-write target
+// tracks into private extents, invalidate every cached extent
 // overlapping the mutated ranges, then serve the write I/O and charge
 // its cost to the submitting session. Writes never populate the cache.
-// Extents crossing a disk-segment boundary are split here, so Write's
+// Extents crossing a segment boundary are split here — after the COW
+// resolve, whose segment splits move the boundaries — so Write's
 // contract needs no per-disk precondition from its callers.
 func (s *Service) serveWrite(op *serviceOp) {
 	var res opResult
+	faultReqs, err := s.cowFault(op, &res)
+	if err != nil {
+		s.failWrite(op, opResult{}, 0, err)
+		return
+	}
 	op.chunk.Reqs = s.splitAtSegmentEnds(op.chunk.Reqs)
 	for _, r := range op.chunk.Reqs {
 		// invalidate is nil-safe when the cache is off.
@@ -1000,33 +1066,29 @@ func (s *Service) serveWrite(op *serviceOp) {
 	if len(op.chunk.Reqs) > 0 {
 		comps, elapsed, err := s.vol.ServeBatch(op.chunk.Reqs, op.policy)
 		if err != nil {
-			// The invalidation already happened and stays visible to
-			// later reads, so it must stay visible in the bookkeeping
-			// too — and in the reply, so the session's totals match.
-			s.mu.Lock()
-			s.totals.WriteOps++
-			s.totals.InvalidatedBlocks += res.invalidated
-			s.totals.Attributed.InvalidatedBlocks += res.invalidated
-			ct := s.classTot(op.class)
-			ct.Ops++
-			ct.Attributed.InvalidatedBlocks += res.invalidated
-			s.mu.Unlock()
-			op.reply <- opResult{err: err, invalidated: res.invalidated}
+			// The fault and invalidation already happened and stay
+			// visible to later reads, so they must stay visible in the
+			// bookkeeping too — and in the reply, so the session's
+			// totals match.
+			s.failWrite(op, res, faultReqs, err)
 			return
 		}
-		res.comps, res.elapsed = comps, elapsed
+		res.comps = append(res.comps, comps...)
+		res.elapsed += elapsed
 	}
 	s.mu.Lock()
 	t := &s.totals
 	t.WriteOps++
 	t.InvalidatedBlocks += res.invalidated
-	t.IssuedRequests += int64(len(op.chunk.Reqs))
+	t.IssuedRequests += int64(len(op.chunk.Reqs) + faultReqs)
 	t.Attributed.AddWriteCompletions(res.comps, res.elapsed)
 	t.Attributed.InvalidatedBlocks += res.invalidated
+	t.Attributed.CowFaultBlocks += res.cowFaults
 	ct := s.classTot(op.class)
 	ct.Ops++
 	ct.Attributed.AddWriteCompletions(res.comps, res.elapsed)
 	ct.Attributed.InvalidatedBlocks += res.invalidated
+	ct.Attributed.CowFaultBlocks += res.cowFaults
 	s.mu.Unlock()
 	if op.trace != nil && len(res.comps) > 0 {
 		op.trace(res.comps)
@@ -1043,16 +1105,30 @@ func (s *Service) serveWrite(op *serviceOp) {
 // is invalidated here, exactly as on the write-through path. Extents
 // whose addresses fall outside the volume are routed to the immediate
 // write path instead, so address errors surface to the submitter
-// synchronously rather than at some later flush.
+// synchronously rather than at some later flush. COW coherence is not
+// deferred either: target tracks still mapped to shared frozen extents
+// are faulted into private storage here, before absorption — the
+// address screen runs first (VLBN validity is unaffected by the
+// resolve), so the serveWrite fallback never double-charges a fault —
+// and the absorbed extents therefore only ever cover private segments,
+// which are never re-split, keeping their recorded flush boundaries
+// valid at group-commit time.
 func (s *Service) absorbWrite(op *serviceOp) {
-	op.chunk.Reqs = s.splitAtSegmentEnds(op.chunk.Reqs)
-	for _, r := range op.chunk.Reqs {
+	for _, r := range s.splitAtSegmentEnds(op.chunk.Reqs) {
 		if _, _, err := s.vol.Locate(r.VLBN); err != nil {
 			s.serveWrite(op)
 			return
 		}
 	}
 	var res opResult
+	faultReqs, err := s.cowFault(op, &res)
+	if err != nil {
+		s.failWrite(op, opResult{}, 0, err)
+		return
+	}
+	// Split after the resolve: it may have split segments under the
+	// target blocks, moving the boundaries the dirty buffer records.
+	op.chunk.Reqs = s.splitAtSegmentEnds(op.chunk.Reqs)
 	now := time.Now()
 	for _, r := range op.chunk.Reqs {
 		start, end := r.VLBN, r.VLBN+int64(r.Count)
@@ -1069,15 +1145,20 @@ func (s *Service) absorbWrite(op *serviceOp) {
 	t.WriteOps++
 	t.CoalescedWrites += res.coalesced
 	t.InvalidatedBlocks += res.invalidated
+	t.IssuedRequests += int64(faultReqs)
 	t.DirtyBlocks = s.wb.blocks
+	t.Attributed.AddWriteCompletions(res.comps, res.elapsed)
 	t.Attributed.Writes += res.written
 	t.Attributed.InvalidatedBlocks += res.invalidated
 	t.Attributed.CoalescedWrites += res.coalesced
+	t.Attributed.CowFaultBlocks += res.cowFaults
 	ct := s.classTot(op.class)
 	ct.Ops++
+	ct.Attributed.AddWriteCompletions(res.comps, res.elapsed)
 	ct.Attributed.Writes += res.written
 	ct.Attributed.InvalidatedBlocks += res.invalidated
 	ct.Attributed.CoalescedWrites += res.coalesced
+	ct.Attributed.CowFaultBlocks += res.cowFaults
 	s.mu.Unlock()
 	op.reply <- res
 }

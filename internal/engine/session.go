@@ -283,6 +283,7 @@ func (s *Session) Write(ctx context.Context, reqs []lvm.Request, policy disk.Sch
 	st.Writes += r.written
 	st.CoalescedWrites = r.coalesced
 	st.InvalidatedBlocks = r.invalidated
+	st.CowFaultBlocks = r.cowFaults
 	// Invalidation sticks even when the write I/O itself failed, so it
 	// is folded into the lifetime totals either way (the sum property
 	// against ServiceTotals.Attributed holds for failed writes too).
@@ -335,6 +336,7 @@ func (s *Stats) Accumulate(q Stats) {
 	s.Writes += q.Writes
 	s.InvalidatedBlocks += q.InvalidatedBlocks
 	s.CoalescedWrites += q.CoalescedWrites
+	s.CowFaultBlocks += q.CowFaultBlocks
 	s.FlushBatches += q.FlushBatches
 	s.Cancelled += q.Cancelled
 	s.DeadlineExceeded += q.DeadlineExceeded

@@ -1,6 +1,7 @@
 package lvm
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -377,5 +378,289 @@ func TestDeclustererExhaustion(t *testing.T) {
 	}
 	if _, err := NewDeclusterer(v, 0); err == nil {
 		t.Error("zero unit accepted")
+	}
+}
+
+// zone0TL returns the track length of the geometry's first zone, the
+// granule pool-style extents are aligned to in these tests.
+func zone0TL(g *disk.Geometry) int64 {
+	return int64(g.ZoneByIndex(0).SectorsPerTrack)
+}
+
+func TestNewFromExtentsValidation(t *testing.T) {
+	g := disk.SmallTestDisk()
+	dr := NewDrive(g)
+	tl := zone0TL(g)
+	if _, err := NewFromExtents(16, nil); err == nil {
+		t.Error("empty extent list accepted")
+	}
+	if _, err := NewFromExtents(16, []Extent{{Drive: nil, Blocks: tl}}); err == nil {
+		t.Error("extent without a drive accepted")
+	}
+	if _, err := NewFromExtents(16, []Extent{{Drive: dr, Blocks: 0}}); err == nil {
+		t.Error("zero-block extent accepted")
+	}
+	if _, err := NewFromExtents(16, []Extent{{Drive: dr, PhysStart: -1, Blocks: tl}}); err == nil {
+		t.Error("negative physical start accepted")
+	}
+	if _, err := NewFromExtents(16, []Extent{{Drive: dr, PhysStart: g.TotalBlocks() - 1, Blocks: 2}}); err == nil {
+		t.Error("extent past drive capacity accepted")
+	}
+	if _, err := NewFromExtents(g.AdjSpan()+1, []Extent{{Drive: dr, Blocks: tl}}); err == nil {
+		t.Error("depth beyond settle span accepted")
+	}
+	v, err := NewFromExtents(0, []Extent{{Drive: NewDrive(disk.AtlasTenKIII()), Blocks: tl}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.AdjacencyDepth() != DefaultAdjacencyDepth {
+		t.Errorf("default depth %d, want %d", v.AdjacencyDepth(), DefaultAdjacencyDepth)
+	}
+}
+
+// TestPoolExtentMapping pins the pool shape the classic tests never hit:
+// two non-contiguous extents carved from ONE shared drive become two
+// segments of one VLBN space, and ServeBatch routes and back-maps both
+// through the single drive.
+func TestPoolExtentMapping(t *testing.T) {
+	g := disk.SmallTestDisk()
+	dr := NewDrive(g)
+	tl := zone0TL(g)
+	v, err := NewFromExtents(16, []Extent{
+		{Drive: dr, PhysStart: 0, Blocks: 4 * tl},
+		{Drive: dr, PhysStart: 8 * tl, Blocks: 2 * tl},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.NumDisks() != 2 || v.TotalBlocks() != 6*tl {
+		t.Fatalf("got %d segments over %d blocks, want 2 over %d", v.NumDisks(), v.TotalBlocks(), 6*tl)
+	}
+	if len(v.Drives()) != 1 {
+		t.Fatalf("segments on one drive report %d distinct drives", len(v.Drives()))
+	}
+	if v.DiskStart(1) != 4*tl || v.DiskBlocks(1) != 2*tl {
+		t.Fatalf("segment 1 at (%d,+%d), want (%d,+%d)", v.DiskStart(1), v.DiskBlocks(1), 4*tl, 2*tl)
+	}
+	// The VLBN space is contiguous across the physical gap.
+	di, lbn, err := v.Locate(4*tl - 1)
+	if err != nil || di != 0 || lbn != 4*tl-1 {
+		t.Fatalf("last block of segment 0: got (%d,%d,%v)", di, lbn, err)
+	}
+	di, lbn, err = v.Locate(4 * tl)
+	if err != nil || di != 1 || lbn != 0 {
+		t.Fatalf("first block of segment 1: got (%d,%d,%v)", di, lbn, err)
+	}
+	comps, elapsed, err := v.ServeBatch([]Request{
+		{VLBN: tl, Count: 2},
+		{VLBN: 5 * tl, Count: 1},
+	}, disk.SchedSPTF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(comps) != 2 || elapsed <= 0 {
+		t.Fatalf("got %d completions, elapsed %.3f", len(comps), elapsed)
+	}
+	for _, c := range comps {
+		want := 0
+		if c.Req.VLBN >= 4*tl {
+			want = 1
+		}
+		if c.DiskIdx != want {
+			t.Fatalf("completion at VLBN %d tagged segment %d, want %d", c.Req.VLBN, c.DiskIdx, want)
+		}
+	}
+}
+
+// TestExtendAppendOnly verifies online growth: extents append to the
+// VLBN space, and every pre-growth address — segment index, start, and
+// local LBN — is bit-identical afterwards.
+func TestExtendAppendOnly(t *testing.T) {
+	g := disk.SmallTestDisk()
+	dr := NewDrive(g)
+	tl := zone0TL(g)
+	v, err := NewFromExtents(16, []Extent{{Drive: dr, PhysStart: 0, Blocks: 4 * tl}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	type loc struct {
+		di  int
+		lbn int64
+	}
+	pre := map[int64]loc{}
+	for vlbn := int64(0); vlbn < v.TotalBlocks(); vlbn += tl / 2 {
+		di, lbn, err := v.Locate(vlbn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pre[vlbn] = loc{di, lbn}
+	}
+	if err := v.Extend(nil); err != nil {
+		t.Fatal(err)
+	}
+	if v.NumDisks() != 1 {
+		t.Fatal("empty Extend changed the segment table")
+	}
+	// A bad extent must reject the whole call without publishing.
+	if err := v.Extend([]Extent{{Drive: dr, PhysStart: 6 * tl, Blocks: 0}}); err == nil {
+		t.Error("zero-block growth extent accepted")
+	}
+	if v.NumDisks() != 1 || v.TotalBlocks() != 4*tl {
+		t.Fatal("failed Extend mutated the volume")
+	}
+	dr2 := NewDrive(disk.SmallTestDisk())
+	if err := v.Extend([]Extent{
+		{Drive: dr, PhysStart: 6 * tl, Blocks: 2 * tl},
+		{Drive: dr2, PhysStart: 0, Blocks: tl},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if v.NumDisks() != 3 || v.TotalBlocks() != 7*tl {
+		t.Fatalf("grown to %d segments over %d blocks, want 3 over %d", v.NumDisks(), v.TotalBlocks(), 7*tl)
+	}
+	if v.DiskStart(1) != 4*tl || v.DiskStart(2) != 6*tl {
+		t.Fatalf("new segments at %d and %d, want %d and %d", v.DiskStart(1), v.DiskStart(2), 4*tl, 6*tl)
+	}
+	if len(v.Drives()) != 2 {
+		t.Fatalf("got %d distinct drives, want 2", len(v.Drives()))
+	}
+	for vlbn, want := range pre {
+		di, lbn, err := v.Locate(vlbn)
+		if err != nil || di != want.di || lbn != want.lbn {
+			t.Fatalf("VLBN %d moved under growth: got (%d,%d,%v), want (%d,%d)",
+				vlbn, di, lbn, err, want.di, want.lbn)
+		}
+	}
+	// Growth can bring in copy-on-write extents (a clone growing over a
+	// second snapshot generation); the fast-path flag must follow.
+	if v.HasCOW() {
+		t.Fatal("volume copy-on-write before any COW extent")
+	}
+	if err := v.Extend([]Extent{{Drive: dr2, PhysStart: 2 * tl, Blocks: tl, COW: true}}); err != nil {
+		t.Fatal(err)
+	}
+	if !v.HasCOW() {
+		t.Fatal("COW growth extent did not mark the volume")
+	}
+}
+
+// TestCowSpansAndResolve walks the copy-on-write cycle at the lvm
+// layer: MarkCOW freezes every segment, CowSpans widens dirty ranges to
+// track granules, and ResolveCOW remaps each faulted span onto a
+// private extent — splitting the segment in place while every VLBN keeps
+// resolving, just onto new physical homes.
+func TestCowSpansAndResolve(t *testing.T) {
+	g := disk.SmallTestDisk()
+	dr := NewDrive(g)
+	tl := zone0TL(g)
+	v, err := NewFromExtents(16, []Extent{{Drive: dr, PhysStart: 0, Blocks: 4 * tl}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.HasCOW() {
+		t.Fatal("fresh volume reports COW segments")
+	}
+	if spans := v.CowSpans([]Request{{VLBN: 0, Count: int(v.TotalBlocks())}}); spans != nil {
+		t.Fatalf("non-COW volume produced fault spans %v", spans)
+	}
+	v.MarkCOW()
+	if !v.HasCOW() {
+		t.Fatal("MarkCOW did not mark the volume")
+	}
+
+	// A sub-track write faults its whole containing track.
+	faultVLBN := 2*tl + 3
+	spans := v.CowSpans([]Request{{VLBN: faultVLBN, Count: 2}})
+	if len(spans) != 1 {
+		t.Fatalf("got %d fault spans, want 1", len(spans))
+	}
+	start, next, err := v.GetTrackBoundaries(faultVLBN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spans[0].VLBN != start || int64(spans[0].Count) != next-start {
+		t.Fatalf("fault span [%d,+%d), want the track [%d,%d)", spans[0].VLBN, spans[0].Count, start, next)
+	}
+	// A write crossing a track boundary faults both tracks as one span.
+	wide := v.CowSpans([]Request{{VLBN: tl - 1, Count: 2}})
+	if len(wide) != 1 || wide[0].VLBN != 0 || int64(wide[0].Count) != 2*tl {
+		t.Fatalf("cross-track fault spans %v, want [0,+%d)", wide, 2*tl)
+	}
+
+	if err := v.ResolveCOW(spans); err == nil {
+		t.Fatal("ResolveCOW without an allocator accepted")
+	}
+	v.SetCowAlloc(func(prefer *Drive, trackLen int, blocks int64) (*Drive, int64, error) {
+		// Fresh drive per fault: trivially correct placement for a unit test.
+		return NewDrive(disk.SmallTestDisk()), 0, nil
+	})
+	if err := v.ResolveCOW(spans); err != nil {
+		t.Fatal(err)
+	}
+	// The middle-track fault splits the one segment into pre | private | post.
+	if v.NumDisks() != 3 || v.TotalBlocks() != 4*tl {
+		t.Fatalf("resolved volume has %d segments over %d blocks, want 3 over %d",
+			v.NumDisks(), v.TotalBlocks(), 4*tl)
+	}
+	di, lbn, err := v.Locate(faultVLBN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Disk(di) == dr.Disk() {
+		t.Fatal("faulted VLBN still maps to the shared parent drive")
+	}
+	if got := v.VLBN(di, lbn); got != faultVLBN {
+		t.Fatalf("faulted VLBN round-trips to %d", got)
+	}
+	for _, vlbn := range []int64{0, start - 1, next, 4*tl - 1} {
+		di, _, err := v.Locate(vlbn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.Disk(di) != dr.Disk() {
+			t.Fatalf("unfaulted VLBN %d moved off the parent drive", vlbn)
+		}
+	}
+	// The resolved track is private now: no further faults there, while
+	// the surrounding segments stay copy-on-write.
+	if spans := v.CowSpans([]Request{{VLBN: faultVLBN, Count: 1}}); spans != nil {
+		t.Fatalf("resolved track still faults: %v", spans)
+	}
+	if !v.HasCOW() {
+		t.Fatal("surrounding segments lost their COW mark")
+	}
+
+	// Resolving every remaining span clears the volume's COW state.
+	rest := v.CowSpans([]Request{{VLBN: 0, Count: int(v.TotalBlocks())}})
+	if len(rest) != 2 {
+		t.Fatalf("got %d remaining fault spans, want 2 (pre and post segments)", len(rest))
+	}
+	if err := v.ResolveCOW(rest); err != nil {
+		t.Fatal(err)
+	}
+	if v.HasCOW() {
+		t.Fatal("fully resolved volume still reports COW segments")
+	}
+	if spans := v.CowSpans([]Request{{VLBN: 0, Count: int(v.TotalBlocks())}}); spans != nil {
+		t.Fatalf("fully resolved volume produced fault spans %v", spans)
+	}
+
+	// Allocator failure surfaces as an error, not a corrupt table.
+	v.MarkCOW()
+	v.SetCowAlloc(func(prefer *Drive, trackLen int, blocks int64) (*Drive, int64, error) {
+		return nil, 0, fmt.Errorf("pool exhausted")
+	})
+	before := v.NumDisks()
+	if err := v.ResolveCOW(v.CowSpans([]Request{{VLBN: 0, Count: 1}})); err == nil {
+		t.Fatal("allocator failure swallowed")
+	}
+	if v.NumDisks() != before {
+		t.Fatal("failed resolve republished the segment table")
+	}
+
+	// A span crossing a segment boundary is a caller bug and must be
+	// rejected: CowSpans never produces one.
+	if err := v.ResolveCOW([]Request{{VLBN: v.DiskStart(1) - 1, Count: 2}}); err == nil {
+		t.Fatal("cross-segment COW span accepted")
 	}
 }

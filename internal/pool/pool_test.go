@@ -1,0 +1,293 @@
+package pool
+
+import (
+	"testing"
+
+	"repro/internal/disk"
+	"repro/internal/lvm"
+)
+
+func testPool(t *testing.T) *Pool {
+	t.Helper()
+	p, err := New(16, disk.SmallTestDisk(), disk.SmallTestDisk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// freeBlocks sums the pool's free space per drive.
+func freeBlocks(p *Pool) []int64 {
+	u := p.Usage()
+	out := make([]int64, len(u))
+	for i := range u {
+		out[i] = u[i].FreeBlocks
+	}
+	return out
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(16); err == nil {
+		t.Error("empty pool accepted")
+	}
+	g := disk.SmallTestDisk()
+	if _, err := New(g.AdjSpan()+1, g); err == nil {
+		t.Error("depth beyond settle span accepted")
+	}
+	p, err := New(0, disk.AtlasTenKIII())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.AdjacencyDepth() != lvm.DefaultAdjacencyDepth {
+		t.Errorf("default depth %d, want %d", p.AdjacencyDepth(), lvm.DefaultAdjacencyDepth)
+	}
+	if p.NumDrives() != 1 {
+		t.Errorf("got %d drives, want 1", p.NumDrives())
+	}
+}
+
+// TestNewVolumePlacement pins first-fit placement: with no preference
+// the volume lands on drive 0, with an explicit preference it lands on
+// that drive, and the thin accounting (Vol.Blocks, Usage) tracks the
+// track-rounded allocation exactly.
+func TestNewVolumePlacement(t *testing.T) {
+	p := testPool(t)
+	free0 := freeBlocks(p)
+
+	a, err := p.NewVolume(100, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lv := a.Volume()
+	if lv.TotalBlocks() < 100 {
+		t.Fatalf("volume of %d blocks for a 100-block ask", lv.TotalBlocks())
+	}
+	if drs := lv.Drives(); len(drs) != 1 || drs[0] != p.Drive(0) {
+		t.Fatal("unpreferred volume not first-fit on drive 0")
+	}
+	if a.Blocks() != lv.TotalBlocks() {
+		t.Fatalf("accounting %d blocks, volume maps %d", a.Blocks(), lv.TotalBlocks())
+	}
+	free1 := freeBlocks(p)
+	if free1[0] != free0[0]-a.Blocks() || free1[1] != free0[1] {
+		t.Fatalf("usage %v after allocating %d from drive 0 (was %v)", free1, a.Blocks(), free0)
+	}
+
+	b, err := p.NewVolume(100, []int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if drs := b.Volume().Drives(); len(drs) != 1 || drs[0] != p.Drive(1) {
+		t.Fatal("preferred volume not on drive 1")
+	}
+
+	a.Free()
+	b.Free()
+	if got := freeBlocks(p); got[0] != free0[0] || got[1] != free0[1] {
+		t.Fatalf("space not reclaimed: %v, want %v", got, free0)
+	}
+}
+
+func TestAllocErrors(t *testing.T) {
+	p := testPool(t)
+	if _, err := p.NewVolume(0, nil); err == nil {
+		t.Error("zero-block volume accepted")
+	}
+	if _, err := p.NewVolume(100, []int{7}); err == nil {
+		t.Error("bad drive index accepted")
+	}
+	// An unsatisfiable ask must roll back every partial carve: the free
+	// lists (including run merging on release) end up exactly as before.
+	free0 := freeBlocks(p)
+	total := free0[0] + free0[1]
+	if _, err := p.NewVolume(total+1, nil); err == nil {
+		t.Error("over-capacity volume accepted")
+	}
+	if got := freeBlocks(p); got[0] != free0[0] || got[1] != free0[1] {
+		t.Fatalf("failed allocation leaked space: %v, want %v", got, free0)
+	}
+	// The pool's entire capacity is allocatable in one volume (the
+	// rollback above merged every run back).
+	v, err := p.NewVolume(total, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Blocks() != total {
+		t.Fatalf("whole-pool volume references %d blocks, want %d", v.Blocks(), total)
+	}
+	v.Free()
+}
+
+func TestGrow(t *testing.T) {
+	p := testPool(t)
+	v, err := p.NewVolume(100, []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lv := v.Volume()
+	before := lv.TotalBlocks()
+	if err := v.Grow(before+5, []int{1}); err != nil {
+		t.Fatal(err)
+	}
+	if lv.TotalBlocks() < 2*before+5 {
+		t.Fatalf("grown volume maps %d blocks, want at least %d", lv.TotalBlocks(), 2*before+5)
+	}
+	if v.Blocks() != lv.TotalBlocks() {
+		t.Fatalf("accounting %d blocks after growth, volume maps %d", v.Blocks(), lv.TotalBlocks())
+	}
+	// The growth extents honored the preference: segment 0 stays on
+	// drive 0, the appended segments are on drive 1.
+	if lv.NumDisks() < 2 {
+		t.Fatalf("growth added no segments: %d", lv.NumDisks())
+	}
+	if drs := lv.Drives(); len(drs) != 2 {
+		t.Fatalf("grown volume spans %d drives, want 2", len(drs))
+	}
+	if err := v.Grow(0, nil); err == nil {
+		t.Error("zero-block growth accepted")
+	}
+	v.Free()
+	if err := v.Grow(100, nil); err == nil {
+		t.Error("growth of a freed volume accepted")
+	}
+	v.Free() // idempotent
+	if got := freeBlocks(p); got[0] != got[1] {
+		t.Fatalf("asymmetric free space after full reclaim: %v", got)
+	}
+}
+
+// TestSnapshotCloneRefcounts walks the reference-counting lifecycle:
+// snapshots and clones share the frozen extents (no new space), and the
+// space returns to the pool only when the LAST referencing volume,
+// snapshot, or clone is freed — in any order.
+func TestSnapshotCloneRefcounts(t *testing.T) {
+	p := testPool(t)
+	free0 := freeBlocks(p)
+	v, err := p.NewVolume(100, []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	used := v.Blocks()
+
+	sn, err := v.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Volume().HasCOW() {
+		t.Fatal("snapshot did not flip the origin copy-on-write")
+	}
+	cl, err := sn.Clone()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cl.Volume().TotalBlocks() != v.Volume().TotalBlocks() {
+		t.Fatal("clone does not mirror the origin's VLBN space")
+	}
+	if !cl.Volume().HasCOW() {
+		t.Fatal("clone segments not copy-on-write")
+	}
+	if cl.Blocks() != used {
+		t.Fatalf("clone charged %d blocks, want the shared %d", cl.Blocks(), used)
+	}
+	if got := freeBlocks(p); got[0] != free0[0]-used {
+		t.Fatalf("snapshot+clone consumed new space: %v", got)
+	}
+
+	// Free origin first: the snapshot and clone keep the extents alive.
+	v.Free()
+	if got := freeBlocks(p); got[0] != free0[0]-used {
+		t.Fatalf("space reclaimed while snapshot and clone live: %v", got)
+	}
+	sn.Free()
+	sn.Free() // idempotent
+	if got := freeBlocks(p); got[0] != free0[0]-used {
+		t.Fatalf("space reclaimed while clone lives: %v", got)
+	}
+	cl.Free()
+	if got := freeBlocks(p); got[0] != free0[0] || got[1] != free0[1] {
+		t.Fatalf("space not reclaimed after last reference: %v, want %v", got, free0)
+	}
+
+	if _, err := v.Snapshot(); err == nil {
+		t.Error("snapshot of a freed volume accepted")
+	}
+	if _, err := sn.Clone(); err == nil {
+		t.Error("clone from a freed snapshot accepted")
+	}
+}
+
+// TestCowFaultCharging exercises the installed CowAllocFunc end to end:
+// resolving a fault span carves a private contiguous extent — preferring
+// the faulting drive — and charges it to the faulting volume's thin
+// accounting.
+func TestCowFaultCharging(t *testing.T) {
+	p := testPool(t)
+	v, err := p.NewVolume(100, []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sn, err := v.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lv := v.Volume()
+	used := v.Blocks()
+
+	spans := lv.CowSpans([]lvm.Request{{VLBN: 0, Count: 1}})
+	if len(spans) != 1 {
+		t.Fatalf("got %d fault spans, want 1", len(spans))
+	}
+	if err := lv.ResolveCOW(spans); err != nil {
+		t.Fatal(err)
+	}
+	faulted := int64(spans[0].Count)
+	if v.Blocks() != used+faulted {
+		t.Fatalf("fault charged %d blocks, want %d", v.Blocks()-used, faulted)
+	}
+	// Plenty of room on drive 0, so the private extent stays local.
+	di, _, err := lv.Locate(spans[0].VLBN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lv.Disk(di) != p.Drive(0).Disk() {
+		t.Fatal("private extent not placed on the preferred (faulting) drive")
+	}
+
+	// A fault against a freed volume must fail at the allocator, not
+	// carve space: pick a track that is still frozen.
+	rest := lv.CowSpans([]lvm.Request{{VLBN: 0, Count: int(lv.TotalBlocks())}})
+	if len(rest) == 0 {
+		t.Fatal("no frozen tracks left to fault")
+	}
+	v.Free()
+	sn.Free()
+	if err := lv.ResolveCOW(rest[:1]); err == nil {
+		t.Error("COW fault on a freed volume accepted")
+	}
+}
+
+// TestCowFaultExhaustion: when no contiguous run of the right track
+// length is free anywhere, the fault surfaces as an error instead of
+// corrupting the volume.
+func TestCowFaultExhaustion(t *testing.T) {
+	p := testPool(t)
+	free0 := freeBlocks(p)
+	v, err := p.NewVolume(free0[0]+free0[1], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sn, err := v.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lv := v.Volume()
+	spans := lv.CowSpans([]lvm.Request{{VLBN: 0, Count: 1}})
+	if err := lv.ResolveCOW(spans); err == nil {
+		t.Error("COW fault succeeded with a full pool")
+	}
+	sn.Free()
+	v.Free()
+	if got := freeBlocks(p); got[0] != free0[0] || got[1] != free0[1] {
+		t.Fatalf("space not reclaimed: %v, want %v", got, free0)
+	}
+}

@@ -83,6 +83,36 @@ func Build(vols []*lvm.Volume, svcs []*engine.Service, kind mapping.Kind, dims [
 	return g, nil
 }
 
+// Rebind builds a new Group over fresh volumes and services while
+// sharing the source group's router and per-shard mappings — the clone
+// hook: a cloned dataset's volumes carry bit-for-bit the parent's
+// blocks at snapshot time, so the parent's cell placement is exactly
+// the clone's. Re-deriving the mappings from the clone volumes could
+// drift (mapping.New chooses the basic-cube side from volume geometry,
+// and a pool clone's segment layout equals the parent's only at
+// snapshot), so the Mapper objects are shared outright — they are
+// immutable after construction. Only the executors are rebuilt, bound
+// to the new volumes.
+func Rebind(g *Group, vols []*lvm.Volume, svcs []*engine.Service, eo query.ExecOptions) (*Group, error) {
+	if len(vols) != len(g.members) {
+		return nil, fmt.Errorf("shard: rebind needs %d volumes, got %d", len(g.members), len(vols))
+	}
+	if len(vols) != len(svcs) {
+		return nil, fmt.Errorf("shard: %d volumes but %d services", len(vols), len(svcs))
+	}
+	ng := &Group{r: g.r, members: make([]Member, len(vols))}
+	for i := range vols {
+		m := g.members[i].Map
+		ng.members[i] = Member{
+			Vol:  vols[i],
+			Svc:  svcs[i],
+			Map:  m,
+			Exec: query.NewExecutorOptions(vols[i], m, eo),
+		}
+	}
+	return ng, nil
+}
+
 // Router returns the group's partition.
 func (g *Group) Router() *Router { return g.r }
 

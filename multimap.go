@@ -268,6 +268,8 @@ type Store struct {
 	maxInflight int
 	qosClass    string            // default session's QoS class (WithQoS)
 	cells       []*core.CellStore // one chain tracker per shard; nil unless Updatable
+	cfg         config            // resolved open config (clone re-applies it)
+	eo          query.ExecOptions
 	def         *Session
 	closed      atomic.Bool
 }
@@ -291,16 +293,34 @@ func Open(vol *Volume, kind Mapping, dims []int, opts ...Option) (*Store, error)
 			return nil, err
 		}
 	}
+	return open(vol, kind, dims, c)
+}
+
+// open builds a store from a resolved config — the shared tail of Open
+// and Pool.Create. When c.provision is set (pool tenants), the shard
+// volumes were pre-allocated from the pool, shard 0 included;
+// otherwise shards 1..N-1 mirror the caller's volume hardware via
+// NewLike, exactly the classic path.
+func open(vol *Volume, kind Mapping, dims []int, c config) (*Store, error) {
 	eo, err := query.ExecOptionsFor(c.policy, c.chunkCells)
 	if err != nil {
 		return nil, err
 	}
-	s := &Store{vol: vol, dims: append([]int(nil), dims...), maxInflight: c.maxInflight, qosClass: c.qosClass}
+	s := &Store{vol: vol, dims: append([]int(nil), dims...), maxInflight: c.maxInflight,
+		qosClass: c.qosClass, cfg: c, eo: eo}
 	shardVols := []*Volume{vol}
-	for i := 1; i < c.shards; i++ {
-		sv := &Volume{v: lvm.NewLike(vol.v)}
-		s.extra = append(s.extra, sv)
-		shardVols = append(shardVols, sv)
+	if c.provision != nil {
+		if len(c.provision) != c.shards || c.provision[0] != vol {
+			return nil, fmt.Errorf("multimap: provisioned %d shard volumes for %d shards", len(c.provision), c.shards)
+		}
+		shardVols = c.provision
+		s.extra = append(s.extra, c.provision[1:]...)
+	} else {
+		for i := 1; i < c.shards; i++ {
+			sv := &Volume{v: lvm.NewLike(vol.v)}
+			s.extra = append(s.extra, sv)
+			shardVols = append(shardVols, sv)
+		}
 	}
 	vols := make([]*lvm.Volume, c.shards)
 	svcs := make([]*engine.Service, c.shards)
@@ -314,10 +334,28 @@ func Open(vol *Volume, kind Mapping, dims []int, opts ...Option) (*Store, error)
 	if err != nil {
 		return nil, err
 	}
+	if err := applyServiceConfig(svcs, c); err != nil {
+		return nil, err
+	}
+	if c.updatable {
+		if err := s.initUpdatable(c.update); err != nil {
+			return nil, err
+		}
+	}
+	s.def = s.Begin()
+	return s, nil
+}
+
+// applyServiceConfig pushes the config's service-level knobs (cache,
+// admission window, deadline aging, write-back, fair sharing) onto
+// every shard service — shared by open and the pool's clone path,
+// which rebuilds services for cloned volumes under the parent's
+// config.
+func applyServiceConfig(svcs []*engine.Service, c config) error {
 	for _, svc := range svcs {
 		if c.cacheBlocks > 0 {
 			if err := svc.ConfigureCache(c.cacheBlocks); err != nil {
-				return nil, err
+				return err
 			}
 		}
 		if c.batchWindow > 0 {
@@ -332,22 +370,16 @@ func Open(vol *Volume, kind Mapping, dims []int, opts ...Option) (*Store, error)
 				WatermarkBlocks: c.wbWatermark,
 				FlushInterval:   c.wbInterval,
 			}); err != nil {
-				return nil, err
+				return err
 			}
 		}
 		if c.fairQuantum > 0 {
 			if err := svc.SetFairShare(c.fairQuantum, c.classes); err != nil {
-				return nil, err
+				return err
 			}
 		}
 	}
-	if c.updatable {
-		if err := s.initUpdatable(c.update); err != nil {
-			return nil, err
-		}
-	}
-	s.def = s.Begin()
-	return s, nil
+	return nil
 }
 
 // Session is one client's handle for issuing operations concurrently

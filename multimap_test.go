@@ -89,8 +89,11 @@ func TestStoreQueries(t *testing.T) {
 			t.Errorf("%v: CellLBN: %v", kind, err)
 		}
 	}
-	if _, err := NewStore(v, MultiMap, []int{40, 12, 8}, StoreOptions{}, StoreOptions{}); err == nil {
-		t.Error("two option structs accepted")
+	if _, err := Open(v, MultiMap, []int{40, 12, 8}, WithCapacity(1<<20)); err == nil {
+		t.Error("pool-only WithCapacity accepted by plain Open")
+	}
+	if _, err := Open(v, MultiMap, []int{40, 12, 8}, WithDrives(0)); err == nil {
+		t.Error("pool-only WithDrives accepted by plain Open")
 	}
 	if _, err := Open(v, MultiMap, []int{40, 12, 8}, WithChunkCells(-1)); err == nil {
 		t.Error("negative PlanChunkCells accepted")
@@ -335,8 +338,8 @@ func TestRunExperimentFacade(t *testing.T) {
 	if _, err := RunExperiment("fig99", cfg); err == nil {
 		t.Error("unknown experiment accepted")
 	}
-	if len(ExperimentIDs()) != 11 {
-		t.Errorf("want 11 experiment ids, got %v", ExperimentIDs())
+	if len(ExperimentIDs()) != 12 {
+		t.Errorf("want 12 experiment ids, got %v", ExperimentIDs())
 	}
 }
 

@@ -32,6 +32,16 @@ type config struct {
 	qosClass      string
 	updatable     bool
 	update        UpdateOptions
+
+	// Pool-only state. poolOpen marks a config assembled by Pool.Create;
+	// the two pool-only options below validate against it, so plain Open
+	// rejects them. provision carries the pre-built thin shard volumes
+	// (index 0 included) Create allocated from the pool, replacing the
+	// NewLike loop.
+	poolOpen  bool
+	provision []*Volume
+	capacity  int64
+	drives    []int
 }
 
 func defaultConfig() config {
@@ -269,6 +279,42 @@ func WithFairShare(quantum int64) Option {
 func WithQoS(class string) Option {
 	return func(c *config) error {
 		c.qosClass = class
+		return nil
+	}
+}
+
+// WithCapacity sets a tenant's initial thin-provisioned capacity in
+// blocks, split evenly across its shard volumes. 0 (the default) sizes
+// the volumes automatically from the dataset shape, growing and
+// retrying until the mapping fits. Valid only inside Pool.Create —
+// plain Open has no allocator and rejects it.
+func WithCapacity(blocks int64) Option {
+	return func(c *config) error {
+		if !c.poolOpen {
+			return fmt.Errorf("multimap: WithCapacity applies only to Pool.Create")
+		}
+		if blocks < 0 {
+			return fmt.Errorf("multimap: capacity must be non-negative")
+		}
+		c.capacity = blocks
+		return nil
+	}
+}
+
+// WithDrives restricts a tenant's extent allocation to the given pool
+// drive indices (shard i prefers drive i mod len(idx), spilling to the
+// others in the list before failing). The default allows every pool
+// drive. Valid only inside Pool.Create — plain Open has no allocator
+// and rejects it.
+func WithDrives(idx ...int) Option {
+	return func(c *config) error {
+		if !c.poolOpen {
+			return fmt.Errorf("multimap: WithDrives applies only to Pool.Create")
+		}
+		if len(idx) == 0 {
+			return fmt.Errorf("multimap: WithDrives needs at least one drive index")
+		}
+		c.drives = append([]int(nil), idx...)
 		return nil
 	}
 }

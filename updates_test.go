@@ -9,13 +9,13 @@ import (
 	"repro/internal/mapping"
 )
 
-func newUpdatable(t *testing.T, opts UpdateOptions, sopts ...StoreOptions) *UpdatableStore {
+func newUpdatable(t *testing.T, opts UpdateOptions, extra ...Option) *Store {
 	t.Helper()
 	v, err := OpenVolumeDepth(32, MediumTestDisk)
 	if err != nil {
 		t.Fatal(err)
 	}
-	u, err := NewUpdatableStore(v, MultiMap, []int{30, 8, 5}, opts, sopts...)
+	u, err := Open(v, MultiMap, []int{30, 8, 5}, append(extra, Updatable(opts))...)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,32 +133,32 @@ func TestUpdatableStoreValidation(t *testing.T) {
 		t.Fatal(err)
 	}
 	dims := []int{30, 8, 5}
-	if _, err := NewUpdatableStore(v, MultiMap, dims,
-		UpdateOptions{OverflowBlocks: 1 << 40}); err == nil {
+	if _, err := Open(v, MultiMap, dims,
+		Updatable(UpdateOptions{OverflowBlocks: 1 << 40})); err == nil {
 		t.Error("oversized overflow extent accepted")
 	}
-	if _, err := NewUpdatableStore(v, MultiMap, dims,
-		UpdateOptions{FillFactor: Frac(2)}); err == nil {
+	if _, err := Open(v, MultiMap, dims,
+		Updatable(UpdateOptions{FillFactor: Frac(2)})); err == nil {
 		t.Error("bad fill factor accepted")
 	}
-	if _, err := NewUpdatableStore(v, MultiMap, dims,
-		UpdateOptions{FillFactor: Frac(0)}); err == nil {
+	if _, err := Open(v, MultiMap, dims,
+		Updatable(UpdateOptions{FillFactor: Frac(0)})); err == nil {
 		t.Error("zero fill factor accepted")
 	}
-	if _, err := NewUpdatableStore(v, MultiMap, dims,
-		UpdateOptions{ReclaimBelow: Frac(1)}); err == nil {
+	if _, err := Open(v, MultiMap, dims,
+		Updatable(UpdateOptions{ReclaimBelow: Frac(1)})); err == nil {
 		t.Error("reclaim threshold 1 accepted")
 	}
-	if _, err := NewUpdatableStore(v, MultiMap, dims,
-		UpdateOptions{ReclaimBelow: Frac(-0.1)}); err == nil {
+	if _, err := Open(v, MultiMap, dims,
+		Updatable(UpdateOptions{ReclaimBelow: Frac(-0.1)})); err == nil {
 		t.Error("negative reclaim threshold accepted")
 	}
-	if _, err := NewUpdatableStore(v, MultiMap, dims,
-		UpdateOptions{PointsPerBlock: -1}); err == nil {
+	if _, err := Open(v, MultiMap, dims,
+		Updatable(UpdateOptions{PointsPerBlock: -1})); err == nil {
 		t.Error("negative PointsPerBlock accepted")
 	}
-	if _, err := NewUpdatableStore(v, MultiMap, dims,
-		UpdateOptions{OverflowBlocks: -1}); err == nil {
+	if _, err := Open(v, MultiMap, dims,
+		Updatable(UpdateOptions{OverflowBlocks: -1})); err == nil {
 		t.Error("negative OverflowBlocks accepted")
 	}
 }
@@ -196,18 +196,18 @@ func TestOverflowExtentCollision(t *testing.T) {
 	// The dataset starts at the head of disk 0; reserving all but 100
 	// blocks of the disk reaches into it.
 	huge := v.TotalBlocks() - 100
-	if _, err := NewUpdatableStore(v, MultiMap, []int{30, 8, 5},
-		UpdateOptions{OverflowBlocks: huge}); err == nil {
+	if _, err := Open(v, MultiMap, []int{30, 8, 5},
+		Updatable(UpdateOptions{OverflowBlocks: huge})); err == nil {
 		t.Fatal("overflow extent overlapping dataset cells accepted")
 	}
 	// Same check guards the linear mappings' contiguous extent.
-	if _, err := NewUpdatableStore(v, Naive, []int{30, 8, 5},
-		UpdateOptions{OverflowBlocks: huge}); err == nil {
+	if _, err := Open(v, Naive, []int{30, 8, 5},
+		Updatable(UpdateOptions{OverflowBlocks: huge})); err == nil {
 		t.Fatal("overflow extent overlapping naive extent accepted")
 	}
 	// A tail extent clear of the dataset still works.
-	if _, err := NewUpdatableStore(v, MultiMap, []int{30, 8, 5},
-		UpdateOptions{OverflowBlocks: 1000}); err != nil {
+	if _, err := Open(v, MultiMap, []int{30, 8, 5},
+		Updatable(UpdateOptions{OverflowBlocks: 1000})); err != nil {
 		t.Fatalf("non-colliding overflow extent rejected: %v", err)
 	}
 }
@@ -224,7 +224,7 @@ func TestOverflowSpreadAcrossDisks(t *testing.T) {
 	}
 	dims := []int{30, 8, 5}
 	// Probe the dataset's span on disk 0 (the default pinned placement).
-	probe, err := NewStore(v, MultiMap, dims)
+	probe, err := Open(v, MultiMap, dims)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -235,7 +235,7 @@ func TestOverflowSpreadAcrossDisks(t *testing.T) {
 	}
 	// 1.5x disk 0's free tail: impossible on disk 0 alone, fine when
 	// split across both disks (disk 1 holds no cells at all).
-	u, err := NewUpdatableStore(v, MultiMap, dims, UpdateOptions{OverflowBlocks: free0 * 3 / 2})
+	u, err := Open(v, MultiMap, dims, Updatable(UpdateOptions{OverflowBlocks: free0 * 3 / 2}))
 	if err != nil {
 		t.Fatalf("overflow pool spanning both disk tails rejected: %v", err)
 	}
@@ -265,7 +265,7 @@ func TestOverflowSpreadAcrossDisks(t *testing.T) {
 	}
 	// 3x disk 0's free tail: the per-disk share alone reaches back into
 	// disk 0's mapped cells, so the per-disk collision check fires.
-	if _, err := NewUpdatableStore(v, MultiMap, dims, UpdateOptions{OverflowBlocks: free0 * 3}); err == nil {
+	if _, err := Open(v, MultiMap, dims, Updatable(UpdateOptions{OverflowBlocks: free0 * 3})); err == nil {
 		t.Fatal("per-disk extent overlapping disk 0's cells accepted")
 	}
 }
@@ -280,9 +280,8 @@ func TestUpdatableShardedRouting(t *testing.T) {
 		t.Fatal(err)
 	}
 	dims := []int{30, 8, 5}
-	u, err := NewUpdatableStore(v, MultiMap, dims,
-		UpdateOptions{PointsPerBlock: 4, FillFactor: Frac(1)},
-		StoreOptions{Shards: 2, CacheBlocks: 1 << 18})
+	u, err := Open(v, MultiMap, dims, WithShards(2), WithCache(1<<18),
+		Updatable(UpdateOptions{PointsPerBlock: 4, FillFactor: Frac(1)}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -362,11 +361,11 @@ func stripCacheCounters(st Stats) Stats {
 // cache replay a pre-update chain's cost.
 func TestFetchCellCacheCoherence(t *testing.T) {
 	opts := UpdateOptions{PointsPerBlock: 4, FillFactor: Frac(1), ReclaimBelow: Frac(0.3)}
-	cached := newUpdatable(t, opts, StoreOptions{CacheBlocks: 1 << 20})
+	cached := newUpdatable(t, opts, WithCache(1<<20))
 	plain := newUpdatable(t, opts)
 	cell := []int{4, 1, 2}
 
-	both := func(op string, f func(u *UpdatableStore) (Stats, error)) (Stats, Stats) {
+	both := func(op string, f func(u *Store) (Stats, error)) (Stats, Stats) {
 		t.Helper()
 		a, err := f(cached)
 		if err != nil {
@@ -393,7 +392,7 @@ func TestFetchCellCacheCoherence(t *testing.T) {
 	}
 
 	// Cold fetch: identical by construction, and it primes the cache.
-	a, b := both("fetch-cold", func(u *UpdatableStore) (Stats, error) { return u.FetchCell(context.Background(), cell) })
+	a, b := both("fetch-cold", func(u *Store) (Stats, error) { return u.FetchCell(context.Background(), cell) })
 	compare("fetch-cold", a, b)
 
 	// Prove the cache is live: a repeat fetch on the cached store hits
@@ -420,7 +419,7 @@ func TestFetchCellCacheCoherence(t *testing.T) {
 	if cl, _ := cached.ChainLen(cell); cl != 3 {
 		t.Fatalf("chain length %d, want 3", cl)
 	}
-	a, b = both("fetch-after-insert", func(u *UpdatableStore) (Stats, error) { return u.FetchCell(context.Background(), cell) })
+	a, b = both("fetch-after-insert", func(u *Store) (Stats, error) { return u.FetchCell(context.Background(), cell) })
 	if a.CacheHits != 0 {
 		t.Fatalf("fetch after inserts replayed a stale cached extent: %+v", a)
 	}
@@ -439,7 +438,7 @@ func TestFetchCellCacheCoherence(t *testing.T) {
 	if cached.Reorganizations() == 0 {
 		t.Fatal("expected a reorganization")
 	}
-	a, b = both("fetch-after-reorg", func(u *UpdatableStore) (Stats, error) { return u.FetchCell(context.Background(), cell) })
+	a, b = both("fetch-after-reorg", func(u *Store) (Stats, error) { return u.FetchCell(context.Background(), cell) })
 	if a.CacheHits != 0 {
 		t.Fatalf("fetch after reorganization replayed a stale cached extent: %+v", a)
 	}
@@ -453,7 +452,7 @@ func TestFetchCellCacheCoherence(t *testing.T) {
 func TestLoadCellFailureStillInvalidates(t *testing.T) {
 	u := newUpdatable(t,
 		UpdateOptions{PointsPerBlock: 4, FillFactor: Frac(1), OverflowBlocks: 1},
-		StoreOptions{CacheBlocks: 1 << 20})
+		WithCache(1<<20))
 	cell := []int{7, 3, 1}
 	st, err := u.FetchCell(context.Background(), cell) // primes the cache with the home block
 	if err != nil {
@@ -483,7 +482,7 @@ func TestLoadCellFailureStillInvalidates(t *testing.T) {
 func TestUpdatableConcurrentSessions(t *testing.T) {
 	u := newUpdatable(t,
 		UpdateOptions{PointsPerBlock: 4, FillFactor: Frac(1), ReclaimBelow: Frac(0.3)},
-		StoreOptions{CacheBlocks: 1 << 18})
+		WithCache(1<<18))
 	dims := u.Dims()
 	// Preload so deletes have points to remove.
 	for x := 0; x < dims[0]; x++ {
