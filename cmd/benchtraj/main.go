@@ -1,7 +1,7 @@
 // Command benchtraj validates a persisted mmbench trajectory artifact
 // (the BENCH_*.json files the repo commits) against its declared
 // schema, dispatching on the artifact's top-level "schema" key:
-// mmbench-burst/v1 and /v2 artifacts get the burst checks (every
+// mmbench-burst/v1, /v2, and /v3 artifacts get the burst checks (every
 // required key present, all three QoS classes carrying traffic, and
 // p50 ≤ p99 ≤ p999 where present per class), and mmbench-tenants/v1
 // artifacts get the tenant-lifecycle checks (every phase present in
@@ -9,10 +9,15 @@
 // burst latency sane). Given a sequence of artifacts — the committed
 // trajectory in PR order — it additionally flags schema drift between
 // consecutive points of the same kind and prints per-class p50/p99
-// delta tables, so the latency trend across PRs is auditable at a
-// glance. CI's bench-trajectory step runs it over every committed
-// artifact plus a freshly generated one, so a schema break fails the
-// build instead of silently breaking trend tooling.
+// delta tables plus a host-efficiency table (wall clock and, on v3
+// points, allocs/op deltas), so both the latency trend and the host
+// CPU trend across PRs are auditable at a glance. Schema drift within
+// one artifact kind must move forward: a version regression between
+// consecutive points of the same kind (a /v3 point followed by a /v2
+// one) fails the check — trajectories only ever upgrade. CI's
+// bench-trajectory step runs it over every committed artifact plus a
+// freshly generated one, so a schema break fails the build instead of
+// silently breaking trend tooling.
 //
 // Usage:
 //
@@ -64,6 +69,38 @@ func schemaOf(data []byte) (string, error) {
 		return "", fmt.Errorf("not a JSON object: %w", err)
 	}
 	return top.Schema, nil
+}
+
+// schemaVersion parses the trailing "/vN" of a schema tag. Every
+// schema the validators accept carries one, so a missing suffix on a
+// validated artifact is a programming error, reported as version 0.
+func schemaVersion(schema string) int {
+	i := strings.LastIndex(schema, "/v")
+	if i < 0 {
+		return 0
+	}
+	var n int
+	if _, err := fmt.Sscanf(schema[i+2:], "%d", &n); err != nil {
+		return 0
+	}
+	return n
+}
+
+// checkNoRegression fails the run when consecutive points of one
+// artifact kind step the schema version backwards: the committed
+// trajectory (and the fresh CI point appended to it) only ever
+// upgrades, so a regression means a tool was rebuilt against an old
+// schema or an artifact was overwritten with stale output.
+func checkNoRegression(kind string, pts []point, schema func(point) string) {
+	for i := 1; i < len(pts); i++ {
+		prev, cur := schema(pts[i-1]), schema(pts[i])
+		if schemaVersion(cur) < schemaVersion(prev) {
+			fmt.Fprintf(os.Stderr,
+				"benchtraj: %s schema version regression: %s (%s) -> %s (%s)\n",
+				kind, pts[i-1].path, prev, pts[i].path, cur)
+			os.Exit(1)
+		}
+	}
 }
 
 func main() {
@@ -142,6 +179,8 @@ func main() {
 			bursts = append(bursts, pt)
 		}
 	}
+	checkNoRegression("burst", bursts, func(pt point) string { return pt.res.Schema })
+	checkNoRegression("tenants", tens, func(pt point) string { return pt.tenants.Schema })
 
 	if len(bursts) >= 2 {
 		// Trajectory view: schema drift between consecutive points is
@@ -175,6 +214,29 @@ func main() {
 					fmt.Sprintf("%.3fms", c.P99Ms), c.P99Ms-pc.P99Ms)
 				step = ""
 			}
+		}
+		// Host-efficiency view: wall clock exists at every schema version;
+		// allocs/op (and the GOMAXPROCS/pipeline context that makes the
+		// numbers comparable) only from v3 points on — earlier points show
+		// "-" rather than a fake zero.
+		fmt.Printf("  %-30s %5s %9s %12s %12s %12s %12s\n",
+			"step", "procs", "pipeline", "wall", "Δwall", "allocs/op", "Δallocs/op")
+		for i := 1; i < len(bursts); i++ {
+			prev, cur := bursts[i-1].res, bursts[i].res
+			procs, pipe, allocs, dAllocs := "-", "-", "-", "-"
+			if schemaVersion(cur.Schema) >= 3 {
+				procs = fmt.Sprint(cur.GOMAXPROCS)
+				pipe = fmt.Sprint(cur.PipelineDepth)
+				allocs = fmt.Sprintf("%.0f", cur.AllocsPerOp)
+				if schemaVersion(prev.Schema) >= 3 {
+					dAllocs = fmt.Sprintf("%+.0f", cur.AllocsPerOp-prev.AllocsPerOp)
+				}
+			}
+			fmt.Printf("  %-30s %5s %9s %12s %+11.3fs %12s %12s\n",
+				fmt.Sprintf("%s -> %s", bursts[i-1].path, bursts[i].path),
+				procs, pipe,
+				fmt.Sprintf("%.3fs", cur.WallSeconds), cur.WallSeconds-prev.WallSeconds,
+				allocs, dAllocs)
 		}
 	}
 

@@ -76,6 +76,11 @@ type ExperimentConfig struct {
 	// (mmbench -qos). Empty keeps the burst experiment's built-in
 	// interactive:1, bulk:4, writer:1 mix.
 	QoSClasses []QoSClass
+	// PipelineDepth, when positive, lets every shard service keep that
+	// many dispatched disk batches in flight while scheduling the next
+	// admission pass (mmbench -pipeline; see WithPipeline). 0 keeps
+	// lockstep dispatch.
+	PipelineDepth int
 }
 
 // ExperimentIDs lists the regenerable paper artifacts plus the two
@@ -132,8 +137,9 @@ func (cfg ExperimentConfig) internal() (experiments.Config, error) {
 		Shards:        cfg.Shards, BatchWindow: cfg.BatchWindow,
 		Deadline: cfg.Deadline, DeadlineAging: cfg.DeadlineAging,
 		WriteBack: cfg.WriteBack, WBWatermark: cfg.WBWatermark, WBInterval: cfg.WBInterval,
-		FairQuantum: cfg.FairQuantum,
-		QoSClasses:  cfg.QoSClasses,
+		FairQuantum:   cfg.FairQuantum,
+		QoSClasses:    cfg.QoSClasses,
+		PipelineDepth: cfg.PipelineDepth,
 	}
 	for _, m := range cfg.Disks {
 		g, err := disk.ModelByName(string(m))

@@ -3,7 +3,8 @@ package multimap
 // The "tenants" benchmark exercises the pool's whole tenant lifecycle
 // under live traffic: tenant A serves a closed-loop QoS burst workload
 // on drive 0 while tenant B churns on drive 1 — created, filled past
-// its overflow capacity, grown online, snapshotted, cloned, queried on
+// its overflow capacity (absorbed online by the pool's WithAutoGrow),
+// grown further by an explicit Grow, snapshotted, cloned, queried on
 // the clone, dirtied past the snapshot (copy-on-write faults), and
 // destroyed — for several rounds. The result serializes to the stable
 // "mmbench-tenants/v1" JSON schema the CI bench-trajectory step
@@ -12,12 +13,14 @@ package multimap
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"math"
 	"sort"
-	"strings"
 	"sync"
 	"time"
+
+	"repro/internal/core"
 )
 
 // TenantsSchema versions the tenants benchmark's JSON artifact. Bump
@@ -53,6 +56,12 @@ type TenantsResult struct {
 	// evidence the overflow-exhausted tenant kept growing without a
 	// re-open.
 	GrownBlocks int64 `json:"grown_blocks"`
+	// AutoGrownBlocks is the capacity the pool's WithAutoGrow hook
+	// allocated when tenant B's fill exhausted its overflow pool —
+	// direct evidence auto-grow absorbed the exhaustion instead of
+	// erroring. Optional in the v1 schema: artifacts from before
+	// auto-grow existed decode as 0.
+	AutoGrownBlocks int64 `json:"auto_grown_blocks,omitempty"`
 	// CowFaultBlocks counts parent blocks copied out by post-snapshot
 	// writes — direct evidence the copy-on-write path engaged.
 	CowFaultBlocks int64 `json:"cow_fault_blocks"`
@@ -128,7 +137,11 @@ func RunTenants(cfg ExperimentConfig) (*ExperimentTable, *TenantsResult, error) 
 	ctx := context.Background()
 	dimsA, dimsB := tenantsDims(cfg.Scale)
 
-	p, err := OpenPool(WithPoolDrives(model, model))
+	// Auto-grow sized to roughly one overflow extent per member disk per
+	// trigger, so each exhaustion-and-retry shows as a modest, countable
+	// step in auto_grown_blocks.
+	const autoGrowInc = 256
+	p, err := OpenPool(WithPoolDrives(model, model), WithAutoGrow(autoGrowInc))
 	if err != nil {
 		return nil, nil, err
 	}
@@ -238,17 +251,24 @@ func RunTenants(cfg ExperimentConfig) (*ExperimentTable, *TenantsResult, error) 
 			}); err != nil {
 				return err
 			}
-			// Fill one cell's chain until the shard's overflow pool is
-			// exhausted — the §4.6 growth limit Grow lifts.
+			// Fill one cell's chain past the shard's initial overflow pool —
+			// the §4.6 growth limit. With WithAutoGrow on, exhaustion never
+			// surfaces: the pool grows the tenant online mid-insert, visible
+			// as an allocated-capacity step, and the fill keeps going.
 			const fillCap = 100000
+			initial := tb.Blocks()
 			fills := 0
 			if err := step("fill", 0, func() error {
-				for ; fills < fillCap; fills++ {
+				for fills < fillCap {
 					if _, err := tb.Store().Insert(ctx, cell); err != nil {
-						if strings.Contains(err.Error(), "overflow extent exhausted") {
-							return nil
+						if errors.Is(err, core.ErrOverflowExhausted) {
+							return fmt.Errorf("multimap: tenants: auto-grow failed to absorb overflow exhaustion: %w", err)
 						}
 						return err
+					}
+					fills++
+					if tb.Blocks() > initial {
+						return nil // auto-grow engaged
 					}
 				}
 				return fmt.Errorf("multimap: tenants: overflow never exhausted after %d inserts", fillCap)
@@ -333,6 +353,9 @@ func RunTenants(cfg ExperimentConfig) (*ExperimentTable, *TenantsResult, error) 
 		}
 	}
 	res.WallSeconds = time.Since(start).Seconds()
+	for _, u := range p.Usage() {
+		res.AutoGrownBlocks += u.AutoGrownBlocks
+	}
 
 	var lat []float64
 	for _, w := range workers {
@@ -352,8 +375,8 @@ func RunTenants(cfg ExperimentConfig) (*ExperimentTable, *TenantsResult, error) 
 	}
 	t := &ExperimentTable{
 		ID: "tenants",
-		Title: fmt.Sprintf("Multi-tenant churn on 2x %s, %d rounds, QoS %s, %d blocks grown, %d COW fault blocks",
-			model, rounds, qosMode, res.GrownBlocks, res.CowFaultBlocks),
+		Title: fmt.Sprintf("Multi-tenant churn on 2x %s, %d rounds, QoS %s, %d blocks grown (%d auto), %d COW fault blocks",
+			model, rounds, qosMode, res.GrownBlocks, res.AutoGrownBlocks, res.CowFaultBlocks),
 		Header: []string{"phase", "ops", "total ms"},
 	}
 	for _, ph := range res.Phases {
@@ -397,6 +420,9 @@ func ValidateTenants(res *TenantsResult) error {
 	}
 	if res.GrownBlocks <= 0 {
 		return fmt.Errorf("tenants: grown_blocks %d — the lifecycle must grow the tenant online", res.GrownBlocks)
+	}
+	if res.AutoGrownBlocks < 0 {
+		return fmt.Errorf("tenants: negative auto_grown_blocks %d", res.AutoGrownBlocks)
 	}
 	if res.CowFaultBlocks <= 0 {
 		return fmt.Errorf("tenants: cow_fault_blocks %d — post-snapshot writes must fault", res.CowFaultBlocks)

@@ -1,12 +1,20 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
 
 	"repro/internal/lvm"
 )
+
+// ErrOverflowExhausted is returned when an insert or load needs a
+// fresh overflow page and every overflow extent is full. Detect it
+// with errors.Is: the condition is recoverable by adding capacity
+// (AddOverflow after a volume grow) and retrying, which is exactly
+// what the pool's auto-grow hook does.
+var ErrOverflowExhausted = errors.New("core: overflow extent exhausted")
 
 // CellLocator maps a cell coordinate to its home block. Both MultiMap's
 // Mapping and the linear mappings satisfy it, so CellStore works with
@@ -312,7 +320,7 @@ func (s *CellStore) appendPage(home int64) (page, tail int64, err error) {
 		}
 	}
 	if alloc < 0 {
-		return 0, 0, fmt.Errorf("core: overflow extent exhausted")
+		return 0, 0, ErrOverflowExhausted
 	}
 	page = o.next[alloc]
 	o.next[alloc]++

@@ -1,0 +1,351 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+
+	"repro/internal/disk"
+	"repro/internal/lvm"
+)
+
+// rawOp builds a loop-ready read op outside a session (white-box).
+func rawOp(reqs []lvm.Request) *serviceOp {
+	return &serviceOp{kind: opChunk, chunk: Chunk{Reqs: reqs}, policy: disk.SchedSPTF, reply: make(chan opResult, 1)}
+}
+
+// TestPipelineMatchesLockstep drives the same single-chunk op sequence
+// through a depth-0 and a depth-2 service (white-box: the test plays
+// the loop goroutine, so dispatch windows are deterministic) over a
+// 3-disk volume and requires identical per-op costs: per-drive
+// partitioned dispatch must reproduce the lockstep ServeBatch schedule
+// exactly, including the max-over-drives elapsed time.
+func TestPipelineMatchesLockstep(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	geoms := []*disk.Geometry{disk.SmallTestDisk(), disk.SmallTestDisk(), disk.SmallTestDisk()}
+	v0 := testVolume(t, geoms...)
+	v2 := testVolume(t, geoms...)
+	s0 := NewService(v0, ServiceOptions{})
+	s2 := NewService(v2, ServiceOptions{Pipeline: 2})
+
+	var ops0, ops2 []*serviceOp
+	for i := 0; i < 12; i++ {
+		reqs := SortCoalesce(randomReqs(rng, v0, 30))
+		ops0 = append(ops0, rawOp(reqs))
+		ops2 = append(ops2, rawOp(reqs))
+	}
+	for _, op := range ops0 {
+		s0.serveChunks([]*serviceOp{op})
+	}
+	for _, op := range ops2 {
+		s2.serveChunks([]*serviceOp{op})
+	}
+	s2.plDrain()
+	s2.plShutdown()
+
+	for i := range ops0 {
+		r0, r2 := <-ops0[i].reply, <-ops2[i].reply
+		if r0.err != nil || r2.err != nil {
+			t.Fatalf("op %d: errs %v / %v", i, r0.err, r2.err)
+		}
+		if r2.elapsed != r0.elapsed {
+			t.Fatalf("op %d: pipelined elapsed %g != lockstep %g", i, r2.elapsed, r0.elapsed)
+		}
+		var a, b Stats
+		a.AddCompletions(r0.comps, r0.elapsed)
+		b.AddCompletions(r2.comps, r2.elapsed)
+		statsClose(a, b, t)
+	}
+	t0, t2 := s0.Totals(), s2.Totals()
+	if t0.IssuedRequests != t2.IssuedRequests || t0.Batches != t2.Batches {
+		t.Fatalf("totals diverge: %+v vs %+v", t0, t2)
+	}
+}
+
+// TestPipelineReadStallsOnInflightInsert: with the cache on, a read
+// overlapping an in-flight batch's to-be-inserted extents must stall
+// until that batch retires — and then hit the cache — while a disjoint
+// read overlaps in flight freely.
+func TestPipelineReadStallsOnInflightInsert(t *testing.T) {
+	v := testVolume(t)
+	s := NewService(v, ServiceOptions{CacheBlocks: 1 << 20, Pipeline: 2})
+
+	opA := rawOp([]lvm.Request{{VLBN: 1000, Count: 8}})
+	s.serveChunks([]*serviceOp{opA})
+	if got := len(s.pl.inflight); got != 1 {
+		t.Fatalf("after dispatch: %d batches in flight, want 1", got)
+	}
+
+	// Disjoint read: no stall, both batches in flight together.
+	opB := rawOp([]lvm.Request{{VLBN: 8000, Count: 8}})
+	s.serveChunks([]*serviceOp{opB})
+	if got := len(s.pl.inflight); got != 2 {
+		t.Fatalf("after disjoint dispatch: %d in flight, want 2", got)
+	}
+
+	// Overlapping read: must drain A (and B, FIFO order) first, then
+	// probe — a full cache hit, so nothing new is dispatched.
+	opC := rawOp([]lvm.Request{{VLBN: 1002, Count: 4}})
+	s.serveChunks([]*serviceOp{opC})
+	if got := len(s.pl.inflight); got != 0 {
+		t.Fatalf("after overlapping read: %d in flight, want 0 (stall + hit)", got)
+	}
+	rA, rB, rC := <-opA.reply, <-opB.reply, <-opC.reply
+	if rA.err != nil || rB.err != nil || rC.err != nil {
+		t.Fatalf("errs: %v %v %v", rA.err, rB.err, rC.err)
+	}
+	if rC.hits != 1 || rC.hitCells != 4 || len(rC.comps) != 0 {
+		t.Fatalf("overlapping read should be a pure cache hit, got %+v", rC)
+	}
+	s.plShutdown()
+}
+
+// TestPipelineCancelledWriteStalls: a cancelled write whose
+// invalidation overlaps an in-flight insert must drain the pipeline
+// before invalidating (else the retiring batch would re-insert stale
+// data), charge no simulated I/O, and still invalidate.
+func TestPipelineCancelledWriteStalls(t *testing.T) {
+	v := testVolume(t)
+	s := NewService(v, ServiceOptions{CacheBlocks: 1 << 20, Pipeline: 2})
+
+	opA := rawOp([]lvm.Request{{VLBN: 2000, Count: 8}})
+	s.serveChunks([]*serviceOp{opA})
+	if len(s.pl.inflight) != 1 {
+		t.Fatal("setup: batch not in flight")
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	w := &serviceOp{kind: opWrite, ctx: ctx, chunk: Chunk{Reqs: []lvm.Request{{VLBN: 2002, Count: 2}}},
+		policy: disk.SchedSPTF, reply: make(chan opResult, 1)}
+	live := s.dropCancelled([]*serviceOp{w})
+	if len(live) != 0 {
+		t.Fatal("cancelled write survived dropCancelled")
+	}
+	if got := len(s.pl.inflight); got != 0 {
+		t.Fatalf("cancelled overlapping write left %d in flight, want 0", got)
+	}
+	rw := <-w.reply
+	if rw.err == nil || len(rw.comps) != 0 {
+		t.Fatalf("cancelled write must carry ctx error and no I/O, got %+v", rw)
+	}
+	if rw.invalidated != 2 {
+		t.Fatalf("invalidated %d blocks, want 2 (insert retired before invalidation)", rw.invalidated)
+	}
+	if tot := s.Totals(); tot.Cancelled != 1 {
+		t.Fatalf("Cancelled = %d, want 1", tot.Cancelled)
+	}
+	<-opA.reply
+	s.plShutdown()
+}
+
+// TestPipelineWriteBarriers: a write-through write drains the whole
+// pipeline; a write-back absorb stalls only when it overlaps an
+// in-flight insert (no COW in play).
+func TestPipelineWriteBarriers(t *testing.T) {
+	v := testVolume(t)
+	s := NewService(v, ServiceOptions{CacheBlocks: 1 << 20, Pipeline: 4,
+		WriteBack: WriteBackOptions{Enabled: true, WatermarkBlocks: 1 << 20}})
+
+	mk := func(vlbn int64) *serviceOp { return rawOp([]lvm.Request{{VLBN: vlbn, Count: 8}}) }
+	a, b := mk(3000), mk(11000)
+	s.serveChunks([]*serviceOp{a})
+	s.serveChunks([]*serviceOp{b})
+	if len(s.pl.inflight) != 2 {
+		t.Fatal("setup: want 2 in flight")
+	}
+
+	// Disjoint buffered write: absorbed with the pipeline untouched.
+	w1 := &serviceOp{kind: opWrite, chunk: Chunk{Reqs: []lvm.Request{{VLBN: 9000, Count: 4}}},
+		policy: disk.SchedSPTF, reply: make(chan opResult, 1)}
+	s.serveChunks([]*serviceOp{w1})
+	if got := len(s.pl.inflight); got != 2 {
+		t.Fatalf("disjoint absorb drained pipeline: %d in flight, want 2", got)
+	}
+	if r := <-w1.reply; r.err != nil || r.written != 4 {
+		t.Fatalf("absorb result %+v", r)
+	}
+
+	// Overlapping buffered write: must drain before invalidating.
+	w2 := &serviceOp{kind: opWrite, chunk: Chunk{Reqs: []lvm.Request{{VLBN: 3004, Count: 2}}},
+		policy: disk.SchedSPTF, reply: make(chan opResult, 1)}
+	s.serveChunks([]*serviceOp{w2})
+	if got := len(s.pl.inflight); got != 0 {
+		t.Fatalf("overlapping absorb left %d in flight, want 0", got)
+	}
+	if r := <-w2.reply; r.err != nil || r.invalidated != 2 {
+		t.Fatalf("overlapping absorb result %+v (want 2 invalidated)", r)
+	}
+	<-a.reply
+	<-b.reply
+
+	// Write-through: always a full barrier.
+	s.wb = nil // white-box: force the write-through path
+	c := mk(5000)
+	s.serveChunks([]*serviceOp{c})
+	if len(s.pl.inflight) != 1 {
+		t.Fatal("setup: want 1 in flight")
+	}
+	w3 := &serviceOp{kind: opWrite, chunk: Chunk{Reqs: []lvm.Request{{VLBN: 12000, Count: 4}}},
+		policy: disk.SchedSPTF, reply: make(chan opResult, 1)}
+	s.serveChunks([]*serviceOp{w3})
+	if got := len(s.pl.inflight); got != 0 {
+		t.Fatalf("write-through left %d in flight, want 0", got)
+	}
+	<-c.reply
+	if r := <-w3.reply; r.err != nil || len(r.comps) == 0 {
+		t.Fatalf("write-through result %+v", r)
+	}
+	s.plDrain()
+	s.plShutdown()
+}
+
+// pipelineWorkload runs a concurrent mixed read/write workload at one
+// pipeline depth and asserts the attribution-sum invariant: summed
+// per-session Stats reproduce ServiceTotals.Attributed (ElapsedMs
+// aside), at every depth, under -race.
+func pipelineWorkload(t *testing.T, depth int, cacheBlocks int64, writeBack bool) {
+	t.Helper()
+	v := testVolume(t, disk.SmallTestDisk(), disk.SmallTestDisk(), disk.SmallTestDisk())
+	opts := ServiceOptions{CacheBlocks: cacheBlocks, Pipeline: depth}
+	if writeBack {
+		opts.WriteBack = WriteBackOptions{Enabled: true}
+	}
+	svc := NewService(v, opts)
+	defer svc.Close()
+
+	const clients = 6
+	var wg sync.WaitGroup
+	sums := make([]Stats, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(100 + c)))
+			sess := svc.NewSession(SessionOptions{MaxInflight: 2})
+			for q := 0; q < 6; q++ {
+				chunks := randomChunks(rng, v, 4, 25)
+				st, err := sess.RunPlan(context.Background(), chunkPlan(chunks), Options{})
+				if err != nil {
+					t.Errorf("client %d: %v", c, err)
+					return
+				}
+				sums[c].Accumulate(st)
+				if q%2 == 1 {
+					wst, err := sess.Write(context.Background(), SortCoalesce(randomReqs(rng, v, 6)), disk.SchedSPTF)
+					if err != nil {
+						t.Errorf("client %d write: %v", c, err)
+						return
+					}
+					sums[c].Accumulate(wst)
+				}
+			}
+			if err := sess.Flush(context.Background()); err != nil {
+				t.Errorf("client %d flush: %v", c, err)
+			}
+			// Flush credits land in lifetime totals, not RunPlan returns:
+			// re-read the session's totals as its contribution.
+			sums[c] = sess.Totals()
+		}(c)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	svc.Close() // drain everything, including the final write-back flush
+
+	var sum Stats
+	for c := range sums {
+		sum.Accumulate(sums[c])
+	}
+	att := svc.Totals().Attributed
+	sum.ElapsedMs, att.ElapsedMs = 0, 0 // documented exception to the sum
+	statsClose(sum, att, t)
+	if sum.FlushBatches != att.FlushBatches || sum.CowFaultBlocks != att.CowFaultBlocks {
+		t.Fatalf("write-back attribution differs: %+v vs %+v", sum, att)
+	}
+}
+
+// TestPipelineAttributionSums proves the attribution-sum invariant at
+// depths 0/1/2 under GOMAXPROCS 1 and 4 (run with -race).
+func TestPipelineAttributionSums(t *testing.T) {
+	for _, procs := range []int{1, 4} {
+		for _, depth := range []int{0, 1, 2} {
+			for _, cfg := range []struct {
+				name   string
+				cache  int64
+				wrBack bool
+			}{
+				{"plain", 0, false},
+				{"cache", 1 << 22, false},
+				{"cache+wb", 1 << 22, true},
+			} {
+				t.Run(fmt.Sprintf("procs=%d/depth=%d/%s", procs, depth, cfg.name), func(t *testing.T) {
+					old := runtime.GOMAXPROCS(procs)
+					defer runtime.GOMAXPROCS(old)
+					pipelineWorkload(t, depth, cfg.cache, cfg.wrBack)
+				})
+			}
+		}
+	}
+}
+
+// TestPipelineCloseDrains: Close during pipelined dispatch must drain
+// in-flight work cleanly — every submitted chunk gets its reply, late
+// submissions fail with ErrClosed, and accepted work is attributed.
+func TestPipelineCloseDrains(t *testing.T) {
+	for i := 0; i < 20; i++ {
+		v := testVolume(t)
+		svc := NewService(v, ServiceOptions{CacheBlocks: 1 << 20, Pipeline: 3})
+		const clients = 4
+		var wg sync.WaitGroup
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(int64(i*10 + c)))
+				sess := svc.NewSession(SessionOptions{MaxInflight: 3})
+				for q := 0; q < 4; q++ {
+					_, err := sess.RunPlan(context.Background(), chunkPlan(randomChunks(rng, v, 3, 20)), Options{})
+					if err != nil && err != ErrClosed {
+						t.Errorf("unexpected error: %v", err)
+						return
+					}
+					if err == ErrClosed {
+						return
+					}
+				}
+			}(c)
+		}
+		svc.Close() // races with the submissions above — must not hang
+		wg.Wait()
+		svc.Close()
+	}
+}
+
+// TestSetPipelineLive flips the depth on a busy service and requires
+// the workload (and the attribution sum) to survive the transitions.
+func TestSetPipelineLive(t *testing.T) {
+	v := testVolume(t)
+	svc := NewService(v, ServiceOptions{CacheBlocks: 1 << 20})
+	defer svc.Close()
+	sess := svc.NewSession(SessionOptions{MaxInflight: 2})
+	rng := rand.New(rand.NewSource(7))
+	var sum Stats
+	for _, depth := range []int{2, 0, 1, 4, 0} {
+		if err := svc.SetPipeline(depth); err != nil {
+			t.Fatal(err)
+		}
+		st, err := sess.RunPlan(context.Background(), chunkPlan(randomChunks(rng, v, 5, 30)), Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum.Accumulate(st)
+	}
+	att := svc.Totals().Attributed
+	sum.ElapsedMs, att.ElapsedMs = 0, 0
+	statsClose(sum, att, t)
+}

@@ -72,6 +72,26 @@ type Service struct {
 	// Owned by the loop goroutine (reconfigured only via the
 	// opWriteBackCfg control op, which the loop itself executes).
 	wb *dirtySet
+
+	// pl is the dispatch-stage state (per-drive dispatcher queues and
+	// the in-flight batch FIFO); scratch and spare are the loop's
+	// reusable buffers. All three are owned by the loop goroutine.
+	pl      pipelineState
+	scratch svcScratch
+	spare   []*serviceOp // recycled admission-queue backing array
+}
+
+// svcScratch is the loop goroutine's reusable buffer set: the
+// admission hot path runs allocation-free in steady state by building
+// each pass's transient state into these buffers instead of fresh
+// per-pass allocations.
+type svcScratch struct {
+	reads, writes []*serviceOp
+	kept          []lvm.Request // serveSingle's cache-probe survivor list
+	rr, split     []lvm.Request // read-dependency screen buffers
+	merge         mergeScratch  // lockstep merged-batch plan buffers
+	touched       map[string]bool
+	flushComp     map[int64]lvm.Completion
 }
 
 // ServiceOptions tunes a service.
@@ -124,6 +144,14 @@ type ServiceOptions struct {
 	// reference classes by SessionOptions.Class; unregistered classes
 	// get weight 1 and no cache reserve.
 	Classes []QoSClass
+	// Pipeline is the dispatch pipeline depth: how many admission
+	// batches' read I/O may be in flight on the per-drive dispatcher
+	// goroutines while the schedule stage admits and plans the next
+	// batch. 0 (the default) runs the stages in lockstep on the loop
+	// goroutine — bit-identical to the pre-pipeline service. See
+	// pipeline.go for the staged-pipeline coherence contract (what
+	// stalls, what overlaps, what drains). Negative is treated as 0.
+	Pipeline int
 	// WriteBack configures write-back caching with group commit: write
 	// ops are absorbed into a dirty buffer instead of being charged
 	// immediately, and the buffer is committed as one SPTF batch on
@@ -191,6 +219,7 @@ const (
 	opFlush
 	opWriteBackCfg
 	opQoSCfg
+	opPipelineCfg
 )
 
 // serviceOp is one message to the service loop.
@@ -227,8 +256,30 @@ type serviceOp struct {
 	// opQoSCfg fields.
 	qosQuantum int64
 	qosClasses []QoSClass
+	// opPipelineCfg field.
+	pipelineDepth int
 
 	reply chan opResult
+}
+
+// opPool recycles serviceOps so the admission hot path allocates none
+// in steady state. An op's reply channel (capacity 1, always drained
+// by the reply's recipient before the op is recycled) survives across
+// lives; everything else is zeroed on put.
+var opPool = sync.Pool{New: func() any {
+	return &serviceOp{reply: make(chan opResult, 1)}
+}}
+
+// getOp returns a zeroed op with a ready reply channel.
+func getOp() *serviceOp { return opPool.Get().(*serviceOp) }
+
+// putOp recycles an op whose reply has been consumed. Only the reply's
+// recipient may call it: the service loop never touches an op after
+// sending its result, so the recipient is the last holder.
+func putOp(op *serviceOp) {
+	reply := op.reply
+	*op = serviceOp{reply: reply}
+	opPool.Put(op)
 }
 
 // opResult is the loop's answer to one chunk: the completions
@@ -268,6 +319,10 @@ func NewService(vol *lvm.Volume, opts ServiceOptions) *Service {
 		s.opts.WriteBack = opts.WriteBack.withDefaults()
 		s.wb = &dirtySet{}
 	}
+	if s.opts.Pipeline < 0 {
+		s.opts.Pipeline = 0
+	}
+	s.scratch.touched = make(map[string]bool, 8)
 	s.applyQoS(opts.FairQuantum, opts.Classes)
 	s.idle.L = &s.mu
 	return s
@@ -343,10 +398,27 @@ func cacheShares(capBlocks, quantum int64, classes map[string]QoSClass) map[stri
 // already deferred by the old configuration are drained first —
 // reconfiguration is a scheduling barrier like every control op.
 func (s *Service) SetFairShare(quantum int64, classes []QoSClass) error {
-	return s.control(&serviceOp{
-		kind: opQoSCfg, qosQuantum: quantum, qosClasses: classes,
-		reply: make(chan opResult, 1),
-	})
+	op := getOp()
+	op.kind = opQoSCfg
+	op.qosQuantum = quantum
+	op.qosClasses = classes
+	return s.control(op)
+}
+
+// SetPipeline reconfigures the dispatch pipeline depth (see
+// ServiceOptions.Pipeline). Like every control op it is a barrier: all
+// in-flight batches drain first, so the pipeline is empty when the new
+// depth takes effect and the per-drive dispatcher queues are rebuilt
+// lazily at the new capacity. Negative depths are treated as 0, which
+// restores the lockstep loop.
+func (s *Service) SetPipeline(depth int) error {
+	if depth < 0 {
+		depth = 0
+	}
+	op := getOp()
+	op.kind = opPipelineCfg
+	op.pipelineDepth = depth
+	return s.control(op)
 }
 
 // SetBatchWindow reconfigures the admission window (see
@@ -401,13 +473,18 @@ func (s *Service) Closed() bool {
 // Reset restores every member disk to its initial state and clears the
 // extent cache and totals, serialized after all in-flight batches.
 func (s *Service) Reset() error {
-	return s.control(&serviceOp{kind: opReset, reply: make(chan opResult, 1)})
+	op := getOp()
+	op.kind = opReset
+	return s.control(op)
 }
 
 // ConfigureCache resizes the shared extent cache (0 disables it),
 // dropping its current contents. Serialized with in-flight batches.
 func (s *Service) ConfigureCache(blocks int64) error {
-	return s.control(&serviceOp{kind: opCacheCfg, cacheBlocks: blocks, reply: make(chan opResult, 1)})
+	op := getOp()
+	op.kind = opCacheCfg
+	op.cacheBlocks = blocks
+	return s.control(op)
 }
 
 // SetWriteBack reconfigures write-back caching, serialized with
@@ -418,7 +495,10 @@ func (s *Service) SetWriteBack(cfg WriteBackOptions) error {
 	if cfg.Enabled {
 		cfg = cfg.withDefaults()
 	}
-	return s.control(&serviceOp{kind: opWriteBackCfg, wbCfg: cfg, reply: make(chan opResult, 1)})
+	op := getOp()
+	op.kind = opWriteBackCfg
+	op.wbCfg = cfg
+	return s.control(op)
 }
 
 // Flush commits the write-back dirty buffer as one group-commit batch
@@ -431,7 +511,10 @@ func (s *Service) SetWriteBack(cfg WriteBackOptions) error {
 // off (or nothing dirty) Flush is a no-op. Returns ErrClosed after
 // Close.
 func (s *Service) Flush(ctx context.Context) error {
-	return s.control(&serviceOp{kind: opFlush, ctx: ctx, reply: make(chan opResult, 1)})
+	op := getOp()
+	op.kind = opFlush
+	op.ctx = ctx
+	return s.control(op)
 }
 
 // Totals snapshots the service-loop bookkeeping.
@@ -443,9 +526,12 @@ func (s *Service) Totals() ServiceTotals {
 
 func (s *Service) control(op *serviceOp) error {
 	if err := s.submit(op); err != nil {
+		putOp(op)
 		return err
 	}
-	return (<-op.reply).err
+	err := (<-op.reply).err
+	putOp(op)
+	return err
 }
 
 // submit enqueues one op, starting a loop goroutine if none is running.
@@ -510,11 +596,13 @@ func (s *Service) loop() {
 			s.mu.Lock()
 		}
 		batch := s.queue
-		s.queue = nil
+		s.queue = s.spare // recycled backing array (nil on first pass)
+		s.spare = nil
 		aging := s.opts.DeadlineAging
 		wb := s.opts.WriteBack
 		closed := s.closed
 		if len(batch) == 0 {
+			s.spare = batch[:0]
 			if s.drr.count > 0 {
 				// A DRR backlog keeps the loop alive: each extra pass
 				// grants fresh per-class credit and admits at least one
@@ -527,6 +615,15 @@ func (s *Service) loop() {
 				} else {
 					s.serveWork(nil, aging)
 				}
+				continue
+			}
+			if len(s.pl.inflight) > 0 {
+				// In-flight pipelined batches keep the loop alive: park
+				// until the next completion token (retiring completed
+				// batches in dispatch order) or a wake signal delivers new
+				// work to overlap with them.
+				s.mu.Unlock()
+				s.plAwait()
 				continue
 			}
 			if s.wb != nil && s.wb.blocks > 0 {
@@ -546,6 +643,10 @@ func (s *Service) loop() {
 				s.flushDirty()
 				continue
 			}
+			// Idle: retire the dispatcher goroutines with the loop (the
+			// pipeline is empty, so they are parked on their queues and
+			// never touch mu) — an idle service holds no goroutines.
+			s.plShutdown()
 			s.running = false
 			s.idle.Broadcast()
 			s.mu.Unlock()
@@ -553,6 +654,8 @@ func (s *Service) loop() {
 		}
 		s.mu.Unlock()
 		s.process(batch, aging)
+		clear(batch)
+		s.spare = batch[:0]
 		// A busy service still honors the interval bound: dirty data
 		// older than the flush interval commits between admission passes
 		// instead of waiting for the queue to drain.
@@ -619,6 +722,9 @@ func (s *Service) process(batch []*serviceOp, aging time.Duration) {
 	for i := 0; i < len(batch); {
 		if !isWork(batch[i].kind) {
 			s.drainDeferred(aging)
+			// Control ops are pipeline barriers too: the deferred drain
+			// above may have dispatched, so drain after it.
+			s.plDrain()
 			s.handleControl(batch[i])
 			i++
 			continue
@@ -650,6 +756,14 @@ func (s *Service) serveWork(ops []*serviceOp, aging time.Duration) {
 	quantum := s.opts.FairQuantum
 	s.mu.Unlock()
 	if quantum <= 0 {
+		if aging <= 0 {
+			// Fast path: the whole pass is one batch in submission order
+			// (what qosGroups would return, minus its slice allocation).
+			if len(live) > 0 {
+				s.serveGroup(live)
+			}
+			return
+		}
 		for _, group := range qosGroups(live, aging, time.Now()) {
 			s.serveGroup(group)
 		}
@@ -773,7 +887,7 @@ func (s *Service) ClassTotals() []ClassTotals {
 // cancellation, only the simulated I/O is never issued or charged.
 func (s *Service) dropCancelled(ops []*serviceOp) []*serviceOp {
 	var cancelled, expired, invalidated int64
-	perClass := map[string]int64{}
+	var perClass map[string]int64 // lazily allocated — drops are rare
 	live := ops[:0]
 	for _, op := range ops {
 		if op.ctx != nil {
@@ -785,10 +899,23 @@ func (s *Service) dropCancelled(ops []*serviceOp) []*serviceOp {
 				}
 				var inv int64
 				if op.kind == opWrite {
-					for _, r := range s.splitAtSegmentEnds(op.chunk.Reqs) {
+					// An in-flight read batch overlapping the dropped
+					// write's extents will insert them into the cache at
+					// retirement; invalidating before that insertion would
+					// leave stale data readable, so the invalidation stalls
+					// behind the batch.
+					if s.plOverlaps(op.chunk.Reqs) {
+						s.plDrain()
+					}
+					split := s.splitInto(s.scratch.split[:0], op.chunk.Reqs)
+					s.scratch.split = split[:0]
+					for _, r := range split {
 						inv += s.cache.invalidate(r.VLBN, r.VLBN+int64(r.Count)) // nil-safe
 					}
 					invalidated += inv
+					if perClass == nil {
+						perClass = make(map[string]int64, 4)
+					}
 					perClass[op.class] += inv
 				}
 				op.reply <- opResult{err: err, invalidated: inv}
@@ -877,6 +1004,14 @@ func (s *Service) handleControl(op *serviceOp) {
 		cache.setShares(cacheShares(op.cacheBlocks, quantum, s.classes))
 	case opQoSCfg:
 		s.applyQoS(op.qosQuantum, op.qosClasses)
+	case opPipelineCfg:
+		// The control barrier drained the pipeline; retire the dispatcher
+		// goroutines so their queues are rebuilt at the new depth on the
+		// next dispatch.
+		s.plShutdown()
+		s.mu.Lock()
+		s.opts.Pipeline = op.pipelineDepth
+		s.mu.Unlock()
 	case opFlush:
 		if op.ctx != nil {
 			if cerr := op.ctx.Err(); cerr != nil {
@@ -917,7 +1052,7 @@ func (s *Service) handleControl(op *serviceOp) {
 // state older than an acknowledged write), and reaching the watermark
 // flushes after the batch's writes are absorbed.
 func (s *Service) serveChunks(items []*serviceOp) {
-	var reads, writes []*serviceOp
+	reads, writes := s.scratch.reads[:0], s.scratch.writes[:0]
 	for _, op := range items {
 		if op.kind == opWrite {
 			writes = append(writes, op)
@@ -925,30 +1060,49 @@ func (s *Service) serveChunks(items []*serviceOp) {
 			reads = append(reads, op)
 		}
 	}
+	s.scratch.reads, s.scratch.writes = reads, writes
 	s.mu.Lock()
 	wb := s.opts.WriteBack
+	depth := s.opts.Pipeline
 	s.mu.Unlock()
 	wbOn := wb.Enabled && s.wb != nil
 	if wbOn && len(reads) > 0 && len(s.wb.extents) > 0 {
-		var rr []lvm.Request
+		rr := s.scratch.rr[:0]
 		for _, op := range reads {
 			rr = append(rr, op.chunk.Reqs...)
 		}
-		if s.wb.overlaps(s.splitAtSegmentEnds(rr)) {
+		split := s.splitInto(s.scratch.split[:0], rr)
+		s.scratch.rr, s.scratch.split = rr[:0], split[:0]
+		if s.wb.overlaps(split) {
 			s.flushDirty()
 		}
 	}
-	switch len(reads) {
-	case 0:
-	case 1:
+	switch {
+	case len(reads) == 0:
+	case depth > 0:
+		if len(reads) == 1 {
+			s.dispatchSingle(depth, reads[0])
+		} else {
+			s.dispatchMerged(depth, reads)
+		}
+	case len(reads) == 1:
 		s.serveSingle(reads[0])
 	default:
 		s.serveMerged(reads)
 	}
 	for _, op := range writes {
 		if wbOn {
+			// Absorption performs no I/O, so it needs no barrier — unless
+			// it would invalidate an extent an in-flight batch will insert
+			// (stale data would become readable), or it must COW-fault
+			// (loop-side I/O must not interleave with the dispatchers).
+			if len(s.pl.inflight) > 0 && (s.vol.HasCOW() || s.plOverlaps(op.chunk.Reqs)) {
+				s.plDrain()
+			}
 			s.absorbWrite(op)
 		} else {
+			// Write-through I/O runs on the loop goroutine — a barrier.
+			s.plDrain()
 			s.serveWrite(op)
 		}
 	}
@@ -965,7 +1119,12 @@ func (s *Service) serveChunks(items []*serviceOp) {
 // disk's first block. Out-of-range addresses pass through unchanged so
 // ServeBatch surfaces the error to the submitter.
 func (s *Service) splitAtSegmentEnds(reqs []lvm.Request) []lvm.Request {
-	out := make([]lvm.Request, 0, len(reqs))
+	return s.splitInto(make([]lvm.Request, 0, len(reqs)), reqs)
+}
+
+// splitInto is splitAtSegmentEnds appending into a caller-provided
+// buffer, for hot-path callers that reuse loop scratch.
+func (s *Service) splitInto(out []lvm.Request, reqs []lvm.Request) []lvm.Request {
 	for _, r := range reqs {
 		for {
 			di, lbn, err := s.vol.Locate(r.VLBN)
@@ -1058,7 +1217,11 @@ func (s *Service) serveWrite(op *serviceOp) {
 		s.failWrite(op, opResult{}, 0, err)
 		return
 	}
-	op.chunk.Reqs = s.splitAtSegmentEnds(op.chunk.Reqs)
+	// The split result lives only until the reply below (nothing reads
+	// chunk.Reqs after a write is answered), so loop scratch is safe.
+	split := s.splitInto(s.scratch.split[:0], op.chunk.Reqs)
+	s.scratch.split = split[:0]
+	op.chunk.Reqs = split
 	for _, r := range op.chunk.Reqs {
 		// invalidate is nil-safe when the cache is off.
 		res.invalidated += s.cache.invalidate(r.VLBN, r.VLBN+int64(r.Count))
@@ -1114,8 +1277,12 @@ func (s *Service) serveWrite(op *serviceOp) {
 // which are never re-split, keeping their recorded flush boundaries
 // valid at group-commit time.
 func (s *Service) absorbWrite(op *serviceOp) {
-	for _, r := range s.splitAtSegmentEnds(op.chunk.Reqs) {
+	screen := s.splitInto(s.scratch.split[:0], op.chunk.Reqs)
+	s.scratch.split = screen[:0]
+	for _, r := range screen {
 		if _, _, err := s.vol.Locate(r.VLBN); err != nil {
+			// Write-through fallback performs I/O on the loop goroutine.
+			s.plDrain()
 			s.serveWrite(op)
 			return
 		}
@@ -1128,7 +1295,10 @@ func (s *Service) absorbWrite(op *serviceOp) {
 	}
 	// Split after the resolve: it may have split segments under the
 	// target blocks, moving the boundaries the dirty buffer records.
-	op.chunk.Reqs = s.splitAtSegmentEnds(op.chunk.Reqs)
+	// Scratch-backed like serveWrite's split: dead once the op replies.
+	split := s.splitInto(s.scratch.split[:0], op.chunk.Reqs)
+	s.scratch.split = split[:0]
+	op.chunk.Reqs = split
 	now := time.Now()
 	for _, r := range op.chunk.Reqs {
 		start, end := r.VLBN, r.VLBN+int64(r.Count)
@@ -1180,6 +1350,10 @@ func (s *Service) flushDirty() error {
 	if s.wb == nil || len(s.wb.extents) == 0 {
 		return nil
 	}
+	// The group commit serves I/O on the loop goroutine — a pipeline
+	// barrier, so the flush batch never interleaves with dispatched
+	// reads on any drive's schedule.
+	s.plDrain()
 	extents := s.wb.take()
 	reqs := make([]lvm.Request, len(extents))
 	for i, e := range extents {
@@ -1196,7 +1370,13 @@ func (s *Service) flushDirty() error {
 		return err
 	}
 	// Extents are disjoint, so completions map back by start VLBN.
-	compAt := make(map[int64]lvm.Completion, len(comps))
+	compAt := s.scratch.flushComp
+	if compAt == nil {
+		compAt = make(map[int64]lvm.Completion, len(comps))
+		s.scratch.flushComp = compAt
+	} else {
+		clear(compAt)
+	}
 	for _, c := range comps {
 		compAt[c.Req.VLBN] = c
 	}
@@ -1232,7 +1412,8 @@ func (s *Service) flushDirty() error {
 	t.FlushBatches++
 	t.IssuedRequests += int64(len(reqs))
 	t.DirtyBlocks = 0
-	touched := map[string]bool{}
+	touched := s.scratch.touched
+	clear(touched)
 	for owner, st := range perOwner {
 		st.FlushBatches = 1
 		t.Attributed.Accumulate(*st)
@@ -1257,24 +1438,56 @@ func (s *Service) flushDirty() error {
 	return nil
 }
 
+// planSingle is a lone chunk's schedule stage: probe the cache,
+// folding hits into res, and return the requests that must reach the
+// disks. With the cache off the chunk's own request slice is returned
+// untouched; otherwise the survivors are appended to dst[:0] (callers
+// that reuse scratch must not store the result back when the cache is
+// off — it would alias the submitter's memory).
+func (s *Service) planSingle(op *serviceOp, res *opResult, dst []lvm.Request) []lvm.Request {
+	if s.cache == nil {
+		return op.chunk.Reqs
+	}
+	kept := dst[:0]
+	for _, r := range op.chunk.Reqs {
+		if s.cache.covered(r.VLBN, r.VLBN+int64(r.Count)) {
+			res.hits++
+			res.hitCells += int64(r.Count)
+			continue
+		}
+		res.misses++
+		kept = append(kept, r)
+	}
+	return kept
+}
+
+// finishSingle is a lone chunk's completion stage: insert the served
+// extents into the cache, account, trace, reply. issued is the number
+// of requests that reached the disks (the plan's survivors).
+func (s *Service) finishSingle(op *serviceOp, res opResult, issued int, comps []lvm.Completion, elapsed float64) {
+	if issued > 0 {
+		res.comps, res.elapsed = comps, elapsed
+		for _, c := range comps {
+			s.cache.insertFor(c.Req.VLBN, c.Req.VLBN+int64(c.Req.Count), op.class) // nil-safe
+		}
+	}
+	s.account1(op, &res, int64(issued), res.elapsed)
+	if op.trace != nil && len(res.comps) > 0 {
+		op.trace(res.comps)
+	}
+	op.reply <- res
+}
+
 // serveSingle services a lone chunk exactly as Run would: the planner's
 // requests, the chunk's policy, no re-coalescing. With the cache off
-// this path is bit-identical to the synchronous engine.
+// this path is bit-identical to the synchronous engine. This is the
+// lockstep (depth-0) plan→dispatch→finish path; dispatchSingle is the
+// pipelined one.
 func (s *Service) serveSingle(op *serviceOp) {
 	var res opResult
-	reqs := op.chunk.Reqs
+	reqs := s.planSingle(op, &res, s.scratch.kept)
 	if s.cache != nil {
-		kept := make([]lvm.Request, 0, len(reqs))
-		for _, r := range reqs {
-			if s.cache.covered(r.VLBN, r.VLBN+int64(r.Count)) {
-				res.hits++
-				res.hitCells += int64(r.Count)
-				continue
-			}
-			res.misses++
-			kept = append(kept, r)
-		}
-		reqs = kept
+		s.scratch.kept = reqs[:0] // keep the grown probe buffer
 	}
 	if len(reqs) > 0 {
 		comps, elapsed, err := s.vol.ServeBatch(reqs, op.policy)
@@ -1282,131 +1495,180 @@ func (s *Service) serveSingle(op *serviceOp) {
 			op.reply <- opResult{err: err}
 			return
 		}
-		res.comps, res.elapsed = comps, elapsed
-		for _, c := range comps {
-			s.cache.insertFor(c.Req.VLBN, c.Req.VLBN+int64(c.Req.Count), op.class) // nil-safe
-		}
+		s.finishSingle(op, res, len(reqs), comps, elapsed)
+		return
 	}
-	s.account([]*serviceOp{op}, []opResult{res}, int64(len(reqs)), res.elapsed)
-	if op.trace != nil && len(res.comps) > 0 {
-		op.trace(res.comps)
-	}
-	op.reply <- res
+	s.finishSingle(op, res, 0, nil, 0)
 }
 
-// serveMerged coalesces the batch's requests across queries into shared
-// extents, serves them as one batch — under the chunks' unanimous
-// policy, or SPTF when the batch mixes policies (cross-query order is
-// the drive's to choose) — and splits each served extent's cost among
-// its contributors in proportion to the blocks each asked for. Blocks
-// wanted by several queries are read once; every query is still
-// credited its own cells.
-func (s *Service) serveMerged(items []*serviceOp) {
-	results := make([]opResult, len(items))
-	fail := func(err error) {
-		for _, it := range items {
-			it.reply <- opResult{err: err}
-		}
-	}
+// mergeEntry ties one item's request to its slot in a merged plan.
+type mergeEntry struct {
+	item int
+	req  lvm.Request
+}
 
-	type entry struct {
-		item int
-		req  lvm.Request
+// mergeScratch is the buffer set one merged plan builds into. The loop
+// owns one (svcScratch.merge) for the lockstep path and reuses it
+// across batches; each in-flight pipelined batch carries its own,
+// since its plan must survive until retirement.
+type mergeScratch struct {
+	entries []mergeEntry
+	reqs    []lvm.Request // the coalesced extents to issue
+	// members[k] lists the entry indices merged into extent reqs[k].
+	members [][]int
+	results []opResult
+	compAt  map[int64]lvm.Completion
+}
+
+// reset readies the scratch for a plan over n items, reusing every
+// backing allocation from earlier plans.
+func (sc *mergeScratch) reset(n int) {
+	sc.entries = sc.entries[:0]
+	sc.reqs = sc.reqs[:0]
+	sc.members = sc.members[:0]
+	if cap(sc.results) < n {
+		sc.results = make([]opResult, n)
+	} else {
+		sc.results = sc.results[:n]
+		clear(sc.results)
 	}
-	var entries []entry
+}
+
+// pushMember opens extent slot k = len(members) holding one entry
+// index, reusing the retained inner slice when one exists.
+func (sc *mergeScratch) pushMember(idx int) {
+	if n := len(sc.members); n < cap(sc.members) {
+		sc.members = sc.members[:n+1]
+		sc.members[n] = append(sc.members[n][:0], idx)
+		return
+	}
+	sc.members = append(sc.members, []int{idx})
+}
+
+// mergedPlan is one planned multi-chunk read batch: the items, the
+// scratch holding the coalesced extents and per-item results, and the
+// batch's issue policy.
+type mergedPlan struct {
+	items  []*serviceOp
+	sc     *mergeScratch
+	policy disk.SchedPolicy
+}
+
+// fail replies the error to every item of the plan.
+func (mp *mergedPlan) fail(err error) {
+	for _, it := range mp.items {
+		it.reply <- opResult{err: err}
+	}
+}
+
+// planMerged is a multi-chunk batch's schedule stage: probe the cache
+// per request, coalesce the survivors across queries into shared
+// extents (merging overlap and exact adjacency, never across a
+// disk-segment boundary), and pick the batch policy — the chunks'
+// unanimous policy, or SPTF when the batch mixes policies (cross-query
+// order is the drive's to choose). Returns ok=false after replying the
+// error to every item when an extent fails to locate.
+func (s *Service) planMerged(items []*serviceOp, sc *mergeScratch) (*mergedPlan, bool) {
+	sc.reset(len(items))
+	mp := &mergedPlan{items: items, sc: sc}
 	for i, it := range items {
 		for _, r := range it.chunk.Reqs {
 			if s.cache != nil {
 				if s.cache.covered(r.VLBN, r.VLBN+int64(r.Count)) {
-					results[i].hits++
-					results[i].hitCells += int64(r.Count)
+					sc.results[i].hits++
+					sc.results[i].hitCells += int64(r.Count)
 					continue
 				}
-				results[i].misses++
+				sc.results[i].misses++
 			}
-			entries = append(entries, entry{item: i, req: r})
+			sc.entries = append(sc.entries, mergeEntry{item: i, req: r})
 		}
 	}
-
-	var reqs []lvm.Request
-	var elapsed float64
-	// members[k] lists the entry indices merged into extent reqs[k].
-	var members [][]int
-	if len(entries) > 0 {
-		slices.SortStableFunc(entries, func(a, b entry) int {
-			switch {
-			case a.req.VLBN != b.req.VLBN:
-				if a.req.VLBN < b.req.VLBN {
-					return -1
-				}
-				return 1
-			default:
-				return a.req.Count - b.req.Count
+	if len(sc.entries) == 0 {
+		return mp, true
+	}
+	slices.SortStableFunc(sc.entries, func(a, b mergeEntry) int {
+		switch {
+		case a.req.VLBN != b.req.VLBN:
+			if a.req.VLBN < b.req.VLBN {
+				return -1
 			}
-		})
-		var boundary int64 // end VLBN of the current extent's disk segment
-		for idx, e := range entries {
-			start := e.req.VLBN
-			end := start + int64(e.req.Count)
-			if n := len(reqs); n > 0 {
-				last := &reqs[n-1]
-				lastEnd := last.VLBN + int64(last.Count)
-				// Merge overlap or exact adjacency, but never across a
-				// disk-segment boundary: each original request lies in one
-				// segment, so extents clipped to the boundary stay valid.
-				if start <= lastEnd && start < boundary {
-					if end > lastEnd {
-						last.Count = int(end - last.VLBN)
-					}
-					members[n-1] = append(members[n-1], idx)
-					continue
-				}
-			}
-			di, lbn, err := s.vol.Locate(start)
-			if err != nil {
-				fail(err)
-				return
-			}
-			boundary = start - lbn + s.vol.DiskBlocks(di)
-			reqs = append(reqs, lvm.Request{VLBN: start, Count: e.req.Count})
-			members = append(members, []int{idx})
+			return 1
+		default:
+			return a.req.Count - b.req.Count
 		}
-
-		policy := items[0].policy
-		for _, it := range items[1:] {
-			if it.policy != policy {
-				policy = disk.SchedSPTF
-				break
+	})
+	var boundary int64 // end VLBN of the current extent's disk segment
+	for idx, e := range sc.entries {
+		start := e.req.VLBN
+		end := start + int64(e.req.Count)
+		if n := len(sc.reqs); n > 0 {
+			last := &sc.reqs[n-1]
+			lastEnd := last.VLBN + int64(last.Count)
+			// Merge overlap or exact adjacency, but never across a
+			// disk-segment boundary: each original request lies in one
+			// segment, so extents clipped to the boundary stay valid.
+			if start <= lastEnd && start < boundary {
+				if end > lastEnd {
+					last.Count = int(end - last.VLBN)
+				}
+				sc.members[n-1] = append(sc.members[n-1], idx)
+				continue
 			}
 		}
-		comps, el, err := s.vol.ServeBatch(reqs, policy)
+		di, lbn, err := s.vol.Locate(start)
 		if err != nil {
-			fail(err)
-			return
+			mp.fail(err)
+			return nil, false
 		}
-		elapsed = el
+		boundary = start - lbn + s.vol.DiskBlocks(di)
+		sc.reqs = append(sc.reqs, lvm.Request{VLBN: start, Count: e.req.Count})
+		sc.pushMember(idx)
+	}
+	mp.policy = items[0].policy
+	for _, it := range items[1:] {
+		if it.policy != mp.policy {
+			mp.policy = disk.SchedSPTF
+			break
+		}
+	}
+	return mp, true
+}
+
+// finishMerged is a merged batch's completion stage: map each served
+// extent's completion back to its contributors, splitting its cost in
+// proportion to the blocks each asked for (blocks wanted by several
+// queries are read once; every query is still credited its own cells),
+// insert the extents into the cache, account, trace, reply.
+func (s *Service) finishMerged(mp *mergedPlan, comps []lvm.Completion, elapsed float64) {
+	sc, items := mp.sc, mp.items
+	if len(sc.reqs) > 0 {
 		// Extents are disjoint, so a completion maps back by start VLBN.
-		compAt := make(map[int64]lvm.Completion, len(comps))
-		for _, c := range comps {
-			compAt[c.Req.VLBN] = c
+		if sc.compAt == nil {
+			sc.compAt = make(map[int64]lvm.Completion, len(comps))
+		} else {
+			clear(sc.compAt)
 		}
-		for k, r := range reqs {
-			c := compAt[r.VLBN]
+		for _, c := range comps {
+			sc.compAt[c.Req.VLBN] = c
+		}
+		for k, r := range sc.reqs {
+			c := sc.compAt[r.VLBN]
 			// A shared extent is tagged with its first contributor's class.
-			s.cache.insertFor(r.VLBN, r.VLBN+int64(r.Count), items[entries[members[k][0]].item].class) // nil-safe
-			if len(members[k]) == 1 {
-				e := entries[members[k][0]]
-				results[e.item].comps = append(results[e.item].comps, c)
+			s.cache.insertFor(r.VLBN, r.VLBN+int64(r.Count), items[sc.entries[sc.members[k][0]].item].class) // nil-safe
+			if len(sc.members[k]) == 1 {
+				e := sc.entries[sc.members[k][0]]
+				sc.results[e.item].comps = append(sc.results[e.item].comps, c)
 				continue
 			}
 			var owned int64
-			for _, mi := range members[k] {
-				owned += int64(entries[mi].req.Count)
+			for _, mi := range sc.members[k] {
+				owned += int64(sc.entries[mi].req.Count)
 			}
-			for _, mi := range members[k] {
-				e := entries[mi]
+			for _, mi := range sc.members[k] {
+				e := sc.entries[mi]
 				f := float64(e.req.Count) / float64(owned)
-				results[e.item].comps = append(results[e.item].comps, lvm.Completion{
+				sc.results[e.item].comps = append(sc.results[e.item].comps, lvm.Completion{
 					Req:     e.req,
 					DiskIdx: c.DiskIdx,
 					Cost: disk.AccessCost{
@@ -1420,16 +1682,39 @@ func (s *Service) serveMerged(items []*serviceOp) {
 			}
 		}
 	}
-	for i := range results {
-		results[i].elapsed = elapsed
+	for i := range sc.results {
+		sc.results[i].elapsed = elapsed
 	}
-	s.account(items, results, int64(len(reqs)), elapsed)
+	s.account(items, sc.results, int64(len(sc.reqs)), elapsed)
 	for i, it := range items {
-		if it.trace != nil && len(results[i].comps) > 0 {
-			it.trace(results[i].comps)
+		if it.trace != nil && len(sc.results[i].comps) > 0 {
+			it.trace(sc.results[i].comps)
 		}
-		it.reply <- results[i]
+		it.reply <- sc.results[i]
 	}
+}
+
+// serveMerged coalesces the batch's requests across queries into shared
+// extents, serves them as one batch, and splits each served extent's
+// cost among its contributors. This is the lockstep (depth-0)
+// plan→dispatch→finish path, reusing the loop's merge scratch;
+// dispatchMerged is the pipelined one.
+func (s *Service) serveMerged(items []*serviceOp) {
+	mp, ok := s.planMerged(items, &s.scratch.merge)
+	if !ok {
+		return
+	}
+	var comps []lvm.Completion
+	var elapsed float64
+	if len(mp.sc.reqs) > 0 {
+		var err error
+		comps, elapsed, err = s.vol.ServeBatch(mp.sc.reqs, mp.policy)
+		if err != nil {
+			mp.fail(err)
+			return
+		}
+	}
+	s.finishMerged(mp, comps, elapsed)
 }
 
 // account folds one served admission batch into the service totals,
@@ -1446,7 +1731,8 @@ func (s *Service) account(items []*serviceOp, results []opResult, issued int64, 
 		t.MaxBatchChunks = len(items)
 	}
 	t.IssuedRequests += issued
-	touched := map[string]bool{}
+	touched := s.scratch.touched
+	clear(touched)
 	for i, it := range items {
 		r := &results[i]
 		t.Attributed.AddCompletions(r.comps, 0)
@@ -1469,4 +1755,31 @@ func (s *Service) account(items []*serviceOp, results []opResult, issued int64, 
 	for class := range touched {
 		s.classTot(class).Attributed.ElapsedMs += elapsed
 	}
+}
+
+// account1 is account for a single-chunk batch — the same folds
+// without the per-item loop's slice and map traffic.
+func (s *Service) account1(op *serviceOp, r *opResult, issued int64, elapsed float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t := &s.totals
+	t.Batches++
+	if t.MaxBatchChunks < 1 {
+		t.MaxBatchChunks = 1
+	}
+	t.IssuedRequests += issued
+	t.Attributed.AddCompletions(r.comps, 0)
+	t.Attributed.Padding += op.chunk.Padding
+	t.Attributed.Cells += r.hitCells
+	t.Attributed.CacheHits += r.hits
+	t.Attributed.CacheMisses += r.misses
+	ct := s.classTot(op.class)
+	ct.Ops++
+	ct.Attributed.AddCompletions(r.comps, 0)
+	ct.Attributed.Padding += op.chunk.Padding
+	ct.Attributed.Cells += r.hitCells
+	ct.Attributed.CacheHits += r.hits
+	ct.Attributed.CacheMisses += r.misses
+	t.Attributed.ElapsedMs += elapsed
+	ct.Attributed.ElapsedMs += elapsed
 }

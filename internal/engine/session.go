@@ -170,6 +170,7 @@ func (s *Session) RunPlan(ctx context.Context, p Plan, opts Options) (Stats, err
 	fold := func(op *serviceOp) error {
 		r := <-op.reply
 		credit(op, r)
+		putOp(op) // reply consumed: this goroutine is the last holder
 		return r.err
 	}
 	// finish folds (or, after a failure, waits out) every outstanding
@@ -183,6 +184,7 @@ func (s *Session) RunPlan(ctx context.Context, p Plan, opts Options) (Stats, err
 		for _, op := range pending {
 			if failed != nil || err != nil {
 				credit(op, <-op.reply)
+				putOp(op)
 				continue
 			}
 			err = fold(op)
@@ -214,16 +216,15 @@ func (s *Session) RunPlan(ctx context.Context, p Plan, opts Options) (Stats, err
 		if opts.Policy != nil {
 			policy = *opts.Policy
 		}
-		op := &serviceOp{
-			kind:   opChunk,
-			ctx:    ctx,
-			chunk:  pl.c,
-			policy: policy,
-			trace:  opts.Trace,
-			class:  s.class,
-			reply:  make(chan opResult, 1),
-		}
+		op := getOp()
+		op.kind = opChunk
+		op.ctx = ctx
+		op.chunk = pl.c
+		op.policy = policy
+		op.trace = opts.Trace
+		op.class = s.class
 		if err := s.svc.submit(op); err != nil {
+			putOp(op) // never queued: submit sends no reply
 			return finish(err)
 		}
 		pending = append(pending, op)
@@ -255,19 +256,19 @@ func (s *Session) RunPlan(ctx context.Context, p Plan, opts Options) (Stats, err
 // counter alongside the context error. Writes are therefore always
 // submitted, never short-circuited on a pre-cancelled ctx.
 func (s *Session) Write(ctx context.Context, reqs []lvm.Request, policy disk.SchedPolicy) (Stats, error) {
-	op := &serviceOp{
-		kind:   opWrite,
-		ctx:    ctx,
-		chunk:  Chunk{Reqs: reqs},
-		policy: policy,
-		owner:  s,
-		class:  s.class,
-		reply:  make(chan opResult, 1),
-	}
+	op := getOp()
+	op.kind = opWrite
+	op.ctx = ctx
+	op.chunk = Chunk{Reqs: reqs}
+	op.policy = policy
+	op.owner = s
+	op.class = s.class
 	if err := s.svc.submit(op); err != nil {
+		putOp(op)
 		return Stats{}, err
 	}
 	r := <-op.reply
+	putOp(op)
 	var st Stats
 	if r.err != nil {
 		// A drop before admission carries a context error; a served

@@ -10,8 +10,8 @@ package experiments
 // commit buys tail latency: writer ops return as soon as the buffer
 // absorbs them, and readers pay the (merged, cheaper) flushes instead
 // of queueing behind every small write. The result serializes to the
-// stable "mmbench-burst/v1" JSON schema the CI bench-trajectory step
-// diffs.
+// versioned "mmbench-burst" JSON schema (see BurstSchema) the CI
+// bench-trajectory step diffs.
 
 import (
 	"context"
@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
 	"sort"
 	"sync"
 	"time"
@@ -30,7 +31,7 @@ import (
 
 // BurstSchema versions the burst benchmark's JSON artifact. Bump it
 // whenever a field changes meaning; the trajectory checker accepts
-// every version it knows (v1, v2) and refuses anything else, so a
+// every version it knows (v1, v2, v3) and refuses anything else, so a
 // committed trajectory may span schema bumps without rewriting
 // history.
 //
@@ -40,8 +41,17 @@ import (
 // linear rank interpolation; "p999_ms" becomes optional — omitted
 // when the class's sample is too small (< 1000 ops) for the 99.9th
 // percentile to be distinguishable from the maximum.
+//
+// v3 over v2: adds the host-side efficiency dimension the pipelined
+// dispatch work optimizes — top-level "gomaxprocs" (the host
+// parallelism the run had), "allocs_per_op" (mean heap allocations
+// per client op over the whole run, from runtime.MemStats.Mallocs),
+// and "pipeline_depth" (ServiceOptions.Pipeline; 0 = lockstep
+// dispatch). "wall_seconds" keeps its v1 meaning but is now a
+// first-class trajectory axis next to the simulated times.
 const (
-	BurstSchema   = "mmbench-burst/v2"
+	BurstSchema   = "mmbench-burst/v3"
+	BurstSchemaV2 = "mmbench-burst/v2"
 	BurstSchemaV1 = "mmbench-burst/v1"
 )
 
@@ -80,8 +90,22 @@ type BurstResult struct {
 	CacheBlocks   int64   `json:"cache_blocks"`
 	// FairQuantum is the weighted-fair admission quantum in blocks per
 	// weight unit per pass; 0 = QoS off (v1 artifacts decode as 0).
-	FairQuantum  int64        `json:"fair_quantum"`
-	WallSeconds  float64      `json:"wall_seconds"`
+	FairQuantum int64 `json:"fair_quantum"`
+	// PipelineDepth is the service dispatch pipeline depth the run used
+	// (engine ServiceOptions.Pipeline); 0 = lockstep dispatch (and the
+	// only value pre-v3 artifacts can decode as).
+	PipelineDepth int `json:"pipeline_depth"`
+	// GOMAXPROCS is the host parallelism the run had — wall_seconds and
+	// allocs_per_op are only comparable between runs at the same value.
+	// Pre-v3 artifacts decode as 0 (unrecorded).
+	GOMAXPROCS  int     `json:"gomaxprocs"`
+	WallSeconds float64 `json:"wall_seconds"`
+	// AllocsPerOp is the mean number of heap allocations per client op
+	// across the whole closed-loop run (runtime.MemStats.Mallocs delta
+	// over total ops) — the admission hot path's allocation trajectory.
+	// Host-side noise (GC bookkeeping, other goroutines) is included, so
+	// read it as a trend line, not an exact -benchmem figure.
+	AllocsPerOp  float64      `json:"allocs_per_op"`
 	FlushBatches int64        `json:"flush_batches"`
 	Coalesced    int64        `json:"coalesced_writes"`
 	Classes      []BurstClass `json:"classes"`
@@ -192,6 +216,8 @@ func BurstTraffic(cfg Config) (*Table, *BurstResult, error) {
 		sessions[i] = rig.grp.Begin(engine.SessionOptions{MaxInflight: 2, Class: clients[i].class})
 	}
 	var wg sync.WaitGroup
+	var memBefore runtime.MemStats
+	runtime.ReadMemStats(&memBefore)
 	start := time.Now()
 	for i, c := range clients {
 		wg.Add(1)
@@ -233,13 +259,21 @@ func BurstTraffic(cfg Config) (*Table, *BurstResult, error) {
 		return nil, nil, err
 	}
 	wall := time.Since(start).Seconds()
+	var memAfter runtime.MemStats
+	runtime.ReadMemStats(&memAfter)
+	totalOps := cfg.Clients * cfg.Queries
 
 	res := &BurstResult{
 		Schema: BurstSchema,
 		Disk:   g.Name, Scale: cfg.Scale, Shards: shards,
 		WriteFraction: cfg.WriteFraction, WriteBack: cfg.WriteBack,
 		CacheBlocks: cfg.CacheBlocks, FairQuantum: cfg.FairQuantum,
-		WallSeconds: wall,
+		PipelineDepth: cfg.PipelineDepth,
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		WallSeconds:   wall,
+	}
+	if totalOps > 0 {
+		res.AllocsPerOp = float64(memAfter.Mallocs-memBefore.Mallocs) / float64(totalOps)
 	}
 	for _, tot := range rig.grp.ServiceTotals() {
 		res.FlushBatches += tot.FlushBatches
@@ -290,8 +324,9 @@ func BurstTraffic(cfg Config) (*Table, *BurstResult, error) {
 	}
 	t := &Table{
 		ID: "burst",
-		Title: fmt.Sprintf("Closed-loop burst traffic on %s, %v cells, write-back %s, QoS %s, %d flushes, %d coalesced",
-			g.Name, dims, wbMode, qosMode, res.FlushBatches, res.Coalesced),
+		Title: fmt.Sprintf("Closed-loop burst traffic on %s, %v cells, write-back %s, QoS %s, pipeline %d, %d flushes, %d coalesced; %.2fs wall, %.0f allocs/op at GOMAXPROCS=%d",
+			g.Name, dims, wbMode, qosMode, res.PipelineDepth, res.FlushBatches, res.Coalesced,
+			res.WallSeconds, res.AllocsPerOp, res.GOMAXPROCS),
 		Header: []string{"class", "weight", "clients", "ops", "p50 ms", "p99 ms", "p999 ms", "sim ms/op", "deferred"},
 	}
 	for _, bc := range res.Classes {
@@ -352,9 +387,10 @@ func pctl(sorted []float64, p float64) float64 {
 // latency trajectory (0 ≤ p50 ≤ p99 ≤ p999 where present) per class.
 func ValidateBurst(res *BurstResult) error {
 	switch res.Schema {
-	case BurstSchema, BurstSchemaV1:
+	case BurstSchema, BurstSchemaV2, BurstSchemaV1:
 	default:
-		return fmt.Errorf("burst: schema %q, want %q or %q", res.Schema, BurstSchema, BurstSchemaV1)
+		return fmt.Errorf("burst: schema %q, want %q, %q, or %q",
+			res.Schema, BurstSchema, BurstSchemaV2, BurstSchemaV1)
 	}
 	if res.Disk == "" {
 		return fmt.Errorf("burst: missing disk name")
@@ -364,6 +400,15 @@ func ValidateBurst(res *BurstResult) error {
 	}
 	if res.FairQuantum < 0 {
 		return fmt.Errorf("burst: negative fair_quantum %d", res.FairQuantum)
+	}
+	if res.PipelineDepth < 0 {
+		return fmt.Errorf("burst: negative pipeline_depth %d", res.PipelineDepth)
+	}
+	if res.AllocsPerOp < 0 {
+		return fmt.Errorf("burst: negative allocs_per_op %v", res.AllocsPerOp)
+	}
+	if res.Schema == BurstSchema && res.GOMAXPROCS < 1 {
+		return fmt.Errorf("burst: gomaxprocs %d below 1", res.GOMAXPROCS)
 	}
 	want := map[string]bool{"interactive": false, "bulk": false, "writer": false}
 	for _, bc := range res.Classes {
@@ -414,9 +459,15 @@ var burstRequiredKeys = map[string]struct{ top, class []string }{
 			"cache_blocks", "wall_seconds", "flush_batches", "coalesced_writes", "classes"},
 		class: []string{"class", "clients", "ops", "p50_ms", "p99_ms", "p999_ms", "mean_sim_ms"},
 	},
-	BurstSchema: {
+	BurstSchemaV2: {
 		top: []string{"schema", "disk", "scale", "shards", "write_fraction", "write_back",
 			"cache_blocks", "fair_quantum", "wall_seconds", "flush_batches", "coalesced_writes", "classes"},
+		class: []string{"class", "weight", "clients", "ops", "p50_ms", "p99_ms", "mean_sim_ms", "deferred_ops"},
+	},
+	BurstSchema: {
+		top: []string{"schema", "disk", "scale", "shards", "write_fraction", "write_back",
+			"cache_blocks", "fair_quantum", "pipeline_depth", "gomaxprocs", "wall_seconds",
+			"allocs_per_op", "flush_batches", "coalesced_writes", "classes"},
 		class: []string{"class", "weight", "clients", "ops", "p50_ms", "p99_ms", "mean_sim_ms", "deferred_ops"},
 	},
 }
@@ -438,7 +489,8 @@ func ValidateBurstJSON(data []byte) (*BurstResult, error) {
 	}
 	required, ok := burstRequiredKeys[schema]
 	if !ok {
-		return nil, fmt.Errorf("burst: schema %q, want %q or %q", schema, BurstSchema, BurstSchemaV1)
+		return nil, fmt.Errorf("burst: schema %q, want %q, %q, or %q",
+			schema, BurstSchema, BurstSchemaV2, BurstSchemaV1)
 	}
 	for _, k := range required.top {
 		if _, ok := top[k]; !ok {

@@ -85,6 +85,26 @@ func TestBurstTraffic(t *testing.T) {
 	if !strings.Contains(tb.Title, "QoS off") {
 		t.Fatalf("QoS-off table title missing mode: %s", tb.Title)
 	}
+
+	// v3 host-efficiency fields: recorded on every run, and a pipelined
+	// run carries its depth through to the artifact.
+	if qos.GOMAXPROCS < 1 || qos.AllocsPerOp <= 0 || qos.PipelineDepth != 0 {
+		t.Fatalf("v3 host fields wrong on lockstep run: %+v", qos)
+	}
+	cfg.PipelineDepth = 2
+	tp, piped, err := BurstTraffic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateBurst(piped); err != nil {
+		t.Fatalf("pipelined artifact invalid: %v", err)
+	}
+	if piped.PipelineDepth != 2 {
+		t.Fatalf("pipeline depth not recorded: %+v", piped)
+	}
+	if !strings.Contains(tp.Title, "pipeline 2") {
+		t.Fatalf("table title missing pipeline depth: %s", tp.Title)
+	}
 }
 
 // TestValidateBurstJSON exercises the schema checker's rejections: the
@@ -129,6 +149,60 @@ func TestValidateBurstJSON(t *testing.T) {
 			return strings.Replace(s, `"ops": 12`, `"ops": 0`, 1)
 		},
 		"not json": func(string) string { return "{" },
+	} {
+		if _, err := ValidateBurstJSON([]byte(mangle(good))); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+// TestValidateBurstJSONV3 pins the v3 schema contract: pipeline_depth,
+// gomaxprocs, and allocs_per_op are required on top of the v2 keys, a
+// v2 body relabeled v3 is rejected, and the v3-only invariants reject
+// a zero gomaxprocs and negative depths/allocs.
+func TestValidateBurstJSONV3(t *testing.T) {
+	good := `{
+		"schema": "mmbench-burst/v3", "disk": "d", "scale": 1, "shards": 1,
+		"write_fraction": 0.3, "write_back": true, "cache_blocks": 0,
+		"fair_quantum": 4096, "pipeline_depth": 2, "gomaxprocs": 4,
+		"wall_seconds": 0.5, "allocs_per_op": 812.5, "flush_batches": 1,
+		"coalesced_writes": 2,
+		"classes": [
+			{"class": "interactive", "weight": 1, "clients": 2, "ops": 12, "p50_ms": 1, "p99_ms": 2, "mean_sim_ms": 4, "deferred_ops": 0},
+			{"class": "bulk", "weight": 4, "clients": 1, "ops": 6, "p50_ms": 1, "p99_ms": 1, "mean_sim_ms": 0, "deferred_ops": 3},
+			{"class": "writer", "weight": 1, "clients": 1, "ops": 6, "p50_ms": 0, "p99_ms": 0, "mean_sim_ms": 0, "deferred_ops": 0}
+		]
+	}`
+	res, err := ValidateBurstJSON([]byte(good))
+	if err != nil {
+		t.Fatalf("valid v3 artifact rejected: %v", err)
+	}
+	if res.PipelineDepth != 2 || res.GOMAXPROCS != 4 || res.AllocsPerOp != 812.5 {
+		t.Fatalf("v3 fields lost in decode: %+v", res)
+	}
+	for name, mangle := range map[string]func(string) string{
+		"v3 tag on v2 body": func(s string) string {
+			s = strings.Replace(s, `"pipeline_depth": 2, "gomaxprocs": 4,`, "", 1)
+			return strings.Replace(s, `"allocs_per_op": 812.5, `, "", 1)
+		},
+		"missing pipeline_depth": func(s string) string {
+			return strings.Replace(s, `"pipeline_depth": 2, `, "", 1)
+		},
+		"missing gomaxprocs": func(s string) string {
+			return strings.Replace(s, `"gomaxprocs": 4,`, "", 1)
+		},
+		"missing allocs_per_op": func(s string) string {
+			return strings.Replace(s, `"allocs_per_op": 812.5, `, "", 1)
+		},
+		"negative pipeline_depth": func(s string) string {
+			return strings.Replace(s, `"pipeline_depth": 2`, `"pipeline_depth": -1`, 1)
+		},
+		"zero gomaxprocs": func(s string) string {
+			return strings.Replace(s, `"gomaxprocs": 4`, `"gomaxprocs": 0`, 1)
+		},
+		"negative allocs_per_op": func(s string) string {
+			return strings.Replace(s, `"allocs_per_op": 812.5`, `"allocs_per_op": -1`, 1)
+		},
 	} {
 		if _, err := ValidateBurstJSON([]byte(mangle(good))); err == nil {
 			t.Errorf("%s accepted", name)

@@ -193,6 +193,57 @@ type Volume struct {
 	// atomic snapshot loaded at call entry.
 	mu       sync.Mutex
 	cowAlloc CowAllocFunc
+
+	// scratch pools ServeBatch's routing buffers: the serve hot path is
+	// allocation-free in steady state apart from the returned
+	// completions. A pool (not a single buffer) because concurrent
+	// callers are legal — the engine's per-drive dispatchers, and
+	// multiple tenants' service loops sharing pooled drives.
+	scratch sync.Pool
+}
+
+// serveScratch is one ServeBatch call's reusable routing state.
+type serveScratch struct {
+	counts   []int
+	routed   []disk.Request
+	onDrive  []int
+	perDrive [][]disk.Request
+	comps    [][]disk.Completion
+	errs     []error
+	busyMs   []float64
+}
+
+// size readies the scratch for nd drives and nr requests, reusing
+// every backing array (including the per-drive sub-batch buffers,
+// which keep their capacity across calls).
+func (sc *serveScratch) size(nd, nr int) {
+	if cap(sc.counts) < nd {
+		sc.counts = make([]int, nd)
+		sc.perDrive = make([][]disk.Request, nd)
+		sc.comps = make([][]disk.Completion, nd)
+		sc.errs = make([]error, nd)
+		sc.busyMs = make([]float64, nd)
+	} else {
+		sc.counts = sc.counts[:nd]
+		clear(sc.counts)
+		sc.perDrive = sc.perDrive[:nd]
+		sc.comps = sc.comps[:nd]
+		clear(sc.comps)
+		sc.errs = sc.errs[:nd]
+		clear(sc.errs)
+		sc.busyMs = sc.busyMs[:nd]
+		clear(sc.busyMs)
+	}
+	for k := range sc.perDrive {
+		sc.perDrive[k] = sc.perDrive[k][:0]
+	}
+	if cap(sc.routed) < nr {
+		sc.routed = make([]disk.Request, nr)
+		sc.onDrive = make([]int, nr)
+	} else {
+		sc.routed = sc.routed[:nr]
+		sc.onDrive = sc.onDrive[:nr]
+	}
 }
 
 // New builds a volume from disk geometries. Each geometry gets its own
@@ -476,11 +527,19 @@ func (v *Volume) Zones() []ZoneExtent {
 // through an engine.Service instead of calling it directly.
 func (v *Volume) ServeBatch(reqs []Request, policy disk.SchedPolicy) ([]Completion, float64, error) {
 	ss := v.set.Load()
-	// Route: one pass to locate and validate, counting per-drive load so
-	// the sub-batches are allocated exactly once.
-	counts := make([]int, len(ss.drives))
-	routed := make([]disk.Request, len(reqs))
-	onDrive := make([]int, len(reqs))
+	sc, _ := v.scratch.Get().(*serveScratch)
+	if sc == nil {
+		sc = &serveScratch{}
+	}
+	defer func() {
+		// Drop the per-drive completion slices before pooling: they are
+		// owned by the disk layer, not the scratch.
+		clear(sc.comps)
+		v.scratch.Put(sc)
+	}()
+	sc.size(len(ss.drives), len(reqs))
+	counts, routed, onDrive := sc.counts, sc.routed, sc.onDrive
+	// Route: one pass to locate and validate, counting per-drive load.
 	for i, r := range reqs {
 		si, off, err := ss.locate(r.VLBN)
 		if err != nil {
@@ -496,11 +555,10 @@ func (v *Volume) ServeBatch(reqs []Request, policy disk.SchedPolicy) ([]Completi
 		onDrive[i] = k
 		counts[k]++
 	}
-	perDrive := make([][]disk.Request, len(ss.drives))
+	perDrive := sc.perDrive
 	busy := 0
-	for k, n := range counts {
+	for _, n := range counts {
 		if n > 0 {
-			perDrive[k] = make([]disk.Request, 0, n)
 			busy++
 		}
 	}
@@ -508,9 +566,7 @@ func (v *Volume) ServeBatch(reqs []Request, policy disk.SchedPolicy) ([]Completi
 		perDrive[onDrive[i]] = append(perDrive[onDrive[i]], r)
 	}
 
-	comps := make([][]disk.Completion, len(ss.drives))
-	errs := make([]error, len(ss.drives))
-	busyMs := make([]float64, len(ss.drives))
+	comps, errs, busyMs := sc.comps, sc.errs, sc.busyMs
 	serve := func(k int) {
 		dr := ss.drives[k]
 		dr.mu.Lock()

@@ -272,6 +272,10 @@ type Store struct {
 	eo          query.ExecOptions
 	def         *Session
 	closed      atomic.Bool
+	// autoGrow, when set (pool tenants under WithAutoGrow), adds
+	// overflow capacity through the pool's Grow path; the update path
+	// calls it once on core.ErrOverflowExhausted and retries.
+	autoGrow func() error
 }
 
 // Open maps an N-dimensional grid dataset onto the volume using the
@@ -377,6 +381,9 @@ func applyServiceConfig(svcs []*engine.Service, c config) error {
 			if err := svc.SetFairShare(c.fairQuantum, c.classes); err != nil {
 				return err
 			}
+		}
+		if c.pipeline > 0 {
+			svc.SetPipeline(c.pipeline)
 		}
 	}
 	return nil

@@ -30,8 +30,9 @@ import (
 type PoolOption func(*poolConfig) error
 
 type poolConfig struct {
-	models []DiskModel
-	depth  int
+	models   []DiskModel
+	depth    int
+	autoGrow int64
 }
 
 // WithPoolDrives selects the pool's member drives by model name, one
@@ -60,15 +61,37 @@ func WithPoolDepth(d int) PoolOption {
 	}
 }
 
+// WithAutoGrow turns on overflow auto-grow for every tenant created in
+// (or cloned into) the pool: an updatable tenant whose insert or bulk
+// load exhausts its overflow page pool grows itself by increment
+// blocks through the ordinary Grow path — online, under live traffic —
+// and retries the failed update once, instead of surfacing
+// core.ErrOverflowExhausted to the caller. A pool that is genuinely
+// out of free extents still errors (the grow fails and the exhaustion
+// surfaces). Auto-grown capacity is accounted per drive in
+// Pool.Usage's AutoGrownBlocks, so thin-provisioning drift stays
+// auditable. The increment must be positive.
+func WithAutoGrow(increment int64) PoolOption {
+	return func(c *poolConfig) error {
+		if increment <= 0 {
+			return fmt.Errorf("multimap: auto-grow increment must be positive, got %d", increment)
+		}
+		c.autoGrow = increment
+		return nil
+	}
+}
+
 // Pool is a set of simulated drives hosting many tenant datasets on
 // thin-provisioned volumes. All lifecycle methods are safe for
 // concurrent use with each other and with live query traffic on any
 // tenant's Store — capacity changes publish atomically to the running
 // services.
 type Pool struct {
-	mu      sync.Mutex
-	p       *pool.Pool
-	tenants map[string]*Tenant
+	mu        sync.Mutex
+	p         *pool.Pool
+	tenants   map[string]*Tenant
+	autoGrow  int64   // WithAutoGrow increment; 0 = off
+	autoGrown []int64 // per-drive blocks allocated by auto-grows
 }
 
 // OpenPool builds a drive pool (see WithPoolDrives / WithPoolDepth).
@@ -97,7 +120,12 @@ func OpenPool(opts ...PoolOption) (*Pool, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Pool{p: pp, tenants: make(map[string]*Tenant)}, nil
+	return &Pool{
+		p:         pp,
+		tenants:   make(map[string]*Tenant),
+		autoGrow:  pc.autoGrow,
+		autoGrown: make([]int64, len(geoms)),
+	}, nil
 }
 
 // Tenant is one dataset hosted by a Pool: its Store plus the
@@ -151,14 +179,24 @@ type DriveUsage struct {
 	Name        string // drive model name
 	TotalBlocks int64
 	FreeBlocks  int64
+	// AutoGrownBlocks is how many of the drive's allocated blocks came
+	// from WithAutoGrow growths rather than explicit Create/Grow calls —
+	// the thin-provisioning drift auto-grow introduced. Always 0 without
+	// WithAutoGrow.
+	AutoGrownBlocks int64
 }
 
 // Usage returns per-drive space accounting, in drive index order.
 func (p *Pool) Usage() []DriveUsage {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	us := p.p.Usage()
 	out := make([]DriveUsage, len(us))
 	for i, u := range us {
-		out[i] = DriveUsage{Name: u.Name, TotalBlocks: u.TotalBlocks, FreeBlocks: u.FreeBlocks}
+		out[i] = DriveUsage{
+			Name: u.Name, TotalBlocks: u.TotalBlocks, FreeBlocks: u.FreeBlocks,
+			AutoGrownBlocks: p.autoGrown[i],
+		}
 	}
 	return out
 }
@@ -233,6 +271,9 @@ func (p *Pool) Create(ctx context.Context, name string, kind Mapping, dims []int
 		c.provision = wrapped
 		st, err := open(wrapped[0], kind, dims, c)
 		if err == nil {
+			if p.autoGrow > 0 && st.cells != nil {
+				st.autoGrow = p.autoGrowHook(name)
+			}
 			t := &Tenant{name: name, store: st, vols: vols, allowed: c.drives}
 			p.tenants[name] = t
 			return t, nil
@@ -317,6 +358,12 @@ func (p *Pool) Grow(ctx context.Context, name string, blocks int64) error {
 	if !ok {
 		return fmt.Errorf("multimap: no tenant %q", name)
 	}
+	return p.growLocked(t, blocks)
+}
+
+// growLocked is Grow's body, shared with the auto-grow hook. Caller
+// holds p.mu.
+func (p *Pool) growLocked(t *Tenant, blocks int64) error {
 	shards := int64(len(t.vols))
 	per := (blocks + shards - 1) / shards
 	for i, pv := range t.vols {
@@ -342,6 +389,29 @@ func (p *Pool) Grow(ctx context.Context, name string, blocks int64) error {
 		}
 	}
 	return nil
+}
+
+// autoGrowHook builds the Store-level retry hook for one tenant: grow
+// by the pool's increment through the ordinary Grow path and account
+// the allocated blocks per drive. Safe under live traffic — the update
+// path invokes it outside any pool lock.
+func (p *Pool) autoGrowHook(name string) func() error {
+	return func() error {
+		p.mu.Lock()
+		defer p.mu.Unlock()
+		t, ok := p.tenants[name]
+		if !ok {
+			return fmt.Errorf("multimap: no tenant %q", name)
+		}
+		before := p.p.Usage()
+		if err := p.growLocked(t, p.autoGrow); err != nil {
+			return err
+		}
+		for i, u := range p.p.Usage() {
+			p.autoGrown[i] += before[i].FreeBlocks - u.FreeBlocks
+		}
+		return nil
+	}
 }
 
 // Snapshot is a frozen, copy-on-write image of a tenant at one
@@ -493,6 +563,9 @@ func (p *Pool) Clone(ctx context.Context, snap *Snapshot, name string) (*Tenant,
 		}
 	}
 	st.def = st.Begin()
+	if p.autoGrow > 0 && st.cells != nil {
+		st.autoGrow = p.autoGrowHook(name)
+	}
 	t.store = st
 	p.tenants[name] = t
 	return t, nil

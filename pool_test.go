@@ -426,3 +426,77 @@ func TestPoolAccounting(t *testing.T) {
 		}
 	}
 }
+
+// TestPoolAutoGrow proves WithAutoGrow absorbs overflow exhaustion
+// online: a tenant filled past its overflow pool keeps inserting (the
+// pool grows it mid-insert and retries), the growth is visible in the
+// tenant's allocated blocks and in Usage's per-drive AutoGrownBlocks
+// on exactly the tenant's drive, and a bulk LoadCell that exhausts the
+// pool mid-load lands every requested point across the growth.
+func TestPoolAutoGrow(t *testing.T) {
+	ctx := context.Background()
+	p, err := OpenPool(WithPoolDrives(MediumTestDisk, MediumTestDisk),
+		WithPoolDepth(32), WithAutoGrow(128))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err := p.Create(ctx, "tenant-b", MultiMap, []int{12, 6, 4},
+		WithDrives(1),
+		Updatable(UpdateOptions{PointsPerBlock: 4, FillFactor: Frac(1)}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell := []int{1, 2, 3}
+	initial := tb.Blocks()
+	const fillCap = 100000
+	fills := 0
+	for ; fills < fillCap; fills++ {
+		if _, err := tb.Store().Insert(ctx, cell); err != nil {
+			t.Fatalf("insert %d surfaced despite auto-grow: %v", fills, err)
+		}
+		if tb.Blocks() > initial {
+			break
+		}
+	}
+	if tb.Blocks() <= initial {
+		t.Fatalf("auto-grow never engaged in %d inserts", fills)
+	}
+	// Growth keeps the chain intact: every inserted point is live.
+	n, err := tb.Store().Points(cell)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != fills+1 {
+		t.Fatalf("cell holds %d points after %d inserts", n, fills+1)
+	}
+	us := p.Usage()
+	if us[1].AutoGrownBlocks <= 0 {
+		t.Fatalf("drive 1 shows no auto-grown blocks: %+v", us)
+	}
+	if us[0].AutoGrownBlocks != 0 {
+		t.Fatalf("auto-grow leaked onto drive 0: %+v", us)
+	}
+	if got := tb.Blocks() - initial; got != us[1].AutoGrownBlocks {
+		t.Fatalf("tenant grew %d blocks but drive accounts %d", got, us[1].AutoGrownBlocks)
+	}
+
+	// Bulk load through another cell until the grown pool is exhausted
+	// again mid-load: the retry must land exactly the requested points.
+	cell2 := []int{2, 3, 1}
+	grown := tb.Blocks()
+	load := int(grown) // far more points than the current free overflow holds
+	if _, err := tb.Store().LoadCell(ctx, cell2, load); err != nil {
+		t.Fatalf("bulk load across auto-grow: %v", err)
+	}
+	if n, err = tb.Store().Points(cell2); err != nil || n != load {
+		t.Fatalf("bulk-loaded cell holds %d points, want %d (err %v)", n, load, err)
+	}
+	if tb.Blocks() <= grown {
+		t.Fatal("bulk load never triggered a second auto-grow")
+	}
+
+	// The increment must be positive.
+	if _, err := OpenPool(WithAutoGrow(0)); err == nil {
+		t.Fatal("WithAutoGrow(0) accepted")
+	}
+}

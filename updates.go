@@ -2,6 +2,7 @@ package multimap
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
 	"repro/internal/core"
@@ -10,6 +11,21 @@ import (
 	"repro/internal/mapping"
 	"repro/internal/query"
 )
+
+// growOnExhaustion is the auto-grow retry gate: true exactly when err
+// is an overflow-pool exhaustion, the store has a pool auto-grow hook
+// (a tenant under WithAutoGrow), and the grow succeeded — i.e. the
+// failed update is worth retrying against the fresh capacity. Callers
+// may loop (a bulk load can outsize a single growth increment); the
+// loop still terminates on a genuinely full pool because the hook
+// itself errors once the drive has no free extent left, which leaves
+// the original exhaustion error to surface.
+func (s *Store) growOnExhaustion(err error) bool {
+	if s.autoGrow == nil || !errors.Is(err, core.ErrOverflowExhausted) {
+		return false
+	}
+	return s.autoGrow() == nil
+}
 
 // This file is the update capability of the unified Store (§4.6),
 // enabled by the Updatable open option: cells are loaded at a tunable
@@ -250,7 +266,23 @@ func (q *Session) LoadCell(ctx context.Context, cell []int, n int) (Stats, error
 	if err != nil {
 		return Stats{}, err
 	}
+	var before int
+	if q.s.autoGrow != nil {
+		before, _ = cs.Points(local)
+	}
 	reqs, err := cs.LoadCell(local, n)
+	for err != nil && q.s.growOnExhaustion(err) {
+		// Each grow hands fresh overflow extents to every shard's pool;
+		// the retry resumes where the failed load stopped (the partial
+		// load kept its points, so only the remainder is loaded) and the
+		// dirtied extents of every round go out as one write. A load
+		// larger than one growth increment just loops; a full drive
+		// stops the loop through the failing grow hook.
+		now, _ := cs.Points(local)
+		var more []lvm.Request
+		more, err = cs.LoadCell(local, n-(now-before))
+		reqs = append(reqs, more...)
+	}
 	if len(reqs) > 0 {
 		st, werr := q.write(ctx, si, reqs)
 		if err == nil && werr == nil {
@@ -275,6 +307,10 @@ func (q *Session) Insert(ctx context.Context, cell []int) (Stats, error) {
 		return Stats{}, err
 	}
 	reqs, err := cs.Insert(local)
+	for err != nil && q.s.growOnExhaustion(err) {
+		// A failed Insert mutated nothing, so the retry is the whole op.
+		reqs, err = cs.Insert(local)
+	}
 	if err != nil {
 		return Stats{}, err
 	}
