@@ -87,6 +87,9 @@ func main() {
 		jsonOut  = flag.String("json", "", "write -exp burst's structured result (schema mmbench-burst/v3: p50/p99 per QoS class, p999 on large samples, host wall/allocs-per-op) or -exp tenants' (schema mmbench-tenants/v1: lifecycle phases + live-burst latency) to this file")
 		cpuProf  = flag.String("cpuprofile", "", "write a pprof CPU profile of the experiment run to this file (inspect with 'go tool pprof')")
 		memProf  = flag.String("memprofile", "", "write a pprof heap profile taken after the experiment run to this file (inspect with 'go tool pprof')")
+		remote   = flag.String("remote", "", "client mode: drive serve-style load against a running mmserved daemon at this address (host:port) instead of running experiments in-process; uses -store, -class, -clients, -queries, -writes, -deadline, -seed")
+		store    = flag.String("store", "", "store name on the daemon for -remote mode")
+		class    = flag.String("class", "", "QoS class for -remote mode sessions (empty = the store's default)")
 	)
 	flag.Parse()
 
@@ -112,6 +115,30 @@ func main() {
 	if *pipeline < 0 {
 		usageErr("-pipeline %d is negative; want a depth of in-flight batches (0 = lockstep)", *pipeline)
 	}
+	if *scale <= 0 || *scale > 1 {
+		usageErr("-scale %v is out of range; want a fraction in (0,1]", *scale)
+	}
+	if *runs < 0 {
+		usageErr("-runs %d is negative; want a repetition count (0 = paper's 15)", *runs)
+	}
+	if *chunk < 0 {
+		usageErr("-chunk %d is negative; want a chunk size in cells (0 = one chunk per query)", *chunk)
+	}
+	if *clients < 0 {
+		usageErr("-clients %d is negative; want a session count (0 = default 4)", *clients)
+	}
+	if *queries < 0 {
+		usageErr("-queries %d is negative; want a per-client query count (0 = default 32)", *queries)
+	}
+	if *cache < 0 {
+		usageErr("-cache %d is negative; want a capacity in blocks (0 = cache off)", *cache)
+	}
+	if *shards < 0 {
+		usageErr("-shards %d is negative; want a max shard count (0 or 1 = single shard)", *shards)
+	}
+	if *deadline < 0 {
+		usageErr("-deadline %v is negative; want a duration like 5ms (0 = none)", *deadline)
+	}
 	// -fair 0 is indistinguishable from the off default by value, so
 	// catch an explicit zero (or negative) quantum by flag presence: a
 	// stated quantum must be positive, and omitting the flag is the only
@@ -127,6 +154,24 @@ func main() {
 	}
 	if len(qosClasses) > 0 && *fair <= 0 {
 		usageErr("-qos needs -fair: class weights only apply under weighted-fair admission")
+	}
+
+	if *remote != "" {
+		if *store == "" {
+			usageErr("-remote needs -store: name the daemon store to drive")
+		}
+		if err := runRemote(remoteConfig{
+			Addr: *remote, Store: *store, Class: *class,
+			Clients: *clients, Queries: *queries,
+			Writes: *writes, Deadline: *deadline, Seed: *seed,
+		}); err != nil {
+			fmt.Fprintf(os.Stderr, "mmbench: remote: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *store != "" || *class != "" {
+		usageErr("-store and -class only apply in -remote client mode")
 	}
 
 	if *cpuProf != "" {

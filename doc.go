@@ -277,6 +277,32 @@
 // pre-pipeline engine (fig6probe diffs empty). cmd/mmbench mirrors
 // the knob as -pipeline.
 //
+// # Network daemon: sessions over the wire
+//
+// cmd/mmserved wraps all of the above in a long-running daemon
+// (internal/server, stdlib net/http): remote clients open stores and
+// pools, begin plain or QoS sessions, and run every session operation
+// over JSON endpoints — with range queries streamed as NDJSON, one
+// chunk line flushed to the client as the engine retires it (the
+// streaming planner's chunks go over the wire instead of buffering the
+// query), closed by a trailer carrying the aggregate Stats, the
+// session's lifetime Stats, and per-class totals. Wire-level
+// cancellation and deadlines land in the engine exactly like embedded
+// callers': a client disconnect cancels the request's context (queued
+// chunks are dropped into Stats.Cancelled with attribution sums
+// intact), and a ?deadline_ms= parameter becomes a context deadline
+// feeding the deadline/QoS-aware admission. GET /v1/events is a
+// Server-Sent Events feed interleaving lifecycle events with periodic
+// Metrics snapshots — Store.Metrics() aggregates per-service queue
+// depth, admission-batch evidence, cache hit rate, per-class totals,
+// and p50/p99 completed-query host latency from a fixed-size latency
+// ring, all lock-cheap so scraping never blocks admission. cmd/mmbench
+// mirrors the client side as -remote <addr> -store <name>, driving
+// serve-style load against a live daemon and reporting first-chunk
+// latency (the streaming proof) alongside the usual tables. With the
+// daemon out of the picture the library path is untouched — fig6probe
+// diffs stay empty.
+//
 // Quick start:
 //
 //	vol, _ := multimap.OpenVolume(multimap.AtlasTenKIII)

@@ -197,6 +197,14 @@ type Options struct {
 	// Trace, when set, receives every chunk's completions in service
 	// order (the mmtrace hook).
 	Trace func([]lvm.Completion)
+	// OnChunk, when set, receives each served chunk's own Stats as the
+	// chunk retires, in chunk order — the hook behind wire-level result
+	// streaming: a network front-end ships every retired chunk to its
+	// client while later chunks are still being planned and served.
+	// Invoked from the submitting goroutine (never concurrently for one
+	// query); dropped chunks (cancellation, deadline) invoke nothing.
+	// Nil leaves the execution path bit-identical.
+	OnChunk func(Stats)
 }
 
 // Run drains a plan through the volume and aggregates its statistics.
@@ -243,6 +251,16 @@ func RunContext(ctx context.Context, vol *lvm.Volume, p Plan, opts Options) (Sta
 		st.Padding += c.Padding
 		if opts.Trace != nil {
 			opts.Trace(comps)
+		}
+		if opts.OnChunk != nil {
+			// The chunk's own delta is rebuilt from the completions
+			// rather than diffed off st, so the running totals keep their
+			// exact accumulation order (bit-equivalence when OnChunk is
+			// nil is trivial; when set, st is still summed identically).
+			var d Stats
+			d.AddCompletions(comps, elapsed)
+			d.Padding = c.Padding
+			opts.OnChunk(d)
 		}
 	}
 }

@@ -166,6 +166,18 @@ func (s *Session) RunPlan(ctx context.Context, p Plan, opts Options) (Stats, err
 		st.Cells += r.hitCells
 		st.CacheHits += r.hits
 		st.CacheMisses += r.misses
+		if opts.OnChunk != nil {
+			// Rebuild the chunk's own delta from its results instead of
+			// diffing st, so the query's running totals accumulate in
+			// exactly the same order whether streaming is on or off.
+			var d Stats
+			d.AddCompletions(r.comps, r.elapsed)
+			d.Padding = op.chunk.Padding
+			d.Cells += r.hitCells
+			d.CacheHits = r.hits
+			d.CacheMisses = r.misses
+			opts.OnChunk(d)
+		}
 	}
 	fold := func(op *serviceOp) error {
 		r := <-op.reply

@@ -161,12 +161,41 @@ func (e *Executor) Range(lo, hi []int) (Stats, error) {
 // Stats of the work actually issued (converted to cell units, with the
 // full-fetch verification skipped) alongside ctx's error.
 func (e *Executor) RangeOn(ctx context.Context, r engine.Runner, lo, hi []int) (Stats, error) {
+	return e.rangeOn(ctx, r, lo, hi, nil)
+}
+
+// RangeStreamOn is RangeOn with chunk-by-chunk result streaming: as
+// each of the plan's chunks retires, onChunk receives that chunk's own
+// Stats — Cells already converted to cell units like the final result —
+// while later chunks are still being planned and served. The callback
+// runs on the query's submitting goroutine, never concurrently, and in
+// chunk order; dropped chunks (cancellation, deadline) report nothing.
+// The returned aggregate is identical to RangeOn's.
+func (e *Executor) RangeStreamOn(ctx context.Context, r engine.Runner, lo, hi []int, onChunk func(Stats)) (Stats, error) {
+	return e.rangeOn(ctx, r, lo, hi, onChunk)
+}
+
+func (e *Executor) rangeOn(ctx context.Context, r engine.Runner, lo, hi []int, onChunk func(Stats)) (Stats, error) {
 	cells, err := e.checkBox(lo, hi)
 	if err != nil {
 		return Stats{}, err
 	}
+	var hook func(engine.Stats)
+	if onChunk != nil {
+		cb := int64(1)
+		if cs, ok := e.m.(mapping.CellSized); ok {
+			cb = int64(cs.CellBlocks())
+		}
+		hook = func(d engine.Stats) {
+			// Chunks are planned in whole cells, so the per-chunk block
+			// count is a multiple of the cell size plus its own padding —
+			// the same conversion the aggregate gets applies exactly.
+			d.Cells = (d.Cells - d.Padding) / cb
+			onChunk(d)
+		}
+	}
 	p := e.newBoxPlan(lo, hi)
-	st, runErr := r.RunPlan(ctx, p, engine.Options{Policy: e.opts.PolicyOverride})
+	st, runErr := r.RunPlan(ctx, p, engine.Options{Policy: e.opts.PolicyOverride, OnChunk: hook})
 	// Blocks fetched = cells * cell size + bridged padding; report in
 	// cells so MsPerCell stays the paper's metric. Partial results get
 	// the same conversion so a cancelled query's Stats stay in cell

@@ -1,0 +1,484 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	multimap "repro"
+)
+
+// settleGoroutines polls until the goroutine count returns to the
+// baseline — service loops exit with their stores, SSE loops with
+// their connections.
+func settleGoroutines(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= baseline {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("goroutines leaked: %d running, baseline %d", runtime.NumGoroutine(), baseline)
+}
+
+// testSpec is a small multi-chunk store: chunk_cells keeps range
+// queries streaming several chunks.
+func testSpec(name string) OpenStoreRequest {
+	return OpenStoreRequest{
+		Name:       name,
+		Disks:      []string{"mediumtest"},
+		AdjDepth:   32,
+		Mapping:    "multimap",
+		Dims:       []int{16, 8, 8},
+		ChunkCells: 16,
+		Classes:    []ClassSpec{{Name: "interactive", Weight: 2}},
+	}
+}
+
+func startDaemon(t *testing.T, specs ...OpenStoreRequest) (*Server, *httptest.Server, *Client) {
+	t.Helper()
+	srv := New()
+	for _, spec := range specs {
+		if _, err := srv.OpenStore(context.Background(), spec); err != nil {
+			t.Fatalf("open %q: %v", spec.Name, err)
+		}
+	}
+	ts := httptest.NewServer(srv)
+	return srv, ts, NewClient(ts.URL)
+}
+
+// underlying returns the library store behind a daemon store, for
+// asserting engine-side ground truth.
+func underlying(t *testing.T, srv *Server, name string) *multimap.Store {
+	t.Helper()
+	srv.mu.Lock()
+	defer srv.mu.Unlock()
+	se := srv.stores[name]
+	if se == nil {
+		t.Fatalf("store %q not registered", name)
+	}
+	return se.store
+}
+
+// TestDaemonLifecycle drives the full wire surface — open, sessions,
+// beam, streamed range, metrics, close — and then proves a graceful
+// shutdown drains everything: no goroutine survives Close.
+func TestDaemonLifecycle(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	srv, ts, c := startDaemon(t, testSpec("life"))
+	ctx := context.Background()
+
+	infos, err := c.Stores(ctx)
+	if err != nil || len(infos) != 1 || infos[0].Name != "life" {
+		t.Fatalf("stores = %+v, %v", infos, err)
+	}
+
+	sess, err := c.Begin(ctx, "life", "interactive")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.Beam(ctx, "life", sess, 0, []int{0, 3, 2}, 0)
+	if err != nil {
+		t.Fatalf("beam: %v", err)
+	}
+	if st.Cells == 0 || st.Requests == 0 {
+		t.Fatalf("beam returned empty stats %+v", st)
+	}
+
+	chunks := 0
+	tr, err := c.RangeQuery(ctx, "life", sess, []int{0, 0, 0}, []int{8, 8, 8}, 0, func(ChunkWire) { chunks++ })
+	if err != nil {
+		t.Fatalf("range: %v", err)
+	}
+	if chunks < 2 {
+		t.Fatalf("want a multi-chunk stream, got %d chunks", chunks)
+	}
+	if tr.Chunks != chunks {
+		t.Fatalf("trailer chunks %d != observed %d", tr.Chunks, chunks)
+	}
+	// Per-chunk deltas are reported in cell units; they must sum to the
+	// aggregate (floats via the same additions, so exact equality on
+	// counters suffices here).
+	var sum multimap.Stats
+	_, err = c.RangeQuery(ctx, "life", sess, []int{0, 0, 0}, []int{8, 8, 8}, 0, func(ch ChunkWire) {
+		sum.Accumulate(ch.Stats.Stats())
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Cells == 0 {
+		t.Fatal("chunk deltas carried no cells")
+	}
+
+	m, err := c.Metrics(ctx, "life")
+	if err != nil {
+		t.Fatalf("metrics: %v", err)
+	}
+	if m.Queries < 3 || m.LatencyP50Ms <= 0 {
+		t.Fatalf("metrics missed queries: %+v", m)
+	}
+	if len(m.Classes) == 0 {
+		t.Fatal("metrics lost class totals")
+	}
+
+	if _, err := c.CloseSession(ctx, "life", sess); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.SessionStats(ctx, "life", sess); err == nil {
+		t.Fatal("closed session still resolves")
+	}
+
+	if err := srv.Close(ctx); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	// Closed server refuses new work.
+	if _, err := c.Begin(ctx, "life", ""); err == nil {
+		t.Fatal("begin succeeded after Close")
+	}
+	ts.Close()
+	settleGoroutines(t, baseline)
+}
+
+// TestStreamingFirstChunkBeforeCompletion proves range responses
+// stream rather than buffer: the client reads the first chunk line off
+// the wire while the daemon-side query is provably still in flight
+// (held mid-stream by the test gate).
+func TestStreamingFirstChunkBeforeCompletion(t *testing.T) {
+	release := make(chan struct{})
+	gated := make(chan int, 64)
+	srv := New()
+	// Install the gate before the listener exists so handlers never race
+	// the assignment.
+	srv.testChunkGate = func(store, session string, seq int) {
+		gated <- seq
+		if seq == 0 {
+			<-release // hold the query after its first chunk is on the wire
+		}
+	}
+	if _, err := srv.OpenStore(context.Background(), testSpec("stream")); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	defer srv.Close(context.Background())
+
+	ctx := context.Background()
+	c := NewClient(ts.URL)
+	sess, err := c.Begin(ctx, "stream", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	body := strings.NewReader(`{"lo":[0,0,0],"hi":[16,8,8]}`)
+	req, err := http.NewRequest(http.MethodPost,
+		ts.URL+"/v1/stores/stream/sessions/"+sess+"/range", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+
+	// The gate is holding the query after chunk 0. Read that first line
+	// now: if the server buffered the response, this read would block
+	// until the (held) query finished and the test would time out.
+	select {
+	case seq := <-gated:
+		if seq != 0 {
+			t.Fatalf("first gated chunk has seq %d", seq)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no chunk reached the gate")
+	}
+	sc := bufio.NewScanner(resp.Body)
+	if !sc.Scan() {
+		t.Fatalf("no first line: %v", sc.Err())
+	}
+	var line StreamLine
+	if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+		t.Fatal(err)
+	}
+	if line.Chunk == nil || line.Chunk.Seq != 0 {
+		t.Fatalf("first line is not chunk 0: %s", sc.Text())
+	}
+	if line.Trailer != nil {
+		t.Fatal("query completed before first chunk was read")
+	}
+
+	close(release)
+	var trailer *RangeTrailer
+	for sc.Scan() {
+		var l StreamLine
+		if err := json.Unmarshal(sc.Bytes(), &l); err != nil {
+			t.Fatal(err)
+		}
+		if l.Trailer != nil {
+			trailer = l.Trailer
+			break
+		}
+	}
+	if trailer == nil {
+		t.Fatalf("stream ended without trailer: %v", sc.Err())
+	}
+	if trailer.Error != "" || trailer.Chunks < 2 {
+		t.Fatalf("bad trailer %+v", trailer)
+	}
+}
+
+// TestDisconnectCancelsAndAttributes proves wire-level cancellation
+// reaches the engine: a client that disconnects mid-stream bumps the
+// service Cancelled counters, and the attribution invariant — summed
+// session Stats equal ServiceTotals.Attributed — survives the partial
+// query.
+func TestDisconnectCancelsAndAttributes(t *testing.T) {
+	release := make(chan struct{})
+	srv := New()
+	srv.testChunkGate = func(store, session string, seq int) {
+		if seq == 0 {
+			<-release
+		}
+	}
+	// The drop store is tuned so chunks are QUEUED at the service when
+	// the disconnect lands: the session keeps 4 chunks outstanding, the
+	// admission window paces passes 100ms apart, and the small DRR
+	// quantum admits roughly one chunk per pass — so after the first
+	// chunk is served (and held at the gate), its successors sit in the
+	// service queue long enough for the cancelled context to reach the
+	// next admission pass.
+	spec := testSpec("drop")
+	spec.MaxInflight = 4
+	spec.BatchWindowUs = 100_000
+	spec.FairQuantum = 20
+	if _, err := srv.OpenStore(context.Background(), spec); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	defer srv.Close(context.Background())
+	c := NewClient(ts.URL)
+
+	ctx := context.Background()
+	sess, err := c.Begin(ctx, "drop", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	qctx, qcancel := context.WithCancel(ctx)
+	req, err := http.NewRequestWithContext(qctx, http.MethodPost,
+		ts.URL+"/v1/stores/drop/sessions/"+sess+"/range",
+		strings.NewReader(`{"lo":[0,0,0],"hi":[16,8,8]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First chunk is on the wire and the query is held at the gate.
+	// Disconnect: cancelling the request context closes the connection,
+	// which cancels the handler's request context on the daemon.
+	sc := bufio.NewScanner(resp.Body)
+	if !sc.Scan() {
+		t.Fatalf("no first chunk: %v", sc.Err())
+	}
+	qcancel()
+	resp.Body.Close()
+	close(release)
+
+	st := underlying(t, srv, "drop")
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		var cancelled int64
+		for _, tot := range st.ShardServiceTotals() {
+			cancelled += tot.Cancelled
+		}
+		if cancelled > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("disconnect never reached the engine Cancelled counters")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// The partial query must not break attribution: what the wire
+	// session was handed still sums to what the services attributed.
+	wireStats, err := c.SessionStats(ctx, "drop", sess)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var attr multimap.Stats
+	for _, tot := range st.ShardServiceTotals() {
+		attr.Accumulate(tot.Attributed)
+	}
+	if wireStats.Cells != attr.Cells || wireStats.Requests != attr.Requests ||
+		wireStats.CacheHits != attr.CacheHits || wireStats.CacheMisses != attr.CacheMisses {
+		t.Fatalf("session sums %+v != attributed %+v", wireStats, attr)
+	}
+	if diff := math.Abs(wireStats.TotalMs - attr.TotalMs); diff > 1e-6*(1+wireStats.TotalMs) {
+		t.Fatalf("attributed time drift %g", diff)
+	}
+	if wireStats.Cancelled == 0 {
+		t.Fatalf("session stats did not record the drop: %+v", wireStats)
+	}
+}
+
+// TestDeadlinePropagation proves a wire deadline becomes an engine
+// deadline: an impossible deadline_ms yields a deadline error and
+// DeadlineExceeded drops, not a hung request.
+func TestDeadlinePropagation(t *testing.T) {
+	srv, ts, c := startDaemon(t, testSpec("ddl"))
+	defer ts.Close()
+	defer srv.Close(context.Background())
+
+	ctx := context.Background()
+	sess, err := c.Begin(ctx, "ddl", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Burn the deadline before the query is admitted: the engine sees an
+	// already-expired context and drops every chunk.
+	start := time.Now()
+	deadline := int64(1)
+	var sawErr error
+	for i := 0; i < 50 && sawErr == nil; i++ {
+		_, sawErr = c.RangeQuery(ctx, "ddl", sess, []int{0, 0, 0}, []int{16, 8, 8}, deadline, nil)
+	}
+	if sawErr == nil {
+		t.Skip("1ms deadline never expired on this host")
+	}
+	if !strings.Contains(sawErr.Error(), "deadline") && !strings.Contains(sawErr.Error(), "cancel") {
+		t.Fatalf("unexpected error %v", sawErr)
+	}
+	if time.Since(start) > 30*time.Second {
+		t.Fatal("deadline queries took implausibly long")
+	}
+	wireStats, err := c.SessionStats(ctx, "ddl", sess)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wireStats.DeadlineExceeded == 0 && wireStats.Cancelled == 0 {
+		t.Fatalf("no drops recorded: %+v", wireStats)
+	}
+}
+
+// TestEventsFeed checks the SSE stream interleaves metrics frames with
+// lifecycle events and ends cleanly on server shutdown.
+func TestEventsFeed(t *testing.T) {
+	srv, ts, c := startDaemon(t, testSpec("ev"))
+	defer ts.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	type frame struct {
+		event string
+		data  []byte
+	}
+	frames := make(chan frame, 64)
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- c.Events(ctx, 50, func(event string, data []byte) bool {
+			frames <- frame{event, data}
+			return true
+		})
+	}()
+
+	// First frame is an immediate metrics snapshot naming the store.
+	select {
+	case f := <-frames:
+		if f.event != "metrics" {
+			t.Fatalf("first frame %q, want metrics", f.event)
+		}
+		var m MetricsResponse
+		if err := json.Unmarshal(f.data, &m); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := m.Stores["ev"]; !ok {
+			t.Fatalf("metrics frame misses store: %s", f.data)
+		}
+	case <-ctx.Done():
+		t.Fatal("no metrics frame")
+	}
+
+	// A session begin surfaces as a lifecycle event.
+	if _, err := c.Begin(context.Background(), "ev", ""); err != nil {
+		t.Fatal(err)
+	}
+	sawLifecycle := false
+	timeout := time.After(5 * time.Second)
+	for !sawLifecycle {
+		select {
+		case f := <-frames:
+			if f.event == "lifecycle" {
+				var ev Event
+				if err := json.Unmarshal(f.data, &ev); err != nil {
+					t.Fatal(err)
+				}
+				if ev.Type == "session_begun" && ev.Store == "ev" {
+					sawLifecycle = true
+				}
+			}
+		case <-timeout:
+			t.Fatal("no lifecycle frame for session begin")
+		}
+	}
+
+	// Server shutdown ends the stream without an error.
+	if err := srv.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-errCh:
+		if err != nil && ctx.Err() == nil {
+			t.Fatalf("events stream errored: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("events stream did not end on shutdown")
+	}
+}
+
+// TestPoolOverWire opens a pool and a tenant store through the wire
+// and queries it like any private-volume store.
+func TestPoolOverWire(t *testing.T) {
+	srv, ts, c := startDaemon(t)
+	defer ts.Close()
+	defer srv.Close(context.Background())
+	ctx := context.Background()
+
+	if _, err := c.OpenPool(ctx, OpenPoolRequest{
+		Name: "p", Drives: []string{"mediumtest", "mediumtest"}, AdjDepth: 32,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.OpenStore(ctx, OpenStoreRequest{
+		Name: "ten", Pool: "p", Mapping: "multimap", Dims: []int{8, 8, 4}, ChunkCells: 16,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	sess, err := c.Begin(ctx, "ten", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := c.RangeQuery(ctx, "ten", sess, []int{0, 0, 0}, []int{4, 4, 4}, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Stats.Cells == 0 {
+		t.Fatalf("tenant query returned no cells: %+v", tr.Stats)
+	}
+	if err := c.CloseStore(ctx, "ten"); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -145,6 +145,17 @@ func (g *Group) ServiceTotals() []engine.ServiceTotals {
 	return out
 }
 
+// QueueDepths snapshots every member service's admission backlog (ops
+// queued awaiting admission), in shard order — the daemon metrics
+// feed's queue-depth gauge.
+func (g *Group) QueueDepths() []int {
+	out := make([]int, len(g.members))
+	for i := range g.members {
+		out[i] = g.members[i].Svc.QueueDepth()
+	}
+	return out
+}
+
 // ClassTotals merges every shard service's per-QoS-class bookkeeping
 // deterministically: classes are summed by name across shards (in
 // shard order) and returned sorted by class name, exactly the order
@@ -291,6 +302,22 @@ func (s *Session) Beam(ctx context.Context, dim int, fixed []int) (engine.Stats,
 // returned error prefers the first real failure over the sibling
 // cancellations it induced.
 func (s *Session) Box(ctx context.Context, lo, hi []int) (engine.Stats, error) {
+	return s.box(ctx, lo, hi, nil)
+}
+
+// BoxStream is Box with chunk-by-chunk result streaming: as each
+// per-shard plan chunk retires, onChunk receives the owning shard's
+// index and that chunk's own Stats (cell units, like the final
+// aggregate). On a scatter across several shards the callbacks from
+// concurrent parts are serialized — onChunk is never invoked
+// concurrently — but their interleaving across shards follows the
+// actual service order, so a wire client watches the scatter progress
+// live. The returned aggregate is identical to Box's.
+func (s *Session) BoxStream(ctx context.Context, lo, hi []int, onChunk func(shard int, st engine.Stats)) (engine.Stats, error) {
+	return s.box(ctx, lo, hi, onChunk)
+}
+
+func (s *Session) box(ctx context.Context, lo, hi []int, onChunk func(int, engine.Stats)) (engine.Stats, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -302,9 +329,26 @@ func (s *Session) Box(ctx context.Context, lo, hi []int) (engine.Stats, error) {
 		return engine.Stats{}, err
 	}
 	parts := s.g.r.SplitBox(lo, hi)
+	// hookFor builds the per-shard chunk callback: nil stays nil (the
+	// non-streaming path, byte-for-byte RangeOn), and on a multi-part
+	// scatter the callbacks from concurrent shard goroutines serialize
+	// under one mutex so the consumer never sees two chunks at once.
+	var cbMu sync.Mutex
+	hookFor := func(shard int, serialize bool) func(engine.Stats) {
+		if onChunk == nil {
+			return nil
+		}
+		return func(st engine.Stats) {
+			if serialize {
+				cbMu.Lock()
+				defer cbMu.Unlock()
+			}
+			onChunk(shard, st)
+		}
+	}
 	if len(parts) == 1 {
 		p := parts[0]
-		return s.g.members[p.Shard].Exec.RangeOn(ctx, s.es[p.Shard], p.Lo, p.Hi)
+		return s.g.members[p.Shard].Exec.RangeStreamOn(ctx, s.es[p.Shard], p.Lo, p.Hi, hookFor(p.Shard, false))
 	}
 	sctx, cancel := context.WithCancel(ctx)
 	defer cancel()
@@ -316,7 +360,7 @@ func (s *Session) Box(ctx context.Context, lo, hi []int) (engine.Stats, error) {
 		go func(k int) {
 			defer wg.Done()
 			p := parts[k]
-			stats[k], errs[k] = s.g.members[p.Shard].Exec.RangeOn(sctx, s.es[p.Shard], p.Lo, p.Hi)
+			stats[k], errs[k] = s.g.members[p.Shard].Exec.RangeStreamOn(sctx, s.es[p.Shard], p.Lo, p.Hi, hookFor(p.Shard, true))
 			if errs[k] != nil {
 				cancel() // first failure stops the sibling shards promptly
 			}

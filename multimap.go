@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/analytic"
 	"repro/internal/core"
@@ -271,6 +272,7 @@ type Store struct {
 	cfg         config            // resolved open config (clone re-applies it)
 	eo          query.ExecOptions
 	def         *Session
+	lat         *engine.LatencyRing // completed-query latency ring (Metrics)
 	closed      atomic.Bool
 	// autoGrow, when set (pool tenants under WithAutoGrow), adds
 	// overflow capacity through the pool's Grow path; the update path
@@ -311,7 +313,7 @@ func open(vol *Volume, kind Mapping, dims []int, c config) (*Store, error) {
 		return nil, err
 	}
 	s := &Store{vol: vol, dims: append([]int(nil), dims...), maxInflight: c.maxInflight,
-		qosClass: c.qosClass, cfg: c, eo: eo}
+		qosClass: c.qosClass, cfg: c, eo: eo, lat: newLatencyRing()}
 	shardVols := []*Volume{vol}
 	if c.provision != nil {
 		if len(c.provision) != c.shards || c.provision[0] != vol {
@@ -459,7 +461,12 @@ func (q *Session) Beam(ctx context.Context, dim int, fixed []int) (Stats, error)
 	if err != nil {
 		return Stats{}, err
 	}
-	return q.ss.Beam(ctx, dim, fixed)
+	start := time.Now()
+	st, err := q.ss.Beam(ctx, dim, fixed)
+	if err == nil {
+		q.s.recordQueryLatency(start)
+	}
+	return st, err
 }
 
 // RangeQuery fetches the box [lo, hi) through this session,
@@ -471,7 +478,55 @@ func (q *Session) RangeQuery(ctx context.Context, lo, hi []int) (Stats, error) {
 	if err != nil {
 		return Stats{}, err
 	}
-	return q.ss.Box(ctx, lo, hi)
+	start := time.Now()
+	st, err := q.ss.Box(ctx, lo, hi)
+	if err == nil {
+		q.s.recordQueryLatency(start)
+	}
+	return st, err
+}
+
+// RangeChunk is one retired chunk of a streaming range query: the
+// chunk's own Stats (cell units, like the query's final aggregate), the
+// shard that served it, and its 0-based delivery sequence within the
+// query.
+type RangeChunk struct {
+	Seq   int
+	Shard int
+	Stats Stats
+}
+
+// RangeQueryStream runs the box [lo, hi) like RangeQuery while
+// streaming results chunk-by-chunk: as each plan chunk retires from the
+// service, onChunk receives its RangeChunk — while later chunks are
+// still being planned and served, so a consumer (the network daemon's
+// wire streaming) ships partial results long before the query
+// completes. onChunk is invoked from internal goroutines but never
+// concurrently, in delivery order; it must not block longer than the
+// consumer can afford, since the submitting goroutine waits on it
+// between chunk retirements. Cancelled or expired work invokes nothing
+// — the usual partial-Stats contract applies to the returned aggregate,
+// which is identical to RangeQuery's. A nil onChunk degrades to
+// RangeQuery exactly.
+func (q *Session) RangeQueryStream(ctx context.Context, lo, hi []int, onChunk func(RangeChunk)) (Stats, error) {
+	ctx, err := q.check(ctx)
+	if err != nil {
+		return Stats{}, err
+	}
+	start := time.Now()
+	var hook func(int, engine.Stats)
+	if onChunk != nil {
+		seq := 0 // BoxStream serializes callbacks, so a plain counter is safe
+		hook = func(shard int, st engine.Stats) {
+			onChunk(RangeChunk{Seq: seq, Shard: shard, Stats: st})
+			seq++
+		}
+	}
+	st, err := q.ss.BoxStream(ctx, lo, hi, hook)
+	if err == nil {
+		q.s.recordQueryLatency(start)
+	}
+	return st, err
 }
 
 // Flush commits the write-back dirty buffers of every shard service

@@ -555,6 +555,7 @@ func (p *Pool) Clone(ctx context.Context, snap *Snapshot, name string) (*Tenant,
 		qosClass:    snap.cfg.qosClass,
 		cfg:         snap.cfg,
 		eo:          snap.eo,
+		lat:         newLatencyRing(),
 	}
 	if snap.cells != nil {
 		st.cells = make([]*core.CellStore, shards)

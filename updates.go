@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/engine"
@@ -366,8 +367,13 @@ func (q *Session) FetchCell(ctx context.Context, cell []int) (Stats, error) {
 		}
 		reqs = []lvm.Request{{VLBN: vlbn, Count: q.s.CellBlocks()}}
 	}
-	return q.ss.Member(si).RunPlan(ctx,
+	start := time.Now()
+	st, err := q.ss.Member(si).RunPlan(ctx,
 		engine.Static(reqs, query.PolicyFor(q.s.Mapping() == MultiMap)), engine.Options{})
+	if err == nil {
+		q.s.recordQueryLatency(start)
+	}
+	return st, err
 }
 
 // write submits one mutation's dirtied extents as a write op on the
